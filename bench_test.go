@@ -1,0 +1,390 @@
+package bruck
+
+// One benchmark per evaluation artifact of the paper. Benchmarks run
+// the real schedules on the simulator and attach the paper's complexity
+// measures (C1 rounds, C2 bytes) and the SP-1 linear-model time as
+// custom metrics, so `go test -bench .` regenerates the quantities
+// behind every figure and table:
+//
+//	BenchmarkFig4IndexRadixSweep    — Fig 4: time vs message size per radix
+//	BenchmarkFig5SpecialCases       — Fig 5: r=2 vs r=n vs tuned radix
+//	BenchmarkFig6RadixCurve         — Fig 6: time vs radix per message size
+//	BenchmarkTable1Partition        — Table 1: last-round table partitioning
+//	BenchmarkFig7SpanningTree       — Figs 7/8: circulant spanning trees
+//	BenchmarkFig9ConcatTrace        — Fig 9: one-port concatenation trace
+//	BenchmarkConcatAlgorithms       — Section 4: circulant vs baselines
+//	BenchmarkLowerBoundCheck        — Section 2: bounds evaluation
+//	BenchmarkAblation*              — design-decision ablations
+//
+// The figure *shapes* (who wins where, crossovers) are asserted by unit
+// tests in internal/sweep; these benchmarks expose the raw numbers and
+// the simulator's own wall-clock cost.
+
+import (
+	"fmt"
+	"testing"
+
+	"bruck/internal/circulant"
+	"bruck/internal/collective"
+	"bruck/internal/costmodel"
+	"bruck/internal/lowerbound"
+	"bruck/internal/mpsim"
+	"bruck/internal/partition"
+	"bruck/internal/trace"
+)
+
+func benchIndexInput(n, blockLen int) [][][]byte {
+	in := make([][][]byte, n)
+	for i := range in {
+		in[i] = make([][]byte, n)
+		for j := range in[i] {
+			blk := make([]byte, blockLen)
+			for x := range blk {
+				blk[x] = byte(i + j + x)
+			}
+			in[i][j] = blk
+		}
+	}
+	return in
+}
+
+func benchConcatInput(n, blockLen int) [][]byte {
+	in := make([][]byte, n)
+	for i := range in {
+		in[i] = make([]byte, blockLen)
+		for x := range in[i] {
+			in[i][x] = byte(i + x)
+		}
+	}
+	return in
+}
+
+func reportModel(b *testing.B, rep *Report) {
+	b.Helper()
+	b.ReportMetric(float64(rep.C1), "C1-rounds")
+	b.ReportMetric(float64(rep.C2), "C2-bytes")
+	b.ReportMetric(rep.Time(costmodel.SP1)*1e6, "SP1-model-us")
+}
+
+// BenchmarkFig4IndexRadixSweep regenerates the Figure 4 grid: the index
+// operation on 64 processors for power-of-two radices and a spread of
+// message sizes.
+func BenchmarkFig4IndexRadixSweep(b *testing.B) {
+	const n = 64
+	for _, r := range []int{2, 4, 8, 16, 32, 64} {
+		for _, size := range []int{16, 128, 1024} {
+			b.Run(fmt.Sprintf("r=%d/b=%d", r, size), func(b *testing.B) {
+				m := MustNewMachine(n)
+				in := benchIndexInput(n, size)
+				var rep *Report
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					_, rep, err = m.Index(in, WithRadix(r))
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				reportModel(b, rep)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5SpecialCases regenerates the Figure 5 comparison at the
+// crossover region: r=2, r=n and the tuned power-of-two radix at 128
+// bytes (between the 100-200 byte break-even the paper reports).
+func BenchmarkFig5SpecialCases(b *testing.B) {
+	const n, size = 64, 128
+	tuned := OptimalRadix(SP1, n, size, 1, true)
+	for _, tc := range []struct {
+		name string
+		r    int
+	}{
+		{"r=2", 2},
+		{"r=n", n},
+		{fmt.Sprintf("tuned-r=%d", tuned), tuned},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := MustNewMachine(n)
+			in := benchIndexInput(n, size)
+			var rep *Report
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = m.Index(in, WithRadix(tc.r))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModel(b, rep)
+		})
+	}
+}
+
+// BenchmarkFig6RadixCurve regenerates the Figure 6 curve: time versus
+// radix for 32, 64 and 128-byte messages on 64 processors.
+func BenchmarkFig6RadixCurve(b *testing.B) {
+	const n = 64
+	for _, size := range []int{32, 64, 128} {
+		for _, r := range []int{2, 4, 8, 16, 32, 64} {
+			b.Run(fmt.Sprintf("b=%d/r=%d", size, r), func(b *testing.B) {
+				m := MustNewMachine(n)
+				in := benchIndexInput(n, size)
+				var rep *Report
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					_, rep, err = m.Index(in, WithRadix(r))
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				reportModel(b, rep)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Partition solves the last-round table-partitioning
+// problem, including the paper's Table 1 instance (b=3, n2=7, n1=3,
+// k=3) and larger shapes.
+func BenchmarkTable1Partition(b *testing.B) {
+	for _, tc := range []struct{ b, n2, n1, k int }{
+		{3, 7, 3, 3},      // Table 1
+		{8, 48, 16, 3},    // larger optimal-range instance
+		{5, 60, 16, 4},    // wide instance
+		{4, 255, 256, 63}, // many ports
+	} {
+		b.Run(fmt.Sprintf("b=%d,n2=%d,n1=%d,k=%d", tc.b, tc.n2, tc.n1, tc.k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan, err := partition.Solve(tc.b, tc.n2, tc.n1, tc.k, partition.PreferOptimal)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := plan.Validate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7SpanningTree builds the circulant spanning trees of
+// Figures 7 and 8 and larger instances, including the translation that
+// derives T_i from T_0.
+func BenchmarkFig7SpanningTree(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{9, 2}, {64, 1}, {256, 3}, {1000, 4}} {
+		b.Run(fmt.Sprintf("n=%d,k=%d", tc.n, tc.k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t0, err := circulant.BuildFullTree(tc.n, tc.k, 0, circulant.Positive)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = t0.Translate(1)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9ConcatTrace renders the Figure 9 label trace.
+func BenchmarkFig9ConcatTrace(b *testing.B) {
+	for _, n := range []int{5, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr, err := trace.TraceConcat(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = tr.String()
+			}
+		})
+	}
+}
+
+// BenchmarkConcatAlgorithms compares the circulant algorithm with the
+// baselines of Section 4 on the simulator.
+func BenchmarkConcatAlgorithms(b *testing.B) {
+	const n, size = 32, 256
+	for _, tc := range []struct {
+		name string
+		alg  collective.ConcatAlgorithm
+	}{
+		{"circulant", ConcatCirculant},
+		{"folklore", ConcatFolklore},
+		{"ring", ConcatRing},
+		{"recursive-doubling", ConcatRecursiveDoubling},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := MustNewMachine(n)
+			in := benchConcatInput(n, size)
+			var rep *Report
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = m.Concat(in, WithConcatAlgorithm(tc.alg))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModel(b, rep)
+		})
+	}
+}
+
+// BenchmarkConcatKPort shows the multiport scaling of the circulant
+// algorithm (Section 4's k-port model).
+func BenchmarkConcatKPort(b *testing.B) {
+	const n, size = 64, 128
+	for _, k := range []int{1, 2, 3, 7} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			m := MustNewMachine(n, Ports(k))
+			in := benchConcatInput(n, size)
+			var rep *Report
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = m.Concat(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModel(b, rep)
+		})
+	}
+}
+
+// BenchmarkIndexKPort shows the multiport scaling of the Bruck index
+// algorithm (Section 3.4).
+func BenchmarkIndexKPort(b *testing.B) {
+	const n, size = 64, 64
+	for _, tc := range []struct{ k, r int }{{1, 2}, {2, 3}, {3, 4}, {7, 8}} {
+		b.Run(fmt.Sprintf("k=%d,r=%d", tc.k, tc.r), func(b *testing.B) {
+			m := MustNewMachine(n, Ports(tc.k))
+			in := benchIndexInput(n, size)
+			var rep *Report
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = m.Index(in, WithRadix(tc.r))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModel(b, rep)
+		})
+	}
+}
+
+// BenchmarkAblationPacking measures the cost of disabling the pack/
+// unpack optimization of Appendix A (each block travels alone).
+func BenchmarkAblationPacking(b *testing.B) {
+	const n, size = 16, 64
+	for _, tc := range []struct {
+		name string
+		opts []CollectiveOption
+	}{
+		{"packed", []CollectiveOption{WithRadix(2)}},
+		{"unpacked", []CollectiveOption{WithRadix(2), WithoutPacking()}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := MustNewMachine(n)
+			in := benchIndexInput(n, size)
+			var rep *Report
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = m.Index(in, tc.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModel(b, rep)
+		})
+	}
+}
+
+// BenchmarkAblationLastRoundPolicy compares the three last-round
+// policies of the concatenation algorithm inside the special range
+// (n=63, b=4, k=3 has (k+1)^3 - k = 61 < 63 < 64).
+func BenchmarkAblationLastRoundPolicy(b *testing.B) {
+	const n, size, k = 63, 4, 3
+	if !partition.InSpecialRange(n, size, k) {
+		b.Fatal("benchmark configuration left the special range")
+	}
+	for _, tc := range []struct {
+		name   string
+		policy partition.Policy
+	}{
+		{"prefer-optimal", LastRoundPreferOptimal},
+		{"min-rounds", LastRoundMinRounds},
+		{"min-volume", LastRoundMinVolume},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := MustNewMachine(n, Ports(k))
+			in := benchConcatInput(n, size)
+			var rep *Report
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = m.Concat(in, WithLastRoundPolicy(tc.policy))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModel(b, rep)
+		})
+	}
+}
+
+// BenchmarkLowerBoundCheck evaluates the Section 2 bounds (cheap,
+// included so the bounds tables regenerate from the bench run too).
+func BenchmarkLowerBoundCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{8, 64, 100, 1000} {
+			for k := 1; k <= 4; k++ {
+				_ = lowerbound.IndexRounds(n, k)
+				_ = lowerbound.IndexVolume(n, 128, k)
+				_ = lowerbound.ConcatRounds(n, k)
+				_ = lowerbound.ConcatVolume(n, 128, k)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineSendRecv measures the raw simulator round-trip cost,
+// the floor under every collective benchmark above.
+func BenchmarkEngineSendRecv(b *testing.B) {
+	for _, n := range []int{2, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := mpsim.MustNew(n)
+			payload := make([]byte, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := e.Run(func(p *mpsim.Proc) error {
+					me := p.Rank()
+					_, err := p.SendRecv((me+1)%n, payload, (me-1+n)%n)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimalRadixSearch measures the model-based tuner.
+func BenchmarkOptimalRadixSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = OptimalRadix(SP1, 64, 128, 1, false)
+	}
+}

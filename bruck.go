@@ -1,0 +1,335 @@
+// Package bruck is a Go reproduction of "Efficient Algorithms for
+// All-to-All Communications in Multiport Message-Passing Systems" by
+// Bruck, Ho, Kipnis, Upfal and Weathersby (SPAA 1994; IEEE TPDS 8(11),
+// 1997).
+//
+// It provides the two all-to-all collective operations of the paper on
+// a simulated multiport fully connected message-passing machine:
+//
+//   - Index — all-to-all personalized communication (MPI_Alltoall),
+//     via the radix-r "Bruck algorithm" family with its C1/C2
+//     trade-off, plus direct-exchange and pairwise-XOR baselines;
+//   - Concat — all-to-all broadcast (MPI_Allgather), via the optimal
+//     circulant-graph algorithm with its table-partitioned last round,
+//     plus folklore, ring and recursive-doubling baselines;
+//
+// together with one-to-all primitives (Broadcast, Gather, Scatter),
+// machine cost models (the paper's linear model with the measured IBM
+// SP-1 parameters), closed-form complexity predictions, lower bounds,
+// and radix auto-tuning.
+//
+// # Quick start
+//
+//	m, _ := bruck.NewMachine(8)                    // 8 processors, 1 port
+//	in := ...                                      // in[i][j] = block B[i,j]
+//	out, rep, err := m.Index(in, bruck.WithRadix(2))
+//	// out[i][j] == in[j][i]; rep.C1, rep.C2 are the paper's measures
+//
+// The machine is a simulation: one goroutine per processor, channels
+// for messages, with the k-port constraint enforced per communication
+// round. Complexity measures C1 (rounds) and C2 (sum over rounds of the
+// largest message) are recorded from the actual schedule; Report.Time
+// evaluates them under a machine profile such as bruck.SP1.
+package bruck
+
+import (
+	"fmt"
+
+	"bruck/internal/collective"
+	"bruck/internal/costmodel"
+	"bruck/internal/mpsim"
+	"bruck/internal/partition"
+)
+
+// Machine is a simulated n-processor multiport fully connected
+// message-passing system. Create one with NewMachine; a Machine may run
+// any number of consecutive collective operations but is not safe for
+// concurrent use.
+type Machine struct {
+	engine *mpsim.Engine
+	world  *Group
+}
+
+// MachineOption configures NewMachine.
+type MachineOption func(*machineConfig)
+
+type machineConfig struct {
+	ports    int
+	validate bool
+	record   bool
+}
+
+// Ports sets the number of communication ports k per processor: in each
+// round a processor can send k messages and receive k messages
+// (1 <= k <= n-1). The default is 1, the one-port model.
+func Ports(k int) MachineOption {
+	return func(c *machineConfig) { c.ports = k }
+}
+
+// Validate enables (default) or disables runtime schedule validation:
+// the k-port constraint, round alignment of matching sends and
+// receives, and schedule uniformity.
+func Validate(on bool) MachineOption {
+	return func(c *machineConfig) { c.validate = on }
+}
+
+// RecordEvents makes the machine log every message of each operation
+// (round, endpoints, size), enabling CriticalPathTime. Off by default.
+func RecordEvents() MachineOption {
+	return func(c *machineConfig) { c.record = true }
+}
+
+// NewMachine creates a simulated machine with n processors.
+func NewMachine(n int, opts ...MachineOption) (*Machine, error) {
+	cfg := machineConfig{ports: 1, validate: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	e, err := mpsim.New(n, mpsim.Ports(cfg.ports), mpsim.Validate(cfg.validate), mpsim.Record(cfg.record))
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{engine: e, world: mpsim.WorldGroup(n)}, nil
+}
+
+// CriticalPathTime evaluates the most recent operation's schedule under
+// the linear model with per-processor clocks (the LogP-flavored
+// accounting the paper contrasts with T = C1*beta + C2*tau in Section
+// 1.2). It requires a machine created with RecordEvents and at least
+// one completed operation. For the paper's symmetric schedules it
+// equals Report.Time; for skewed schedules (e.g. the folklore
+// baseline) it is smaller.
+func (m *Machine) CriticalPathTime(p Profile) (float64, error) {
+	metrics := m.engine.Metrics()
+	if metrics == nil {
+		return 0, fmt.Errorf("bruck: CriticalPathTime before any operation")
+	}
+	events := metrics.Events()
+	if events == nil {
+		return 0, fmt.Errorf("bruck: CriticalPathTime requires a machine created with RecordEvents")
+	}
+	return costmodel.CriticalPath(p, m.engine.N(), events)
+}
+
+// N returns the number of processors.
+func (m *Machine) N() int { return m.engine.N() }
+
+// Ports returns the port count k.
+func (m *Machine) Ports() int { return m.engine.Ports() }
+
+// Group names an ordered subset of processors, like an MPI group; all
+// collective operations accept one via OnGroup. Group ranks are the
+// positions in the id list.
+type Group = mpsim.Group
+
+// NewGroup creates a group from distinct processor ids of this machine.
+func (m *Machine) NewGroup(ids []int) (*Group, error) {
+	return mpsim.NewGroup(ids, m.engine.N())
+}
+
+// World returns the group of all processors in rank order.
+func (m *Machine) World() *Group { return m.world }
+
+// Report is the communication summary of one collective operation, in
+// the paper's complexity measures: C1 rounds and C2 bytes of data
+// volume (sum over rounds of the round's largest message).
+type Report = collective.Result
+
+// Profile is a machine model under the paper's linear cost model:
+// sending an m-byte message costs Beta + m*Tau seconds.
+type Profile = costmodel.Profile
+
+// SP1 is the 64-node IBM SP-1 profile measured in Section 3.5 of the
+// paper (start-up ~29us, ~8.5 Mbytes/s point-to-point bandwidth).
+var SP1 = costmodel.SP1
+
+// Common algorithm identifiers, re-exported from the implementation
+// package for use with the option setters.
+const (
+	// IndexBruck is the paper's radix-r index algorithm (default).
+	IndexBruck = collective.IndexBruck
+	// IndexDirect is the direct-exchange baseline (volume-optimal,
+	// round-maximal).
+	IndexDirect = collective.IndexDirect
+	// IndexPairwiseXOR is the hypercube pairwise-exchange baseline
+	// (power-of-two sizes).
+	IndexPairwiseXOR = collective.IndexPairwiseXOR
+
+	// ConcatCirculant is the paper's circulant-graph concatenation
+	// algorithm (default).
+	ConcatCirculant = collective.ConcatCirculant
+	// ConcatFolklore is the gather+broadcast baseline.
+	ConcatFolklore = collective.ConcatFolklore
+	// ConcatRing is the ring baseline.
+	ConcatRing = collective.ConcatRing
+	// ConcatRecursiveDoubling is the hypercube baseline (power-of-two
+	// sizes).
+	ConcatRecursiveDoubling = collective.ConcatRecursiveDoubling
+)
+
+// Last-round policies for the circulant concatenation in the special
+// range where C1- and C2-optimality conflict (Proposition 4.2).
+const (
+	// LastRoundPreferOptimal uses the single optimal round whenever it
+	// exists (default).
+	LastRoundPreferOptimal = partition.PreferOptimal
+	// LastRoundMinRounds keeps C1 optimal at a C2 penalty of at most
+	// b-1 bytes.
+	LastRoundMinRounds = partition.MinRounds
+	// LastRoundMinVolume keeps C2 within one byte of optimal at a cost
+	// of one extra round.
+	LastRoundMinVolume = partition.MinVolume
+)
+
+// CollectiveOption configures one collective call.
+type CollectiveOption func(*callConfig)
+
+type callConfig struct {
+	group     *Group
+	indexOpt  collective.IndexOptions
+	radices   []int
+	concatOpt collective.ConcatOptions
+}
+
+// OnGroup restricts the operation to an ordered subset of processors;
+// inputs and outputs are indexed by group rank. The default is the
+// whole machine.
+func OnGroup(g *Group) CollectiveOption {
+	return func(c *callConfig) { c.group = g }
+}
+
+// WithRadix sets the radix r of the Bruck index algorithm
+// (2 <= r <= n). Smaller radices minimize rounds (r = k+1 is
+// round-optimal), larger radices minimize data volume (r = n is
+// volume-optimal). The default is k+1.
+func WithRadix(r int) CollectiveOption {
+	return func(c *callConfig) { c.indexOpt.Radix = r }
+}
+
+// WithRadices runs the mixed-radix generalization of the index
+// algorithm: subphase i uses radix radices[i]. Every radix must be at
+// least 2 and the product must reach n. OptimalRadixSchedule computes
+// the model-optimal vector. Overrides WithRadix and WithIndexAlgorithm.
+func WithRadices(radices []int) CollectiveOption {
+	return func(c *callConfig) { c.radices = append([]int(nil), radices...) }
+}
+
+// WithIndexAlgorithm selects the index schedule (IndexBruck,
+// IndexDirect, IndexPairwiseXOR).
+func WithIndexAlgorithm(a collective.IndexAlgorithm) CollectiveOption {
+	return func(c *callConfig) { c.indexOpt.Algorithm = a }
+}
+
+// WithoutPacking disables message packing in the Bruck index algorithm
+// (an ablation: every selected block travels in its own round).
+func WithoutPacking() CollectiveOption {
+	return func(c *callConfig) { c.indexOpt.NoPack = true }
+}
+
+// WithConcatAlgorithm selects the concatenation schedule
+// (ConcatCirculant, ConcatFolklore, ConcatRing,
+// ConcatRecursiveDoubling).
+func WithConcatAlgorithm(a collective.ConcatAlgorithm) CollectiveOption {
+	return func(c *callConfig) { c.concatOpt.Algorithm = a }
+}
+
+// WithLastRoundPolicy selects the circulant concatenation's behaviour
+// in the special range (LastRoundPreferOptimal, LastRoundMinRounds,
+// LastRoundMinVolume).
+func WithLastRoundPolicy(p partition.Policy) CollectiveOption {
+	return func(c *callConfig) { c.concatOpt.LastRound = p }
+}
+
+func (m *Machine) call(opts []CollectiveOption) callConfig {
+	cfg := callConfig{group: m.world}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// Index performs all-to-all personalized communication
+// (MPI_Alltoall): in[i][j] is block B[i,j], the block processor i holds
+// for processor j; the result satisfies out[i][j] = in[j][i]. All
+// blocks must have the same size.
+func (m *Machine) Index(in [][][]byte, opts ...CollectiveOption) ([][][]byte, *Report, error) {
+	cfg := m.call(opts)
+	if cfg.radices != nil {
+		return collective.IndexMixed(m.engine, cfg.group, in, cfg.radices)
+	}
+	return collective.Index(m.engine, cfg.group, in, cfg.indexOpt)
+}
+
+// Concat performs all-to-all broadcast (MPI_Allgather): in[i] is block
+// B[i]; afterwards every processor holds the full concatenation,
+// out[i][j] = in[j]. All blocks must have the same size.
+func (m *Machine) Concat(in [][]byte, opts ...CollectiveOption) ([][][]byte, *Report, error) {
+	cfg := m.call(opts)
+	return collective.Concat(m.engine, cfg.group, in, cfg.concatOpt)
+}
+
+// Broadcast sends root's data to every group member; the result holds
+// each member's copy.
+func (m *Machine) Broadcast(root int, data []byte, opts ...CollectiveOption) ([][]byte, *Report, error) {
+	cfg := m.call(opts)
+	return collective.Broadcast(m.engine, cfg.group, root, data)
+}
+
+// Gather collects one equal-size block from every group member at
+// root, in group-rank order.
+func (m *Machine) Gather(root int, in [][]byte, opts ...CollectiveOption) ([][]byte, *Report, error) {
+	cfg := m.call(opts)
+	return collective.Gather(m.engine, cfg.group, root, in)
+}
+
+// Scatter distributes root's per-member blocks: member j receives
+// in[j].
+func (m *Machine) Scatter(root int, in [][]byte, opts ...CollectiveOption) ([][]byte, *Report, error) {
+	cfg := m.call(opts)
+	return collective.Scatter(m.engine, cfg.group, root, in)
+}
+
+// OptimalRadix returns the radix minimizing the linear-model time of
+// the Bruck index algorithm for n processors, block size b bytes and k
+// ports under the given machine profile. With powerOfTwoOnly it mirrors
+// the paper's Section 3.5 tuning over power-of-two radices.
+func OptimalRadix(p Profile, n, b, k int, powerOfTwoOnly bool) int {
+	return collective.OptimalRadix(p, n, b, k, powerOfTwoOnly)
+}
+
+// PredictIndex returns the closed-form (C1, C2) of the radix-r Bruck
+// index algorithm for n processors, block size b and k ports, in
+// rounds and bytes.
+func PredictIndex(n, b, r, k int) (c1, c2 int) {
+	return collective.IndexCost(n, b, r, k)
+}
+
+// OptimalRadixSchedule returns the mixed-radix vector minimizing the
+// linear-model time of the index operation, found by dynamic
+// programming; it is never worse than the best uniform radix. Use it
+// with WithRadices.
+func OptimalRadixSchedule(p Profile, n, b, k int) []int {
+	return collective.OptimalRadixSchedule(p, n, b, k)
+}
+
+// PredictIndexMixed returns the closed-form (C1, C2) of the
+// mixed-radix index algorithm.
+func PredictIndexMixed(n, b int, radices []int, k int) (c1, c2 int) {
+	return collective.IndexMixedCost(n, b, radices, k)
+}
+
+// PredictConcat returns the closed-form (C1, C2) of the circulant
+// concatenation under the default last-round policy.
+func PredictConcat(n, b, k int) (c1, c2 int, err error) {
+	return collective.ConcatCost(n, b, k, partition.PreferOptimal)
+}
+
+// MustNewMachine is NewMachine for known-good parameters; it panics on
+// error. Intended for examples and tests.
+func MustNewMachine(n int, opts ...MachineOption) *Machine {
+	m, err := NewMachine(n, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("bruck: %v", err))
+	}
+	return m
+}

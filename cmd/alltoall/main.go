@@ -1,0 +1,133 @@
+// Command alltoall runs a single collective operation on the simulated
+// multiport machine and reports its schedule measures and model times.
+//
+//	alltoall -op index  -n 64 -b 128 -r 8 -k 1
+//	alltoall -op concat -n 17 -b 64 -k 2
+//	alltoall -op index  -n 64 -b 128 -r auto      # tuned radix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"bruck/internal/collective"
+	"bruck/internal/costmodel"
+	"bruck/internal/lowerbound"
+	"bruck/internal/mpsim"
+)
+
+// params collects one invocation's configuration.
+type params struct {
+	op    string
+	n     int
+	k     int
+	b     int
+	radix string
+	alg   string
+}
+
+func main() {
+	var p params
+	flag.StringVar(&p.op, "op", "index", "operation: index or concat")
+	flag.IntVar(&p.n, "n", 16, "number of processors")
+	flag.IntVar(&p.k, "k", 1, "ports per processor")
+	flag.IntVar(&p.b, "b", 64, "block size in bytes")
+	flag.StringVar(&p.radix, "r", "", "index radix (2..n), empty for k+1, or 'auto' for model-tuned")
+	flag.StringVar(&p.alg, "alg", "", "algorithm override (index: bruck|direct|xor; concat: circulant|folklore|ring|recdbl)")
+	flag.Parse()
+
+	if err := run(os.Stdout, p); err != nil {
+		fmt.Fprintln(os.Stderr, "alltoall:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, p params) error {
+	e, err := mpsim.New(p.n, mpsim.Ports(p.k), mpsim.Record(true))
+	if err != nil {
+		return err
+	}
+	g := mpsim.WorldGroup(p.n)
+
+	var res *collective.Result
+	switch p.op {
+	case "index":
+		opt := collective.IndexOptions{}
+		switch p.alg {
+		case "", "bruck":
+			opt.Algorithm = collective.IndexBruck
+		case "direct":
+			opt.Algorithm = collective.IndexDirect
+		case "xor":
+			opt.Algorithm = collective.IndexPairwiseXOR
+		default:
+			return fmt.Errorf("unknown index algorithm %q", p.alg)
+		}
+		switch p.radix {
+		case "":
+		case "auto":
+			opt.Radix = collective.OptimalRadix(costmodel.SP1, p.n, p.b, p.k, false)
+			fmt.Fprintf(w, "tuned radix: %d\n", opt.Radix)
+		default:
+			r, err := strconv.Atoi(p.radix)
+			if err != nil {
+				return fmt.Errorf("bad radix %q: %v", p.radix, err)
+			}
+			opt.Radix = r
+		}
+		in := make([][][]byte, p.n)
+		for i := range in {
+			in[i] = make([][]byte, p.n)
+			for j := range in[i] {
+				in[i][j] = make([]byte, p.b)
+			}
+		}
+		_, res, err = collective.Index(e, g, in, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "index: n=%d k=%d b=%d alg=%v\n", p.n, p.k, p.b, opt.Algorithm)
+		fmt.Fprintf(w, "  C1 = %d rounds   (lower bound %d)\n", res.C1, lowerbound.IndexRounds(p.n, p.k))
+		fmt.Fprintf(w, "  C2 = %d bytes    (lower bound %d)\n", res.C2, lowerbound.IndexVolume(p.n, p.b, p.k))
+
+	case "concat":
+		opt := collective.ConcatOptions{}
+		switch p.alg {
+		case "", "circulant":
+			opt.Algorithm = collective.ConcatCirculant
+		case "folklore":
+			opt.Algorithm = collective.ConcatFolklore
+		case "ring":
+			opt.Algorithm = collective.ConcatRing
+		case "recdbl":
+			opt.Algorithm = collective.ConcatRecursiveDoubling
+		default:
+			return fmt.Errorf("unknown concat algorithm %q", p.alg)
+		}
+		in := make([][]byte, p.n)
+		for i := range in {
+			in[i] = make([]byte, p.b)
+		}
+		_, res, err = collective.Concat(e, g, in, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "concat: n=%d k=%d b=%d alg=%v\n", p.n, p.k, p.b, opt.Algorithm)
+		fmt.Fprintf(w, "  C1 = %d rounds   (lower bound %d)\n", res.C1, lowerbound.ConcatRounds(p.n, p.k))
+		fmt.Fprintf(w, "  C2 = %d bytes    (lower bound %d)\n", res.C2, lowerbound.ConcatVolume(p.n, p.b, p.k))
+
+	default:
+		return fmt.Errorf("unknown operation %q", p.op)
+	}
+
+	fmt.Fprintf(w, "  total traffic = %d bytes in %d messages\n", res.TotalBytes, res.Messages)
+	fmt.Fprintf(w, "  model time (SP-1 linear):    %v\n", costmodel.Duration(costmodel.SP1.Time(res.C1, res.C2)))
+	fmt.Fprintf(w, "  model time (SP-1 extended):  %v\n", costmodel.Duration(costmodel.SP1Measured.Time(res.C1, res.C2)))
+	if cp, err := costmodel.CriticalPath(costmodel.SP1, p.n, e.Metrics().Events()); err == nil {
+		fmt.Fprintf(w, "  critical path (SP-1 linear): %v\n", costmodel.Duration(cp))
+	}
+	return nil
+}

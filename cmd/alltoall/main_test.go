@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunIndexDefault(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, params{op: "index", n: 8, k: 1, b: 16}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"index: n=8", "C1 = 3 rounds", "lower bound 3", "model time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunIndexAutoRadix(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, params{op: "index", n: 16, k: 1, b: 4096, radix: "auto"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tuned radix:") {
+		t.Errorf("missing tuned radix line:\n%s", sb.String())
+	}
+}
+
+func TestRunConcatOptimal(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, params{op: "concat", n: 17, k: 2, b: 64}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "C1 = 3 rounds   (lower bound 3)") {
+		t.Errorf("concat not round-optimal:\n%s", out)
+	}
+	if !strings.Contains(out, "C2 = 512 bytes    (lower bound 512)") {
+		t.Errorf("concat not volume-optimal:\n%s", out)
+	}
+}
+
+func TestRunAlgorithmVariants(t *testing.T) {
+	for _, p := range []params{
+		{op: "index", n: 8, k: 1, b: 8, alg: "direct"},
+		{op: "index", n: 8, k: 1, b: 8, alg: "xor"},
+		{op: "concat", n: 8, k: 1, b: 8, alg: "folklore"},
+		{op: "concat", n: 8, k: 1, b: 8, alg: "ring"},
+		{op: "concat", n: 8, k: 1, b: 8, alg: "recdbl"},
+	} {
+		var sb strings.Builder
+		if err := run(&sb, p); err != nil {
+			t.Errorf("%+v: %v", p, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, params{op: "nonsense", n: 4, k: 1, b: 8}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if err := run(&sb, params{op: "index", n: 4, k: 1, b: 8, alg: "nonsense"}); err == nil {
+		t.Error("unknown index alg accepted")
+	}
+	if err := run(&sb, params{op: "concat", n: 4, k: 1, b: 8, alg: "nonsense"}); err == nil {
+		t.Error("unknown concat alg accepted")
+	}
+	if err := run(&sb, params{op: "index", n: 4, k: 1, b: 8, radix: "xyz"}); err == nil {
+		t.Error("bad radix accepted")
+	}
+	if err := run(&sb, params{op: "index", n: 0, k: 1, b: 8}); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

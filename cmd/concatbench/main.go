@@ -1,0 +1,116 @@
+// Command concatbench exercises the concatenation results of
+// Sections 2 and 4: achieved-versus-lower-bound tables, the
+// special-range policy trade-offs, and a baseline comparison.
+//
+//	concatbench -bounds            # achieved vs Section 2 lower bounds
+//	concatbench -optimality        # Theorem 4.3 across the special range
+//	concatbench -baselines         # circulant vs folklore/ring/recdbl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bruck/internal/collective"
+	"bruck/internal/intmath"
+	"bruck/internal/lowerbound"
+	"bruck/internal/mpsim"
+	"bruck/internal/partition"
+	"bruck/internal/sweep"
+)
+
+func main() {
+	bounds := flag.Bool("bounds", false, "print achieved C1/C2 vs lower bounds for both operations")
+	optimality := flag.Bool("optimality", false, "sweep the special range and show the last-round policies")
+	baselines := flag.Bool("baselines", false, "compare the circulant algorithm with the baselines")
+	b := flag.Int("b", 4, "block size in bytes")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *bounds:
+		err = runBounds(os.Stdout, *b)
+	case *optimality:
+		err = runOptimality(os.Stdout, *b)
+	case *baselines:
+		err = runBaselines(os.Stdout, *b)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "concatbench:", err)
+		os.Exit(1)
+	}
+}
+
+func runBounds(w io.Writer, b int) error {
+	ns := []int{4, 5, 8, 9, 16, 17, 27, 32, 64, 100}
+	ks := []int{1, 2, 3, 4}
+	rows, err := sweep.ConcatBoundsTable(ns, ks, b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "concatenation: achieved vs lower bounds (b = %d)\n\n%s\n", b, sweep.RenderBounds(rows))
+	irows, err := sweep.IndexBoundsTable([]int{8, 9, 16, 27, 64}, []int{1, 2, 3}, b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "index: achieved vs lower bounds (b = %d)\n\n%s", b, sweep.RenderBounds(irows))
+	return nil
+}
+
+func runOptimality(w io.Writer, b int) error {
+	fmt.Fprintf(w, "special range sweep (b >= 3, k >= 3, (k+1)^d - k < n < (k+1)^d), b = %d\n\n", b)
+	fmt.Fprintf(w, "%5s %3s %13s | %19s | %19s\n", "n", "k", "optimal exists",
+		"min-rounds C1/C2", "min-volume C1/C2")
+	for k := 3; k <= 4; k++ {
+		for n := k + 2; n <= 130; n++ {
+			if !partition.InSpecialRange(n, b, k) {
+				continue
+			}
+			d := intmath.CeilLog(k+1, n)
+			n1 := intmath.Pow(k+1, d-1)
+			exists := partition.OptimalExists(b, n-n1, n1, k)
+			c1r, c2r, err := collective.ConcatCost(n, b, k, partition.MinRounds)
+			if err != nil {
+				return err
+			}
+			c1v, c2v, err := collective.ConcatCost(n, b, k, partition.MinVolume)
+			if err != nil {
+				return err
+			}
+			c1LB := lowerbound.ConcatRounds(n, k)
+			c2LB := lowerbound.ConcatVolume(n, b, k)
+			fmt.Fprintf(w, "%5d %3d %13v | %6d/%d (LB %d/%d) | %6d/%d (LB %d/%d)\n",
+				n, k, exists, c1r, c2r, c1LB, c2LB, c1v, c2v, c1LB, c2LB)
+		}
+	}
+	return nil
+}
+
+func runBaselines(w io.Writer, b int) error {
+	fmt.Fprintf(w, "concatenation algorithms, one port, b = %d\n\n", b)
+	fmt.Fprintf(w, "%5s %-20s %8s %10s %12s %12s\n", "n", "algorithm", "C1", "C2", "C1 bound", "C2 bound")
+	for _, n := range []int{8, 16, 32, 64} {
+		for _, alg := range []collective.ConcatAlgorithm{
+			collective.ConcatCirculant, collective.ConcatFolklore,
+			collective.ConcatRing, collective.ConcatRecursiveDoubling,
+		} {
+			e := mpsim.MustNew(n)
+			in := make([][]byte, n)
+			for i := range in {
+				in[i] = make([]byte, b)
+			}
+			_, res, err := collective.Concat(e, mpsim.WorldGroup(n), in, collective.ConcatOptions{Algorithm: alg})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%5d %-20s %8d %10d %12d %12d\n", n, alg, res.C1, res.C2,
+				lowerbound.ConcatRounds(n, 1), lowerbound.ConcatVolume(n, b, 1))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBoundsAllOptimal(t *testing.T) {
+	var sb strings.Builder
+	if err := runBounds(&sb, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "concatenation: achieved vs lower bounds") {
+		t.Error("missing concatenation section")
+	}
+	if !strings.Contains(out, "index: achieved vs lower bounds") {
+		t.Error("missing index section")
+	}
+	// Every concat row at b=4 must be optimal in both measures.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "concat") && strings.Contains(line, "false") {
+			t.Errorf("non-optimal concat row: %s", line)
+		}
+	}
+}
+
+func TestRunOptimalitySpecialRange(t *testing.T) {
+	var sb strings.Builder
+	if err := runOptimality(&sb, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "special range sweep") {
+		t.Error("missing header")
+	}
+	// n=63, k=3, b=4 is a genuine failure point and must appear with
+	// "false" (no optimal single-round partition).
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "63") && strings.Contains(line, "false") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("n=63 failure point missing from sweep:\n%s", out)
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	var sb strings.Builder
+	if err := runBaselines(&sb, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"circulant", "folklore", "ring", "recursive-doubling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}

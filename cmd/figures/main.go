@@ -1,0 +1,159 @@
+// Command figures renders the structural figures and tables of the
+// paper as text: the processor-memory configurations of Figures 1, 2
+// and 3 (index operation), the spanning trees of Figures 7 and 8
+// (concatenation), the concatenation trace of Figure 9, and the
+// table-partitioning example of Table 1.
+//
+// Usage:
+//
+//	figures -fig 1|2|3|7|8|9 [-n N] [-r R]
+//	figures -table 1
+//	figures -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bruck/internal/circulant"
+	"bruck/internal/intmath"
+	"bruck/internal/partition"
+	"bruck/internal/trace"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to render (1, 2, 3, 7, 8, 9)")
+	table := flag.Int("table", 0, "table number to render (1)")
+	all := flag.Bool("all", false, "render every figure and table")
+	n := flag.Int("n", 5, "number of processors for figures 1-3 and 9")
+	r := flag.Int("r", 2, "radix for figure 3")
+	flag.Parse()
+
+	if *all {
+		for _, f := range []int{1, 2, 3, 7, 8, 9} {
+			if err := renderFig(os.Stdout, f, *n, *r); err != nil {
+				fatal(err)
+			}
+		}
+		if err := renderTable1(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *table == 1 {
+		if err := renderTable1(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *fig == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := renderFig(os.Stdout, *fig, *n, *r); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}
+
+func renderFig(w io.Writer, fig, n, r int) error {
+	switch fig {
+	case 1:
+		fmt.Fprintf(w, "=== Figure 1: memory-processor configurations before and after an index operation on %d processors ===\n\n", n)
+		fmt.Fprintf(w, "before:\n%s\nafter:\n%s\n", trace.InitialIndex(n), trace.FinalIndex(n))
+	case 2:
+		fmt.Fprintf(w, "=== Figure 2: the three phases of the index operation on %d processors (r = n) ===\n\n", n)
+		tr, err := trace.TraceIndex(n, n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, tr)
+	case 3:
+		fmt.Fprintf(w, "=== Figure 3: the index algorithm with r = %d on %d processors (optimal C1) ===\n\n", r, n)
+		tr, err := trace.TraceIndex(n, r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, tr)
+	case 7, 8:
+		root := fig - 7 // figure 7 is T0, figure 8 is T1
+		fmt.Fprintf(w, "=== Figure %d: constructing the spanning tree rooted at node %d for n = 9 and k = 2 ===\n\n", fig, root)
+		t0, err := circulant.BuildFullTree(9, 2, 0, circulant.Positive)
+		if err != nil {
+			return err
+		}
+		t := t0.Translate(root)
+		for round := 0; round < t.Rounds(); round++ {
+			fmt.Fprintf(w, "round %d edges:\n", round)
+			for _, e := range t.RoundEdges(round) {
+				fmt.Fprintf(w, "  %d -> %d  (offset %d)\n", e.Parent, e.Child, intmath.Mod(e.Child-e.Parent, 9))
+			}
+		}
+		if root > 0 {
+			fmt.Fprintf(w, "\n(T%d is T0 with %d added to every node label, mod 9.)\n", root, root)
+		}
+		fmt.Fprintln(w)
+	case 9:
+		fmt.Fprintf(w, "=== Figure 9: the one-port concatenation algorithm with %d processors ===\n\n", n)
+		tr, err := trace.TraceConcat(n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, tr)
+	default:
+		return fmt.Errorf("unknown figure %d (have 1, 2, 3, 7, 8, 9)", fig)
+	}
+	return nil
+}
+
+func renderTable1(w io.Writer) error {
+	fmt.Fprintln(w, "=== Table 1: table partitioning for n1 = 3, n2 = 7, b = 3 bytes, k = 3 ports ===")
+	fmt.Fprintln(w)
+	const b, n2, n1, k = 3, 7, 3, 3
+	plan, err := partition.Solve(b, n2, n1, k, partition.PreferOptimal)
+	if err != nil {
+		return err
+	}
+	// Render the table grid: rows are bytes, columns are the n2 yet
+	// unspanned nodes; cells show the area number.
+	cell := make([][]int, b)
+	for row := range cell {
+		cell[row] = make([]int, n2)
+	}
+	for _, areas := range plan.Rounds {
+		for ai, area := range areas {
+			for _, run := range area.Runs {
+				for row := run.Row0; row < run.Row0+run.NRows; row++ {
+					cell[row][run.Col] = ai + 1
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "        ")
+	for c := 0; c < n2; c++ {
+		fmt.Fprintf(w, " p%-3d", n1+c)
+	}
+	fmt.Fprintln(w)
+	for row := 0; row < b; row++ {
+		fmt.Fprintf(w, "byte %d: ", row)
+		for c := 0; c < n2; c++ {
+			fmt.Fprintf(w, " A%-3d", cell[row][c])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	for _, areas := range plan.Rounds {
+		for ai, area := range areas {
+			fmt.Fprintf(w, "area A%d: %d entries, columns %d-%d (span %d), offset %d\n",
+				ai+1, area.Size, area.Left, area.Right(), area.Span(), n1+area.Left)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, fig, n, r int) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := renderFig(&sb, fig, n, r); err != nil {
+		t.Fatalf("renderFig(%d, %d, %d): %v", fig, n, r, err)
+	}
+	return sb.String()
+}
+
+func TestRenderFig1(t *testing.T) {
+	out := render(t, 1, 5, 2)
+	for _, want := range []string{"Figure 1", "before:", "after:", "p4", "44"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 1 output lacks %q", want)
+		}
+	}
+}
+
+func TestRenderFig2And3(t *testing.T) {
+	out2 := render(t, 2, 5, 2)
+	if !strings.Contains(out2, "after Phase 3") {
+		t.Error("figure 2 output lacks Phase 3 snapshot")
+	}
+	out3 := render(t, 3, 5, 2)
+	for _, want := range []string{"r = 2", "rotate 1 right", "rotate 2 right", "rotate 4 right"} {
+		if !strings.Contains(out3, want) {
+			t.Errorf("figure 3 output lacks %q", want)
+		}
+	}
+}
+
+func TestRenderFig7And8(t *testing.T) {
+	out7 := render(t, 7, 5, 2)
+	for _, want := range []string{"rooted at node 0", "0 -> 1", "0 -> 2", "1 -> 4", "2 -> 8", "offset 6"} {
+		if !strings.Contains(out7, want) {
+			t.Errorf("figure 7 output lacks %q", want)
+		}
+	}
+	out8 := render(t, 8, 5, 2)
+	for _, want := range []string{"rooted at node 1", "1 -> 2", "3 -> 0", "added to every node label"} {
+		if !strings.Contains(out8, want) {
+			t.Errorf("figure 8 output lacks %q", want)
+		}
+	}
+}
+
+func TestRenderFig9(t *testing.T) {
+	out := render(t, 9, 5, 2)
+	for _, want := range []string{"Figure 9", "after round 0", "after last round", "rank order"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 9 output lacks %q", want)
+		}
+	}
+}
+
+func TestRenderUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := renderFig(&sb, 42, 5, 2); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := renderTable1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "p3", "p9",
+		"area A1: 7 entries, columns 0-2 (span 3), offset 3",
+		"area A2: 7 entries, columns 2-4 (span 3), offset 5",
+		"area A3: 7 entries, columns 4-6 (span 3), offset 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 output lacks %q:\n%s", want, out)
+		}
+	}
+}

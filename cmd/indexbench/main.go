@@ -1,0 +1,133 @@
+// Command indexbench regenerates the SP-1 implementation study of
+// Section 3.5: the measured-time figures of the index algorithm.
+//
+//	indexbench -fig 4        # time vs message size, power-of-two radices
+//	indexbench -fig 5        # r=2 vs r=n vs tuned radix, with crossover
+//	indexbench -fig 6        # time vs radix for several message sizes
+//	indexbench -tune         # optimal radix per message size
+//
+// Schedules are measured on the simulator (per-round message sizes of
+// the real algorithm); times are evaluated under the linear model
+// T = C1*beta + C2*tau with the SP-1 parameters (beta ~ 29us,
+// tau ~ 0.118us/byte). Use -csv for machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bruck/internal/collective"
+	"bruck/internal/costmodel"
+	"bruck/internal/sweep"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (4, 5, 6)")
+	tune := flag.Bool("tune", false, "print the optimal radix per message size")
+	n := flag.Int("n", 64, "number of processors")
+	k := flag.Int("k", 1, "ports per processor (figures use the one-port model)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	h := sweep.NewHarness(costmodel.SP1)
+	var err error
+	switch {
+	case *fig == 4:
+		err = runFig4(os.Stdout, h, *n, *csv)
+	case *fig == 5:
+		err = runFig5(os.Stdout, h, *n, *csv)
+	case *fig == 6:
+		err = runFig6(os.Stdout, h, *n, *csv)
+	case *tune:
+		err = runTune(os.Stdout, *n, *k)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "indexbench:", err)
+		os.Exit(1)
+	}
+}
+
+func runFig4(w io.Writer, h *sweep.Harness, n int, csv bool) error {
+	sizes := []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	series, err := h.Fig4(n, sweep.PowersOfTwoUpTo(n), sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 4: index time vs message size, n = %d, k = 1, SP-1 linear model\n\n", n)
+	emit(w, series, "bytes", csv)
+	fmt.Fprintf(w, "\nbest radix per size: %v\n", sweep.BestRadixPerSize(series))
+	return nil
+}
+
+func runFig5(w io.Writer, h *sweep.Harness, n int, csv bool) error {
+	sizes := make([]int, 0, 1024)
+	for b := 1; b <= 1024; b++ {
+		sizes = append(sizes, b)
+	}
+	series, err := h.Fig5(n, sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 5: r=2 vs r=n=%d vs tuned power-of-two radix, SP-1 linear model\n\n", n)
+	if csv {
+		fmt.Fprint(w, sweep.CSV(series, "bytes"))
+	} else {
+		// Print a decimated view plus the crossover.
+		var view []sweep.Series
+		for _, s := range series {
+			dec := sweep.Series{Name: s.Name}
+			for i := 0; i < len(s.Points); i += 64 {
+				dec.Points = append(dec.Points, s.Points[i])
+			}
+			view = append(view, dec)
+		}
+		fmt.Fprint(w, sweep.RenderSeries(view))
+	}
+	cross := sweep.Crossover(series[0], series[1])
+	fmt.Fprintf(w, "\nbreak-even point of r=2 vs r=n: %d bytes (paper reports 100-200 bytes)\n", cross)
+	return nil
+}
+
+func runFig6(w io.Writer, h *sweep.Harness, n int, csv bool) error {
+	radices := make([]int, 0, n-1)
+	for r := 2; r <= n; r++ {
+		radices = append(radices, r)
+	}
+	series, err := h.Fig6(n, []int{32, 64, 128}, radices)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 6: index time vs radix for 32, 64, 128-byte messages, n = %d, SP-1 linear model\n\n", n)
+	if csv {
+		fmt.Fprint(w, sweep.CSV(series, "radix"))
+	} else {
+		fmt.Fprint(w, sweep.RenderSeriesByR(series))
+	}
+	return nil
+}
+
+func runTune(w io.Writer, n, k int) error {
+	fmt.Fprintf(w, "optimal radix per message size, n = %d, k = %d, SP-1 linear model\n\n", n, k)
+	fmt.Fprintf(w, "%10s %12s %12s %16s %10s %12s\n", "bytes", "r (any)", "r (pow2)", "mixed vector", "C1", "C2")
+	for b := 1; b <= 8192; b *= 2 {
+		rAll := collective.OptimalRadix(costmodel.SP1, n, b, k, false)
+		rP2 := collective.OptimalRadix(costmodel.SP1, n, b, k, true)
+		mixed := collective.OptimalRadixSchedule(costmodel.SP1, n, b, k)
+		c1, c2 := collective.IndexMixedCost(n, b, mixed, k)
+		fmt.Fprintf(w, "%10d %12d %12d %16v %10d %12d\n", b, rAll, rP2, mixed, c1, c2)
+	}
+	return nil
+}
+
+func emit(w io.Writer, series []sweep.Series, xAxis string, csv bool) {
+	if csv {
+		fmt.Fprint(w, sweep.CSV(series, xAxis))
+	} else {
+		fmt.Fprint(w, sweep.RenderSeries(series))
+	}
+}

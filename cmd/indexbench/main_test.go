@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"bruck/internal/costmodel"
+	"bruck/internal/sweep"
+)
+
+func TestRunFig4(t *testing.T) {
+	h := sweep.NewHarness(costmodel.SP1)
+	var sb strings.Builder
+	if err := runFig4(&sb, h, 16, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 4", "r=2", "r=16", "best radix per size"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+func TestRunFig4CSV(t *testing.T) {
+	h := sweep.NewHarness(costmodel.SP1)
+	var sb strings.Builder
+	if err := runFig4(&sb, h, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	var header string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "bytes,") {
+			header = l
+		}
+	}
+	if header != "bytes,r=2,r=4,r=8" {
+		t.Errorf("CSV header = %q", header)
+	}
+}
+
+func TestRunFig5ReportsCrossoverInPaperRange(t *testing.T) {
+	h := sweep.NewHarness(costmodel.SP1)
+	var sb strings.Builder
+	if err := runFig5(&sb, h, 64, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	idx := strings.Index(out, "break-even point of r=2 vs r=n: ")
+	if idx < 0 {
+		t.Fatalf("no crossover line:\n%s", out)
+	}
+	rest := out[idx+len("break-even point of r=2 vs r=n: "):]
+	numEnd := strings.IndexByte(rest, ' ')
+	cross, err := strconv.Atoi(rest[:numEnd])
+	if err != nil {
+		t.Fatalf("bad crossover %q: %v", rest[:numEnd], err)
+	}
+	if cross < 100 || cross > 200 {
+		t.Errorf("crossover %d outside the paper's 100-200 byte window", cross)
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	h := sweep.NewHarness(costmodel.SP1)
+	var sb strings.Builder
+	if err := runFig6(&sb, h, 16, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 6", "radix", "32 bytes", "128 bytes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+func TestRunTune(t *testing.T) {
+	var sb strings.Builder
+	if err := runTune(&sb, 16, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"optimal radix", "mixed vector", "8192"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package bruck_test
+
+import (
+	"fmt"
+
+	"bruck"
+)
+
+// The index operation exchanges block B[i,j] with B[j,i]: after the
+// call, processor i holds the j-th block of every other processor.
+func ExampleMachine_Index() {
+	const n = 4
+	m := bruck.MustNewMachine(n)
+	in := make([][][]byte, n)
+	for i := range in {
+		in[i] = make([][]byte, n)
+		for j := range in[i] {
+			in[i][j] = []byte(fmt.Sprintf("B[%d,%d]", i, j))
+		}
+	}
+	out, rep, err := m.Index(in, bruck.WithRadix(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("processor 2 holds:", string(out[2][0]), string(out[2][1]), string(out[2][2]), string(out[2][3]))
+	fmt.Println("rounds:", rep.C1)
+	// Output:
+	// processor 2 holds: B[0,2] B[1,2] B[2,2] B[3,2]
+	// rounds: 2
+}
+
+// The concatenation operation makes every processor hold the
+// concatenation B[0] B[1] ... B[n-1].
+func ExampleMachine_Concat() {
+	const n = 5
+	m := bruck.MustNewMachine(n)
+	in := make([][]byte, n)
+	for i := range in {
+		in[i] = []byte{byte('a' + i)}
+	}
+	out, rep, err := m.Concat(in)
+	if err != nil {
+		panic(err)
+	}
+	var held []byte
+	for _, blk := range out[3] {
+		held = append(held, blk...)
+	}
+	fmt.Printf("processor 3 holds %q after %d rounds\n", held, rep.C1)
+	// Output:
+	// processor 3 holds "abcde" after 3 rounds
+}
+
+// OptimalRadix picks the radix the linear model prefers: small radices
+// for latency-bound (small) messages, large radices for
+// bandwidth-bound (large) messages.
+func ExampleOptimalRadix() {
+	small := bruck.OptimalRadix(bruck.SP1, 64, 4, 1, true)
+	large := bruck.OptimalRadix(bruck.SP1, 64, 4096, 1, true)
+	fmt.Println("4-byte blocks:", small)
+	fmt.Println("4096-byte blocks:", large)
+	// Output:
+	// 4-byte blocks: 2
+	// 4096-byte blocks: 64
+}
+
+// PredictIndex gives the closed-form complexity of the radix-r index
+// algorithm: the r = 2 and r = n special cases of Section 3.3.
+func ExamplePredictIndex() {
+	c1, c2 := bruck.PredictIndex(64, 1, 2, 1)
+	fmt.Printf("r=2:  C1=%d rounds, C2=%d blocks\n", c1, c2)
+	c1, c2 = bruck.PredictIndex(64, 1, 64, 1)
+	fmt.Printf("r=64: C1=%d rounds, C2=%d blocks\n", c1, c2)
+	// Output:
+	// r=2:  C1=6 rounds, C2=192 blocks
+	// r=64: C1=63 rounds, C2=63 blocks
+}
+
+// A mixed-radix schedule can beat every uniform radix at intermediate
+// message sizes; OptimalRadixSchedule finds the model optimum by
+// dynamic programming.
+func ExampleOptimalRadixSchedule() {
+	radices := bruck.OptimalRadixSchedule(bruck.SP1, 64, 4, 1)
+	c1, c2 := bruck.PredictIndexMixed(64, 4, radices, 1)
+	fmt.Println("vector:", radices)
+	fmt.Println("C1:", c1, "C2:", c2)
+	// Output:
+	// vector: [2 2 2 2 2 2]
+	// C1: 6 C2: 768
+}

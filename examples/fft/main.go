@@ -1,0 +1,169 @@
+// FFT: a distributed FFT whose inter-processor data exchanges are
+// index operations, one of the applications cited in Section 1.1 of
+// the paper (Johnsson et al., "Computing Fast Fourier Transforms on
+// Boolean Cubes and Related Networks").
+//
+// The transform of length L = n*n is computed with the transpose
+// algorithm: viewing the signal as an n x n matrix X[r][c] = x[r*n+c]
+// with processor r owning row r,
+//
+//  1. transpose       — index operation (communication),
+//  2. local n-point FFTs over the original row index,
+//  3. twiddle factors — local,
+//  4. transpose       — index operation (communication),
+//  5. local n-point FFTs over the original column index.
+//
+// The result is verified against a direct O(L^2) DFT.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"math/cmplx"
+
+	"bruck"
+)
+
+const n = 8 // processors; transform length is n*n = 64
+
+func main() {
+	const L = n * n
+	// Input signal; processor r owns x[r*n .. r*n+n-1].
+	x := make([]complex128, L)
+	for i := range x {
+		x[i] = complex(math.Sin(0.1*float64(i))+0.5, math.Cos(0.3*float64(i)))
+	}
+	local := make([][]complex128, n)
+	for r := 0; r < n; r++ {
+		local[r] = append([]complex128(nil), x[r*n:(r+1)*n]...)
+	}
+
+	m := bruck.MustNewMachine(n)
+
+	// Step 1: transpose, so processor c holds y_c[r] = x[r*n + c].
+	var rep1, rep2 *bruck.Report
+	local, rep1 = transpose(m, local)
+
+	// Step 2: local FFT over r: processor c now holds
+	// Y[u][c] = sum_r y_c[r] e^{-2pi i u r / n} at local index u.
+	for c := 0; c < n; c++ {
+		fft(local[c])
+	}
+
+	// Step 3: twiddle Z[u][c] = Y[u][c] * e^{-2pi i u c / L}.
+	for c := 0; c < n; c++ {
+		for u := 0; u < n; u++ {
+			local[c][u] *= cmplx.Exp(complex(0, -2*math.Pi*float64(u*c)/float64(L)))
+		}
+	}
+
+	// Step 4: transpose, so processor u holds Z[u][c] over c.
+	local, rep2 = transpose(m, local)
+
+	// Step 5: local FFT over c: X[u + v*n] = sum_c Z[u][c]
+	// e^{-2pi i v c / n} lands on processor u at local index v.
+	for u := 0; u < n; u++ {
+		fft(local[u])
+	}
+
+	got := make([]complex128, L)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			got[u+v*n] = local[u][v]
+		}
+	}
+
+	// Verify against the direct DFT.
+	worst := 0.0
+	for k := 0; k < L; k++ {
+		var want complex128
+		for t := 0; t < L; t++ {
+			want += x[t] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*t)/float64(L)))
+		}
+		if d := cmplx.Abs(got[k] - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-8 {
+		log.Fatalf("FFT mismatch: worst coefficient error %g", worst)
+	}
+	fmt.Printf("distributed %d-point FFT on %d processors\n", L, n)
+	fmt.Printf("  transpose 1: %s\n", rep1)
+	fmt.Printf("  transpose 2: %s\n", rep2)
+	fmt.Printf("  worst coefficient error vs direct DFT: %.2e\n", worst)
+	fmt.Println("ok")
+}
+
+// transpose exchanges local[i][j] across processors via the index
+// operation: afterwards processor i holds the old local[j][i] at
+// position j.
+func transpose(m *bruck.Machine, local [][]complex128) ([][]complex128, *bruck.Report) {
+	in := make([][][]byte, n)
+	for i := 0; i < n; i++ {
+		in[i] = make([][]byte, n)
+		for j := 0; j < n; j++ {
+			in[i][j] = encodeComplex(local[i][j])
+		}
+	}
+	out, rep, err := m.Index(in, bruck.WithRadix(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := make([][]complex128, n)
+	for i := 0; i < n; i++ {
+		res[i] = make([]complex128, n)
+		for j := 0; j < n; j++ {
+			res[i][j] = decodeComplex(out[i][j])
+		}
+	}
+	return res, rep
+}
+
+// fft is an in-place radix-2 Cooley-Tukey FFT; len(a) must be a power
+// of two.
+func fft(a []complex128) {
+	L := len(a)
+	if L <= 1 {
+		return
+	}
+	for i, j := 0, 0; i < L; i++ {
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+		mask := L >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	for size := 2; size <= L; size <<= 1 {
+		half := size / 2
+		step := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
+		for start := 0; start < L; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= step
+			}
+		}
+	}
+}
+
+func encodeComplex(v complex128) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(real(v)))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(v)))
+	return buf
+}
+
+func decodeComplex(buf []byte) complex128 {
+	return complex(
+		math.Float64frombits(binary.LittleEndian.Uint64(buf)),
+		math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+	)
+}

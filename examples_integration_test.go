@@ -1,0 +1,35 @@
+package bruck
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example program and checks it
+// self-verifies (each prints "ok" after checking its own output
+// against a serial reference). Skipped under -short because it shells
+// out to the go tool.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example execution in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	for _, ex := range []string{"quickstart", "transpose", "fft", "matmul", "remap"} {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+ex)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", ex, err, out)
+			}
+			if !strings.Contains(string(out), "ok") {
+				t.Errorf("example %s did not self-verify:\n%s", ex, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+// Package blocks implements the local-memory kernels of the index
+// algorithm of Bruck et al.: the per-processor matrix of n fixed-size
+// data blocks, the cyclic rotations of Phases 1 and 3, radix-r digit
+// arithmetic on block ids, and the pack/unpack routines of the paper's
+// Appendix A that gather all blocks headed to one intermediate
+// destination into a single message.
+package blocks
+
+import (
+	"bytes"
+	"fmt"
+
+	"bruck/internal/intmath"
+)
+
+// Matrix is the local block memory of one processor: n blocks, each of
+// blockLen bytes, stored contiguously. Block j occupies
+// data[j*blockLen : (j+1)*blockLen]; in the figures of the paper block 0
+// is drawn at the top of a column.
+type Matrix struct {
+	n        int
+	blockLen int
+	data     []byte
+}
+
+// New returns an all-zero matrix of n blocks of blockLen bytes each.
+func New(n, blockLen int) (*Matrix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("blocks: n = %d, want n >= 1", n)
+	}
+	if blockLen < 0 {
+		return nil, fmt.Errorf("blocks: blockLen = %d, want >= 0", blockLen)
+	}
+	return &Matrix{n: n, blockLen: blockLen, data: make([]byte, n*blockLen)}, nil
+}
+
+// FromBlocks builds a matrix from n equal-length blocks, copying them.
+func FromBlocks(blks [][]byte) (*Matrix, error) {
+	if len(blks) == 0 {
+		return nil, fmt.Errorf("blocks: no blocks")
+	}
+	blockLen := len(blks[0])
+	for j, b := range blks {
+		if len(b) != blockLen {
+			return nil, fmt.Errorf("blocks: block %d has %d bytes, block 0 has %d; all blocks must be equal length",
+				j, len(b), blockLen)
+		}
+	}
+	m, err := New(len(blks), blockLen)
+	if err != nil {
+		return nil, err
+	}
+	for j, b := range blks {
+		copy(m.Block(j), b)
+	}
+	return m, nil
+}
+
+// N returns the number of blocks.
+func (m *Matrix) N() int { return m.n }
+
+// BlockLen returns the size of each block in bytes.
+func (m *Matrix) BlockLen() int { return m.blockLen }
+
+// Bytes returns the underlying storage (not a copy); its length is
+// n*blockLen.
+func (m *Matrix) Bytes() []byte { return m.data }
+
+// Block returns the in-place slice of block j.
+func (m *Matrix) Block(j int) []byte {
+	return m.data[j*m.blockLen : (j+1)*m.blockLen]
+}
+
+// SetBlock copies src into block j. src must be exactly blockLen bytes.
+func (m *Matrix) SetBlock(j int, src []byte) error {
+	if len(src) != m.blockLen {
+		return fmt.Errorf("blocks: SetBlock(%d) with %d bytes, want %d", j, len(src), m.blockLen)
+	}
+	copy(m.Block(j), src)
+	return nil
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{n: m.n, blockLen: m.blockLen, data: make([]byte, len(m.data))}
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether two matrices have identical shape and contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	return m.n == o.n && m.blockLen == o.blockLen && bytes.Equal(m.data, o.data)
+}
+
+// Blocks returns a copy of all blocks as independent slices.
+func (m *Matrix) Blocks() [][]byte {
+	out := make([][]byte, m.n)
+	for j := range out {
+		out[j] = append([]byte(nil), m.Block(j)...)
+	}
+	return out
+}
+
+// RotateUp rotates the n blocks steps positions upwards cyclically
+// (Phase 1 of the index algorithm: processor p_i rotates its blocks i
+// steps upwards). After the call, the block formerly at position
+// (j+steps) mod n sits at position j.
+func (m *Matrix) RotateUp(steps int) {
+	if m.n == 0 || m.blockLen == 0 {
+		return
+	}
+	s := intmath.Mod(steps, m.n)
+	if s == 0 {
+		return
+	}
+	rotated := make([]byte, len(m.data))
+	cut := s * m.blockLen
+	copy(rotated, m.data[cut:])
+	copy(rotated[len(m.data)-cut:], m.data[:cut])
+	m.data = rotated
+}
+
+// RotateDown rotates the n blocks steps positions downwards cyclically
+// (Phase 3 of the index algorithm). It is the inverse of RotateUp with
+// the same argument.
+func (m *Matrix) RotateDown(steps int) {
+	m.RotateUp(-steps)
+}
+
+// String renders the matrix one block per line as a hex dump; intended
+// for tests and debugging, not for large matrices.
+func (m *Matrix) String() string {
+	var buf bytes.Buffer
+	for j := 0; j < m.n; j++ {
+		fmt.Fprintf(&buf, "%3d: %x\n", j, m.Block(j))
+	}
+	return buf.String()
+}

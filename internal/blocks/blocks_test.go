@@ -1,0 +1,185 @@
+package blocks
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// fill gives every block a distinct recognizable pattern.
+func fill(m *Matrix) {
+	for j := 0; j < m.N(); j++ {
+		blk := m.Block(j)
+		for i := range blk {
+			blk[i] = byte(j*31 + i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("New(0, 4) accepted")
+	}
+	if _, err := New(4, -1); err == nil {
+		t.Error("New(4, -1) accepted")
+	}
+	m, err := New(4, 0)
+	if err != nil {
+		t.Fatalf("New(4, 0): %v", err)
+	}
+	if m.N() != 4 || m.BlockLen() != 0 {
+		t.Errorf("shape = (%d, %d), want (4, 0)", m.N(), m.BlockLen())
+	}
+}
+
+func TestFromBlocksValidation(t *testing.T) {
+	if _, err := FromBlocks(nil); err == nil {
+		t.Error("FromBlocks(nil) accepted")
+	}
+	if _, err := FromBlocks([][]byte{{1, 2}, {3}}); err == nil {
+		t.Error("ragged blocks accepted")
+	}
+	m, err := FromBlocks([][]byte{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatalf("FromBlocks: %v", err)
+	}
+	if !bytes.Equal(m.Block(1), []byte{3, 4}) {
+		t.Errorf("Block(1) = %v, want [3 4]", m.Block(1))
+	}
+}
+
+func TestFromBlocksCopies(t *testing.T) {
+	src := [][]byte{{1, 2}, {3, 4}}
+	m, err := FromBlocks(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0][0] = 99
+	if m.Block(0)[0] != 1 {
+		t.Error("FromBlocks must copy input blocks")
+	}
+}
+
+func TestRotateUpExplicit(t *testing.T) {
+	// Blocks [A B C D E], rotate up 2 -> [C D E A B].
+	m, _ := FromBlocks([][]byte{{'A'}, {'B'}, {'C'}, {'D'}, {'E'}})
+	m.RotateUp(2)
+	want := "CDEAB"
+	for j := 0; j < 5; j++ {
+		if m.Block(j)[0] != want[j] {
+			t.Errorf("after RotateUp(2), block %d = %c, want %c", j, m.Block(j)[0], want[j])
+		}
+	}
+}
+
+func TestRotateDownExplicit(t *testing.T) {
+	m, _ := FromBlocks([][]byte{{'A'}, {'B'}, {'C'}, {'D'}, {'E'}})
+	m.RotateDown(1)
+	want := "EABCD"
+	for j := 0; j < 5; j++ {
+		if m.Block(j)[0] != want[j] {
+			t.Errorf("after RotateDown(1), block %d = %c, want %c", j, m.Block(j)[0], want[j])
+		}
+	}
+}
+
+func TestRotateInverseProperty(t *testing.T) {
+	f := func(nRaw, bRaw, stepsRaw uint8) bool {
+		n := int(nRaw)%12 + 1
+		b := int(bRaw) % 9
+		steps := int(stepsRaw) % 40
+		m, err := New(n, b)
+		if err != nil {
+			return false
+		}
+		fill(m)
+		orig := m.Clone()
+		m.RotateUp(steps)
+		m.RotateDown(steps)
+		return m.Equal(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateFullCycleIsIdentity(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		m, _ := New(n, 3)
+		fill(m)
+		orig := m.Clone()
+		m.RotateUp(n)
+		if !m.Equal(orig) {
+			t.Errorf("n=%d: RotateUp(n) is not identity", n)
+		}
+		m.RotateUp(0)
+		if !m.Equal(orig) {
+			t.Errorf("n=%d: RotateUp(0) is not identity", n)
+		}
+	}
+}
+
+func TestRotateNegativeSteps(t *testing.T) {
+	m, _ := FromBlocks([][]byte{{'A'}, {'B'}, {'C'}})
+	m.RotateUp(-1) // same as RotateDown(1): [C A B]
+	if m.Block(0)[0] != 'C' || m.Block(1)[0] != 'A' || m.Block(2)[0] != 'B' {
+		t.Errorf("RotateUp(-1) gave %s", m.String())
+	}
+}
+
+func TestRotateComposition(t *testing.T) {
+	// RotateUp(a) then RotateUp(b) == RotateUp(a+b).
+	f := func(aRaw, bRaw uint8) bool {
+		const n, blockLen = 7, 4
+		m1, _ := New(n, blockLen)
+		fill(m1)
+		m2 := m1.Clone()
+		a, b := int(aRaw)%20, int(bRaw)%20
+		m1.RotateUp(a)
+		m1.RotateUp(b)
+		m2.RotateUp(a + b)
+		return m1.Equal(m2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetBlockAndClone(t *testing.T) {
+	m, _ := New(3, 2)
+	if err := m.SetBlock(1, []byte{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetBlock(0, []byte{1}); err == nil {
+		t.Error("short SetBlock accepted")
+	}
+	c := m.Clone()
+	m.Block(1)[0] = 0
+	if c.Block(1)[0] != 7 {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestBlocksCopy(t *testing.T) {
+	m, _ := FromBlocks([][]byte{{1}, {2}})
+	got := m.Blocks()
+	got[0][0] = 99
+	if m.Block(0)[0] != 1 {
+		t.Error("Blocks() must return copies")
+	}
+}
+
+func TestZeroLengthBlocks(t *testing.T) {
+	m, _ := New(5, 0)
+	m.RotateUp(3)
+	packed, ids := Pack(m, 2, 0, 1)
+	if len(packed) != 0 {
+		t.Errorf("packed %d bytes from zero-length blocks", len(packed))
+	}
+	if err := Unpack(m, packed, 2, 0, 1); err != nil {
+		t.Errorf("Unpack: %v", err)
+	}
+	if len(ids) == 0 {
+		t.Error("expected some ids selected even with empty payloads")
+	}
+}

@@ -1,0 +1,102 @@
+package blocks
+
+import (
+	"fmt"
+
+	"bruck/internal/intmath"
+)
+
+// Digit returns the pos-th radix-r digit of x (pos 0 is the least
+// significant digit), matching the encoding of block ids in Section 3.2
+// of the paper.
+func Digit(x, r, pos int) int {
+	if x < 0 || r < 2 || pos < 0 {
+		panic(fmt.Sprintf("blocks: Digit(%d, %d, %d) out of domain", x, r, pos))
+	}
+	for i := 0; i < pos; i++ {
+		x /= r
+	}
+	return x % r
+}
+
+// NumDigits returns w = ceil(log_r n), the number of radix-r digits
+// needed to encode block ids 0 .. n-1 and hence the number of subphases
+// of Phase 2.
+func NumDigits(n, r int) int {
+	if n < 2 {
+		return 0
+	}
+	return intmath.CeilLog(r, n)
+}
+
+// SelectDigit returns, in increasing order, the block ids j in [0, n)
+// whose pos-th radix-r digit equals z. These are exactly the blocks
+// rotated together in step z of subphase pos of the index algorithm.
+func SelectDigit(n, r, pos, z int) []int {
+	if z < 1 || z >= r {
+		panic(fmt.Sprintf("blocks: SelectDigit step z = %d, want 1 <= z < r = %d", z, r))
+	}
+	dist := 1
+	for i := 0; i < pos; i++ {
+		dist *= r
+	}
+	return SelectAt(n, dist, r, z)
+}
+
+// SelectAt returns, in increasing order, the block ids j in [0, n) with
+// (j / dist) mod radix == z — the mixed-radix generalization of
+// SelectDigit, where dist is the weight of the digit position (the
+// product of all lower radices).
+func SelectAt(n, dist, radix, z int) []int {
+	if dist < 1 || radix < 2 || z < 1 || z >= radix {
+		panic(fmt.Sprintf("blocks: SelectAt(n=%d, dist=%d, radix=%d, z=%d) out of domain", n, dist, radix, z))
+	}
+	var ids []int
+	for j := 0; j < n; j++ {
+		if (j/dist)%radix == z {
+			ids = append(ids, j)
+		}
+	}
+	return ids
+}
+
+// Pack gathers the blocks of m whose pos-th radix-r digit equals z into
+// one contiguous message, in increasing block-id order (the paper's
+// routine pack(A, B, blklen, n, r, i, j, nblocks)). It returns the
+// packed payload and the block ids it contains.
+func Pack(m *Matrix, r, pos, z int) (packed []byte, ids []int) {
+	ids = SelectDigit(m.N(), r, pos, z)
+	return PackIDs(m, ids), ids
+}
+
+// PackIDs gathers the listed blocks into one contiguous message in list
+// order.
+func PackIDs(m *Matrix, ids []int) []byte {
+	packed := make([]byte, 0, len(ids)*m.BlockLen())
+	for _, j := range ids {
+		packed = append(packed, m.Block(j)...)
+	}
+	return packed
+}
+
+// Unpack scatters a payload produced by Pack with identical (n, r, pos,
+// z) parameters back into the corresponding block slots of m (the
+// paper's routine unpack). It fails if the payload size does not match
+// the selected block count.
+func Unpack(m *Matrix, payload []byte, r, pos, z int) error {
+	return UnpackIDs(m, payload, SelectDigit(m.N(), r, pos, z))
+}
+
+// UnpackIDs scatters a payload produced by PackIDs with the same id
+// list back into the corresponding block slots of m.
+func UnpackIDs(m *Matrix, payload []byte, ids []int) error {
+	want := len(ids) * m.BlockLen()
+	if len(payload) != want {
+		return fmt.Errorf("blocks: unpack payload %d bytes, want %d (%d blocks of %d bytes)",
+			len(payload), want, len(ids), m.BlockLen())
+	}
+	for i, j := range ids {
+		copy(m.Block(j), payload[i*m.BlockLen():(i+1)*m.BlockLen()])
+	}
+	return nil
+}

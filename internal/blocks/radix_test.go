@@ -1,0 +1,209 @@
+package blocks
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bruck/internal/intmath"
+)
+
+func TestDigit(t *testing.T) {
+	cases := []struct{ x, r, pos, want int }{
+		// 5 in radix 3 is "12": digit 0 is 2, digit 1 is 1 (the paper's
+		// example in Section 3.2).
+		{5, 3, 0, 2},
+		{5, 3, 1, 1},
+		{5, 3, 2, 0},
+		{13, 2, 0, 1}, {13, 2, 1, 0}, {13, 2, 2, 1}, {13, 2, 3, 1},
+		{255, 16, 0, 15}, {255, 16, 1, 15},
+		{0, 7, 0, 0},
+		{63, 64, 0, 63}, {63, 64, 1, 0},
+	}
+	for _, c := range cases {
+		if got := Digit(c.x, c.r, c.pos); got != c.want {
+			t.Errorf("Digit(%d, %d, %d) = %d, want %d", c.x, c.r, c.pos, got, c.want)
+		}
+	}
+}
+
+func TestDigitReconstructionProperty(t *testing.T) {
+	// Sum of digit*r^pos reconstructs x.
+	f := func(xRaw uint16, rRaw uint8) bool {
+		x := int(xRaw) % 5000
+		r := int(rRaw)%15 + 2
+		w := NumDigits(x+1, r)
+		sum := 0
+		for pos := 0; pos <= w; pos++ {
+			sum += Digit(x, r, pos) * intmath.Pow(r, pos)
+		}
+		return sum == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumDigits(t *testing.T) {
+	cases := []struct{ n, r, want int }{
+		{5, 2, 3},  // ids 0..4 need 3 bits
+		{5, 3, 2},  // "12" is the largest
+		{5, 5, 1},  // single digit 0..4
+		{64, 2, 6}, // 2^6 = 64 ids
+		{64, 8, 2},
+		{64, 64, 1},
+		{1, 2, 0}, // a single block needs no digits
+	}
+	for _, c := range cases {
+		if got := NumDigits(c.n, c.r); got != c.want {
+			t.Errorf("NumDigits(%d, %d) = %d, want %d", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+func TestSelectDigit(t *testing.T) {
+	// n=5, r=2: ids with bit 0 set are 1, 3; with bit 1 set are 2, 3;
+	// with bit 2 set is 4. These are exactly the shaded blocks of Fig 3.
+	got := SelectDigit(5, 2, 0, 1)
+	want := []int{1, 3}
+	if !equalInts(got, want) {
+		t.Errorf("SelectDigit(5,2,0,1) = %v, want %v", got, want)
+	}
+	got = SelectDigit(5, 2, 1, 1)
+	want = []int{2, 3}
+	if !equalInts(got, want) {
+		t.Errorf("SelectDigit(5,2,1,1) = %v, want %v", got, want)
+	}
+	got = SelectDigit(5, 2, 2, 1)
+	want = []int{4}
+	if !equalInts(got, want) {
+		t.Errorf("SelectDigit(5,2,2,1) = %v, want %v", got, want)
+	}
+}
+
+func TestSelectDigitPartition(t *testing.T) {
+	// For any subphase pos, the sets {z=1..r-1} plus {ids with digit 0}
+	// partition [0, n).
+	for _, tc := range []struct{ n, r int }{{5, 2}, {5, 3}, {16, 4}, {17, 3}, {64, 8}} {
+		w := NumDigits(tc.n, tc.r)
+		for pos := 0; pos < w; pos++ {
+			seen := make([]bool, tc.n)
+			for z := 1; z < tc.r; z++ {
+				for _, id := range SelectDigit(tc.n, tc.r, pos, z) {
+					if seen[id] {
+						t.Fatalf("n=%d r=%d pos=%d: id %d selected twice", tc.n, tc.r, pos, id)
+					}
+					seen[id] = true
+				}
+			}
+			for id := 0; id < tc.n; id++ {
+				if !seen[id] && Digit(id, tc.r, pos) != 0 {
+					t.Fatalf("n=%d r=%d pos=%d: id %d missed", tc.n, tc.r, pos, id)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectDigitMessageSizeBound: step z of subphase pos moves at most
+// ceil(n/r^(pos+1))*r^pos blocks. (The paper quotes the simpler bound
+// ceil(n/r), which is exact when n is a power of r; for other n the top
+// subphase may move up to r^(w-1) blocks. The aggregate C2 envelope of
+// Section 3.2 still holds and is asserted in the collective package
+// tests.)
+func TestSelectDigitMessageSizeBound(t *testing.T) {
+	for n := 2; n <= 70; n++ {
+		for r := 2; r <= n; r++ {
+			w := NumDigits(n, r)
+			for pos := 0; pos < w; pos++ {
+				rp := intmath.Pow(r, pos)
+				bound := intmath.CeilDiv(n, rp*r) * rp
+				for z := 1; z < r; z++ {
+					if got := len(SelectDigit(n, r, pos, z)); got > bound {
+						t.Fatalf("n=%d r=%d pos=%d z=%d: %d blocks > bound %d", n, r, pos, z, got, bound)
+					}
+				}
+				// And when n is a power of r the paper's simple bound
+				// ceil(n/r) is exact.
+				if intmath.IsPow(r, n) && bound > intmath.CeilDiv(n, r) {
+					t.Fatalf("n=%d r=%d pos=%d: power-of-r bound %d exceeds ceil(n/r)=%d",
+						n, r, pos, bound, intmath.CeilDiv(n, r))
+				}
+			}
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(nRaw, rRaw, bRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		r := int(rRaw)%(n-1) + 2 // 2..n
+		if r > n {
+			r = n
+		}
+		b := int(bRaw)%8 + 1
+		m, err := New(n, b)
+		if err != nil {
+			return false
+		}
+		fill(m)
+		w := NumDigits(n, r)
+		for pos := 0; pos < w; pos++ {
+			for z := 1; z < r; z++ {
+				src := m.Clone()
+				packed, ids := Pack(src, r, pos, z)
+				if len(packed) != len(ids)*b {
+					return false
+				}
+				dst := src.Clone()
+				// Zero the selected blocks, then unpack restores them.
+				for _, id := range ids {
+					for i := range dst.Block(id) {
+						dst.Block(id)[i] = 0
+					}
+				}
+				if err := Unpack(dst, packed, r, pos, z); err != nil {
+					return false
+				}
+				if !dst.Equal(src) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackSizeMismatch(t *testing.T) {
+	m, _ := New(5, 4)
+	if err := Unpack(m, make([]byte, 3), 2, 0, 1); err == nil {
+		t.Error("Unpack accepted wrong-size payload")
+	}
+}
+
+func TestSelectDigitPanicsOnBadStep(t *testing.T) {
+	for _, z := range []int{0, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SelectDigit with z=%d (r=2) did not panic", z)
+				}
+			}()
+			SelectDigit(5, 2, 0, z)
+		}()
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

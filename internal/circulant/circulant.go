@@ -1,0 +1,328 @@
+// Package circulant implements the circulant-graph machinery of
+// Section 4 of the paper. A circulant graph G(n, S) has n nodes labeled
+// 0..n-1 and connects node i to nodes (i ± s) mod n for every offset s
+// in S. The concatenation algorithm broadcasts each node's block along a
+// spanning tree T_i; all n trees are translations of T_0, which is grown
+// round by round using the offset sets
+//
+//	S_i = {(k+1)^i, 2(k+1)^i, ..., k(k+1)^i},  i = 0..d-2,
+//
+// so that after round i the tree spans exactly (k+1)^(i+1) consecutive
+// nodes. Figures 7 and 8 of the paper show T_0 and T_1 for n = 9, k = 2.
+package circulant
+
+import (
+	"fmt"
+	"sort"
+
+	"bruck/internal/intmath"
+)
+
+// Graph is a circulant graph G(n, S).
+type Graph struct {
+	n       int
+	offsets []int
+}
+
+// NewGraph builds G(n, S) from the given offsets. Offsets are
+// normalized modulo n; an offset of 0 is rejected.
+func NewGraph(n int, offsets []int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circulant: n = %d, want >= 1", n)
+	}
+	normalized := make([]int, 0, len(offsets))
+	seen := make(map[int]bool)
+	for _, s := range offsets {
+		m := intmath.Mod(s, n)
+		if m == 0 {
+			return nil, fmt.Errorf("circulant: offset %d is 0 mod n = %d", s, n)
+		}
+		if !seen[m] {
+			seen[m] = true
+			normalized = append(normalized, m)
+		}
+	}
+	sort.Ints(normalized)
+	return &Graph{n: n, offsets: normalized}, nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// Offsets returns the normalized offset set.
+func (g *Graph) Offsets() []int {
+	return append([]int(nil), g.offsets...)
+}
+
+// Neighbors returns the sorted distinct neighbors of node v: all
+// (v ± s) mod n for offsets s.
+func (g *Graph) Neighbors(v int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, s := range g.offsets {
+		for _, u := range []int{intmath.Mod(v+s, g.n), intmath.Mod(v-s, g.n)} {
+			if u != v && !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OffsetSets returns the per-round offset sets S_0 .. S_{d-2} of
+// Section 4.1 for n processors with k ports:
+// S_i = {(k+1)^i, 2(k+1)^i, ..., k(k+1)^i}. d is ceil(log_{k+1} n).
+// For n <= (k+1) it returns no sets (the first phase is empty).
+func OffsetSets(n, k int) [][]int {
+	if n < 2 || k < 1 {
+		return nil
+	}
+	d := intmath.CeilLog(k+1, n)
+	sets := make([][]int, 0, intmath.Max(d-1, 0))
+	for i := 0; i < d-1; i++ {
+		base := intmath.Pow(k+1, i)
+		set := make([]int, k)
+		for t := 1; t <= k; t++ {
+			set[t-1] = t * base
+		}
+		sets = append(sets, set)
+	}
+	return sets
+}
+
+// Edge is a directed tree edge used in a given round: Parent sends to
+// Child during round Round.
+type Edge struct {
+	Parent, Child int
+	Round         int
+}
+
+// Tree is a round-annotated spanning tree rooted at Root. After round i
+// the tree spans min((k+1)^(i+1), SpanTarget) nodes, consecutive from
+// the root in the growth direction (negative for the Appendix B
+// pseudocode convention, positive for the text's Figures 7 and 8).
+type Tree struct {
+	Root int
+	N    int
+	K    int
+	// SpanTarget is the number of nodes the tree covers: n1 for a
+	// first-phase tree, n for a full broadcast tree.
+	SpanTarget int
+	Edges      []Edge
+}
+
+// Dir selects the growth direction of the tree.
+type Dir int
+
+const (
+	// Positive grows T_0 over nodes 0, 1, ..., n1-1 (the convention of
+	// Figures 7 and 8 in the paper's text).
+	Positive Dir = iota
+	// Negative grows T_0 over nodes 0, -1, ..., -(n1-1) mod n (the
+	// convention of the Appendix B pseudocode, which performs
+	// left-rotations).
+	Negative
+)
+
+// BuildTree constructs the first-phase spanning tree rooted at root for
+// n nodes and k ports: d-1 rounds with offset sets S_0..S_{d-2}. In
+// round i, every node u already in the tree adds edges to u + t*(k+1)^i
+// (or u - t*(k+1)^i for Negative) for t = 1..k, provided the new node is
+// within the first n1 = (k+1)^(d-1) nodes from the root.
+func BuildTree(n, k, root int, dir Dir) (*Tree, error) {
+	return buildTree(n, k, root, dir, false)
+}
+
+// BuildFullTree constructs the complete d-round broadcast tree spanning
+// all n nodes, with round d-1 using the block-aligned offsets
+// t*(k+1)^(d-1). For n an exact power of k+1 (as in Figures 7 and 8)
+// this is the tree the concatenation algorithm realizes; for other n
+// the actual last round is byte-granular (see package partition) and
+// this tree is the block-aligned approximation.
+func BuildFullTree(n, k, root int, dir Dir) (*Tree, error) {
+	return buildTree(n, k, root, dir, true)
+}
+
+func buildTree(n, k, root int, dir Dir, full bool) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circulant: n = %d, want >= 1", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("circulant: k = %d, want >= 1", k)
+	}
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("circulant: root %d out of range [0,%d)", root, n)
+	}
+	t := &Tree{Root: root, N: n, K: k, SpanTarget: 1}
+	if n == 1 {
+		return t, nil
+	}
+	d := intmath.CeilLog(k+1, n)
+	rounds := d - 1
+	cap := intmath.Pow(k+1, d-1) // n1
+	if full {
+		rounds = d
+		cap = n
+	}
+	t.SpanTarget = cap
+	inTree := make(map[int]int) // node -> distance from root (0..cap-1)
+	inTree[root] = 0
+	for round := 0; round < rounds; round++ {
+		base := intmath.Pow(k+1, round)
+		// Snapshot current members: edges added this round come only
+		// from nodes present before the round.
+		type member struct{ node, dist int }
+		members := make([]member, 0, len(inTree))
+		for v, dist := range inTree {
+			members = append(members, member{v, dist})
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].dist < members[j].dist })
+		for _, m := range members {
+			for step := 1; step <= k; step++ {
+				newDist := m.dist + step*base
+				if newDist >= cap {
+					continue
+				}
+				var child int
+				if dir == Positive {
+					child = intmath.Mod(root+newDist, n)
+				} else {
+					child = intmath.Mod(root-newDist, n)
+				}
+				if _, ok := inTree[child]; ok {
+					return nil, fmt.Errorf("circulant: node %d added twice (n=%d k=%d round=%d)", child, n, k, round)
+				}
+				inTree[child] = newDist
+				t.Edges = append(t.Edges, Edge{Parent: m.node, Child: child, Round: round})
+			}
+		}
+	}
+	return t, nil
+}
+
+// Rounds returns the number of rounds used by the tree (d-1).
+func (t *Tree) Rounds() int {
+	max := -1
+	for _, e := range t.Edges {
+		if e.Round > max {
+			max = e.Round
+		}
+	}
+	return max + 1
+}
+
+// Nodes returns the sorted set of nodes spanned by the tree (including
+// the root).
+func (t *Tree) Nodes() []int {
+	seen := map[int]bool{t.Root: true}
+	for _, e := range t.Edges {
+		seen[e.Parent] = true
+		seen[e.Child] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RoundEdges returns the edges added in the given round, sorted by
+// (parent, child).
+func (t *Tree) RoundEdges(round int) []Edge {
+	var out []Edge
+	for _, e := range t.Edges {
+		if e.Round == round {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Parent != out[j].Parent {
+			return out[i].Parent < out[j].Parent
+		}
+		return out[i].Child < out[j].Child
+	})
+	return out
+}
+
+// Translate returns the tree T_j derived from this tree by adding delta
+// to every node label modulo n, with round ids preserved — the
+// construction of Figure 8 ("T_1 was obtained from T_0 by adding one
+// (modulo nine) to the labels of the nodes").
+func (t *Tree) Translate(delta int) *Tree {
+	nt := &Tree{
+		Root: intmath.Mod(t.Root+delta, t.N), N: t.N, K: t.K,
+		SpanTarget: t.SpanTarget, Edges: make([]Edge, len(t.Edges)),
+	}
+	for i, e := range t.Edges {
+		nt.Edges[i] = Edge{
+			Parent: intmath.Mod(e.Parent+delta, t.N),
+			Child:  intmath.Mod(e.Child+delta, t.N),
+			Round:  e.Round,
+		}
+	}
+	return nt
+}
+
+// Validate checks the structural claims of Theorem 4.1: the tree spans
+// exactly SpanTarget nodes consecutive from the root, every non-root
+// node has exactly one parent edge, round-i edges use offsets from S_i
+// only, and at most k edges leave any node in one round.
+func (t *Tree) Validate(dir Dir) error {
+	if t.N == 1 {
+		if len(t.Edges) != 0 {
+			return fmt.Errorf("circulant: single-node tree has edges")
+		}
+		return nil
+	}
+	n1 := t.SpanTarget
+	nodes := t.Nodes()
+	if len(nodes) != n1 {
+		return fmt.Errorf("circulant: tree spans %d nodes, want %d", len(nodes), n1)
+	}
+	want := make(map[int]bool, n1)
+	for q := 0; q < n1; q++ {
+		if dir == Positive {
+			want[intmath.Mod(t.Root+q, t.N)] = true
+		} else {
+			want[intmath.Mod(t.Root-q, t.N)] = true
+		}
+	}
+	for _, v := range nodes {
+		if !want[v] {
+			return fmt.Errorf("circulant: tree contains non-consecutive node %d", v)
+		}
+	}
+	parents := make(map[int]int)
+	sendsPerRound := make(map[[2]int]int) // (node, round) -> out-degree
+	for _, e := range t.Edges {
+		if _, dup := parents[e.Child]; dup {
+			return fmt.Errorf("circulant: node %d has two parents", e.Child)
+		}
+		parents[e.Child] = e.Parent
+		sendsPerRound[[2]int{e.Parent, e.Round}]++
+		// Offset of the edge must lie in S_round.
+		var off int
+		if dir == Positive {
+			off = intmath.Mod(e.Child-e.Parent, t.N)
+		} else {
+			off = intmath.Mod(e.Parent-e.Child, t.N)
+		}
+		base := intmath.Pow(t.K+1, e.Round)
+		if off%base != 0 || off/base < 1 || off/base > t.K {
+			return fmt.Errorf("circulant: edge %d->%d in round %d has offset %d not in S_%d",
+				e.Parent, e.Child, e.Round, off, e.Round)
+		}
+	}
+	if len(parents) != n1-1 {
+		return fmt.Errorf("circulant: %d parent edges, want %d", len(parents), n1-1)
+	}
+	for key, count := range sendsPerRound {
+		if count > t.K {
+			return fmt.Errorf("circulant: node %d sends %d messages in round %d, k = %d", key[0], count, key[1], t.K)
+		}
+	}
+	return nil
+}

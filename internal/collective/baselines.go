@@ -1,0 +1,103 @@
+package collective
+
+import (
+	"fmt"
+
+	"bruck/internal/intmath"
+	"bruck/internal/mpsim"
+)
+
+// ringConcatBody circulates blocks around the ring: in round z the
+// processor forwards the block it received in round z-1 (starting with
+// its own) to its predecessor and receives a new one from its
+// successor. One-port schedule: C1 = n-1, C2 = b(n-1). Matches the
+// accumulation convention of the circulant algorithm (temp[q] holds
+// B[(me+q) mod n]).
+func ringConcatBody(p *mpsim.Proc, g *mpsim.Group, myBlock []byte, blockLen int) ([][]byte, error) {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	if n == 1 {
+		return [][]byte{append([]byte(nil), myBlock...)}, nil
+	}
+	temp := make([]byte, n*blockLen)
+	copy(temp[:blockLen], myBlock)
+	pred := g.ID(intmath.Mod(me-1, n))
+	succ := g.ID(intmath.Mod(me+1, n))
+	for q := 1; q < n; q++ {
+		outgoing := temp[(q-1)*blockLen : q*blockLen]
+		in, err := p.SendRecv(pred, outgoing, succ)
+		if err != nil {
+			return nil, err
+		}
+		if len(in) != blockLen {
+			return nil, fmt.Errorf("collective: ring received %d bytes, want %d", len(in), blockLen)
+		}
+		copy(temp[q*blockLen:(q+1)*blockLen], in)
+	}
+	return splitConcat(temp, me, n, blockLen), nil
+}
+
+// folkloreConcatBody is the two-phase folklore algorithm of Section 4:
+// gather the n blocks to processor 0 along a (k+1)-nomial tree, then
+// broadcast the concatenation back along the same tree. It is
+// round-suboptimal (2*ceil(log_{k+1} n) rounds) and, under the paper's
+// C2 measure, volume-suboptimal because every broadcast round moves the
+// full n*b-byte concatenation.
+func folkloreConcatBody(p *mpsim.Proc, g *mpsim.Group, myBlock []byte, blockLen int) ([][]byte, error) {
+	n := g.Size()
+	if n == 1 {
+		return [][]byte{append([]byte(nil), myBlock...)}, nil
+	}
+	buf, err := gatherBody(p, g, 0, myBlock, blockLen)
+	if err != nil {
+		return nil, err
+	}
+	// With root 0, virtual ranks equal group ranks, so buf (at the
+	// root) is already in group-rank order.
+	full, err := broadcastBody(p, g, 0, buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(full) != n*blockLen {
+		return nil, fmt.Errorf("collective: folklore broadcast delivered %d bytes, want %d", len(full), n*blockLen)
+	}
+	out := make([][]byte, n)
+	for j := 0; j < n; j++ {
+		out[j] = append([]byte(nil), full[j*blockLen:(j+1)*blockLen]...)
+	}
+	return out, nil
+}
+
+// recursiveDoublingConcatBody is the hypercube exchange for
+// power-of-two group sizes: in round i the processor exchanges its
+// accumulated 2^i blocks with partner me XOR 2^i. One-port schedule:
+// C1 = log2 n, C2 = b(n-1), both optimal for k = 1.
+func recursiveDoublingConcatBody(p *mpsim.Proc, g *mpsim.Group, myBlock []byte, blockLen int) ([][]byte, error) {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	if n == 1 {
+		return [][]byte{append([]byte(nil), myBlock...)}, nil
+	}
+	// buf is indexed by group rank; after round i the processor holds
+	// the contiguous range of ranks sharing its high bits above i.
+	buf := make([]byte, n*blockLen)
+	copy(buf[me*blockLen:], myBlock)
+	for bit := 1; bit < n; bit <<= 1 {
+		partner := me ^ bit
+		myLo := me &^ (bit - 1) // start of my held rank range
+		partnerLo := partner &^ (bit - 1)
+		in, err := p.SendRecv(g.ID(partner), buf[myLo*blockLen:(myLo+bit)*blockLen], g.ID(partner))
+		if err != nil {
+			return nil, err
+		}
+		if len(in) != bit*blockLen {
+			return nil, fmt.Errorf("collective: recursive doubling received %d bytes, want %d", len(in), bit*blockLen)
+		}
+		copy(buf[partnerLo*blockLen:], in)
+	}
+	out := make([][]byte, n)
+	for j := 0; j < n; j++ {
+		out[j] = append([]byte(nil), buf[j*blockLen:(j+1)*blockLen]...)
+	}
+	return out, nil
+}

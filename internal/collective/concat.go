@@ -1,0 +1,281 @@
+package collective
+
+import (
+	"fmt"
+
+	"bruck/internal/intmath"
+	"bruck/internal/mpsim"
+	"bruck/internal/partition"
+)
+
+// ConcatAlgorithm selects the schedule used by Concat.
+type ConcatAlgorithm int
+
+const (
+	// ConcatCirculant is the circulant-graph algorithm of Section 4
+	// (the paper's contribution): optimal C1 = ceil(log_{k+1} n) and
+	// optimal C2 = ceil(b(n-1)/k) outside the special range, with the
+	// last round scheduled by the table partition of Proposition 4.2.
+	ConcatCirculant ConcatAlgorithm = iota
+	// ConcatFolklore gathers the n blocks to processor 0 along a
+	// binomial tree and broadcasts the concatenation back along the
+	// same tree: 2*ceil(log2 n) rounds (one-port).
+	ConcatFolklore
+	// ConcatRing circulates blocks around a ring in n-1 rounds
+	// (one-port); volume-optimal, round-maximal.
+	ConcatRing
+	// ConcatRecursiveDoubling is the hypercube exchange (partner = rank
+	// XOR 2^i); requires a power-of-two group size (one-port). Optimal
+	// in both measures for that case, like the circulant algorithm.
+	ConcatRecursiveDoubling
+)
+
+func (a ConcatAlgorithm) String() string {
+	switch a {
+	case ConcatCirculant:
+		return "circulant"
+	case ConcatFolklore:
+		return "folklore"
+	case ConcatRing:
+		return "ring"
+	case ConcatRecursiveDoubling:
+		return "recursive-doubling"
+	default:
+		return fmt.Sprintf("ConcatAlgorithm(%d)", int(a))
+	}
+}
+
+// ConcatOptions configures Concat.
+type ConcatOptions struct {
+	// Algorithm selects the schedule; default ConcatCirculant.
+	Algorithm ConcatAlgorithm
+	// LastRound selects the policy for the circulant algorithm's last
+	// round in the special range where optimal C1 and C2 cannot be
+	// achieved together (Proposition 4.2); default PreferOptimal.
+	LastRound partition.Policy
+}
+
+// Concat performs all-to-all broadcast (concatenation) among group g on
+// engine e. in[i] is block B[i] of the processor with group rank i; all
+// blocks must have equal size. out[i][j] = B[j] for every group member
+// i.
+func Concat(e *mpsim.Engine, g *mpsim.Group, in [][]byte, opt ConcatOptions) ([][][]byte, *Result, error) {
+	n := g.Size()
+	if len(in) != n {
+		return nil, nil, fmt.Errorf("collective: concat input has %d blocks, group has %d members", len(in), n)
+	}
+	if n == 0 {
+		return nil, nil, fmt.Errorf("collective: empty group")
+	}
+	for _, id := range g.IDs() {
+		if id >= e.N() {
+			return nil, nil, fmt.Errorf("collective: group member %d outside engine with %d processors", id, e.N())
+		}
+	}
+	blockLen := len(in[0])
+	for i := range in {
+		if len(in[i]) != blockLen {
+			return nil, nil, fmt.Errorf("collective: block B[%d] has %d bytes, want %d", i, len(in[i]), blockLen)
+		}
+	}
+	if opt.Algorithm == ConcatRecursiveDoubling && !intmath.IsPow(2, n) {
+		return nil, nil, fmt.Errorf("collective: recursive doubling requires a power-of-two group size, got %d", n)
+	}
+
+	// Precompute the circulant last-round plan once; it is identical on
+	// every processor by translation invariance.
+	var plan *partition.Plan
+	if opt.Algorithm == ConcatCirculant && n > 1 && e.Ports() < n-1 {
+		d := intmath.CeilLog(e.Ports()+1, n)
+		n1 := intmath.Pow(e.Ports()+1, d-1)
+		var err error
+		plan, err = partition.Solve(blockLen, n-n1, n1, e.Ports(), opt.LastRound)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := plan.Validate(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	out := make([][][]byte, n)
+	err := e.Run(func(p *mpsim.Proc) error {
+		me := g.Rank(p.Rank())
+		if me < 0 {
+			return nil
+		}
+		var (
+			res [][]byte
+			err error
+		)
+		switch opt.Algorithm {
+		case ConcatCirculant:
+			res, err = circulantConcatBody(p, g, in[me], blockLen, plan)
+		case ConcatFolklore:
+			res, err = folkloreConcatBody(p, g, in[me], blockLen)
+		case ConcatRing:
+			res, err = ringConcatBody(p, g, in[me], blockLen)
+		case ConcatRecursiveDoubling:
+			res, err = recursiveDoublingConcatBody(p, g, in[me], blockLen)
+		default:
+			err = fmt.Errorf("collective: unknown concat algorithm %v", opt.Algorithm)
+		}
+		if err != nil {
+			return fmt.Errorf("group rank %d: %w", me, err)
+		}
+		out[me] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, resultFrom(e.Metrics()), nil
+}
+
+// circulantConcatBody is the per-processor program of the Section 4
+// algorithm, in the Appendix B convention (spanning trees grown with
+// negative offsets: the processor accumulates the blocks of its
+// successors). temp[q] holds block B[(me+q) mod n].
+func circulantConcatBody(p *mpsim.Proc, g *mpsim.Group, myBlock []byte, blockLen int, plan *partition.Plan) ([][]byte, error) {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	k := p.Ports()
+
+	if n == 1 {
+		return [][]byte{append([]byte(nil), myBlock...)}, nil
+	}
+
+	temp := make([]byte, n*blockLen)
+	copy(temp[:blockLen], myBlock)
+
+	if k >= n-1 {
+		// Trivial single-round algorithm: send the own block to every
+		// other member, receive every other block.
+		sends := make([]mpsim.Send, 0, n-1)
+		froms := make([]int, 0, n-1)
+		for q := 1; q < n; q++ {
+			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me-q, n)), Data: myBlock})
+			froms = append(froms, g.ID(intmath.Mod(me+q, n)))
+		}
+		recvd, err := p.Exchange(sends, froms)
+		if err != nil {
+			return nil, err
+		}
+		for i := range recvd {
+			if len(recvd[i]) != blockLen {
+				return nil, fmt.Errorf("collective: trivial concat received %d bytes, want %d", len(recvd[i]), blockLen)
+			}
+			copy(temp[(i+1)*blockLen:(i+2)*blockLen], recvd[i])
+		}
+		return splitConcat(temp, me, n, blockLen), nil
+	}
+
+	// First phase: d-1 doubling rounds with offset sets S_i. After
+	// round i the processor holds count = (k+1)^(i+1) consecutive
+	// blocks starting with its own.
+	d := intmath.CeilLog(k+1, n)
+	count := 1
+	for round := 0; round < d-1; round++ {
+		base := count // (k+1)^round
+		sends := make([]mpsim.Send, 0, k)
+		froms := make([]int, 0, k)
+		for t := 1; t <= k; t++ {
+			sends = append(sends, mpsim.Send{
+				To:   g.ID(intmath.Mod(me-t*base, n)),
+				Data: temp[:count*blockLen],
+			})
+			froms = append(froms, g.ID(intmath.Mod(me+t*base, n)))
+		}
+		recvd, err := p.Exchange(sends, froms)
+		if err != nil {
+			return nil, err
+		}
+		for t := 1; t <= k; t++ {
+			seg := recvd[t-1]
+			if len(seg) != count*blockLen {
+				return nil, fmt.Errorf("collective: concat round %d received %d bytes, want %d",
+					round, len(seg), count*blockLen)
+			}
+			copy(temp[t*base*blockLen:], seg)
+		}
+		count *= k + 1
+	}
+	n1 := count // (k+1)^(d-1)
+
+	// Last round(s): byte-granular delivery of the remaining n2 blocks
+	// according to the table-partition plan. The offset assigned to an
+	// area determines both the communication partner and which held
+	// block each cell is read from: cell (row, col) travels with offset
+	// o as byte `row` of held block q = n1 + col - o.
+	for _, areas := range plan.Rounds {
+		offsets, err := assignAreaOffsets(areas, n1)
+		if err != nil {
+			return nil, err
+		}
+		sends := make([]mpsim.Send, 0, len(areas))
+		froms := make([]int, 0, len(areas))
+		for ai, area := range areas {
+			o := offsets[ai]
+			payload := make([]byte, 0, area.Size)
+			for _, run := range area.Runs {
+				q := n1 + run.Col - o
+				blk := temp[q*blockLen : (q+1)*blockLen]
+				payload = append(payload, blk[run.Row0:run.Row0+run.NRows]...)
+			}
+			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me-o, n)), Data: payload})
+			froms = append(froms, g.ID(intmath.Mod(me+o, n)))
+		}
+		recvd, err := p.Exchange(sends, froms)
+		if err != nil {
+			return nil, err
+		}
+		for ai, area := range areas {
+			payload := recvd[ai]
+			if len(payload) != area.Size {
+				return nil, fmt.Errorf("collective: concat last round area %d received %d bytes, want %d",
+					ai, len(payload), area.Size)
+			}
+			off := 0
+			for _, run := range area.Runs {
+				q := n1 + run.Col
+				blk := temp[q*blockLen : (q+1)*blockLen]
+				copy(blk[run.Row0:run.Row0+run.NRows], payload[off:off+run.NRows])
+				off += run.NRows
+			}
+		}
+	}
+
+	return splitConcat(temp, me, n, blockLen), nil
+}
+
+// assignAreaOffsets chooses a distinct communication offset for every
+// area of one round. Area t may legally use any offset in
+// [Right_t + 1, n1 + Left_t]; the paper's choice n1 + Left_t can
+// collide when several areas share a column, so offsets are assigned
+// greedily from the rightmost area down.
+func assignAreaOffsets(areas []partition.Area, n1 int) ([]int, error) {
+	offsets := make([]int, len(areas))
+	next := int(^uint(0) >> 1) // +inf
+	for t := len(areas) - 1; t >= 0; t-- {
+		o := intmath.Min(n1+areas[t].Left, next-1)
+		if o < areas[t].Right()+1 {
+			return nil, fmt.Errorf("collective: cannot assign distinct offset to area %d (range [%d,%d], next %d)",
+				t, areas[t].Right()+1, n1+areas[t].Left, next)
+		}
+		offsets[t] = o
+		next = o
+	}
+	return offsets, nil
+}
+
+// splitConcat converts the successor-ordered accumulation buffer
+// (temp[q] = B[(me+q) mod n]) into the rank-ordered result
+// (out[j] = B[j]), the final local shift of Appendix B lines 17-18.
+func splitConcat(temp []byte, me, n, blockLen int) [][]byte {
+	out := make([][]byte, n)
+	for q := 0; q < n; q++ {
+		j := intmath.Mod(me+q, n)
+		out[j] = append([]byte(nil), temp[q*blockLen:(q+1)*blockLen]...)
+	}
+	return out
+}

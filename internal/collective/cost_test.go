@@ -1,0 +1,218 @@
+package collective
+
+import (
+	"testing"
+
+	"bruck/internal/costmodel"
+	"bruck/internal/intmath"
+	"bruck/internal/lowerbound"
+	"bruck/internal/partition"
+)
+
+// TestIndexScheduleTotals: the schedule moves every nonzero-digit block
+// exactly once per subphase, so the total block count per subphase is
+// n minus the number of ids with digit zero at that position.
+func TestIndexScheduleTotals(t *testing.T) {
+	for n := 2; n <= 40; n++ {
+		for r := 2; r <= n; r++ {
+			sched := IndexSchedule(n, r, 1)
+			total := 0
+			for _, s := range sched {
+				total += s
+			}
+			// Independent recount via digitCount over all (pos, z).
+			want := 0
+			w := intmath.CeilLog(r, n)
+			dist := 1
+			for pos := 0; pos < w; pos++ {
+				h := r
+				if pos == w-1 {
+					h = intmath.CeilDiv(n, dist)
+				}
+				for z := 1; z < h; z++ {
+					want += digitCount(n, r, z, dist)
+				}
+				dist *= r
+			}
+			if total != want {
+				t.Fatalf("n=%d r=%d: schedule total %d, want %d", n, r, total, want)
+			}
+		}
+	}
+}
+
+// TestIndexCostSpecialValues pins the two Section 3.3 special cases.
+func TestIndexCostSpecialValues(t *testing.T) {
+	// r=2, n=64, k=1, b=1: C1 = 6 rounds, C2 = 32*6 = 192.
+	c1, c2 := IndexCost(64, 1, 2, 1)
+	if c1 != 6 || c2 != 192 {
+		t.Errorf("IndexCost(64,1,2,1) = (%d, %d), want (6, 192)", c1, c2)
+	}
+	// r=n=64: C1 = 63, C2 = 63.
+	c1, c2 = IndexCost(64, 1, 64, 1)
+	if c1 != 63 || c2 != 63 {
+		t.Errorf("IndexCost(64,1,64,1) = (%d, %d), want (63, 63)", c1, c2)
+	}
+	// k-port round grouping: r=4, k=3 has (r-1)/k = 1 round per
+	// subphase, so n=64 gives C1 = 3.
+	c1, _ = IndexCost(64, 1, 4, 3)
+	if c1 != 3 {
+		t.Errorf("IndexCost(64,1,4,3) C1 = %d, want 3", c1)
+	}
+}
+
+// TestKPortRoundCounts: grouping the r-1 steps of a subphase into
+// ceil((r-1)/k) rounds (Section 3.4).
+func TestKPortRoundCounts(t *testing.T) {
+	for _, tc := range []struct{ n, r, k int }{
+		{16, 4, 1}, {16, 4, 2}, {16, 4, 3}, {64, 8, 1}, {64, 8, 7},
+		{81, 3, 2}, {27, 3, 2},
+	} {
+		c1, _ := IndexCost(tc.n, 1, tc.r, tc.k)
+		if intmath.IsPow(tc.r, tc.n) {
+			want := intmath.CeilDiv(tc.r-1, tc.k) * intmath.CeilLog(tc.r, tc.n)
+			if c1 != want {
+				t.Errorf("n=%d r=%d k=%d: C1 = %d, want %d", tc.n, tc.r, tc.k, c1, want)
+			}
+		}
+	}
+}
+
+// TestIndexCostRespectsLowerBoundsEverywhere: sweep the whole family.
+func TestIndexCostRespectsLowerBoundsEverywhere(t *testing.T) {
+	const b = 3
+	for n := 2; n <= 50; n++ {
+		for k := 1; k <= 3 && k <= n-1; k++ {
+			for r := 2; r <= n; r++ {
+				c1, c2 := IndexCost(n, b, r, k)
+				if c1 < lowerbound.IndexRounds(n, k) {
+					t.Fatalf("n=%d r=%d k=%d: C1 = %d beats bound", n, r, k, c1)
+				}
+				if c2 < lowerbound.IndexVolume(n, b, k) {
+					t.Fatalf("n=%d r=%d k=%d: C2 = %d beats bound", n, r, k, c2)
+				}
+			}
+		}
+	}
+}
+
+// TestTradeoffMonotonicity: along the radix axis, C1 decreases (weakly)
+// and C2 increases (weakly) as r shrinks — the heart of the paper's
+// trade-off. We check the endpoints dominate.
+func TestTradeoffEndpoints(t *testing.T) {
+	const n, b = 64, 4
+	c1Min, _ := IndexCost(n, b, 2, 1)
+	c1Max, c2Min := IndexCost(n, b, n, 1)
+	_, c2Max := IndexCost(n, b, 2, 1)
+	for r := 2; r <= n; r++ {
+		c1, c2 := IndexCost(n, b, r, 1)
+		if c1 < c1Min {
+			t.Errorf("r=%d: C1 = %d below r=2's %d", r, c1, c1Min)
+		}
+		if c1 > c1Max {
+			t.Errorf("r=%d: C1 = %d above r=n's %d", r, c1, c1Max)
+		}
+		if c2 < c2Min {
+			t.Errorf("r=%d: C2 = %d below r=n's %d", r, c2, c2Min)
+		}
+		if c2 > c2Max+b*intmath.CeilDiv(n, 2) {
+			// C2 is not perfectly monotone in r for non-powers, but
+			// never exceeds the r=2 value by more than one step's
+			// payload.
+			t.Errorf("r=%d: C2 = %d far above r=2's %d", r, c2, c2Max)
+		}
+	}
+}
+
+// TestOptimalRadixTracksMessageSize: under SP-1 parameters the optimal
+// radix grows with the block size (Fig 6's observation).
+func TestOptimalRadixTracksMessageSize(t *testing.T) {
+	const n, k = 64, 1
+	rSmall := OptimalRadix(costmodel.SP1, n, 1, k, false)
+	rLarge := OptimalRadix(costmodel.SP1, n, 4096, k, false)
+	if rSmall > rLarge {
+		t.Errorf("optimal radix at b=1 (%d) exceeds optimal at b=4096 (%d)", rSmall, rLarge)
+	}
+	if rSmall != 2 {
+		t.Errorf("b=1: optimal radix = %d, want 2 (start-up dominated)", rSmall)
+	}
+	// At large b the optimum matches the volume-minimal r=n schedule
+	// (radices close to n tie it exactly, so compare model times).
+	c1, c2 := IndexCost(n, 4096, rLarge, k)
+	c1n, c2n := IndexCost(n, 4096, n, k)
+	if costmodel.SP1.Time(c1, c2) > costmodel.SP1.Time(c1n, c2n)+1e-12 {
+		t.Errorf("b=4096: optimal radix %d is worse than r=n", rLarge)
+	}
+}
+
+// TestOptimalRadixPowerOfTwoRestriction matches Fig 4's power-of-two
+// sweep: the restricted optimum is never better than the unrestricted
+// one.
+func TestOptimalRadixPowerOfTwoRestriction(t *testing.T) {
+	const n, k = 64, 1
+	for _, b := range []int{8, 32, 128, 512} {
+		rAll := OptimalRadix(costmodel.SP1, n, b, k, false)
+		rP2 := OptimalRadix(costmodel.SP1, n, b, k, true)
+		c1a, c2a := IndexCost(n, b, rAll, k)
+		c1p, c2p := IndexCost(n, b, rP2, k)
+		if costmodel.SP1.Time(c1p, c2p) < costmodel.SP1.Time(c1a, c2a)-1e-12 {
+			t.Errorf("b=%d: power-of-two radix %d beats unrestricted %d", b, rP2, rAll)
+		}
+		if !intmath.IsPow(2, rP2) && rP2 != n {
+			t.Errorf("b=%d: restricted search returned non-power-of-two %d", b, rP2)
+		}
+	}
+}
+
+// TestConcatCostMatchesBounds: closed form equals the lower bounds
+// outside the special range.
+func TestConcatCostMatchesBounds(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		for n := k + 2; n <= 100; n++ {
+			for _, b := range []int{1, 2, 5} {
+				c1, c2, err := ConcatCost(n, b, k, partition.PreferOptimal)
+				if err != nil {
+					t.Fatalf("n=%d b=%d k=%d: %v", n, b, k, err)
+				}
+				if c1 < lowerbound.ConcatRounds(n, k) || c2 < lowerbound.ConcatVolume(n, b, k) {
+					t.Fatalf("n=%d b=%d k=%d: closed form (%d,%d) beats bounds", n, b, k, c1, c2)
+				}
+				if !partition.InSpecialRange(n, b, k) {
+					if c1 != lowerbound.ConcatRounds(n, k) {
+						t.Errorf("n=%d b=%d k=%d: C1 = %d, want bound %d", n, b, k, c1, lowerbound.ConcatRounds(n, k))
+					}
+					if c2 != lowerbound.ConcatVolume(n, b, k) {
+						t.Errorf("n=%d b=%d k=%d: C2 = %d, want bound %d", n, b, k, c2, lowerbound.ConcatVolume(n, b, k))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDigitCountMatchesEnumeration: the O(1) count equals brute force.
+func TestDigitCountMatchesEnumeration(t *testing.T) {
+	for n := 1; n <= 60; n++ {
+		for r := 2; r <= 6; r++ {
+			dist := 1
+			for pos := 0; pos < 4; pos++ {
+				for z := 1; z < r; z++ {
+					want := 0
+					for id := 0; id < n; id++ {
+						x := id
+						for i := 0; i < pos; i++ {
+							x /= r
+						}
+						if x%r == z {
+							want++
+						}
+					}
+					if got := digitCount(n, r, z, dist); got != want {
+						t.Fatalf("digitCount(n=%d, r=%d, z=%d, dist=%d) = %d, want %d", n, r, z, dist, got, want)
+					}
+				}
+				dist *= r
+			}
+		}
+	}
+}

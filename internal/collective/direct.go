@@ -1,0 +1,86 @@
+package collective
+
+import (
+	"fmt"
+
+	"bruck/internal/intmath"
+	"bruck/internal/mpsim"
+)
+
+// directIndexBody sends block B[me, dst] straight to dst and receives
+// B[src, me] straight from src: the r = n member of the algorithm
+// family, with minimal data volume C2 = ceil(b(n-1)/k) and maximal
+// round count C1 = ceil((n-1)/k) (Theorem 2.6 shows this round count is
+// forced once the volume is minimal).
+func directIndexBody(p *mpsim.Proc, g *mpsim.Group, myBlocks [][]byte, blockLen int) ([][]byte, error) {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	k := p.Ports()
+
+	out := make([][]byte, n)
+	out[me] = append([]byte(nil), myBlocks[me]...)
+
+	for start := 1; start < n; start += k {
+		end := intmath.Min(start+k-1, n-1)
+		sends := make([]mpsim.Send, 0, end-start+1)
+		froms := make([]int, 0, end-start+1)
+		srcs := make([]int, 0, end-start+1)
+		for z := start; z <= end; z++ {
+			dst := intmath.Mod(me+z, n)
+			src := intmath.Mod(me-z, n)
+			sends = append(sends, mpsim.Send{To: g.ID(dst), Data: myBlocks[dst]})
+			froms = append(froms, g.ID(src))
+			srcs = append(srcs, src)
+		}
+		recvd, err := p.Exchange(sends, froms)
+		if err != nil {
+			return nil, err
+		}
+		for i, src := range srcs {
+			if len(recvd[i]) != blockLen {
+				return nil, fmt.Errorf("collective: direct index received %d bytes from %d, want %d",
+					len(recvd[i]), src, blockLen)
+			}
+			out[src] = recvd[i]
+		}
+	}
+	return out, nil
+}
+
+// xorIndexBody is the hypercube pairwise exchange: in step z the
+// processor exchanges exactly one block with partner me XOR z. The
+// group size must be a power of two. Steps are grouped k at a time
+// under the k-port model.
+func xorIndexBody(p *mpsim.Proc, g *mpsim.Group, myBlocks [][]byte, blockLen int) ([][]byte, error) {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	k := p.Ports()
+
+	out := make([][]byte, n)
+	out[me] = append([]byte(nil), myBlocks[me]...)
+
+	for start := 1; start < n; start += k {
+		end := intmath.Min(start+k-1, n-1)
+		sends := make([]mpsim.Send, 0, end-start+1)
+		froms := make([]int, 0, end-start+1)
+		partners := make([]int, 0, end-start+1)
+		for z := start; z <= end; z++ {
+			partner := me ^ z
+			sends = append(sends, mpsim.Send{To: g.ID(partner), Data: myBlocks[partner]})
+			froms = append(froms, g.ID(partner))
+			partners = append(partners, partner)
+		}
+		recvd, err := p.Exchange(sends, froms)
+		if err != nil {
+			return nil, err
+		}
+		for i, partner := range partners {
+			if len(recvd[i]) != blockLen {
+				return nil, fmt.Errorf("collective: xor index received %d bytes from %d, want %d",
+					len(recvd[i]), partner, blockLen)
+			}
+			out[partner] = recvd[i]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,26 @@
+// Package collective implements the all-to-all communication algorithms
+// of Bruck, Ho, Kipnis, Upfal and Weathersby on the mpsim multiport
+// fully connected message-passing simulator:
+//
+//   - Index (all-to-all personalized communication, MPI_Alltoall): the
+//     radix-r algorithm family of Section 3 with the C1/C2 trade-off,
+//     for the one-port and k-port models, plus the direct-exchange and
+//     pairwise-XOR baselines.
+//
+//   - Concatenation (all-to-all broadcast, MPI_Allgather): the
+//     circulant-graph algorithm of Section 4 with the table-partitioned
+//     last round, plus the folklore gather+broadcast, ring and
+//     recursive-doubling baselines.
+//
+//   - The one-to-all primitives (binomial broadcast, gather, scatter)
+//     the baselines are built from.
+//
+// All operations take an mpsim.Engine and an mpsim.Group and run as SPMD
+// programs: processors in the group execute the schedule, processors
+// outside it idle. Inputs and outputs are indexed by group rank.
+//
+// The closed-form complexity functions in cost.go predict C1 and C2 for
+// every algorithm; the tests assert that the schedules executed on the
+// simulator match the closed forms exactly, and that both respect the
+// lower bounds of package lowerbound.
+package collective

@@ -1,0 +1,243 @@
+package collective
+
+import (
+	"fmt"
+
+	"bruck/internal/blocks"
+	"bruck/internal/intmath"
+	"bruck/internal/mpsim"
+)
+
+// IndexAlgorithm selects the schedule used by Index.
+type IndexAlgorithm int
+
+const (
+	// IndexBruck is the radix-r algorithm of Section 3 (the paper's
+	// contribution): C1 <= ceil((r-1)/k) * ceil(log_r n) rounds with the
+	// C1/C2 trade-off controlled by the radix.
+	IndexBruck IndexAlgorithm = iota
+	// IndexDirect sends every block straight from source to destination
+	// in ceil((n-1)/k) rounds; it is volume-optimal (C2 = b(n-1)/k) and
+	// round-maximal, coinciding with the r = n member of the Bruck
+	// family.
+	IndexDirect
+	// IndexPairwiseXOR is the classic hypercube pairwise exchange
+	// (partner = rank XOR step); it requires the group size to be a
+	// power of two. Its measures match IndexDirect.
+	IndexPairwiseXOR
+)
+
+func (a IndexAlgorithm) String() string {
+	switch a {
+	case IndexBruck:
+		return "bruck"
+	case IndexDirect:
+		return "direct"
+	case IndexPairwiseXOR:
+		return "pairwise-xor"
+	default:
+		return fmt.Sprintf("IndexAlgorithm(%d)", int(a))
+	}
+}
+
+// IndexOptions configures Index.
+type IndexOptions struct {
+	// Algorithm selects the schedule; default IndexBruck.
+	Algorithm IndexAlgorithm
+	// Radix is the Bruck radix r, 2 <= r <= n. 0 selects k+1, which
+	// minimizes the number of rounds (Section 3.3 / 3.4). Ignored by
+	// the baselines.
+	Radix int
+	// NoPack disables message packing: each block selected by a step
+	// travels in its own round. This exists only as an ablation of the
+	// packing design decision; it multiplies C1 and never helps.
+	NoPack bool
+}
+
+// Index performs all-to-all personalized communication among the group
+// g on engine e. in[i][j] is data block B[i, j] (the j-th block of the
+// processor with group rank i); all blocks must have equal size. The
+// returned out satisfies out[i][j] = in[j][i].
+func Index(e *mpsim.Engine, g *mpsim.Group, in [][][]byte, opt IndexOptions) ([][][]byte, *Result, error) {
+	n := g.Size()
+	if err := checkIndexInput(e, g, in); err != nil {
+		return nil, nil, err
+	}
+	blockLen := len(in[0][0])
+	k := e.Ports()
+
+	r := opt.Radix
+	if r == 0 {
+		r = intmath.Min(k+1, n)
+	}
+	if opt.Algorithm == IndexBruck && n > 1 && (r < 2 || r > n) {
+		return nil, nil, fmt.Errorf("collective: index radix %d out of range [2, %d]", r, n)
+	}
+	if opt.Algorithm == IndexPairwiseXOR && !intmath.IsPow(2, n) {
+		return nil, nil, fmt.Errorf("collective: pairwise-xor index requires a power-of-two group size, got %d", n)
+	}
+
+	out := make([][][]byte, n)
+	err := e.Run(func(p *mpsim.Proc) error {
+		me := g.Rank(p.Rank())
+		if me < 0 {
+			return nil // not a member of the group
+		}
+		var (
+			res [][]byte
+			err error
+		)
+		switch opt.Algorithm {
+		case IndexBruck:
+			res, err = bruckIndexBody(p, g, in[me], r, blockLen, opt.NoPack)
+		case IndexDirect:
+			res, err = directIndexBody(p, g, in[me], blockLen)
+		case IndexPairwiseXOR:
+			res, err = xorIndexBody(p, g, in[me], blockLen)
+		default:
+			err = fmt.Errorf("collective: unknown index algorithm %v", opt.Algorithm)
+		}
+		if err != nil {
+			return fmt.Errorf("group rank %d: %w", me, err)
+		}
+		out[me] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, resultFrom(e.Metrics()), nil
+}
+
+func checkIndexInput(e *mpsim.Engine, g *mpsim.Group, in [][][]byte) error {
+	n := g.Size()
+	if len(in) != n {
+		return fmt.Errorf("collective: index input has %d processors, group has %d", len(in), n)
+	}
+	for _, id := range g.IDs() {
+		if id >= e.N() {
+			return fmt.Errorf("collective: group member %d outside engine with %d processors", id, e.N())
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("collective: empty group")
+	}
+	if len(in[0]) != n {
+		return fmt.Errorf("collective: processor 0 has %d blocks, want n = %d", len(in[0]), n)
+	}
+	blockLen := len(in[0][0])
+	for i := range in {
+		if len(in[i]) != n {
+			return fmt.Errorf("collective: processor %d has %d blocks, want n = %d", i, len(in[i]), n)
+		}
+		for j := range in[i] {
+			if len(in[i][j]) != blockLen {
+				return fmt.Errorf("collective: block B[%d,%d] has %d bytes, want %d", i, j, len(in[i][j]), blockLen)
+			}
+		}
+	}
+	return nil
+}
+
+// bruckIndexBody is the per-processor program of the radix-r index
+// algorithm (Appendix A generalized to the k-port model of Section 3.4).
+func bruckIndexBody(p *mpsim.Proc, g *mpsim.Group, myBlocks [][]byte, r, blockLen int, noPack bool) ([][]byte, error) {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	k := p.Ports()
+
+	m, err := blocks.FromBlocks(myBlocks)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: rotate the local blocks me steps upwards so that the
+	// block at position j is the one that must travel j steps right.
+	m.RotateUp(me)
+
+	// Phase 2: w subphases, one per radix-r digit of the block ids.
+	w := blocks.NumDigits(n, r)
+	dist := 1
+	for pos := 0; pos < w; pos++ {
+		// In the last subphase only digit values that occur among ids
+		// 0..n-1 take part (pseudocode lines 7-11).
+		h := r
+		if pos == w-1 {
+			h = intmath.CeilDiv(n, dist)
+		}
+		steps := make([]int, 0, h-1)
+		for z := 1; z < h; z++ {
+			steps = append(steps, z)
+		}
+		if noPack {
+			if err := bruckSubphaseUnpacked(p, g, m, r, pos, dist, steps, blockLen); err != nil {
+				return nil, err
+			}
+		} else if err := bruckSubphasePacked(p, g, m, r, pos, dist, steps, k); err != nil {
+			return nil, err
+		}
+		dist *= r
+	}
+
+	// Phase 3: the block for source j sits at position (me - j) mod n
+	// (pseudocode lines 21-23).
+	out := make([][]byte, n)
+	for j := 0; j < n; j++ {
+		out[j] = append([]byte(nil), m.Block(intmath.Mod(me-j, n))...)
+	}
+	return out, nil
+}
+
+// bruckSubphasePacked performs the steps of one subphase, packing all
+// blocks of a step into one message and grouping up to k independent
+// steps into one k-port round.
+func bruckSubphasePacked(p *mpsim.Proc, g *mpsim.Group, m *blocks.Matrix, r, pos, dist int, steps []int, k int) error {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	for start := 0; start < len(steps); start += k {
+		batch := steps[start:intmath.Min(start+k, len(steps))]
+		sends := make([]mpsim.Send, 0, len(batch))
+		froms := make([]int, 0, len(batch))
+		for _, z := range batch {
+			payload, _ := blocks.Pack(m, r, pos, z)
+			sends = append(sends, mpsim.Send{
+				To:   g.ID(intmath.Mod(me+z*dist, n)),
+				Data: payload,
+			})
+			froms = append(froms, g.ID(intmath.Mod(me-z*dist, n)))
+		}
+		recvd, err := p.Exchange(sends, froms)
+		if err != nil {
+			return err
+		}
+		for i, z := range batch {
+			if err := blocks.Unpack(m, recvd[i], r, pos, z); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bruckSubphaseUnpacked is the packing ablation: every selected block of
+// a step travels in its own single-block round.
+func bruckSubphaseUnpacked(p *mpsim.Proc, g *mpsim.Group, m *blocks.Matrix, r, pos, dist int, steps []int, blockLen int) error {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	for _, z := range steps {
+		dst := g.ID(intmath.Mod(me+z*dist, n))
+		src := g.ID(intmath.Mod(me-z*dist, n))
+		ids := blocks.SelectDigit(n, r, pos, z)
+		for _, id := range ids {
+			in, err := p.SendRecv(dst, m.Block(id), src)
+			if err != nil {
+				return err
+			}
+			if len(in) != blockLen {
+				return fmt.Errorf("collective: unpacked step received %d bytes, want %d", len(in), blockLen)
+			}
+			copy(m.Block(id), in)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package collective
+
+import (
+	"fmt"
+
+	"bruck/internal/blocks"
+	"bruck/internal/costmodel"
+	"bruck/internal/intmath"
+	"bruck/internal/mpsim"
+)
+
+// Mixed-radix index: a generalization of the Section 3 algorithm in
+// which each Phase 2 subphase may use a different radix. Block ids are
+// decomposed in the mixed-radix system with digit weights
+// w_0 = 1, w_{i+1} = w_i * r_i; subphase i rotates the blocks whose
+// i-th digit is z by z*w_i positions. The uniform algorithm is the
+// special case r_0 = r_1 = ... = r. The paper observes that "r can be
+// fine-tuned according to the parameters of the underlying machines";
+// a mixed vector strictly enlarges that tuning space (the model optimum
+// for intermediate message sizes is often non-uniform), and
+// OptimalRadixSchedule finds the model-optimal vector by dynamic
+// programming.
+
+// ValidateRadices checks a mixed-radix vector for n processors: every
+// radix at least 2 and the product of all radices at least n (so the
+// decomposition covers all block ids). Radices beyond the first whose
+// weight reaches n are rejected as dead subphases.
+func ValidateRadices(n int, radices []int) error {
+	if n <= 1 {
+		if len(radices) == 0 {
+			return nil
+		}
+		return fmt.Errorf("collective: %d radices for n = %d (no subphases needed)", len(radices), n)
+	}
+	if len(radices) == 0 {
+		return fmt.Errorf("collective: empty radix vector for n = %d", n)
+	}
+	weight := 1
+	for i, r := range radices {
+		if r < 2 {
+			return fmt.Errorf("collective: radix[%d] = %d, want >= 2", i, r)
+		}
+		if weight >= n {
+			return fmt.Errorf("collective: radix[%d] is dead weight (product of earlier radices already >= n)", i)
+		}
+		weight *= r
+	}
+	if weight < n {
+		return fmt.Errorf("collective: radix product %d < n = %d does not cover all block ids", weight, n)
+	}
+	return nil
+}
+
+// IndexMixed performs the index operation with a mixed-radix schedule.
+// See Index for the data layout; radices selects the per-subphase
+// radix.
+func IndexMixed(e *mpsim.Engine, g *mpsim.Group, in [][][]byte, radices []int) ([][][]byte, *Result, error) {
+	n := g.Size()
+	if err := checkIndexInput(e, g, in); err != nil {
+		return nil, nil, err
+	}
+	if err := ValidateRadices(n, radices); err != nil {
+		return nil, nil, err
+	}
+	out := make([][][]byte, n)
+	err := e.Run(func(p *mpsim.Proc) error {
+		me := g.Rank(p.Rank())
+		if me < 0 {
+			return nil
+		}
+		res, err := mixedIndexBody(p, g, in[me], radices)
+		if err != nil {
+			return fmt.Errorf("group rank %d: %w", me, err)
+		}
+		out[me] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, resultFrom(e.Metrics()), nil
+}
+
+func mixedIndexBody(p *mpsim.Proc, g *mpsim.Group, myBlocks [][]byte, radices []int) ([][]byte, error) {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	k := p.Ports()
+
+	m, err := blocks.FromBlocks(myBlocks)
+	if err != nil {
+		return nil, err
+	}
+	m.RotateUp(me)
+
+	weight := 1
+	for _, r := range radices {
+		if n <= 1 || weight >= n {
+			break
+		}
+		// Digit values that actually occur among ids < n at this
+		// position: v with v*weight < n, capped at the radix.
+		h := intmath.Min(r, intmath.CeilDiv(n, weight))
+		for start := 1; start < h; start += k {
+			end := intmath.Min(start+k-1, h-1)
+			sends := make([]mpsim.Send, 0, end-start+1)
+			froms := make([]int, 0, end-start+1)
+			idLists := make([][]int, 0, end-start+1)
+			for z := start; z <= end; z++ {
+				ids := blocks.SelectAt(n, weight, r, z)
+				sends = append(sends, mpsim.Send{
+					To:   g.ID(intmath.Mod(me+z*weight, n)),
+					Data: blocks.PackIDs(m, ids),
+				})
+				froms = append(froms, g.ID(intmath.Mod(me-z*weight, n)))
+				idLists = append(idLists, ids)
+			}
+			recvd, err := p.Exchange(sends, froms)
+			if err != nil {
+				return nil, err
+			}
+			for i, ids := range idLists {
+				if err := blocks.UnpackIDs(m, recvd[i], ids); err != nil {
+					return nil, err
+				}
+			}
+		}
+		weight *= r
+	}
+
+	res := make([][]byte, n)
+	for j := 0; j < n; j++ {
+		res[j] = append([]byte(nil), m.Block(intmath.Mod(me-j, n))...)
+	}
+	return res, nil
+}
+
+// IndexMixedSchedule returns the per-round largest message size, in
+// blocks, of the mixed-radix index algorithm — the closed form the
+// simulator-measured schedule must match.
+func IndexMixedSchedule(n int, radices []int, k int) []int {
+	if n <= 1 {
+		return nil
+	}
+	var rounds []int
+	weight := 1
+	for _, r := range radices {
+		if weight >= n {
+			break
+		}
+		h := intmath.Min(r, intmath.CeilDiv(n, weight))
+		for start := 1; start < h; start += k {
+			end := intmath.Min(start+k-1, h-1)
+			maxBlocks := 0
+			for z := start; z <= end; z++ {
+				if c := digitCount(n, r, z, weight); c > maxBlocks {
+					maxBlocks = c
+				}
+			}
+			rounds = append(rounds, maxBlocks)
+		}
+		weight *= r
+	}
+	return rounds
+}
+
+// IndexMixedCost returns the closed-form (C1, C2) for block size b.
+func IndexMixedCost(n, b int, radices []int, k int) (c1, c2 int) {
+	sched := IndexMixedSchedule(n, radices, k)
+	for _, blk := range sched {
+		c2 += blk * b
+	}
+	return len(sched), c2
+}
+
+// OptimalRadixSchedule returns the mixed-radix vector minimizing the
+// linear-model time for n processors, block size b and k ports, found
+// by dynamic programming over digit weights: f(w) is the cheapest way
+// to build all digit positions of weight below w, and a subphase of
+// radix r at weight w costs its rounds and volume under the profile.
+// The result is at least as good as every uniform radix (each uniform
+// vector is a point in the search space).
+func OptimalRadixSchedule(p costmodel.Profile, n, b, k int) []int {
+	if n <= 1 {
+		return nil
+	}
+	type state struct {
+		cost  float64
+		radix int // radix used for the subphase at this weight's predecessor
+		prev  int // predecessor weight
+	}
+	// weights of interest: 1..n-1 (any weight >= n terminates). Weights
+	// are processed in increasing order so each state is final when
+	// expanded (all transitions strictly increase the weight).
+	best := make(map[int]state, n)
+	best[1] = state{cost: 0, radix: 0, prev: 0}
+	done := state{cost: -1}
+	for w := 1; w < n; w++ {
+		s, ok := best[w]
+		if !ok {
+			continue
+		}
+		maxR := intmath.CeilDiv(n, w) // larger radices are equivalent to this one
+		for r := 2; r <= maxR; r++ {
+			h := intmath.Min(r, intmath.CeilDiv(n, w))
+			cost := s.cost
+			for start := 1; start < h; start += k {
+				end := intmath.Min(start+k-1, h-1)
+				maxBlocks := 0
+				for z := start; z <= end; z++ {
+					if c := digitCount(n, r, z, w); c > maxBlocks {
+						maxBlocks = c
+					}
+				}
+				cost += p.Time(1, maxBlocks*b)
+			}
+			nw := w * r
+			if nw >= n {
+				if done.cost < 0 || cost < done.cost {
+					done = state{cost: cost, radix: r, prev: w}
+				}
+				continue
+			}
+			if old, ok := best[nw]; !ok || cost < old.cost {
+				best[nw] = state{cost: cost, radix: r, prev: w}
+			}
+		}
+	}
+	// Reconstruct the vector from the terminal state.
+	var rev []int
+	cur := done
+	for cur.radix != 0 {
+		rev = append(rev, cur.radix)
+		cur = best[cur.prev]
+	}
+	radices := make([]int, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		radices = append(radices, rev[i])
+	}
+	return radices
+}

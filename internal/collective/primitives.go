@@ -1,0 +1,334 @@
+package collective
+
+import (
+	"fmt"
+
+	"bruck/internal/intmath"
+	"bruck/internal/mpsim"
+)
+
+// The one-to-all primitives use (k+1)-nomial trees over virtual ranks
+// v = (rank - root) mod n. A node's place in the tree is determined by
+// the lowest nonzero radix-(k+1) digit of its virtual rank: in the
+// gather direction, node v with lowest nonzero digit t at position pos
+// sends its accumulated segment [v, v + (k+1)^pos) to parent
+// v - t*(k+1)^pos during the round in which position pos is active.
+// For k = 1 these are the classic binomial trees.
+
+// lowestDigitPos returns the position of the lowest nonzero radix-base
+// digit of v > 0, and that digit's value.
+func lowestDigitPos(v, base int) (pos, digit int) {
+	for v%base == 0 {
+		v /= base
+		pos++
+	}
+	return pos, v % base
+}
+
+// Broadcast sends root's data block to every member of group g. The
+// returned slice holds, for each group rank, its copy of the data.
+func Broadcast(e *mpsim.Engine, g *mpsim.Group, root int, data []byte) ([][]byte, *Result, error) {
+	n := g.Size()
+	if root < 0 || root >= n {
+		return nil, nil, fmt.Errorf("collective: broadcast root %d out of range [0,%d)", root, n)
+	}
+	out := make([][]byte, n)
+	err := e.Run(func(p *mpsim.Proc) error {
+		me := g.Rank(p.Rank())
+		if me < 0 {
+			return nil
+		}
+		buf, err := broadcastBody(p, g, root, data)
+		if err != nil {
+			return fmt.Errorf("group rank %d: %w", me, err)
+		}
+		out[me] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, resultFrom(e.Metrics()), nil
+}
+
+// broadcastBody runs the (k+1)-nomial broadcast. Only the root's data
+// argument is used; every member returns its received copy.
+func broadcastBody(p *mpsim.Proc, g *mpsim.Group, root int, data []byte) ([]byte, error) {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	k := p.Ports()
+	v := intmath.Mod(me-root, n)
+
+	var buf []byte
+	if v == 0 {
+		buf = append([]byte(nil), data...)
+	}
+	if n == 1 {
+		return buf, nil
+	}
+	d := intmath.CeilLog(k+1, n)
+	// Rounds walk digit positions from the top down; leaves (lowest
+	// digit at position 0) receive in the final round.
+	for i := 0; i < d; i++ {
+		pos := d - 1 - i
+		base := intmath.Pow(k+1, pos)
+		switch {
+		case v%((k+1)*base) == 0:
+			// Holder: send to children v + t*base that exist.
+			var sends []mpsim.Send
+			for t := 1; t <= k; t++ {
+				child := v + t*base
+				if child < n {
+					sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(child+root, n)), Data: buf})
+				}
+			}
+			if len(sends) == 0 {
+				p.Skip()
+				continue
+			}
+			if _, err := p.Exchange(sends, nil); err != nil {
+				return nil, err
+			}
+		case v%base == 0:
+			// Receiver: my lowest nonzero digit is at this position.
+			_, digit := lowestDigitPos(v, k+1)
+			parent := v - digit*base
+			recvd, err := p.Exchange(nil, []int{g.ID(intmath.Mod(parent+root, n))})
+			if err != nil {
+				return nil, err
+			}
+			buf = recvd[0]
+		default:
+			p.Skip()
+		}
+	}
+	return buf, nil
+}
+
+// Gather collects one block from every member of group g at root. The
+// returned slice is the gathered blocks in group-rank order; it is
+// non-nil only for the root (mirroring MPI_Gather semantics).
+func Gather(e *mpsim.Engine, g *mpsim.Group, root int, in [][]byte) ([][]byte, *Result, error) {
+	n := g.Size()
+	if root < 0 || root >= n {
+		return nil, nil, fmt.Errorf("collective: gather root %d out of range [0,%d)", root, n)
+	}
+	if len(in) != n {
+		return nil, nil, fmt.Errorf("collective: gather input has %d blocks, group has %d members", len(in), n)
+	}
+	blockLen := len(in[0])
+	for i := range in {
+		if len(in[i]) != blockLen {
+			return nil, nil, fmt.Errorf("collective: gather block %d has %d bytes, want %d", i, len(in[i]), blockLen)
+		}
+	}
+	var rootBuf []byte
+	err := e.Run(func(p *mpsim.Proc) error {
+		me := g.Rank(p.Rank())
+		if me < 0 {
+			return nil
+		}
+		buf, err := gatherBody(p, g, root, in[me], blockLen)
+		if err != nil {
+			return fmt.Errorf("group rank %d: %w", me, err)
+		}
+		if me == root {
+			rootBuf = buf
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rootBuf == nil {
+		return nil, nil, fmt.Errorf("collective: gather produced no root buffer")
+	}
+	// rootBuf is in virtual-rank order; convert to group-rank order.
+	out := make([][]byte, n)
+	for v := 0; v < n; v++ {
+		j := intmath.Mod(root+v, n)
+		out[j] = append([]byte(nil), rootBuf[v*blockLen:(v+1)*blockLen]...)
+	}
+	return out, resultFrom(e.Metrics()), nil
+}
+
+// gatherBody runs the (k+1)-nomial gather and returns, at the root
+// only, the concatenation in virtual-rank order (buf[v] = block of
+// virtual rank v). Non-roots return nil.
+func gatherBody(p *mpsim.Proc, g *mpsim.Group, root int, myBlock []byte, blockLen int) ([]byte, error) {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	k := p.Ports()
+	v := intmath.Mod(me-root, n)
+
+	if n == 1 {
+		return append([]byte(nil), myBlock...), nil
+	}
+	d := intmath.CeilLog(k+1, n)
+	// seg holds virtual ranks [v, v+segLen) of the concatenation.
+	seg := make([]byte, blockLen, blockLen*intmath.Min(n, intmath.Pow(k+1, d)))
+	copy(seg, myBlock)
+	sent := false
+
+	for pos := 0; pos < d; pos++ {
+		base := intmath.Pow(k+1, pos)
+		switch {
+		case sent:
+			p.Skip()
+		case v%((k+1)*base) != 0:
+			// My lowest nonzero digit is at this position: send my
+			// accumulated segment to the parent and go quiet.
+			_, digit := lowestDigitPos(v, k+1)
+			parent := v - digit*base
+			if _, err := p.Exchange([]mpsim.Send{{To: g.ID(intmath.Mod(parent+root, n)), Data: seg}}, nil); err != nil {
+				return nil, err
+			}
+			sent = true
+		default:
+			// Receive from children v + t*base that exist, in order,
+			// appending their consecutive segments.
+			var froms []int
+			var children []int
+			for t := 1; t <= k; t++ {
+				child := v + t*base
+				if child < n {
+					froms = append(froms, g.ID(intmath.Mod(child+root, n)))
+					children = append(children, child)
+				}
+			}
+			if len(froms) == 0 {
+				p.Skip()
+				continue
+			}
+			recvd, err := p.Exchange(nil, froms)
+			if err != nil {
+				return nil, err
+			}
+			for i, child := range children {
+				want := intmath.Min(base, n-child) * blockLen
+				if len(recvd[i]) != want {
+					return nil, fmt.Errorf("collective: gather received %d bytes from virtual rank %d, want %d",
+						len(recvd[i]), child, want)
+				}
+				seg = append(seg, recvd[i]...)
+			}
+		}
+	}
+	if v != 0 {
+		return nil, nil
+	}
+	if len(seg) != n*blockLen {
+		return nil, fmt.Errorf("collective: gather root assembled %d bytes, want %d", len(seg), n*blockLen)
+	}
+	return seg, nil
+}
+
+// Scatter distributes root's per-member blocks: member with group rank
+// j receives in[j]. in is only read at the root (mirroring MPI_Scatter
+// semantics, but the simulation driver passes it uniformly). The
+// returned slice holds each member's received block.
+func Scatter(e *mpsim.Engine, g *mpsim.Group, root int, in [][]byte) ([][]byte, *Result, error) {
+	n := g.Size()
+	if root < 0 || root >= n {
+		return nil, nil, fmt.Errorf("collective: scatter root %d out of range [0,%d)", root, n)
+	}
+	if len(in) != n {
+		return nil, nil, fmt.Errorf("collective: scatter input has %d blocks, group has %d members", len(in), n)
+	}
+	blockLen := len(in[0])
+	for i := range in {
+		if len(in[i]) != blockLen {
+			return nil, nil, fmt.Errorf("collective: scatter block %d has %d bytes, want %d", i, len(in[i]), blockLen)
+		}
+	}
+	// Reorder to virtual-rank order once.
+	vbuf := make([]byte, n*blockLen)
+	for v := 0; v < n; v++ {
+		copy(vbuf[v*blockLen:], in[intmath.Mod(root+v, n)])
+	}
+	out := make([][]byte, n)
+	err := e.Run(func(p *mpsim.Proc) error {
+		me := g.Rank(p.Rank())
+		if me < 0 {
+			return nil
+		}
+		blk, err := scatterBody(p, g, root, vbuf, blockLen)
+		if err != nil {
+			return fmt.Errorf("group rank %d: %w", me, err)
+		}
+		out[me] = blk
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, resultFrom(e.Metrics()), nil
+}
+
+// scatterBody runs the (k+1)-nomial scatter (the gather tree reversed):
+// vbuf is the full concatenation in virtual-rank order at the root.
+// Every member returns its own block.
+func scatterBody(p *mpsim.Proc, g *mpsim.Group, root int, vbuf []byte, blockLen int) ([]byte, error) {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	k := p.Ports()
+	v := intmath.Mod(me-root, n)
+
+	if n == 1 {
+		return append([]byte(nil), vbuf[:blockLen]...), nil
+	}
+	d := intmath.CeilLog(k+1, n)
+	// seg covers virtual ranks [v, v+segLen/blockLen); at the root it
+	// starts as the whole buffer, elsewhere it arrives mid-algorithm.
+	var seg []byte
+	if v == 0 {
+		seg = append([]byte(nil), vbuf...)
+	}
+	for i := 0; i < d; i++ {
+		pos := d - 1 - i
+		base := intmath.Pow(k+1, pos)
+		switch {
+		case v%((k+1)*base) == 0 && seg != nil:
+			// Holder: carve off and send each existing child's segment
+			// [child, child + base).
+			var sends []mpsim.Send
+			for t := 1; t <= k; t++ {
+				child := v + t*base
+				if child >= n {
+					continue
+				}
+				lo := (child - v) * blockLen
+				hi := lo + intmath.Min(base, n-child)*blockLen
+				sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(child+root, n)), Data: seg[lo:hi]})
+			}
+			if len(sends) == 0 {
+				p.Skip()
+				continue
+			}
+			if _, err := p.Exchange(sends, nil); err != nil {
+				return nil, err
+			}
+			// Keep only my own prefix [v, v+base).
+			keep := intmath.Min(base, n-v) * blockLen
+			seg = seg[:keep]
+		case v%base == 0 && v%((k+1)*base) != 0:
+			_, digit := lowestDigitPos(v, k+1)
+			parent := v - digit*base
+			recvd, err := p.Exchange(nil, []int{g.ID(intmath.Mod(parent+root, n))})
+			if err != nil {
+				return nil, err
+			}
+			want := intmath.Min(base, n-v) * blockLen
+			if len(recvd[0]) != want {
+				return nil, fmt.Errorf("collective: scatter received %d bytes, want %d", len(recvd[0]), want)
+			}
+			seg = recvd[0]
+		default:
+			p.Skip()
+		}
+	}
+	if len(seg) < blockLen {
+		return nil, fmt.Errorf("collective: scatter left virtual rank %d with %d bytes", v, len(seg))
+	}
+	return append([]byte(nil), seg[:blockLen]...), nil
+}

@@ -1,0 +1,46 @@
+package collective
+
+import (
+	"fmt"
+
+	"bruck/internal/costmodel"
+	"bruck/internal/mpsim"
+)
+
+// Result summarizes the communication schedule an operation executed,
+// in the paper's complexity measures.
+type Result struct {
+	// C1 is the number of communication rounds.
+	C1 int
+	// C2 is the data volume in bytes: the sum over rounds of the
+	// largest message sent in that round.
+	C2 int
+	// RoundSizes lists the largest message of each round, in bytes.
+	RoundSizes []int
+	// TotalBytes is the total payload over all point-to-point messages.
+	TotalBytes int64
+	// Messages is the number of point-to-point messages sent.
+	Messages int64
+}
+
+func resultFrom(m *mpsim.Metrics) *Result {
+	return &Result{
+		C1:         m.Rounds(),
+		C2:         m.DataVolume(),
+		RoundSizes: m.RoundSizes(),
+		TotalBytes: m.TotalBytes(),
+		Messages:   m.Messages(),
+	}
+}
+
+// Time returns the linear-model estimate of the schedule under the
+// given machine profile.
+func (r *Result) Time(p costmodel.Profile) float64 {
+	return p.Time(r.C1, r.C2)
+}
+
+// String renders the headline measures.
+func (r *Result) String() string {
+	return fmt.Sprintf("C1=%d rounds, C2=%d bytes, total=%d bytes in %d messages",
+		r.C1, r.C2, r.TotalBytes, r.Messages)
+}

@@ -1,0 +1,147 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeLinearity(t *testing.T) {
+	p := Profile{Name: "t", Beta: 2.0, Tau: 0.5}
+	if got := p.Time(0, 0); got != 0 {
+		t.Errorf("Time(0,0) = %g, want 0", got)
+	}
+	if got := p.Time(3, 0); got != 6.0 {
+		t.Errorf("Time(3,0) = %g, want 6", got)
+	}
+	if got := p.Time(0, 4); got != 2.0 {
+		t.Errorf("Time(0,4) = %g, want 2", got)
+	}
+	if got := p.Time(3, 4); got != 8.0 {
+		t.Errorf("Time(3,4) = %g, want 8", got)
+	}
+}
+
+func TestTimeAdditivityProperty(t *testing.T) {
+	p := SP1
+	f := func(a1, a2, b1, b2 uint16) bool {
+		lhs := p.Time(int(a1)+int(b1), int(a2)+int(b2))
+		rhs := p.Time(int(a1), int(a2)) + p.Time(int(b1), int(b2))
+		return math.Abs(lhs-rhs) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMessageTime(t *testing.T) {
+	p := Profile{Beta: 1, Tau: 2}
+	if got := p.MessageTime(10); got != 21 {
+		t.Errorf("MessageTime(10) = %g, want 21", got)
+	}
+	// One m-byte message in its own round contributes exactly
+	// MessageTime(m) to the schedule cost.
+	if got := p.Time(1, 10); got != p.MessageTime(10) {
+		t.Errorf("Time(1,10)=%g != MessageTime(10)=%g", got, p.MessageTime(10))
+	}
+}
+
+func TestSP1Parameters(t *testing.T) {
+	// Start-up ~29us, bandwidth ~8.5 MB/s as measured in Section 3.5.
+	if SP1.Beta != 29e-6 {
+		t.Errorf("SP1.Beta = %g, want 29e-6", SP1.Beta)
+	}
+	perByte := SP1.Tau
+	if perByte < 0.11e-6 || perByte > 0.13e-6 {
+		t.Errorf("SP1.Tau = %g s/B, want ~0.118e-6 (8.5 MB/s)", perByte)
+	}
+	if err := SP1.Validate(); err != nil {
+		t.Errorf("SP1 invalid: %v", err)
+	}
+}
+
+// TestSP1CrossoverRegion reproduces the analytic crossover of Fig. 5:
+// with n=64, k=1, the r=2 and r=n=64 index algorithms break even at a
+// message size of 100-200 bytes under the SP-1 parameters.
+func TestSP1CrossoverRegion(t *testing.T) {
+	const n = 64
+	timeFor := func(r, b int) float64 {
+		var c1, c2 int
+		switch r {
+		case 2: // C1 = log2 n, C2 = (n/2) log2 n * b
+			c1 = 6
+			c2 = 32 * 6 * b
+		case 64: // C1 = n-1, C2 = (n-1) b
+			c1 = 63
+			c2 = 63 * b
+		default:
+			t.Fatalf("unexpected radix %d", r)
+		}
+		return SP1.Time(c1, c2)
+	}
+	// At 64 bytes the round-minimal algorithm must win; at 256 bytes
+	// the volume-minimal one must win; the sign change sits between 100
+	// and 200 bytes.
+	if timeFor(2, 64) >= timeFor(64, 64) {
+		t.Errorf("at b=64: r=2 time %g >= r=64 time %g; expected r=2 to win", timeFor(2, 64), timeFor(64, 64))
+	}
+	if timeFor(64, 256) >= timeFor(2, 256) {
+		t.Errorf("at b=256: r=64 time %g >= r=2 time %g; expected r=64 to win", timeFor(64, 256), timeFor(2, 256))
+	}
+	crossover := -1
+	for b := 1; b <= 512; b++ {
+		if timeFor(64, b) <= timeFor(2, b) {
+			crossover = b
+			break
+		}
+	}
+	if crossover < 100 || crossover > 200 {
+		t.Errorf("crossover at %d bytes, paper reports 100-200", crossover)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Profile{
+		{Name: "negBeta", Beta: -1, Tau: 1},
+		{Name: "negTau", Beta: 1, Tau: -1},
+		{Name: "zero", Beta: 0, Tau: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %q accepted", p.Name)
+		}
+	}
+	if err := (Profile{Name: "latencyOnly", Beta: 1}).Validate(); err != nil {
+		t.Errorf("latency-only profile rejected: %v", err)
+	}
+}
+
+func TestExtendedModelDegeneratesToLinear(t *testing.T) {
+	e := Extended{Profile: SP1, G1: 1, G2: 1, G3: 0}
+	f := func(c1, c2 uint16) bool {
+		return math.Abs(e.Time(int(c1), int(c2))-SP1.Time(int(c1), int(c2))) < 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtendedModelSlowdown(t *testing.T) {
+	e := SP1Measured
+	if e.G1 < 1 || e.G2 < 1 {
+		t.Errorf("extended model speeds up the machine: g1=%g g2=%g", e.G1, e.G2)
+	}
+	if e.Time(10, 1000) <= SP1.Time(10, 1000) {
+		t.Error("extended model should cost more than the plain linear model")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if got := Duration(1.5e-3); got != 1500*time.Microsecond {
+		t.Errorf("Duration(1.5ms) = %v", got)
+	}
+	if got := Duration(0); got != 0 {
+		t.Errorf("Duration(0) = %v", got)
+	}
+}

@@ -1,0 +1,89 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"bruck/internal/mpsim"
+)
+
+// CriticalPath evaluates the completion time of a recorded schedule
+// under the linear model, tracking per-processor clocks instead of
+// charging every processor for every round.
+//
+// The paper's estimate T = C1*beta + C2*tau charges each round at the
+// globally largest message, which is exact for the symmetric,
+// translation-invariant schedules of the index and concatenation
+// algorithms but pessimistic for skewed schedules (for example a
+// binomial gather, where late rounds involve few processors). Models
+// like BSP, the Postal model and LogP — which the paper cites as more
+// detailed alternatives (Section 1.2) — account for this by letting a
+// receiver finish later than the matching sender started. CriticalPath
+// is the linear-model version of that accounting:
+//
+//   - in a round, a sending processor pays beta plus tau times the
+//     largest message it sends on any of its ports (ports operate in
+//     parallel);
+//   - a message sent in round r arrives at the sender's round-r start
+//     time plus beta + size*tau;
+//   - a processor leaves a round at the latest of its own send
+//     completion and the arrivals of every message it receives in the
+//     round.
+//
+// The result is the largest clock over all processors. For any
+// schedule it is at most Rounds*beta + DataVolume*tau; equality holds
+// exactly for schedules in which every processor participates in every
+// round with the round-maximal message size.
+//
+// Events must come from a run recorded with mpsim.Record(true); n is
+// the processor count of the engine.
+func CriticalPath(p Profile, n int, events []mpsim.Event) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("costmodel: CriticalPath with n = %d", n)
+	}
+	clock := make([]float64, n)
+	i := 0
+	for i < len(events) {
+		// Events are sorted by round; take one round's slice.
+		round := events[i].Round
+		j := i
+		for j < len(events) && events[j].Round == round {
+			j++
+		}
+		batch := events[i:j]
+		i = j
+
+		start := make([]float64, n)
+		copy(start, clock)
+		// Sender-side cost: beta + tau * (largest message this
+		// processor sends this round).
+		sendMax := make(map[int]int, len(batch))
+		for _, ev := range batch {
+			if ev.Src < 0 || ev.Src >= n || ev.Dst < 0 || ev.Dst >= n {
+				return 0, fmt.Errorf("costmodel: event %+v outside n = %d", ev, n)
+			}
+			if cur, ok := sendMax[ev.Src]; !ok || ev.Size > cur {
+				sendMax[ev.Src] = ev.Size
+			}
+		}
+		for src, m := range sendMax {
+			if t := start[src] + p.MessageTime(m); t > clock[src] {
+				clock[src] = t
+			}
+		}
+		// Receiver-side: the round ends for dst no earlier than every
+		// arrival.
+		for _, ev := range batch {
+			arrival := start[ev.Src] + p.MessageTime(ev.Size)
+			if arrival > clock[ev.Dst] {
+				clock[ev.Dst] = arrival
+			}
+		}
+	}
+	max := 0.0
+	for _, c := range clock {
+		if c > max {
+			max = c
+		}
+	}
+	return max, nil
+}

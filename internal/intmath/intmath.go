@@ -1,0 +1,105 @@
+// Package intmath provides the small exact integer helpers used
+// throughout the complexity formulas of the paper: ceiling division,
+// integer powers, and ceiling/floor logarithms in arbitrary bases.
+// All functions work on int and panic on domain errors, because a domain
+// error here is always a programming bug in a formula, never user input.
+package intmath
+
+import "fmt"
+
+// CeilDiv returns ceil(a/b) for a >= 0, b > 0.
+func CeilDiv(a, b int) int {
+	if a < 0 || b <= 0 {
+		panic(fmt.Sprintf("intmath: CeilDiv(%d, %d) out of domain", a, b))
+	}
+	return (a + b - 1) / b
+}
+
+// Pow returns base**exp for exp >= 0. It panics on overflow past the
+// int range, which for the parameter ranges of the paper (n up to a few
+// thousand) cannot occur.
+func Pow(base, exp int) int {
+	if exp < 0 {
+		panic(fmt.Sprintf("intmath: Pow(%d, %d) negative exponent", base, exp))
+	}
+	result := 1
+	for i := 0; i < exp; i++ {
+		next := result * base
+		if base != 0 && next/base != result {
+			panic(fmt.Sprintf("intmath: Pow(%d, %d) overflows int", base, exp))
+		}
+		result = next
+	}
+	return result
+}
+
+// CeilLog returns ceil(log_base(n)) for base >= 2 and n >= 1, computed
+// exactly with integer arithmetic: the smallest w with base**w >= n.
+func CeilLog(base, n int) int {
+	if base < 2 || n < 1 {
+		panic(fmt.Sprintf("intmath: CeilLog(%d, %d) out of domain", base, n))
+	}
+	w := 0
+	pow := 1
+	for pow < n {
+		pow *= base
+		w++
+	}
+	return w
+}
+
+// FloorLog returns floor(log_base(n)) for base >= 2 and n >= 1: the
+// largest f with base**f <= n.
+func FloorLog(base, n int) int {
+	if base < 2 || n < 1 {
+		panic(fmt.Sprintf("intmath: FloorLog(%d, %d) out of domain", base, n))
+	}
+	f := 0
+	pow := base
+	for pow <= n {
+		pow *= base
+		f++
+	}
+	return f
+}
+
+// IsPow reports whether n is an exact power of base (including
+// base**0 = 1) for base >= 2, n >= 1.
+func IsPow(base, n int) bool {
+	if base < 2 || n < 1 {
+		return false
+	}
+	for n%base == 0 {
+		n /= base
+	}
+	return n == 1
+}
+
+// Mod returns x mod y in the range [0, y) even for negative x, matching
+// the mod routine of the paper's pseudocode (Appendix A).
+func Mod(x, y int) int {
+	if y <= 0 {
+		panic(fmt.Sprintf("intmath: Mod(%d, %d) nonpositive modulus", x, y))
+	}
+	m := x % y
+	if m < 0 {
+		m += y
+	}
+	return m
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package intmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0}, {1, 1, 1}, {5, 2, 3}, {6, 2, 3}, {7, 2, 4},
+		{63, 64, 1}, {64, 64, 1}, {65, 64, 2}, {100, 7, 15},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanics(t *testing.T) {
+	for _, c := range [][2]int{{-1, 2}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CeilDiv(%d, %d) did not panic", c[0], c[1])
+				}
+			}()
+			CeilDiv(c[0], c[1])
+		}()
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := []struct{ base, exp, want int }{
+		{2, 0, 1}, {2, 10, 1024}, {3, 4, 81}, {1, 100, 1},
+		{0, 0, 1}, {0, 3, 0}, {10, 6, 1000000}, {5, 1, 5},
+	}
+	for _, c := range cases {
+		if got := Pow(c.base, c.exp); got != c.want {
+			t.Errorf("Pow(%d, %d) = %d, want %d", c.base, c.exp, got, c.want)
+		}
+	}
+}
+
+func TestPowOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pow(2, 100) did not panic")
+		}
+	}()
+	Pow(2, 100)
+}
+
+func TestCeilLogAgainstFloat(t *testing.T) {
+	for base := 2; base <= 7; base++ {
+		for n := 1; n <= 3000; n++ {
+			got := CeilLog(base, n)
+			// Exact check: smallest w with base**w >= n.
+			if Pow(base, got) < n {
+				t.Fatalf("CeilLog(%d, %d) = %d too small", base, n, got)
+			}
+			if got > 0 && Pow(base, got-1) >= n {
+				t.Fatalf("CeilLog(%d, %d) = %d too large", base, n, got)
+			}
+		}
+	}
+}
+
+func TestFloorLog(t *testing.T) {
+	for base := 2; base <= 7; base++ {
+		for n := 1; n <= 3000; n++ {
+			got := FloorLog(base, n)
+			if Pow(base, got) > n {
+				t.Fatalf("FloorLog(%d, %d) = %d too large", base, n, got)
+			}
+			if Pow(base, got+1) <= n {
+				t.Fatalf("FloorLog(%d, %d) = %d too small", base, n, got)
+			}
+		}
+	}
+}
+
+func TestCeilLogMatchesMathLogOnPowers(t *testing.T) {
+	for d := 0; d <= 20; d++ {
+		n := 1 << d
+		if got := CeilLog(2, n); got != d {
+			t.Errorf("CeilLog(2, 2^%d) = %d, want %d", d, got, d)
+		}
+	}
+	// Float comparison on non-powers for a sanity cross-check.
+	for n := 2; n < 1000; n++ {
+		want := int(math.Ceil(math.Log2(float64(n))))
+		// Floating point can be off by one ulp exactly at powers of 2;
+		// skip them (covered above).
+		if IsPow(2, n) {
+			continue
+		}
+		if got := CeilLog(2, n); got != want {
+			t.Errorf("CeilLog(2, %d) = %d, float says %d", n, got, want)
+		}
+	}
+}
+
+func TestIsPow(t *testing.T) {
+	cases := []struct {
+		base, n int
+		want    bool
+	}{
+		{2, 1, true}, {2, 2, true}, {2, 1024, true}, {2, 3, false},
+		{3, 27, true}, {3, 28, false}, {5, 125, true}, {2, 0, false},
+		{1, 5, false}, {10, 1000, true},
+	}
+	for _, c := range cases {
+		if got := IsPow(c.base, c.n); got != c.want {
+			t.Errorf("IsPow(%d, %d) = %v, want %v", c.base, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMod(t *testing.T) {
+	cases := []struct{ x, y, want int }{
+		{5, 3, 2}, {-1, 5, 4}, {-5, 5, 0}, {-7, 5, 3}, {0, 7, 0}, {7, 7, 0},
+	}
+	for _, c := range cases {
+		if got := Mod(c.x, c.y); got != c.want {
+			t.Errorf("Mod(%d, %d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestModProperty(t *testing.T) {
+	f := func(x int16, y uint8) bool {
+		m := int(y)%97 + 1
+		got := Mod(int(x), m)
+		if got < 0 || got >= m {
+			return false
+		}
+		// (x - got) must be divisible by m.
+		return (int(x)-got)%m == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 || Min(-1, 1) != -1 {
+		t.Error("Min wrong")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 || Max(-1, 1) != 1 {
+		t.Error("Max wrong")
+	}
+}

@@ -1,0 +1,82 @@
+// Package lowerbound implements the lower bounds of Section 2 of the
+// paper for the index and concatenation operations in the k-port fully
+// connected model. The bench harness and the tests use these to verify
+// that the implemented algorithms are optimal exactly where the paper
+// claims optimality.
+//
+// Throughout, n is the number of processors, b the block size in bytes,
+// and k the number of ports, 1 <= k <= n-1.
+package lowerbound
+
+import (
+	"bruck/internal/intmath"
+)
+
+// ConcatRounds returns the Proposition 2.1 bound: any concatenation
+// algorithm requires at least ceil(log_{k+1} n) communication rounds.
+func ConcatRounds(n, k int) int {
+	if n <= 1 {
+		return 0
+	}
+	return intmath.CeilLog(k+1, n)
+}
+
+// ConcatVolume returns the Proposition 2.2 bound: any concatenation
+// algorithm transfers at least ceil(b(n-1)/k) units of data through some
+// input port.
+func ConcatVolume(n, b, k int) int {
+	if n <= 1 || b == 0 {
+		return 0
+	}
+	return intmath.CeilDiv(b*(n-1), k)
+}
+
+// IndexRounds returns the Proposition 2.3 bound, identical to
+// ConcatRounds by the reduction of concatenation to index.
+func IndexRounds(n, k int) int {
+	return ConcatRounds(n, k)
+}
+
+// IndexVolume returns the Proposition 2.4 bound, identical to
+// ConcatVolume.
+func IndexVolume(n, b, k int) int {
+	return ConcatVolume(n, b, k)
+}
+
+// IndexVolumeAtMinRounds returns the Theorem 2.5 bound: when
+// n = (k+1)^d, any index algorithm finishing in exactly d = log_{k+1} n
+// rounds must transfer at least (b*n/(k+1)) * log_{k+1} n units of data.
+// It panics if n is not a power of k+1, where the exact form does not
+// apply (Theorem 2.7 gives the Omega form for general n).
+func IndexVolumeAtMinRounds(n, b, k int) int {
+	if !intmath.IsPow(k+1, n) {
+		panic("lowerbound: IndexVolumeAtMinRounds requires n to be a power of k+1")
+	}
+	if n <= 1 {
+		return 0
+	}
+	d := intmath.CeilLog(k+1, n)
+	return b * n * d / (k + 1)
+}
+
+// IndexRoundsAtMinVolume returns the Theorem 2.6 bound: any index
+// algorithm transferring exactly b(n-1)/k units of data from each
+// processor (the minimum) requires at least ceil((n-1)/k) rounds,
+// because every block must travel directly from source to destination.
+func IndexRoundsAtMinVolume(n, k int) int {
+	if n <= 1 {
+		return 0
+	}
+	return intmath.CeilDiv(n-1, k)
+}
+
+// OnePortIndexVolumeOrder returns the Theorem 2.9 Omega(b n log2 n)
+// expression for the one-port model when C1 = O(log n): the returned
+// value b*n*log2(n)/2 is a convenient representative of the order class
+// for plotting and sanity checks, not a tight constant.
+func OnePortIndexVolumeOrder(n, b int) int {
+	if n <= 1 {
+		return 0
+	}
+	return b * n * intmath.CeilLog(2, n) / 2
+}

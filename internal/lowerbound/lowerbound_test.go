@@ -1,0 +1,125 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"bruck/internal/intmath"
+)
+
+func TestConcatRounds(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{1, 1, 0},
+		{2, 1, 1},
+		{5, 1, 3},  // ceil(log2 5)
+		{8, 1, 3},  // exact power
+		{9, 1, 4},  // just over
+		{9, 2, 2},  // 3^2 = 9
+		{10, 2, 3}, // just over a power of 3
+		{64, 1, 6},
+		{64, 3, 3},  // 4^3 = 64
+		{65, 3, 4},  // just over
+		{5, 4, 1},   // k = n-1: one round
+		{100, 9, 2}, // 10^2
+	}
+	for _, c := range cases {
+		if got := ConcatRounds(c.n, c.k); got != c.want {
+			t.Errorf("ConcatRounds(%d, %d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+		if got := IndexRounds(c.n, c.k); got != c.want {
+			t.Errorf("IndexRounds(%d, %d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestConcatVolume(t *testing.T) {
+	cases := []struct{ n, b, k, want int }{
+		{1, 10, 1, 0},
+		{5, 1, 1, 4}, // b(n-1)
+		{5, 10, 1, 40},
+		{5, 10, 2, 20},
+		{5, 10, 3, 14}, // ceil(40/3)
+		{64, 128, 1, 8064},
+		{2, 0, 1, 0},
+	}
+	for _, c := range cases {
+		if got := ConcatVolume(c.n, c.b, c.k); got != c.want {
+			t.Errorf("ConcatVolume(%d, %d, %d) = %d, want %d", c.n, c.b, c.k, got, c.want)
+		}
+		if got := IndexVolume(c.n, c.b, c.k); got != c.want {
+			t.Errorf("IndexVolume(%d, %d, %d) = %d, want %d", c.n, c.b, c.k, got, c.want)
+		}
+	}
+}
+
+func TestIndexVolumeAtMinRounds(t *testing.T) {
+	// k=1, n=2^d: bound is (b n / 2) log2 n, the classic result that the
+	// r=2 Bruck algorithm meets within its multiplicative constant.
+	if got := IndexVolumeAtMinRounds(8, 1, 1); got != 8*3/2 {
+		t.Errorf("n=8 b=1 k=1: got %d, want 12", got)
+	}
+	if got := IndexVolumeAtMinRounds(64, 4, 1); got != 4*64*6/2 {
+		t.Errorf("n=64 b=4 k=1: got %d, want %d", got, 4*64*6/2)
+	}
+	// k=2, n=9=3^2: (b*9/3)*2 = 6b.
+	if got := IndexVolumeAtMinRounds(9, 5, 2); got != 30 {
+		t.Errorf("n=9 b=5 k=2: got %d, want 30", got)
+	}
+	if got := IndexVolumeAtMinRounds(1, 7, 3); got != 0 {
+		t.Errorf("n=1: got %d, want 0", got)
+	}
+}
+
+func TestIndexVolumeAtMinRoundsPanicsOffPowers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for n not a power of k+1")
+		}
+	}()
+	IndexVolumeAtMinRounds(10, 1, 1)
+}
+
+func TestIndexRoundsAtMinVolume(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{5, 1, 4}, {64, 1, 63}, {64, 3, 21}, {1, 1, 0}, {10, 4, 3},
+	}
+	for _, c := range cases {
+		if got := IndexRoundsAtMinVolume(c.n, c.k); got != c.want {
+			t.Errorf("IndexRoundsAtMinVolume(%d, %d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// TestBoundsAreConsistent: the compound Theorem 2.5 bound dominates the
+// stand-alone Proposition 2.4 bound wherever both apply, and the
+// round-bound hierarchy holds.
+func TestBoundsAreConsistent(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		for d := 1; d <= 4; d++ {
+			n := intmath.Pow(k+1, d)
+			if n > 700 {
+				continue
+			}
+			for _, b := range []int{1, 3, 16} {
+				standalone := IndexVolume(n, b, k)
+				compound := IndexVolumeAtMinRounds(n, b, k)
+				if compound < standalone {
+					t.Errorf("n=%d b=%d k=%d: compound bound %d < standalone %d",
+						n, b, k, compound, standalone)
+				}
+				if IndexRoundsAtMinVolume(n, k) < IndexRounds(n, k) {
+					t.Errorf("n=%d k=%d: min-volume rounds below generic round bound", n, k)
+				}
+			}
+		}
+	}
+}
+
+func TestOnePortIndexVolumeOrder(t *testing.T) {
+	if OnePortIndexVolumeOrder(1, 5) != 0 {
+		t.Error("n=1 should be 0")
+	}
+	// Grows superlinearly in n.
+	if OnePortIndexVolumeOrder(64, 1) <= 64 {
+		t.Error("order expression should exceed n for n=64")
+	}
+}

@@ -1,0 +1,28 @@
+// Package mpsim simulates a multiport fully connected message-passing
+// system, the machine model of Bruck, Ho, Kipnis, Upfal and Weathersby,
+// "Efficient Algorithms for All-to-All Communications in Multiport
+// Message-Passing Systems" (SPAA 1994; IEEE TPDS 8(11), 1997).
+//
+// The model consists of n processors p0 .. p(n-1). Every processor can
+// communicate directly with every other processor, and every pair of
+// processors is equally distant. Each processor has k >= 1 ports: in one
+// communication round it may send up to k distinct messages to k
+// processors and simultaneously receive up to k messages from k other
+// processors.
+//
+// The simulator runs one goroutine per processor. Algorithms are written
+// in SPMD style: Engine.Run invokes the same body on every Proc, and the
+// i-th communication call issued by a processor belongs to communication
+// round i. The engine enforces the k-port constraint per round, checks
+// that matching sends and receives agree on the round number (when
+// validation is enabled), and records the two complexity measures used
+// throughout the paper:
+//
+//   - C1, the number of communication rounds, and
+//   - C2, the sum over rounds of the largest message (over all ports of
+//     all processors) sent in that round.
+//
+// Estimated communication time in the paper's linear model is
+// T = C1*beta + C2*tau; package costmodel evaluates recorded Metrics
+// under machine profiles.
+package mpsim

@@ -1,0 +1,213 @@
+package mpsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Default engine parameters.
+const (
+	// DefaultPorts is the number of ports k when none is specified
+	// (the one-port model, the common case in practice per the paper).
+	DefaultPorts = 1
+
+	// DefaultWatchdog is the time the engine waits for all processors to
+	// finish before declaring the run deadlocked.
+	DefaultWatchdog = 30 * time.Second
+
+	// mailboxDepth is the per-(src,dst) channel buffer. Two slots are
+	// enough for any round-aligned schedule (a sender may run at most one
+	// round ahead of the matching receiver per pair); extra capacity only
+	// hides schedule bugs, so keep it tight.
+	mailboxDepth = 2
+)
+
+// Engine simulates an n-processor fully connected multiport
+// message-passing system. Create one with New, then execute SPMD
+// programs with Run. An Engine may be reused for several consecutive
+// runs; it is not safe for concurrent Runs.
+type Engine struct {
+	n        int
+	k        int
+	validate bool
+	record   bool
+	watchdog time.Duration
+
+	// mailbox[dst][src] carries messages from processor src to processor
+	// dst. Per-pair channels keep ordering per ordered pair and make
+	// receive-from-specific-source trivial, mirroring send_and_recv in
+	// the paper's pseudocode (Appendix A).
+	mailbox [][]chan message
+
+	metrics *Metrics
+}
+
+type message struct {
+	round int
+	data  []byte
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// Ports sets the number of communication ports k per processor
+// (1 <= k <= n-1). In every round each processor may send up to k
+// messages and receive up to k messages.
+func Ports(k int) Option {
+	return func(e *Engine) { e.k = k }
+}
+
+// Validate enables (default) or disables schedule validation: the k-port
+// constraint per round, round agreement between matched sends and
+// receives, and self-send detection.
+func Validate(on bool) Option {
+	return func(e *Engine) { e.validate = on }
+}
+
+// Watchdog sets how long Run waits for completion before reporting a
+// deadlock. Zero or negative disables the watchdog.
+func Watchdog(d time.Duration) Option {
+	return func(e *Engine) { e.watchdog = d }
+}
+
+// New creates an engine for n processors. n must be at least 1 and the
+// port count k must satisfy 1 <= k <= max(1, n-1).
+func New(n int, opts ...Option) (*Engine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mpsim: processor count n = %d, want n >= 1", n)
+	}
+	e := &Engine{
+		n:        n,
+		k:        DefaultPorts,
+		validate: true,
+		watchdog: DefaultWatchdog,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	maxK := n - 1
+	if maxK < 1 {
+		maxK = 1
+	}
+	if e.k < 1 || e.k > maxK {
+		return nil, fmt.Errorf("mpsim: port count k = %d, want 1 <= k <= %d for n = %d", e.k, maxK, n)
+	}
+	e.mailbox = make([][]chan message, n)
+	for dst := range e.mailbox {
+		e.mailbox[dst] = make([]chan message, n)
+		for src := range e.mailbox[dst] {
+			e.mailbox[dst][src] = make(chan message, mailboxDepth)
+		}
+	}
+	return e, nil
+}
+
+// MustNew is New but panics on error; for tests and examples with known
+// good parameters.
+func MustNew(n int, opts ...Option) *Engine {
+	e, err := New(n, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// N returns the number of processors.
+func (e *Engine) N() int { return e.n }
+
+// Ports returns the port count k.
+func (e *Engine) Ports() int { return e.k }
+
+// Run executes body concurrently on all n processors and waits for every
+// processor to return. It returns the joined errors of all processors,
+// or a deadlock error naming the stuck processors if the watchdog fires.
+// The recorded Metrics for the run are available from Metrics afterwards.
+func (e *Engine) Run(body func(p *Proc) error) error {
+	e.metrics = newMetrics(e.n)
+	e.metrics.record = e.record
+	e.drainMailboxes()
+
+	procs := make([]*Proc, e.n)
+	errs := make([]error, e.n)
+	var wg sync.WaitGroup
+	wg.Add(e.n)
+	for i := 0; i < e.n; i++ {
+		p := &Proc{engine: e, metrics: e.metrics, rank: i}
+		procs[i] = p
+		go func(rank int, p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("mpsim: processor %d panicked: %v", rank, r)
+				}
+				p.metrics.setFinish(rank, p.Round())
+				p.done.Store(true)
+			}()
+			errs[rank] = body(p)
+		}(i, p)
+	}
+
+	doneCh := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(doneCh)
+	}()
+
+	if e.watchdog > 0 {
+		timer := time.NewTimer(e.watchdog)
+		defer timer.Stop()
+		select {
+		case <-doneCh:
+		case <-timer.C:
+			return e.deadlockError(procs)
+		}
+	} else {
+		<-doneCh
+	}
+
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	if e.validate {
+		return e.metrics.uniformityError()
+	}
+	return nil
+}
+
+// Metrics returns the metrics recorded by the most recent Run, or nil if
+// Run has not been called.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// drainMailboxes empties any residue left by a previous failed run so
+// the engine can be reused.
+func (e *Engine) drainMailboxes() {
+	for dst := range e.mailbox {
+		for src := range e.mailbox[dst] {
+			for {
+				select {
+				case <-e.mailbox[dst][src]:
+				default:
+					goto next
+				}
+			}
+		next:
+		}
+	}
+}
+
+// deadlockError reports which processors had not finished when the
+// watchdog fired, with their current round, to make schedule bugs (a
+// missing Skip, mismatched partners) diagnosable.
+func (e *Engine) deadlockError(procs []*Proc) error {
+	var stuck []string
+	for _, p := range procs {
+		if !p.done.Load() {
+			stuck = append(stuck, fmt.Sprintf("p%d(round %d)", p.rank, p.Round()))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("mpsim: deadlock after %v; stuck processors: %v", e.watchdog, stuck)
+}

@@ -1,0 +1,522 @@
+package mpsim
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		opts []Option
+		ok   bool
+	}{
+		{"n1", 1, nil, true},
+		{"n0", 0, nil, false},
+		{"negative", -3, nil, false},
+		{"k1", 8, []Option{Ports(1)}, true},
+		{"kmax", 8, []Option{Ports(7)}, true},
+		{"kTooBig", 8, []Option{Ports(8)}, false},
+		{"kZero", 8, []Option{Ports(0)}, false},
+		{"kNegative", 8, []Option{Ports(-1)}, false},
+		{"singleProcAnyK", 1, []Option{Ports(1)}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.n, tc.opts...)
+			if (err == nil) != tc.ok {
+				t.Fatalf("New(%d, %v) error = %v, want ok=%v", tc.n, tc.opts, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+// TestRingShift sends each rank's payload one step around a ring and
+// checks contents, C1 and C2.
+func TestRingShift(t *testing.T) {
+	const n = 8
+	e := MustNew(n)
+	got := make([][]byte, n)
+	err := e.Run(func(p *Proc) error {
+		me := p.Rank()
+		out := []byte(fmt.Sprintf("payload-from-%d", me))
+		in, err := p.SendRecv((me+1)%n, out, (me-1+n)%n)
+		if err != nil {
+			return err
+		}
+		got[me] = in
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("payload-from-%d", (i-1+n)%n)
+		if string(got[i]) != want {
+			t.Errorf("p%d received %q, want %q", i, got[i], want)
+		}
+	}
+	m := e.Metrics()
+	if c1 := m.Rounds(); c1 != 1 {
+		t.Errorf("C1 = %d, want 1", c1)
+	}
+	wantC2 := len("payload-from-0")
+	if c2 := m.DataVolume(); c2 != wantC2 {
+		t.Errorf("C2 = %d, want %d", c2, wantC2)
+	}
+	if msgs := m.Messages(); msgs != n {
+		t.Errorf("messages = %d, want %d", msgs, n)
+	}
+}
+
+// TestSendBufferReuse checks the engine copies payloads: mutating the
+// send buffer after SendRecv must not corrupt the received message.
+func TestSendBufferReuse(t *testing.T) {
+	e := MustNew(2)
+	var received []byte
+	err := e.Run(func(p *Proc) error {
+		buf := []byte{1, 2, 3, 4}
+		other := 1 - p.Rank()
+		in, err := p.SendRecv(other, buf, other)
+		if err != nil {
+			return err
+		}
+		for i := range buf {
+			buf[i] = 0xFF
+		}
+		if p.Rank() == 0 {
+			received = in
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !bytes.Equal(received, []byte{1, 2, 3, 4}) {
+		t.Errorf("received %v, want [1 2 3 4]; engine must copy send buffers", received)
+	}
+}
+
+// TestExchangeMultiPort exercises a k=3 round where every processor
+// sends to and receives from three partners.
+func TestExchangeMultiPort(t *testing.T) {
+	const n, k = 7, 3
+	e := MustNew(n, Ports(k))
+	err := e.Run(func(p *Proc) error {
+		me := p.Rank()
+		var sends []Send
+		var from []int
+		for j := 1; j <= k; j++ {
+			sends = append(sends, Send{To: (me + j) % n, Data: []byte{byte(me), byte(j)}})
+			from = append(from, (me-j+n)%n)
+		}
+		in, err := p.Exchange(sends, from)
+		if err != nil {
+			return err
+		}
+		for j := 1; j <= k; j++ {
+			want := []byte{byte((me - j + n) % n), byte(j)}
+			if !bytes.Equal(in[j-1], want) {
+				return fmt.Errorf("p%d port %d: got %v want %v", me, j, in[j-1], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if c1 := e.Metrics().Rounds(); c1 != 1 {
+		t.Errorf("C1 = %d, want 1", c1)
+	}
+}
+
+func TestPortConstraintViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		body func(p *Proc) error
+		want string
+	}{
+		{
+			name: "tooManySends",
+			body: func(p *Proc) error {
+				if p.Rank() == 0 {
+					_, err := p.Exchange([]Send{{To: 1}, {To: 2}}, nil)
+					return err
+				}
+				p.Skip()
+				return nil
+			},
+			want: "exceeds k",
+		},
+		{
+			name: "tooManyRecvs",
+			body: func(p *Proc) error {
+				if p.Rank() == 0 {
+					_, err := p.Exchange(nil, []int{1, 2})
+					return err
+				}
+				p.Skip()
+				return nil
+			},
+			want: "exceeds k",
+		},
+		{
+			name: "selfSend",
+			body: func(p *Proc) error {
+				if p.Rank() == 0 {
+					_, err := p.Exchange([]Send{{To: 0}}, nil)
+					return err
+				}
+				p.Skip()
+				return nil
+			},
+			want: "self-send",
+		},
+		{
+			name: "selfRecv",
+			body: func(p *Proc) error {
+				if p.Rank() == 0 {
+					_, err := p.Exchange(nil, []int{0})
+					return err
+				}
+				p.Skip()
+				return nil
+			},
+			want: "self-receive",
+		},
+		{
+			name: "outOfRangeDst",
+			body: func(p *Proc) error {
+				if p.Rank() == 0 {
+					_, err := p.Exchange([]Send{{To: 99}}, nil)
+					return err
+				}
+				p.Skip()
+				return nil
+			},
+			want: "out-of-range",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := MustNew(3, Ports(1), Watchdog(5*time.Second))
+			err := e.Run(tc.body)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Run error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDuplicateDstAllowedUnderMultiplePorts: two sends to distinct
+// partners is fine with k=2 but a duplicate partner is still rejected.
+func TestDuplicateDstRejectedEvenWithPorts(t *testing.T) {
+	e := MustNew(4, Ports(2), Watchdog(5*time.Second))
+	err := e.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			_, err := p.Exchange([]Send{{To: 1, Data: []byte{1}}, {To: 1, Data: []byte{2}}}, nil)
+			return err
+		}
+		p.Skip()
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate destination") {
+		t.Fatalf("err = %v, want duplicate destination", err)
+	}
+}
+
+// TestRoundMisalignmentDetected: receiver at round 0 gets a message the
+// sender issued at its round 1.
+func TestRoundMisalignmentDetected(t *testing.T) {
+	e := MustNew(2, Watchdog(5*time.Second))
+	err := e.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Skip() // now at round 1
+			_, err := p.Exchange([]Send{{To: 1, Data: []byte{7}}}, nil)
+			return err
+		}
+		_, err := p.Exchange(nil, []int{0}) // round 0 receive
+		if err != nil {
+			return err
+		}
+		p.Skip()
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Fatalf("err = %v, want misaligned schedule", err)
+	}
+}
+
+// TestUniformityCheck: participating processors finishing at different
+// round counts are reported when validation is on.
+func TestUniformityCheck(t *testing.T) {
+	e := MustNew(3, Watchdog(5*time.Second))
+	err := e.Run(func(p *Proc) error {
+		p.Skip()
+		if p.Rank() == 2 {
+			p.Skip() // one round ahead of the others
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "misaligned schedule") {
+		t.Fatalf("err = %v, want misaligned schedule", err)
+	}
+}
+
+// TestNonParticipantsExemptFromUniformity: processors that never advance
+// their round counter (for example processors outside a collective's
+// group) do not trip the uniformity check.
+func TestNonParticipantsExemptFromUniformity(t *testing.T) {
+	e := MustNew(3, Watchdog(5*time.Second))
+	err := e.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			return nil // sits the operation out entirely
+		}
+		other := 3 - p.Rank() // 1 <-> 2
+		_, err := p.SendRecv(other, []byte{1}, other)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestValidateOffAllowsNonUniform(t *testing.T) {
+	e := MustNew(3, Validate(false), Watchdog(5*time.Second))
+	err := e.Run(func(p *Proc) error {
+		if p.Rank() != 0 {
+			p.Skip()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run with Validate(false): %v", err)
+	}
+}
+
+func TestWatchdogDetectsDeadlock(t *testing.T) {
+	e := MustNew(2, Watchdog(100*time.Millisecond))
+	err := e.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			// Receive that never gets a matching send.
+			_, err := p.Exchange(nil, []int{1})
+			return err
+		}
+		p.Skip()
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	if !strings.Contains(err.Error(), "p0") {
+		t.Errorf("deadlock error %q does not name the stuck processor p0", err)
+	}
+}
+
+// TestEngineReuse runs twice on one engine, including after a failed
+// run, and checks metrics are reset.
+func TestEngineReuse(t *testing.T) {
+	e := MustNew(2, Watchdog(200*time.Millisecond))
+	// First run deadlocks and leaves a message in a mailbox.
+	_ = e.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			_, err := p.Exchange([]Send{{To: 1, Data: []byte{9}}}, nil)
+			return err
+		}
+		time.Sleep(500 * time.Millisecond)
+		p.Skip()
+		return nil
+	})
+	// Second run must not observe stale messages.
+	err := e.Run(func(p *Proc) error {
+		other := 1 - p.Rank()
+		in, err := p.SendRecv(other, []byte{byte(p.Rank())}, other)
+		if err != nil {
+			return err
+		}
+		if len(in) != 1 || in[0] != byte(other) {
+			return fmt.Errorf("p%d got stale message %v", p.Rank(), in)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if c1 := e.Metrics().Rounds(); c1 != 1 {
+		t.Errorf("C1 after reuse = %d, want 1 (metrics must reset)", c1)
+	}
+}
+
+func TestProcPanicIsReported(t *testing.T) {
+	e := MustNew(2, Watchdog(2*time.Second))
+	err := e.Run(func(p *Proc) error {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic report", err)
+	}
+}
+
+func TestMetricsC2PerRoundMax(t *testing.T) {
+	// Round 0: largest message 10 bytes; round 1: largest 3 bytes.
+	// C2 must be 13 regardless of smaller concurrent messages.
+	e := MustNew(4)
+	err := e.Run(func(p *Proc) error {
+		me := p.Rank()
+		size0 := 2
+		if me == 0 {
+			size0 = 10
+		}
+		if _, err := p.SendRecv((me+1)%4, make([]byte, size0), (me+3)%4); err != nil {
+			return err
+		}
+		size1 := 1
+		if me == 2 {
+			size1 = 3
+		}
+		_, err := p.SendRecv((me+1)%4, make([]byte, size1), (me+3)%4)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := e.Metrics()
+	if c2 := m.DataVolume(); c2 != 13 {
+		t.Errorf("C2 = %d, want 13", c2)
+	}
+	if got := m.RoundSizes(); len(got) != 2 || got[0] != 10 || got[1] != 3 {
+		t.Errorf("RoundSizes = %v, want [10 3]", got)
+	}
+	if c1 := m.Rounds(); c1 != 2 {
+		t.Errorf("C1 = %d, want 2", c1)
+	}
+}
+
+func TestMetricsPerProcByteCounts(t *testing.T) {
+	const n = 4
+	e := MustNew(n)
+	err := e.Run(func(p *Proc) error {
+		me := p.Rank()
+		out := make([]byte, me+1) // rank i sends i+1 bytes
+		_, err := p.SendRecv((me+1)%n, out, (me-1+n)%n)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := e.Metrics()
+	for i := 0; i < n; i++ {
+		wantOut := i + 1
+		wantIn := (i-1+n)%n + 1
+		if got := m.BytesOutOf(i); got != wantOut {
+			t.Errorf("BytesOutOf(%d) = %d, want %d", i, got, wantOut)
+		}
+		if got := m.BytesInto(i); got != wantIn {
+			t.Errorf("BytesInto(%d) = %d, want %d", i, got, wantIn)
+		}
+	}
+	if got := m.MaxBytesIntoAnyProc(); got != n {
+		t.Errorf("MaxBytesIntoAnyProc = %d, want %d", got, n)
+	}
+	if got := m.TotalBytes(); got != int64(n*(n+1)/2) {
+		t.Errorf("TotalBytes = %d, want %d", got, n*(n+1)/2)
+	}
+}
+
+// TestSkippedRoundsDoNotCount: rounds where nobody sends are not part
+// of C1.
+func TestSkippedRoundsDoNotCount(t *testing.T) {
+	e := MustNew(2)
+	err := e.Run(func(p *Proc) error {
+		p.Skip()
+		other := 1 - p.Rank()
+		_, err := p.SendRecv(other, []byte{1}, other)
+		if err != nil {
+			return err
+		}
+		p.SkipN(3)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if c1 := e.Metrics().Rounds(); c1 != 1 {
+		t.Errorf("C1 = %d, want 1 (skipped rounds must not count)", c1)
+	}
+}
+
+func TestSingleProcessorRunIsTrivial(t *testing.T) {
+	e := MustNew(1)
+	ran := false
+	if err := e.Run(func(p *Proc) error { ran = true; return nil }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	if c1 := e.Metrics().Rounds(); c1 != 0 {
+		t.Errorf("C1 = %d, want 0", c1)
+	}
+	if c2 := e.Metrics().DataVolume(); c2 != 0 {
+		t.Errorf("C2 = %d, want 0", c2)
+	}
+}
+
+func TestSendOnlyAndRecvOnlyRounds(t *testing.T) {
+	// p0 sends to p1 (send-only); p1 receives (recv-only).
+	e := MustNew(2)
+	err := e.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			_, err := p.Exchange([]Send{{To: 1, Data: []byte("x")}}, nil)
+			return err
+		}
+		in, err := p.Exchange(nil, []int{0})
+		if err != nil {
+			return err
+		}
+		if string(in[0]) != "x" {
+			return fmt.Errorf("got %q", in[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	e := MustNew(2)
+	err := e.Run(func(p *Proc) error {
+		other := 1 - p.Rank()
+		in, err := p.SendRecv(other, nil, other)
+		if err != nil {
+			return err
+		}
+		if len(in) != 0 {
+			return fmt.Errorf("got %d bytes, want 0", len(in))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if c2 := e.Metrics().DataVolume(); c2 != 0 {
+		t.Errorf("C2 = %d, want 0 for empty messages", c2)
+	}
+}

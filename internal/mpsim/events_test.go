@@ -1,0 +1,112 @@
+package mpsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventsRecorded(t *testing.T) {
+	const n = 4
+	e := MustNew(n, Record(true))
+	err := e.Run(func(p *Proc) error {
+		me := p.Rank()
+		_, err := p.SendRecv((me+1)%n, make([]byte, me+1), (me-1+n)%n)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := e.Metrics().Events()
+	if len(events) != n {
+		t.Fatalf("got %d events, want %d", len(events), n)
+	}
+	for i, ev := range events {
+		if ev.Round != 0 {
+			t.Errorf("event %d round = %d, want 0", i, ev.Round)
+		}
+		if ev.Src != i {
+			t.Errorf("events not sorted by src: %v", events)
+		}
+		if ev.Dst != (i+1)%n {
+			t.Errorf("event %d dst = %d, want %d", i, ev.Dst, (i+1)%n)
+		}
+		if ev.Size != i+1 {
+			t.Errorf("event %d size = %d, want %d", i, ev.Size, i+1)
+		}
+	}
+	round0 := e.Metrics().RoundEvents(0)
+	if len(round0) != n {
+		t.Errorf("RoundEvents(0) has %d events", len(round0))
+	}
+	if len(e.Metrics().RoundEvents(1)) != 0 {
+		t.Error("RoundEvents(1) should be empty")
+	}
+}
+
+func TestEventsOffByDefault(t *testing.T) {
+	e := MustNew(2)
+	err := e.Run(func(p *Proc) error {
+		other := 1 - p.Rank()
+		_, err := p.SendRecv(other, []byte{1}, other)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().Events(); got != nil {
+		t.Errorf("events recorded without Record(true): %v", got)
+	}
+	if !strings.Contains(e.Metrics().Timeline(), "no recorded events") {
+		t.Error("Timeline should report missing events")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	e := MustNew(3, Record(true))
+	err := e.Run(func(p *Proc) error {
+		me := p.Rank()
+		if _, err := p.SendRecv((me+1)%3, make([]byte, 8), (me+2)%3); err != nil {
+			return err
+		}
+		_, err := p.SendRecv((me+2)%3, make([]byte, 4), (me+1)%3)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := e.Metrics().Timeline()
+	for _, want := range []string{"round 0:", "round 1:", "p0 -> p1: 8B", "p0 -> p2: 4B"} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline lacks %q:\n%s", want, tl)
+		}
+	}
+}
+
+func TestPortViolationsDetection(t *testing.T) {
+	// Run without validation: p0 sends 2 messages in one round on a
+	// 1-port machine; the scanner must flag it.
+	e := MustNew(3, Validate(false), Record(true))
+	err := e.Run(func(p *Proc) error {
+		switch p.Rank() {
+		case 0:
+			_, err := p.Exchange([]Send{{To: 1, Data: []byte{1}}, {To: 2, Data: []byte{2}}}, nil)
+			return err
+		case 1:
+			_, err := p.Exchange(nil, []int{0})
+			return err
+		default:
+			_, err := p.Exchange(nil, []int{0})
+			return err
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := e.Metrics().PortViolations(1)
+	if len(violations) != 1 || !strings.Contains(violations[0], "p0 sent 2") {
+		t.Errorf("violations = %v, want p0's double send", violations)
+	}
+	if got := e.Metrics().PortViolations(2); len(got) != 0 {
+		t.Errorf("k=2 should have no violations, got %v", got)
+	}
+}

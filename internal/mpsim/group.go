@@ -1,0 +1,81 @@
+package mpsim
+
+import "fmt"
+
+// Group names an ordered subset of the processors of an Engine,
+// mirroring the processor-id array A of the paper's pseudocode (the
+// function getrank(id, n, A) returns the index i with A[i] = id). The
+// collective algorithms operate on group-relative ranks, which lets them
+// run within arbitrary and dynamic subsets of processors as the paper's
+// model intends.
+type Group struct {
+	ids    []int       // group rank -> engine rank
+	rankOf map[int]int // engine rank -> group rank
+}
+
+// NewGroup creates a group from engine ranks. The ids must be distinct
+// and in range for an engine with n processors; n <= 0 skips the range
+// check.
+func NewGroup(ids []int, n int) (*Group, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("mpsim: empty group")
+	}
+	g := &Group{
+		ids:    make([]int, len(ids)),
+		rankOf: make(map[int]int, len(ids)),
+	}
+	copy(g.ids, ids)
+	for i, id := range ids {
+		if n > 0 && (id < 0 || id >= n) {
+			return nil, fmt.Errorf("mpsim: group member %d out of range [0,%d)", id, n)
+		}
+		if _, dup := g.rankOf[id]; dup {
+			return nil, fmt.Errorf("mpsim: duplicate group member %d", id)
+		}
+		g.rankOf[id] = i
+	}
+	return g, nil
+}
+
+// WorldGroup returns the group {0, 1, ..., n-1} containing every
+// processor in rank order.
+func WorldGroup(n int) *Group {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	g, err := NewGroup(ids, n)
+	if err != nil {
+		panic(err) // unreachable: ids are distinct and in range
+	}
+	return g
+}
+
+// Size returns the number of processors in the group.
+func (g *Group) Size() int { return len(g.ids) }
+
+// ID returns the engine rank of group member rank (the paper's A[i]).
+func (g *Group) ID(rank int) int { return g.ids[rank] }
+
+// Rank returns the group rank of the engine rank id, or -1 if id is not
+// a member (the paper's getrank).
+func (g *Group) Rank(id int) int {
+	r, ok := g.rankOf[id]
+	if !ok {
+		return -1
+	}
+	return r
+}
+
+// Contains reports whether engine rank id is a member of the group.
+func (g *Group) Contains(id int) bool {
+	_, ok := g.rankOf[id]
+	return ok
+}
+
+// IDs returns a copy of the member list in group rank order.
+func (g *Group) IDs() []int {
+	out := make([]int, len(g.ids))
+	copy(out, g.ids)
+	return out
+}

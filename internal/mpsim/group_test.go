@@ -1,0 +1,103 @@
+package mpsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWorldGroup(t *testing.T) {
+	g := WorldGroup(5)
+	if g.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", g.Size())
+	}
+	for i := 0; i < 5; i++ {
+		if g.ID(i) != i {
+			t.Errorf("ID(%d) = %d, want %d", i, g.ID(i), i)
+		}
+		if g.Rank(i) != i {
+			t.Errorf("Rank(%d) = %d, want %d", i, g.Rank(i), i)
+		}
+		if !g.Contains(i) {
+			t.Errorf("Contains(%d) = false", i)
+		}
+	}
+	if g.Rank(5) != -1 {
+		t.Errorf("Rank(5) = %d, want -1", g.Rank(5))
+	}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(nil, 4); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewGroup([]int{0, 1, 1}, 4); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := NewGroup([]int{0, 4}, 4); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	if _, err := NewGroup([]int{3, -1}, 4); err == nil {
+		t.Error("negative member accepted")
+	}
+	if _, err := NewGroup([]int{3, 99}, 0); err != nil {
+		t.Errorf("range check should be skipped for n <= 0: %v", err)
+	}
+}
+
+func TestGroupSubsetMapping(t *testing.T) {
+	// A shuffled subset: group rank i -> engine id ids[i].
+	ids := []int{7, 2, 5, 0}
+	g, err := NewGroup(ids, 8)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	for i, id := range ids {
+		if g.ID(i) != id {
+			t.Errorf("ID(%d) = %d, want %d", i, g.ID(i), id)
+		}
+		if g.Rank(id) != i {
+			t.Errorf("Rank(%d) = %d, want %d", id, g.Rank(id), i)
+		}
+	}
+	if g.Contains(3) {
+		t.Error("Contains(3) = true for non-member")
+	}
+	got := g.IDs()
+	got[0] = 99
+	if g.ID(0) != 7 {
+		t.Error("IDs() must return a copy")
+	}
+}
+
+// TestGroupRoundTripProperty: Rank(ID(i)) == i for every member of a
+// randomly generated group.
+func TestGroupRoundTripProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		// Build a deterministic pseudo-random permutation prefix from
+		// the seed: size m in [1,16] over engine ranks [0,32).
+		m := int(seed%16) + 1
+		perm := make([]int, 32)
+		for i := range perm {
+			perm[i] = i
+		}
+		s := uint32(seed) + 1
+		for i := len(perm) - 1; i > 0; i-- {
+			s = s*1664525 + 1013904223
+			j := int(s % uint32(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		g, err := NewGroup(perm[:m], 32)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			if g.Rank(g.ID(i)) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package mpsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Metrics records the communication activity of one Engine.Run and
+// exposes the paper's two complexity measures:
+//
+//   - C1 (Rounds): the number of communication rounds in which at least
+//     one message was sent;
+//   - C2 (DataVolume): the sum over rounds of the largest message (over
+//     all ports of all processors) sent in that round.
+//
+// Metrics is safe for concurrent use by the processor goroutines during
+// a run and read-only afterwards.
+type Metrics struct {
+	mu sync.Mutex
+
+	// roundMax[i] is the largest message, in bytes, sent in round i.
+	roundMax []int
+	// roundSends[i] is the number of messages sent in round i.
+	roundSends []int
+
+	totalBytes   int64 // sum of all message sizes over all sends
+	messageCount int64 // total number of messages sent
+
+	// perProcBytesIn[p] is the number of bytes received by processor p
+	// over all of its ports; the per-port lower bounds in the paper
+	// divide this by k.
+	perProcBytesIn  []int
+	perProcBytesOut []int
+
+	finishRound []int // final round counter of each processor
+
+	record bool    // collect per-message events
+	events []Event // populated only when record is set
+}
+
+func newMetrics(n int) *Metrics {
+	return &Metrics{
+		perProcBytesIn:  make([]int, n),
+		perProcBytesOut: make([]int, n),
+		finishRound:     make([]int, n),
+	}
+}
+
+func (m *Metrics) recordSend(rank, dst, round, size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.roundMax) <= round {
+		m.roundMax = append(m.roundMax, 0)
+		m.roundSends = append(m.roundSends, 0)
+	}
+	if size > m.roundMax[round] {
+		m.roundMax[round] = size
+	}
+	m.roundSends[round]++
+	m.totalBytes += int64(size)
+	m.messageCount++
+	m.perProcBytesOut[rank] += size
+	if m.record {
+		m.events = append(m.events, Event{Round: round, Src: rank, Dst: dst, Size: size})
+	}
+}
+
+func (m *Metrics) recordRecv(rank, round, size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.perProcBytesIn[rank] += size
+}
+
+func (m *Metrics) setFinish(rank, round int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finishRound[rank] = round
+}
+
+// Rounds returns C1: the number of rounds in which at least one message
+// was sent. Rounds skipped by every processor do not count.
+func (m *Metrics) Rounds() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c1 := 0
+	for _, sends := range m.roundSends {
+		if sends > 0 {
+			c1++
+		}
+	}
+	return c1
+}
+
+// DataVolume returns C2: the sum over rounds of the largest message sent
+// in that round, in bytes (the paper's "amount of data transferred in a
+// sequence").
+func (m *Metrics) DataVolume() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c2 := 0
+	for _, max := range m.roundMax {
+		c2 += max
+	}
+	return c2
+}
+
+// RoundSizes returns a copy of the per-round largest message sizes, in
+// bytes, indexed by round.
+func (m *Metrics) RoundSizes() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, len(m.roundMax))
+	copy(out, m.roundMax)
+	return out
+}
+
+// TotalBytes returns the total number of payload bytes sent over all
+// messages of the run (the "total transmissions" quantity of Thm 2.7).
+func (m *Metrics) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalBytes
+}
+
+// Messages returns the total number of point-to-point messages sent.
+func (m *Metrics) Messages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.messageCount
+}
+
+// BytesInto returns the number of bytes received by processor rank over
+// the whole run.
+func (m *Metrics) BytesInto(rank int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.perProcBytesIn[rank]
+}
+
+// BytesOutOf returns the number of bytes sent by processor rank over the
+// whole run.
+func (m *Metrics) BytesOutOf(rank int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.perProcBytesOut[rank]
+}
+
+// MaxBytesIntoAnyProc returns the largest per-processor receive volume;
+// divided by k this is the per-port volume bounded below by b(n-1)/k in
+// Propositions 2.2 and 2.4.
+func (m *Metrics) MaxBytesIntoAnyProc() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	max := 0
+	for _, v := range m.perProcBytesIn {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// uniformityError reports an error if participating processors finished
+// on different round counters, which indicates a misaligned SPMD
+// schedule (a missing Skip). Processors that never advanced their round
+// counter did not take part in the operation (for example processors
+// outside the Group of a collective) and are exempt. Called by the
+// engine when validation is on.
+func (m *Metrics) uniformityError() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	first, firstRank := -1, -1
+	for rank, r := range m.finishRound {
+		if r == 0 {
+			continue
+		}
+		if first == -1 {
+			first, firstRank = r, rank
+			continue
+		}
+		if r != first {
+			return fmt.Errorf("mpsim: misaligned schedule: p%d finished at round %d but p%d finished at round %d",
+				firstRank, first, rank, r)
+		}
+	}
+	return nil
+}

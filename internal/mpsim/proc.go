@@ -1,0 +1,138 @@
+package mpsim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Proc is the per-processor handle passed to the SPMD body by
+// Engine.Run. All communication a processor performs goes through its
+// Proc. A Proc is confined to the goroutine that runs the body; it must
+// not be shared. (The round counter and completion flag are atomic only
+// so the engine's deadlock watchdog can inspect a stuck processor.)
+type Proc struct {
+	engine  *Engine
+	metrics *Metrics // the metrics of the Run that created this Proc
+	rank    int
+	round   atomic.Int64
+	done    atomic.Bool
+}
+
+// Rank returns the processor id, 0 <= rank < n.
+func (p *Proc) Rank() int { return p.rank }
+
+// N returns the number of processors in the system.
+func (p *Proc) N() int { return p.engine.n }
+
+// Ports returns the port count k of the system.
+func (p *Proc) Ports() int { return p.engine.k }
+
+// Round returns the index of the next communication round this processor
+// will participate in.
+func (p *Proc) Round() int { return int(p.round.Load()) }
+
+// Send describes one outgoing message of a communication round.
+type Send struct {
+	To   int    // destination processor rank
+	Data []byte // payload; copied by the engine, caller may reuse it
+}
+
+// SendRecv performs one communication round in which this processor
+// sends data to processor dst and receives one message from processor
+// src. It matches the send_and_recv primitive of the paper's pseudocode
+// (Appendix A) and of IBM MPL. The returned slice is owned by the
+// caller.
+func (p *Proc) SendRecv(dst int, data []byte, src int) ([]byte, error) {
+	in, err := p.Exchange([]Send{{To: dst, Data: data}}, []int{src})
+	if err != nil {
+		return nil, err
+	}
+	return in[0], nil
+}
+
+// Exchange performs one k-port communication round: it sends every
+// message in sends and receives exactly one message from each processor
+// listed in from, returning the received payloads in the same order as
+// from. Either list may be empty (a processor may only send, or only
+// receive, in a round). The round advances exactly once per call.
+//
+// Under validation the engine rejects rounds that use more than k ports
+// in either direction, send to or receive from this processor itself, or
+// address the same partner twice in one round.
+func (p *Proc) Exchange(sends []Send, from []int) ([][]byte, error) {
+	e := p.engine
+	round := int(p.round.Add(1) - 1)
+
+	if e.validate {
+		if err := p.validateRound(round, sends, from); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, s := range sends {
+		if s.To < 0 || s.To >= e.n {
+			return nil, fmt.Errorf("mpsim: p%d round %d: send to out-of-range rank %d", p.rank, round, s.To)
+		}
+		payload := make([]byte, len(s.Data))
+		copy(payload, s.Data)
+		p.metrics.recordSend(p.rank, s.To, round, len(payload))
+		e.mailbox[s.To][p.rank] <- message{round: round, data: payload}
+	}
+
+	recvd := make([][]byte, len(from))
+	for i, src := range from {
+		if src < 0 || src >= e.n {
+			return nil, fmt.Errorf("mpsim: p%d round %d: receive from out-of-range rank %d", p.rank, round, src)
+		}
+		msg := <-e.mailbox[p.rank][src]
+		if e.validate && msg.round != round {
+			return nil, fmt.Errorf("mpsim: p%d round %d: received message sent by p%d in round %d (misaligned schedule)",
+				p.rank, round, src, msg.round)
+		}
+		p.metrics.recordRecv(p.rank, round, len(msg.data))
+		recvd[i] = msg.data
+	}
+	return recvd, nil
+}
+
+// Skip advances this processor's round counter without communicating.
+// Processors that sit out a round of an algorithm (for example leaves of
+// a binomial tree after their data is consumed) call Skip to stay
+// aligned with the global round structure.
+func (p *Proc) Skip() { p.round.Add(1) }
+
+// SkipN advances the round counter by rounds.
+func (p *Proc) SkipN(rounds int) { p.round.Add(int64(rounds)) }
+
+// validateRound enforces the k-port model for one round: at most k sends
+// and at most k receives, distinct partners, and no self-communication.
+func (p *Proc) validateRound(round int, sends []Send, from []int) error {
+	e := p.engine
+	if len(sends) > e.k {
+		return fmt.Errorf("mpsim: p%d round %d: %d sends exceeds k = %d ports", p.rank, round, len(sends), e.k)
+	}
+	if len(from) > e.k {
+		return fmt.Errorf("mpsim: p%d round %d: %d receives exceeds k = %d ports", p.rank, round, len(from), e.k)
+	}
+	seenDst := make(map[int]bool, len(sends))
+	for _, s := range sends {
+		if s.To == p.rank {
+			return fmt.Errorf("mpsim: p%d round %d: self-send", p.rank, round)
+		}
+		if seenDst[s.To] {
+			return fmt.Errorf("mpsim: p%d round %d: duplicate destination %d in one round", p.rank, round, s.To)
+		}
+		seenDst[s.To] = true
+	}
+	seenSrc := make(map[int]bool, len(from))
+	for _, src := range from {
+		if src == p.rank {
+			return fmt.Errorf("mpsim: p%d round %d: self-receive", p.rank, round)
+		}
+		if seenSrc[src] {
+			return fmt.Errorf("mpsim: p%d round %d: duplicate source %d in one round", p.rank, round, src)
+		}
+		seenSrc[src] = true
+	}
+	return nil
+}

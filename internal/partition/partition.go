@@ -1,0 +1,336 @@
+// Package partition solves the table-partitioning problem of
+// Proposition 4.2, which schedules the last round of the concatenation
+// algorithm of Section 4.
+//
+// A table of b rows (bytes of a block) and n2 columns (the processors
+// not yet spanned after the first d-1 rounds) must be partitioned into
+// at most k areas A_1..A_k such that
+//
+//   - the column-span of each area (rightmost minus leftmost column
+//     touched, plus one) is at most n1, and
+//   - each area contains at most a = ceil(b*n2/k) table entries.
+//
+// Table entries in area A_t all travel with the same offset, determined
+// by the leftmost column of A_t; the span constraint guarantees the
+// sender of every entry already holds the corresponding block.
+//
+// The straightforward column-major ("snake") partition satisfies both
+// constraints for every combination of n, b, k except the special range
+// b >= 3, k >= 3, (k+1)^d - k < n < (k+1)^d identified by the paper. In
+// that range this package provides the two fallbacks of the Section 4
+// Remark: optimal C1 with C2 at most b-1 above the lower bound
+// (column-aligned areas), or optimal C2 with one extra round.
+package partition
+
+import (
+	"fmt"
+
+	"bruck/internal/intmath"
+)
+
+// Run is a maximal vertical strip of one area inside a single column:
+// rows Row0 .. Row0+NRows-1 of column Col.
+type Run struct {
+	Col   int
+	Row0  int
+	NRows int
+}
+
+// Area is one part of the table partition. Its entries are the cells of
+// its runs; all of them are sent with the same offset, n1 + Left.
+type Area struct {
+	Runs []Run
+	Left int // leftmost column touched
+	Size int // number of table entries
+}
+
+// Right returns the rightmost column touched by the area.
+func (a *Area) Right() int {
+	right := a.Left
+	for _, r := range a.Runs {
+		if r.Col > right {
+			right = r.Col
+		}
+	}
+	return right
+}
+
+// Span returns the column-span Right - Left + 1.
+func (a *Area) Span() int { return a.Right() - a.Left + 1 }
+
+// Plan is a complete last-round schedule: a list of rounds, each with at
+// most k areas.
+type Plan struct {
+	B, N2, N1, K int
+	Rounds       [][]Area
+}
+
+// ExtraRounds returns how many rounds beyond the single optimal round
+// the plan uses.
+func (p *Plan) ExtraRounds() int { return len(p.Rounds) - 1 }
+
+// MaxAreaSize returns, per round, the largest area size; the last
+// round's contribution to C2 is the sum of these maxima.
+func (p *Plan) MaxAreaSize() []int {
+	out := make([]int, len(p.Rounds))
+	for i, round := range p.Rounds {
+		for _, a := range round {
+			if a.Size > out[i] {
+				out[i] = a.Size
+			}
+		}
+	}
+	return out
+}
+
+// C2 returns the data volume of the planned rounds: the sum over rounds
+// of the largest area size.
+func (p *Plan) C2() int {
+	total := 0
+	for _, m := range p.MaxAreaSize() {
+		total += m
+	}
+	return total
+}
+
+// Validate checks all structural invariants of a plan: every table cell
+// covered exactly once, at most K areas per round, spans at most N1,
+// and per-area sizes consistent with the runs.
+func (p *Plan) Validate() error {
+	if p.B < 0 || p.N2 < 0 || p.N1 < 1 || p.K < 1 {
+		return fmt.Errorf("partition: invalid plan shape b=%d n2=%d n1=%d k=%d", p.B, p.N2, p.N1, p.K)
+	}
+	covered := make([]bool, p.B*p.N2)
+	for ri, round := range p.Rounds {
+		if len(round) > p.K {
+			return fmt.Errorf("partition: round %d has %d areas, k = %d", ri, len(round), p.K)
+		}
+		for ai, a := range round {
+			if a.Span() > p.N1 {
+				return fmt.Errorf("partition: round %d area %d span %d exceeds n1 = %d", ri, ai, a.Span(), p.N1)
+			}
+			size := 0
+			for _, run := range a.Runs {
+				if run.Col < 0 || run.Col >= p.N2 || run.Row0 < 0 || run.Row0+run.NRows > p.B || run.NRows <= 0 {
+					return fmt.Errorf("partition: round %d area %d has out-of-table run %+v", ri, ai, run)
+				}
+				if run.Col < a.Left {
+					return fmt.Errorf("partition: round %d area %d run col %d left of Left=%d", ri, ai, run.Col, a.Left)
+				}
+				for row := run.Row0; row < run.Row0+run.NRows; row++ {
+					idx := run.Col*p.B + row
+					if covered[idx] {
+						return fmt.Errorf("partition: cell (row %d, col %d) covered twice", row, run.Col)
+					}
+					covered[idx] = true
+				}
+				size += run.NRows
+			}
+			if size != a.Size {
+				return fmt.Errorf("partition: round %d area %d size %d != run total %d", ri, ai, a.Size, size)
+			}
+		}
+	}
+	for idx, c := range covered {
+		if !c {
+			return fmt.Errorf("partition: cell (row %d, col %d) not covered", idx%p.B, idx/p.B)
+		}
+	}
+	return nil
+}
+
+// Policy selects how to schedule the last round when the optimal
+// single-round partition does not exist (the special range).
+type Policy int
+
+const (
+	// PreferOptimal uses the optimal single-round schedule when it
+	// exists and falls back to MinRounds otherwise. This is the default.
+	PreferOptimal Policy = iota
+	// MinRounds always uses a single round (optimal C1); in the special
+	// range C2 exceeds the lower bound by at most b-1.
+	MinRounds
+	// MinVolume keeps per-round areas no larger than ceil(a/2) at the
+	// price of (at most) one extra round in the special range
+	// (optimal C2 to within one unit, C1+1).
+	MinVolume
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PreferOptimal:
+		return "prefer-optimal"
+	case MinRounds:
+		return "min-rounds"
+	case MinVolume:
+		return "min-volume"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Solve produces a last-round plan for b rows, n2 columns, span limit
+// n1, and k ports under the given policy. n2 = 0 yields an empty plan.
+func Solve(b, n2, n1, k int, policy Policy) (*Plan, error) {
+	if b < 0 || n2 < 0 || n1 < 1 || k < 1 {
+		return nil, fmt.Errorf("partition: Solve(b=%d, n2=%d, n1=%d, k=%d) out of domain", b, n2, n1, k)
+	}
+	if n2 > k*n1 {
+		return nil, fmt.Errorf("partition: n2 = %d exceeds k*n1 = %d; no single-round schedule can exist", n2, k*n1)
+	}
+	plan := &Plan{B: b, N2: n2, N1: n1, K: k}
+	if n2 == 0 || b == 0 {
+		return plan, nil
+	}
+
+	switch policy {
+	case PreferOptimal:
+		if areas, ok := columnMajor(b, n2, n1, k, intmath.CeilDiv(b*n2, k)); ok {
+			plan.Rounds = [][]Area{areas}
+			return plan, nil
+		}
+		return Solve(b, n2, n1, k, MinRounds)
+
+	case MinRounds:
+		plan.Rounds = [][]Area{columnAligned(b, n2, n1, k)}
+		return plan, nil
+
+	case MinVolume:
+		a := intmath.CeilDiv(b*n2, k)
+		if areas, ok := columnMajor(b, n2, n1, k, a); ok {
+			plan.Rounds = [][]Area{areas}
+			return plan, nil
+		}
+		// Halving the size cap shrinks every span enough to respect n1
+		// in the special range; spread the resulting <= 2k areas over
+		// two rounds.
+		half := intmath.CeilDiv(a, 2)
+		areas := greedySpanCapped(b, n2, n1, half)
+		var rounds [][]Area
+		for len(areas) > 0 {
+			take := intmath.Min(k, len(areas))
+			rounds = append(rounds, areas[:take])
+			areas = areas[take:]
+		}
+		plan.Rounds = rounds
+		return plan, nil
+
+	default:
+		return nil, fmt.Errorf("partition: unknown policy %v", policy)
+	}
+}
+
+// OptimalExists reports whether the optimal single-round partition
+// (span <= n1 with size cap ceil(b*n2/k)) exists for the given shape.
+func OptimalExists(b, n2, n1, k int) bool {
+	if n2 == 0 || b == 0 {
+		return true
+	}
+	if n2 > k*n1 {
+		return false
+	}
+	_, ok := columnMajor(b, n2, n1, k, intmath.CeilDiv(b*n2, k))
+	return ok
+}
+
+// InSpecialRange reports whether (n, b, k) falls in the range where the
+// paper does not guarantee a simultaneously C1- and C2-optimal
+// concatenation: b >= 3, k >= 3 and (k+1)^d - k < n < (k+1)^d for some
+// integer d.
+func InSpecialRange(n, b, k int) bool {
+	if b < 3 || k < 3 || n < 2 {
+		return false
+	}
+	d := intmath.CeilLog(k+1, n)
+	hi := intmath.Pow(k+1, d)
+	return hi-k < n && n < hi
+}
+
+// columnMajor is the straightforward partition of the paper: walk the
+// table in column-major order and cut a new area every sizeCap cells.
+// It reports whether every area's span fits within n1.
+func columnMajor(b, n2, n1, k, sizeCap int) ([]Area, bool) {
+	if sizeCap < 1 {
+		return nil, false
+	}
+	total := b * n2
+	numAreas := intmath.CeilDiv(total, sizeCap)
+	if numAreas > k {
+		return nil, false
+	}
+	areas := make([]Area, 0, numAreas)
+	cell := 0 // column-major linear index: col = cell/b, row = cell%b
+	for t := 0; t < numAreas; t++ {
+		size := intmath.Min(sizeCap, total-cell)
+		area := Area{Left: cell / b, Size: size}
+		remaining := size
+		for remaining > 0 {
+			col, row := cell/b, cell%b
+			nrows := intmath.Min(b-row, remaining)
+			area.Runs = append(area.Runs, Run{Col: col, Row0: row, NRows: nrows})
+			cell += nrows
+			remaining -= nrows
+		}
+		areas = append(areas, area)
+	}
+	for i := range areas {
+		if areas[i].Span() > n1 {
+			return nil, false
+		}
+	}
+	return areas, true
+}
+
+// columnAligned cuts the table into k areas of whole columns,
+// ceil(n2/k) columns each. Spans are at most ceil(n2/k) <= n1 and area
+// sizes at most b*ceil(n2/k) <= ceil(b*n2/k) + b - 1, the Remark's
+// C2-suboptimal bound.
+func columnAligned(b, n2, n1, k int) []Area {
+	colsPer := intmath.CeilDiv(n2, k)
+	var areas []Area
+	for left := 0; left < n2; left += colsPer {
+		right := intmath.Min(left+colsPer, n2)
+		area := Area{Left: left, Size: (right - left) * b}
+		for col := left; col < right; col++ {
+			area.Runs = append(area.Runs, Run{Col: col, Row0: 0, NRows: b})
+		}
+		areas = append(areas, area)
+	}
+	return areas
+}
+
+// greedySpanCapped walks the table column-major, cutting a new area
+// whenever the current one would exceed sizeCap cells or span more than
+// n1 columns. It may produce more than k areas; the caller spreads them
+// over rounds.
+func greedySpanCapped(b, n2, n1, sizeCap int) []Area {
+	var areas []Area
+	var cur Area
+	active := false
+	flush := func() {
+		if active {
+			areas = append(areas, cur)
+			active = false
+		}
+	}
+	for col := 0; col < n2; col++ {
+		for row := 0; row < b; row++ {
+			if active && (cur.Size >= sizeCap || col-cur.Left+1 > n1) {
+				flush()
+			}
+			if !active {
+				cur = Area{Left: col}
+				active = true
+			}
+			last := len(cur.Runs) - 1
+			if last >= 0 && cur.Runs[last].Col == col && cur.Runs[last].Row0+cur.Runs[last].NRows == row {
+				cur.Runs[last].NRows++
+			} else {
+				cur.Runs = append(cur.Runs, Run{Col: col, Row0: row, NRows: 1})
+			}
+			cur.Size++
+		}
+	}
+	flush()
+	return areas
+}

@@ -1,0 +1,359 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bruck/internal/intmath"
+)
+
+// TestTable1Example reproduces Table 1 of the paper: n1 = 3, n2 = 7,
+// b = 3, k = 3 is in the optimal range and the column-major partition
+// yields three areas of exactly a = 7 entries with offsets 3, 5, 7.
+func TestTable1Example(t *testing.T) {
+	const b, n2, n1, k = 3, 7, 3, 3
+	if InSpecialRange(10, b, k) { // n = n1 + n2 = 10, (k+1)^2 = 16, 16-3 = 13 < n fails
+		t.Fatal("n=10, b=3, k=3 should be in the optimal range")
+	}
+	plan, err := Solve(b, n2, n1, k, PreferOptimal)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if plan.ExtraRounds() != 0 {
+		t.Fatalf("expected single round, got %d rounds", len(plan.Rounds))
+	}
+	areas := plan.Rounds[0]
+	if len(areas) != 3 {
+		t.Fatalf("got %d areas, want 3", len(areas))
+	}
+	// Each area has exactly a = ceil(3*7/3) = 7 entries.
+	for i, a := range areas {
+		if a.Size != 7 {
+			t.Errorf("area %d size %d, want 7", i+1, a.Size)
+		}
+		if a.Span() > n1 {
+			t.Errorf("area %d span %d > n1 = %d", i+1, a.Span(), n1)
+		}
+	}
+	// Offsets are n1 + Left = 3, 5, 7 (Table 1's areas start at columns
+	// 0, 2, 4).
+	wantLeft := []int{0, 2, 4}
+	for i, a := range areas {
+		if a.Left != wantLeft[i] {
+			t.Errorf("area %d Left = %d, want %d", i+1, a.Left, wantLeft[i])
+		}
+	}
+	// Per-column coverage of the paper's Table 1:
+	// A1 covers col0 x3, col1 x3, col2 x1; A2: col2 x2, col3 x3, col4 x2;
+	// A3: col4 x1, col5 x3, col6 x3.
+	wantCover := [][]int{
+		{3, 3, 1, 0, 0, 0, 0},
+		{0, 0, 2, 3, 2, 0, 0},
+		{0, 0, 0, 0, 1, 3, 3},
+	}
+	for i, a := range areas {
+		cover := make([]int, n2)
+		for _, r := range a.Runs {
+			cover[r.Col] += r.NRows
+		}
+		for c := 0; c < n2; c++ {
+			if cover[c] != wantCover[i][c] {
+				t.Errorf("area %d column %d: %d cells, want %d", i+1, c, cover[c], wantCover[i][c])
+			}
+		}
+	}
+}
+
+func TestSolveDomainErrors(t *testing.T) {
+	if _, err := Solve(3, 10, 3, 3, PreferOptimal); err == nil {
+		t.Error("n2 > k*n1 accepted")
+	}
+	if _, err := Solve(-1, 2, 3, 3, PreferOptimal); err == nil {
+		t.Error("negative b accepted")
+	}
+	if _, err := Solve(3, 2, 0, 3, PreferOptimal); err == nil {
+		t.Error("n1 = 0 accepted")
+	}
+	if _, err := Solve(3, 2, 3, 0, PreferOptimal); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, err := Solve(1, 1, 1, 1, Policy(42)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	for _, pol := range []Policy{PreferOptimal, MinRounds, MinVolume} {
+		plan, err := Solve(0, 0, 1, 1, pol)
+		if err != nil {
+			t.Fatalf("policy %v: %v", pol, err)
+		}
+		if len(plan.Rounds) != 0 {
+			t.Errorf("policy %v: empty table produced %d rounds", pol, len(plan.Rounds))
+		}
+		if err := plan.Validate(); err != nil {
+			t.Errorf("policy %v: %v", pol, err)
+		}
+	}
+}
+
+// TestOnePortAlwaysOptimal: for k = 1 the single area covers the whole
+// table and the optimal partition always exists (the paper: "if b = 1 or
+// k = 1, which covers most practical cases, our algorithm is optimal").
+func TestOnePortAlwaysOptimal(t *testing.T) {
+	for n1 := 1; n1 <= 16; n1 *= 2 {
+		for n2 := 0; n2 <= n1; n2++ {
+			for b := 1; b <= 5; b++ {
+				if !OptimalExists(b, n2, n1, 1) {
+					t.Errorf("k=1 b=%d n1=%d n2=%d: optimal partition missing", b, n1, n2)
+				}
+			}
+		}
+	}
+}
+
+// TestUnitBlockAlwaysOptimal: b = 1 is always optimal per the paper.
+func TestUnitBlockAlwaysOptimal(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		for d := 1; d <= 3; d++ {
+			n1 := intmath.Pow(k+1, d-1)
+			for n2 := 0; n2 <= k*n1 && n2 <= 200; n2++ {
+				if !OptimalExists(1, n2, n1, k) {
+					t.Errorf("b=1 k=%d n1=%d n2=%d: optimal partition missing", k, n1, n2)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimalOutsideSpecialRange sweeps (n, b, k) and checks the
+// column-major partition is valid whenever the paper says the optimal
+// schedule exists.
+func TestOptimalOutsideSpecialRange(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		for n := 2; n <= 200; n++ {
+			d := intmath.CeilLog(k+1, n)
+			n1 := intmath.Pow(k+1, d-1)
+			n2 := n - n1
+			for b := 1; b <= 6; b++ {
+				if InSpecialRange(n, b, k) {
+					continue
+				}
+				if !OptimalExists(b, n2, n1, k) {
+					t.Errorf("n=%d b=%d k=%d (n1=%d n2=%d): outside special range but no optimal partition",
+						n, b, k, n1, n2)
+				}
+			}
+		}
+	}
+}
+
+// TestSpecialRangeHasFailures: the special range is not vacuous — the
+// straightforward partition really does fail somewhere inside it.
+func TestSpecialRangeHasFailures(t *testing.T) {
+	failures := 0
+	for k := 3; k <= 5; k++ {
+		for n := 2; n <= 200; n++ {
+			d := intmath.CeilLog(k+1, n)
+			n1 := intmath.Pow(k+1, d-1)
+			n2 := n - n1
+			for b := 3; b <= 6; b++ {
+				if InSpecialRange(n, b, k) && !OptimalExists(b, n2, n1, k) {
+					failures++
+				}
+			}
+		}
+	}
+	if failures == 0 {
+		t.Error("no failures found inside the special range; range would be vacuous")
+	}
+}
+
+// TestMinRoundsFallbackBounds: the MinRounds policy always produces one
+// round with area sizes at most ceil(b*n2/k) + b - 1 (the Remark's
+// C2 penalty) and valid spans.
+func TestMinRoundsFallbackBounds(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		for n := 2; n <= 120; n++ {
+			d := intmath.CeilLog(k+1, n)
+			n1 := intmath.Pow(k+1, d-1)
+			n2 := n - n1
+			for b := 1; b <= 5; b++ {
+				plan, err := Solve(b, n2, n1, k, MinRounds)
+				if err != nil {
+					t.Fatalf("n=%d b=%d k=%d: %v", n, b, k, err)
+				}
+				if err := plan.Validate(); err != nil {
+					t.Fatalf("n=%d b=%d k=%d: %v", n, b, k, err)
+				}
+				if n2 > 0 && len(plan.Rounds) != 1 {
+					t.Fatalf("n=%d b=%d k=%d: MinRounds used %d rounds", n, b, k, len(plan.Rounds))
+				}
+				bound := intmath.CeilDiv(b*n2, k) + b - 1
+				if c2 := plan.C2(); n2 > 0 && c2 > bound {
+					t.Errorf("n=%d b=%d k=%d: MinRounds C2 = %d > bound %d", n, b, k, c2, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestMinVolumeFallbackBounds: the MinVolume policy uses at most one
+// extra round and its C2 exceeds the optimum by at most 1. The sweep
+// respects the paper's Section 4 domain 1 <= k <= n-2 (for k >= n-1 the
+// trivial single-round algorithm is used instead of this schedule).
+func TestMinVolumeFallbackBounds(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		for n := k + 2; n <= 120; n++ {
+			d := intmath.CeilLog(k+1, n)
+			n1 := intmath.Pow(k+1, d-1)
+			n2 := n - n1
+			for b := 1; b <= 5; b++ {
+				plan, err := Solve(b, n2, n1, k, MinVolume)
+				if err != nil {
+					t.Fatalf("n=%d b=%d k=%d: %v", n, b, k, err)
+				}
+				if err := plan.Validate(); err != nil {
+					t.Fatalf("n=%d b=%d k=%d: %v", n, b, k, err)
+				}
+				if plan.ExtraRounds() > 1 {
+					t.Errorf("n=%d b=%d k=%d: MinVolume used %d extra rounds", n, b, k, plan.ExtraRounds())
+				}
+				a := intmath.CeilDiv(b*n2, k)
+				if c2 := plan.C2(); n2 > 0 && c2 > a+1 {
+					t.Errorf("n=%d b=%d k=%d: MinVolume C2 = %d > a+1 = %d", n, b, k, c2, a+1)
+				}
+			}
+		}
+	}
+}
+
+// TestPreferOptimalValidEverywhere: the default policy always yields a
+// valid single-round plan.
+func TestPreferOptimalValidEverywhere(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		for n := 2; n <= 150; n++ {
+			d := intmath.CeilLog(k+1, n)
+			n1 := intmath.Pow(k+1, d-1)
+			n2 := n - n1
+			for b := 1; b <= 4; b++ {
+				plan, err := Solve(b, n2, n1, k, PreferOptimal)
+				if err != nil {
+					t.Fatalf("n=%d b=%d k=%d: %v", n, b, k, err)
+				}
+				if err := plan.Validate(); err != nil {
+					t.Fatalf("n=%d b=%d k=%d: %v", n, b, k, err)
+				}
+				if n2 > 0 && len(plan.Rounds) != 1 {
+					t.Errorf("n=%d b=%d k=%d: PreferOptimal used %d rounds", n, b, k, len(plan.Rounds))
+				}
+			}
+		}
+	}
+}
+
+// TestValidateCatchesBadPlans exercises the validator's failure paths.
+func TestValidateCatchesBadPlans(t *testing.T) {
+	good := func() *Plan {
+		return &Plan{
+			B: 2, N2: 2, N1: 2, K: 1,
+			Rounds: [][]Area{{{
+				Runs: []Run{{Col: 0, Row0: 0, NRows: 2}, {Col: 1, Row0: 0, NRows: 2}},
+				Left: 0, Size: 4,
+			}}},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+
+	p := good()
+	p.Rounds[0][0].Size = 3
+	if err := p.Validate(); err == nil {
+		t.Error("size mismatch accepted")
+	}
+
+	p = good()
+	p.Rounds[0][0].Runs[1].NRows = 1
+	p.Rounds[0][0].Size = 3
+	if err := p.Validate(); err == nil {
+		t.Error("uncovered cell accepted")
+	}
+
+	p = good()
+	p.Rounds[0][0].Runs = append(p.Rounds[0][0].Runs, Run{Col: 0, Row0: 0, NRows: 1})
+	p.Rounds[0][0].Size = 5
+	if err := p.Validate(); err == nil {
+		t.Error("double-covered cell accepted")
+	}
+
+	p = good()
+	p.N1 = 1
+	if err := p.Validate(); err == nil {
+		t.Error("span violation accepted")
+	}
+
+	p = good()
+	p.Rounds[0] = append(p.Rounds[0], Area{})
+	if err := p.Validate(); err == nil {
+		t.Error("too many areas accepted")
+	}
+}
+
+// TestInSpecialRange pins the predicate to concrete points.
+func TestInSpecialRange(t *testing.T) {
+	cases := []struct {
+		n, b, k int
+		want    bool
+	}{
+		{10, 3, 3, false},  // Table 1's configuration: optimal range
+		{15, 3, 3, true},   // (k+1)^2 = 16: 13 < 15 < 16
+		{14, 3, 3, true},   // 13 < 14 < 16
+		{13, 3, 3, false},  // boundary excluded
+		{16, 3, 3, false},  // exact power excluded
+		{15, 2, 3, false},  // b < 3
+		{15, 3, 2, false},  // k < 3
+		{63, 3, 3, true},   // 64-3=61 < 63 < 64
+		{61, 3, 3, false},  // boundary
+		{255, 4, 3, true},  // 256-3 < 255 < 256
+		{252, 4, 3, false}, // 253 not < 253... 252 <= 253 boundary region check
+	}
+	for _, c := range cases {
+		if got := InSpecialRange(c.n, c.b, c.k); got != c.want {
+			t.Errorf("InSpecialRange(%d, %d, %d) = %v, want %v", c.n, c.b, c.k, got, c.want)
+		}
+	}
+}
+
+// TestColumnMajorAreaSizesProperty: areas are contiguous in column-major
+// order with equal sizes except possibly the last.
+func TestColumnMajorAreaSizesProperty(t *testing.T) {
+	f := func(bRaw, n2Raw, kRaw uint8) bool {
+		b := int(bRaw)%6 + 1
+		k := int(kRaw)%6 + 1
+		n1 := 64 // generous span limit so the partition always validates
+		n2 := int(n2Raw)%(k*8) + 1
+		if n2 > k*n1 {
+			return true
+		}
+		cap := intmath.CeilDiv(b*n2, k)
+		areas, ok := columnMajor(b, n2, n1, k, cap)
+		if !ok {
+			return false
+		}
+		total := 0
+		for i, a := range areas {
+			if i < len(areas)-1 && a.Size != cap {
+				return false
+			}
+			total += a.Size
+		}
+		return total == b*n2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,398 @@
+// Package sweep is the experiment harness that regenerates the paper's
+// evaluation artifacts: the measured-time figures of Section 3.5
+// (Figures 4, 5 and 6) and the optimality tables of Sections 2 and 4.
+//
+// Schedules are *measured*: each (n, r, k) configuration is executed
+// once on the mpsim engine with unit blocks, recording the true
+// per-round message sizes; both complexity measures scale linearly in
+// the block size b, so times for any b follow from the unit-block
+// schedule under the linear model T = C1*beta + C2*tau. The tests in
+// package collective separately verify that measured schedules equal
+// the closed forms.
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"bruck/internal/collective"
+	"bruck/internal/costmodel"
+	"bruck/internal/intmath"
+	"bruck/internal/lowerbound"
+	"bruck/internal/mpsim"
+	"bruck/internal/partition"
+)
+
+// Point is one configuration of a series: the index algorithm with
+// radix R on N processors with K ports and block size BlockLen, its
+// schedule measures, and its linear-model time.
+type Point struct {
+	N, K, R  int
+	BlockLen int
+	C1       int
+	C2       int // bytes
+	Seconds  float64
+}
+
+// Series is a named curve, e.g. "r=8" in Figure 4.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Harness measures index schedules on the simulator and caches them.
+type Harness struct {
+	Profile costmodel.Profile
+
+	mu    sync.Mutex
+	cache map[[3]int][]int // (n, r, k) -> per-round sizes in blocks
+}
+
+// NewHarness returns a harness evaluating times under the given machine
+// profile.
+func NewHarness(p costmodel.Profile) *Harness {
+	return &Harness{Profile: p, cache: make(map[[3]int][]int)}
+}
+
+// schedule returns the per-round message sizes, in blocks, of the
+// radix-r index algorithm, measured by running it once on the engine
+// with 1-byte blocks.
+func (h *Harness) schedule(n, r, k int) ([]int, error) {
+	key := [3]int{n, r, k}
+	h.mu.Lock()
+	cached, ok := h.cache[key]
+	h.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	e, err := mpsim.New(n, mpsim.Ports(k))
+	if err != nil {
+		return nil, err
+	}
+	in := make([][][]byte, n)
+	for i := range in {
+		in[i] = make([][]byte, n)
+		for j := range in[i] {
+			in[i][j] = []byte{byte(i ^ j)}
+		}
+	}
+	opt := collective.IndexOptions{Algorithm: collective.IndexBruck, Radix: r}
+	_, res, err := collective.Index(e, mpsim.WorldGroup(n), in, opt)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: measuring n=%d r=%d k=%d: %w", n, r, k, err)
+	}
+	h.mu.Lock()
+	h.cache[key] = res.RoundSizes
+	h.mu.Unlock()
+	return res.RoundSizes, nil
+}
+
+// point evaluates one configuration at block size b.
+func (h *Harness) point(n, r, k, b int) (Point, error) {
+	sched, err := h.schedule(n, r, k)
+	if err != nil {
+		return Point{}, err
+	}
+	c2 := 0
+	for _, blocks := range sched {
+		c2 += blocks * b
+	}
+	c1 := len(sched)
+	return Point{
+		N: n, K: k, R: r, BlockLen: b,
+		C1: c1, C2: c2,
+		Seconds: h.Profile.Time(c1, c2),
+	}, nil
+}
+
+// Fig4 regenerates Figure 4: the index algorithm's time as a function
+// of message size for each radix, n processors, k = 1.
+func (h *Harness) Fig4(n int, radices, sizes []int) ([]Series, error) {
+	out := make([]Series, 0, len(radices))
+	for _, r := range radices {
+		s := Series{Name: fmt.Sprintf("r=%d", r)}
+		for _, b := range sizes {
+			pt, err := h.point(n, r, 1, b)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, pt)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig5 regenerates Figure 5: r = 2, r = n, and the best power-of-two
+// radix, as functions of message size, n processors, k = 1.
+func (h *Harness) Fig5(n int, sizes []int) ([]Series, error) {
+	series := []Series{
+		{Name: "r=2"},
+		{Name: fmt.Sprintf("r=n=%d", n)},
+		{Name: "optimal power-of-two r"},
+	}
+	for _, b := range sizes {
+		p2, err := h.point(n, 2, 1, b)
+		if err != nil {
+			return nil, err
+		}
+		pn, err := h.point(n, n, 1, b)
+		if err != nil {
+			return nil, err
+		}
+		best := p2
+		for r := 2; r <= n; r *= 2 {
+			pt, err := h.point(n, r, 1, b)
+			if err != nil {
+				return nil, err
+			}
+			if pt.Seconds < best.Seconds {
+				best = pt
+			}
+		}
+		if pn.Seconds < best.Seconds {
+			best = pn
+		}
+		series[0].Points = append(series[0].Points, p2)
+		series[1].Points = append(series[1].Points, pn)
+		series[2].Points = append(series[2].Points, best)
+	}
+	return series, nil
+}
+
+// Fig6 regenerates Figure 6: time as a function of radix for several
+// message sizes, n processors, k = 1.
+func (h *Harness) Fig6(n int, sizes, radices []int) ([]Series, error) {
+	out := make([]Series, 0, len(sizes))
+	for _, b := range sizes {
+		s := Series{Name: fmt.Sprintf("%d bytes", b)}
+		for _, r := range radices {
+			pt, err := h.point(n, r, 1, b)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, pt)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Crossover returns the smallest block size in sizes at which series b
+// is at least as fast as series a, or -1 if none. Both series must have
+// one point per size, in order.
+func Crossover(a, b Series) int {
+	for i := range a.Points {
+		if i < len(b.Points) && b.Points[i].Seconds <= a.Points[i].Seconds {
+			return a.Points[i].BlockLen
+		}
+	}
+	return -1
+}
+
+// BestRadixPerSize returns, for each point position, the radix whose
+// series has the lowest time there.
+func BestRadixPerSize(series []Series) []int {
+	if len(series) == 0 {
+		return nil
+	}
+	out := make([]int, len(series[0].Points))
+	for i := range out {
+		best := series[0].Points[i]
+		for _, s := range series[1:] {
+			if i < len(s.Points) && s.Points[i].Seconds < best.Seconds {
+				best = s.Points[i]
+			}
+		}
+		out[i] = best.R
+	}
+	return out
+}
+
+// PowersOfTwoUpTo returns 2, 4, ..., up to and including n if n is a
+// power of two (otherwise the largest power below n).
+func PowersOfTwoUpTo(n int) []int {
+	var out []int
+	for r := 2; r <= n; r *= 2 {
+		out = append(out, r)
+	}
+	return out
+}
+
+// RenderSeries formats series as an aligned text table: one row per
+// block size, one column per series, times in microseconds.
+func RenderSeries(series []Series) string {
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%12s", "bytes")
+	for _, s := range series {
+		fmt.Fprintf(&sb, " %14s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for i := range series[0].Points {
+		fmt.Fprintf(&sb, "%12d", series[0].Points[i].BlockLen)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&sb, " %12.1fus", s.Points[i].Seconds*1e6)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderSeriesByR formats Fig-6-style series: one row per radix.
+func RenderSeriesByR(series []Series) string {
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s", "radix")
+	for _, s := range series {
+		fmt.Fprintf(&sb, " %14s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for i := range series[0].Points {
+		fmt.Fprintf(&sb, "%8d", series[0].Points[i].R)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&sb, " %12.1fus", s.Points[i].Seconds*1e6)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CSV renders series as comma-separated values with a header, suitable
+// for external plotting.
+func CSV(series []Series, xAxis string) string {
+	var sb strings.Builder
+	sb.WriteString(xAxis)
+	for _, s := range series {
+		fmt.Fprintf(&sb, ",%s", strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	sb.WriteByte('\n')
+	if len(series) == 0 {
+		return sb.String()
+	}
+	for i := range series[0].Points {
+		x := series[0].Points[i].BlockLen
+		if xAxis == "radix" {
+			x = series[0].Points[i].R
+		}
+		fmt.Fprintf(&sb, "%d", x)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&sb, ",%.9g", s.Points[i].Seconds)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// BoundsRow compares one configuration's achieved measures with the
+// Section 2 lower bounds.
+type BoundsRow struct {
+	Op         string // "index" or "concat"
+	N, K, B    int
+	C1, C2     int
+	C1LB, C2LB int
+	C1Optimal  bool
+	C2Optimal  bool
+}
+
+// ConcatBoundsTable measures the circulant concatenation across the
+// given n and k values at block size b and reports achieved-vs-bound.
+func ConcatBoundsTable(ns, ks []int, b int) ([]BoundsRow, error) {
+	var rows []BoundsRow
+	for _, n := range ns {
+		for _, k := range ks {
+			if k > intmath.Max(1, n-1) {
+				continue
+			}
+			e, err := mpsim.New(n, mpsim.Ports(k))
+			if err != nil {
+				return nil, err
+			}
+			in := make([][]byte, n)
+			for i := range in {
+				in[i] = make([]byte, b)
+				for x := range in[i] {
+					in[i][x] = byte(i + x)
+				}
+			}
+			_, res, err := collective.Concat(e, mpsim.WorldGroup(n), in, collective.ConcatOptions{
+				Algorithm: collective.ConcatCirculant,
+				LastRound: partition.PreferOptimal,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sweep: concat n=%d k=%d: %w", n, k, err)
+			}
+			row := BoundsRow{
+				Op: "concat", N: n, K: k, B: b,
+				C1: res.C1, C2: res.C2,
+				C1LB: lowerbound.ConcatRounds(n, k),
+				C2LB: lowerbound.ConcatVolume(n, b, k),
+			}
+			row.C1Optimal = row.C1 == row.C1LB
+			row.C2Optimal = row.C2 == row.C2LB
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// IndexBoundsTable measures the Bruck index with round-minimal radix
+// (k+1) and volume-minimal radix (n) across configurations.
+func IndexBoundsTable(ns, ks []int, b int) ([]BoundsRow, error) {
+	var rows []BoundsRow
+	h := NewHarness(costmodel.SP1)
+	for _, n := range ns {
+		for _, k := range ks {
+			if k > intmath.Max(1, n-1) || n < 2 {
+				continue
+			}
+			for _, r := range []int{intmath.Min(k+1, n), n} {
+				pt, err := h.point(n, r, k, b)
+				if err != nil {
+					return nil, err
+				}
+				row := BoundsRow{
+					Op: fmt.Sprintf("index r=%d", r), N: n, K: k, B: b,
+					C1: pt.C1, C2: pt.C2,
+					C1LB: lowerbound.IndexRounds(n, k),
+					C2LB: lowerbound.IndexVolume(n, b, k),
+				}
+				row.C1Optimal = row.C1 == row.C1LB
+				row.C2Optimal = row.C2 == row.C2LB
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderBounds formats a bounds table.
+func RenderBounds(rows []BoundsRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %5s %3s %5s %8s %8s %8s %8s %6s %6s\n",
+		"operation", "n", "k", "b", "C1", "C1-LB", "C2", "C2-LB", "C1opt", "C2opt")
+	sorted := append([]BoundsRow(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].N != sorted[j].N {
+			return sorted[i].N < sorted[j].N
+		}
+		return sorted[i].K < sorted[j].K
+	})
+	for _, r := range sorted {
+		fmt.Fprintf(&sb, "%-14s %5d %3d %5d %8d %8d %8d %8d %6v %6v\n",
+			r.Op, r.N, r.K, r.B, r.C1, r.C1LB, r.C2, r.C2LB, r.C1Optimal, r.C2Optimal)
+	}
+	return sb.String()
+}

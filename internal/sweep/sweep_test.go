@@ -1,0 +1,214 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"bruck/internal/collective"
+	"bruck/internal/costmodel"
+)
+
+// TestFig4Shape: with SP-1 parameters and n = 64, the smallest radix is
+// fastest at small message sizes and the largest radix is fastest at
+// large message sizes — the qualitative content of Figure 4.
+func TestFig4Shape(t *testing.T) {
+	h := NewHarness(costmodel.SP1)
+	sizes := []int{2, 16, 64, 256, 1024, 4096}
+	series, err := h.Fig4(64, PowersOfTwoUpTo(64), sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 { // radices 2, 4, 8, 16, 32, 64
+		t.Fatalf("got %d series, want 6", len(series))
+	}
+	best := BestRadixPerSize(series)
+	if best[0] != 2 {
+		t.Errorf("at 2 bytes the best radix is %d, want 2", best[0])
+	}
+	if best[len(best)-1] != 64 {
+		t.Errorf("at 4096 bytes the best radix is %d, want 64", best[len(best)-1])
+	}
+	// Monotone drift: the best radix never decreases as b grows.
+	for i := 1; i < len(best); i++ {
+		if best[i] < best[i-1] {
+			t.Errorf("best radix decreased from %d to %d between %d and %d bytes",
+				best[i-1], best[i], sizes[i-1], sizes[i])
+		}
+	}
+}
+
+// TestFig5Crossover: the r=2 versus r=n=64 break-even point falls at
+// 100-200 bytes under the SP-1 profile, as the paper reports.
+func TestFig5Crossover(t *testing.T) {
+	h := NewHarness(costmodel.SP1)
+	sizes := make([]int, 0, 512)
+	for b := 1; b <= 512; b++ {
+		sizes = append(sizes, b)
+	}
+	series, err := h.Fig5(64, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := Crossover(series[0], series[1])
+	if cross < 100 || cross > 200 {
+		t.Errorf("crossover at %d bytes, paper reports 100-200", cross)
+	}
+	// The tuned-radix curve is never worse than either special case.
+	for i := range sizes {
+		tuned := series[2].Points[i].Seconds
+		if tuned > series[0].Points[i].Seconds+1e-15 || tuned > series[1].Points[i].Seconds+1e-15 {
+			t.Fatalf("at %d bytes the tuned radix (%.3gs) is worse than a special case", sizes[i], tuned)
+		}
+	}
+}
+
+// TestFig6Shape: the minimum of the time-versus-radix curve moves to
+// larger radices as the message grows (32, 64, 128 bytes as in the
+// paper).
+func TestFig6Shape(t *testing.T) {
+	h := NewHarness(costmodel.SP1)
+	radices := make([]int, 0, 63)
+	for r := 2; r <= 64; r++ {
+		radices = append(radices, r)
+	}
+	series, err := h.Fig6(64, []int{32, 64, 128}, radices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	argmin := func(s Series) int {
+		best := 0
+		for i := range s.Points {
+			if s.Points[i].Seconds < s.Points[best].Seconds {
+				best = i
+			}
+		}
+		return s.Points[best].R
+	}
+	m32, m64, m128 := argmin(series[0]), argmin(series[1]), argmin(series[2])
+	if !(m32 <= m64 && m64 <= m128) {
+		t.Errorf("minima at radices %d, %d, %d for 32, 64, 128 bytes; want non-decreasing", m32, m64, m128)
+	}
+	if m32 == m128 {
+		t.Errorf("minimum did not move between 32 and 128 bytes (both %d)", m32)
+	}
+}
+
+// TestScheduleMatchesClosedForm: the harness's measured schedules equal
+// the closed forms of package collective.
+func TestScheduleMatchesClosedForm(t *testing.T) {
+	h := NewHarness(costmodel.SP1)
+	for _, tc := range []struct{ n, r, k int }{{8, 2, 1}, {64, 8, 1}, {9, 3, 2}, {16, 4, 3}} {
+		pt, err := h.point(tc.n, tc.r, tc.k, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantC1, wantC2 := collective.IndexCost(tc.n, 7, tc.r, tc.k)
+		if pt.C1 != wantC1 || pt.C2 != wantC2 {
+			t.Errorf("n=%d r=%d k=%d: point (%d, %d), closed form (%d, %d)",
+				tc.n, tc.r, tc.k, pt.C1, pt.C2, wantC1, wantC2)
+		}
+	}
+}
+
+// TestScheduleCache: the second request for the same configuration does
+// not re-run the engine (same slice returned).
+func TestScheduleCache(t *testing.T) {
+	h := NewHarness(costmodel.SP1)
+	a, err := h.schedule(8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.schedule(8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("schedule was re-measured instead of cached")
+	}
+}
+
+func TestConcatBoundsTableOptimal(t *testing.T) {
+	rows, err := ConcatBoundsTable([]int{4, 5, 8, 9, 16, 17, 27, 32}, []int{1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, r := range rows {
+		if !r.C1Optimal || !r.C2Optimal {
+			t.Errorf("concat n=%d k=%d b=%d not optimal: C1 %d/%d, C2 %d/%d",
+				r.N, r.K, r.B, r.C1, r.C1LB, r.C2, r.C2LB)
+		}
+	}
+}
+
+func TestIndexBoundsTable(t *testing.T) {
+	rows, err := IndexBoundsTable([]int{8, 9, 16}, []int{1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.C1 < r.C1LB || r.C2 < r.C2LB {
+			t.Errorf("%s n=%d k=%d beats a lower bound: %+v", r.Op, r.N, r.K, r)
+		}
+		// The round-minimal radix must be C1-optimal; the
+		// volume-minimal radix (r=n) must be C2-optimal at k=1.
+		if strings.HasPrefix(r.Op, "index r=") && r.K == 1 {
+			if strings.HasSuffix(r.Op, "r=2") && !r.C1Optimal {
+				t.Errorf("r=2 not C1-optimal: %+v", r)
+			}
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	h := NewHarness(costmodel.SP1)
+	series, err := h.Fig4(8, []int{2, 8}, []int{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := RenderSeries(series)
+	for _, want := range []string{"bytes", "r=2", "r=8", "16", "64"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("RenderSeries lacks %q:\n%s", want, table)
+		}
+	}
+	fig6, err := h.Fig6(8, []int{32}, []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byR := RenderSeriesByR(fig6)
+	if !strings.Contains(byR, "radix") || !strings.Contains(byR, "32 bytes") {
+		t.Errorf("RenderSeriesByR:\n%s", byR)
+	}
+	csv := CSV(series, "bytes")
+	if !strings.HasPrefix(csv, "bytes,r=2,r=8\n") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Errorf("CSV has %d lines, want 3", lines)
+	}
+	rows, err := ConcatBoundsTable([]int{4, 8}, []int{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := RenderBounds(rows)
+	if !strings.Contains(bounds, "concat") || !strings.Contains(bounds, "C1-LB") {
+		t.Errorf("RenderBounds:\n%s", bounds)
+	}
+	if RenderSeries(nil) == "" || RenderSeriesByR(nil) == "" {
+		t.Error("renderers must handle empty input")
+	}
+}
+
+func TestCrossoverNone(t *testing.T) {
+	a := Series{Points: []Point{{BlockLen: 1, Seconds: 1}, {BlockLen: 2, Seconds: 1}}}
+	b := Series{Points: []Point{{BlockLen: 1, Seconds: 2}, {BlockLen: 2, Seconds: 2}}}
+	if got := Crossover(a, b); got != -1 {
+		t.Errorf("Crossover = %d, want -1", got)
+	}
+	if got := Crossover(b, a); got != 1 {
+		t.Errorf("Crossover = %d, want 1", got)
+	}
+}
