@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"testing"
 
+	"bruck/internal/buffers"
 	"bruck/internal/circulant"
 	"bruck/internal/collective"
 	"bruck/internal/costmodel"
@@ -64,6 +65,98 @@ func reportModel(b *testing.B, rep *Report) {
 	b.ReportMetric(float64(rep.C1), "C1-rounds")
 	b.ReportMetric(float64(rep.C2), "C2-bytes")
 	b.ReportMetric(rep.Time(costmodel.SP1)*1e6, "SP1-model-us")
+}
+
+// BenchmarkIndex compares the legacy block-matrix index API with the
+// flat zero-copy API on identical schedules. Run with -benchmem: the
+// flat path must show at least 50% fewer allocs/op (the acceptance
+// bound locked in by TestFlatIndexAllocs; measured reductions are
+// larger, see README.md).
+func BenchmarkIndex(b *testing.B) {
+	const n, size, r = 16, 128, 2
+	b.Run("legacy", func(b *testing.B) {
+		m := MustNewMachine(n)
+		in := benchIndexInput(n, size)
+		var rep *Report
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, rep, err = m.Index(in, WithRadix(r))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportModel(b, rep)
+	})
+	b.Run("flat", func(b *testing.B) {
+		m := MustNewMachine(n)
+		fin, err := buffers.FromMatrix(benchIndexInput(n, size))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fout, err := NewIndexBuffers(n, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rep *Report
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err = m.IndexFlat(fin, fout, WithRadix(r))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportModel(b, rep)
+	})
+}
+
+// BenchmarkConcat compares the legacy block-matrix concatenation API
+// with the flat zero-copy API on identical schedules (see
+// BenchmarkIndex).
+func BenchmarkConcat(b *testing.B) {
+	const n, size = 16, 128
+	b.Run("legacy", func(b *testing.B) {
+		m := MustNewMachine(n)
+		in := benchConcatInput(n, size)
+		var rep *Report
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, rep, err = m.Concat(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportModel(b, rep)
+	})
+	b.Run("flat", func(b *testing.B) {
+		m := MustNewMachine(n)
+		fin, err := buffers.FromVector(benchConcatInput(n, size))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fout, err := NewIndexBuffers(n, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rep *Report
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err = m.ConcatFlat(fin, fout)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportModel(b, rep)
+	})
 }
 
 // BenchmarkFig4IndexRadixSweep regenerates the Figure 4 grid: the index

@@ -35,6 +35,7 @@ package bruck
 import (
 	"fmt"
 
+	"bruck/internal/buffers"
 	"bruck/internal/collective"
 	"bruck/internal/costmodel"
 	"bruck/internal/mpsim"
@@ -252,6 +253,11 @@ func (m *Machine) call(opts []CollectiveOption) callConfig {
 // (MPI_Alltoall): in[i][j] is block B[i,j], the block processor i holds
 // for processor j; the result satisfies out[i][j] = in[j][i]. All
 // blocks must have the same size.
+//
+// Index is a convenience adapter over IndexFlat: the block matrix is
+// copied into a flat buffer, the zero-copy path runs, and the result is
+// copied back out as fresh slices. Allocation-sensitive callers should
+// use IndexFlat.
 func (m *Machine) Index(in [][][]byte, opts ...CollectiveOption) ([][][]byte, *Report, error) {
 	cfg := m.call(opts)
 	if cfg.radices != nil {
@@ -263,9 +269,68 @@ func (m *Machine) Index(in [][][]byte, opts ...CollectiveOption) ([][][]byte, *R
 // Concat performs all-to-all broadcast (MPI_Allgather): in[i] is block
 // B[i]; afterwards every processor holds the full concatenation,
 // out[i][j] = in[j]. All blocks must have the same size.
+//
+// Concat is a convenience adapter over ConcatFlat; allocation-sensitive
+// callers should use ConcatFlat.
 func (m *Machine) Concat(in [][]byte, opts ...CollectiveOption) ([][][]byte, *Report, error) {
 	cfg := m.call(opts)
 	return collective.Concat(m.engine, cfg.group, in, cfg.concatOpt)
+}
+
+// Buffers is the flat block store of the zero-copy collective paths:
+// one contiguous byte slab holding, for each of n processors, a fixed
+// number of fixed-size blocks. Proc and Block return in-place views,
+// never copies. See NewIndexBuffers and NewConcatBuffers for the shapes
+// the flat operations expect.
+type Buffers = buffers.Buffers
+
+// NewBuffers creates an all-zero flat buffer for procs processors with
+// blocks blocks of blockLen bytes each.
+func NewBuffers(procs, blocks, blockLen int) (*Buffers, error) {
+	return buffers.New(procs, blocks, blockLen)
+}
+
+// NewIndexBuffers creates an index-shaped flat buffer (n processors
+// with n blocks of blockLen bytes each), the layout IndexFlat expects
+// for both its input and its output: block j of processor region i is
+// B[i, j].
+func NewIndexBuffers(n, blockLen int) (*Buffers, error) {
+	return buffers.New(n, n, blockLen)
+}
+
+// NewConcatBuffers creates a concat-shaped flat input buffer (n
+// processors with one block of blockLen bytes each), the layout
+// ConcatFlat expects for its input; its output is index-shaped
+// (NewIndexBuffers).
+func NewConcatBuffers(n, blockLen int) (*Buffers, error) {
+	return buffers.New(n, 1, blockLen)
+}
+
+// IndexFlat is the zero-copy index operation: in and out are
+// index-shaped flat buffers (NewIndexBuffers) for the group size n;
+// afterwards out.Block(i, j) equals in.Block(j, i). in and out must be
+// distinct; out is fully overwritten. The schedule — and therefore the
+// Report — is identical to Index's, but packing, unpacking and receives
+// all work in caller-owned or pool-recycled contiguous memory: on a
+// reused Machine the operation performs no per-block or per-message
+// allocations.
+func (m *Machine) IndexFlat(in, out *Buffers, opts ...CollectiveOption) (*Report, error) {
+	cfg := m.call(opts)
+	if cfg.radices != nil {
+		return collective.IndexMixedFlat(m.engine, cfg.group, in, out, cfg.radices)
+	}
+	return collective.IndexFlat(m.engine, cfg.group, in, out, cfg.indexOpt)
+}
+
+// ConcatFlat is the zero-copy concatenation: in is a concat-shaped flat
+// buffer (NewConcatBuffers) and out an index-shaped one
+// (NewIndexBuffers); afterwards out.Block(i, j) equals in.Block(j, 0)
+// for every member i. The output slab doubles as the algorithm's
+// accumulation memory, so beyond pooled transport buffers the operation
+// allocates nothing on a reused Machine.
+func (m *Machine) ConcatFlat(in, out *Buffers, opts ...CollectiveOption) (*Report, error) {
+	cfg := m.call(opts)
+	return collective.ConcatFlat(m.engine, cfg.group, in, out, cfg.concatOpt)
 }
 
 // Broadcast sends root's data to every group member; the result holds

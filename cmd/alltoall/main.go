@@ -4,6 +4,7 @@
 //	alltoall -op index  -n 64 -b 128 -r 8 -k 1
 //	alltoall -op concat -n 17 -b 64 -k 2
 //	alltoall -op index  -n 64 -b 128 -r auto      # tuned radix
+//	alltoall -op index  -n 64 -b 128 -flat        # zero-copy flat-buffer path
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 	"strconv"
 
+	"bruck/internal/buffers"
 	"bruck/internal/collective"
 	"bruck/internal/costmodel"
 	"bruck/internal/lowerbound"
@@ -27,6 +29,7 @@ type params struct {
 	b     int
 	radix string
 	alg   string
+	flat  bool
 }
 
 func main() {
@@ -37,6 +40,7 @@ func main() {
 	flag.IntVar(&p.b, "b", 64, "block size in bytes")
 	flag.StringVar(&p.radix, "r", "", "index radix (2..n), empty for k+1, or 'auto' for model-tuned")
 	flag.StringVar(&p.alg, "alg", "", "algorithm override (index: bruck|direct|xor; concat: circulant|folklore|ring|recdbl)")
+	flag.BoolVar(&p.flat, "flat", false, "run the zero-copy flat-buffer path (IndexFlat/ConcatFlat)")
 	flag.Parse()
 
 	if err := run(os.Stdout, p); err != nil {
@@ -78,18 +82,30 @@ func run(w io.Writer, p params) error {
 			}
 			opt.Radix = r
 		}
-		in := make([][][]byte, p.n)
-		for i := range in {
-			in[i] = make([][]byte, p.n)
-			for j := range in[i] {
-				in[i][j] = make([]byte, p.b)
+		if p.flat {
+			fin, ferr := buffers.New(p.n, p.n, p.b)
+			if ferr != nil {
+				return ferr
 			}
+			fout, ferr := buffers.New(p.n, p.n, p.b)
+			if ferr != nil {
+				return ferr
+			}
+			res, err = collective.IndexFlat(e, g, fin, fout, opt)
+		} else {
+			in := make([][][]byte, p.n)
+			for i := range in {
+				in[i] = make([][]byte, p.n)
+				for j := range in[i] {
+					in[i][j] = make([]byte, p.b)
+				}
+			}
+			_, res, err = collective.Index(e, g, in, opt)
 		}
-		_, res, err = collective.Index(e, g, in, opt)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "index: n=%d k=%d b=%d alg=%v\n", p.n, p.k, p.b, opt.Algorithm)
+		fmt.Fprintf(w, "index: n=%d k=%d b=%d alg=%v path=%s\n", p.n, p.k, p.b, opt.Algorithm, pathName(p.flat))
 		fmt.Fprintf(w, "  C1 = %d rounds   (lower bound %d)\n", res.C1, lowerbound.IndexRounds(p.n, p.k))
 		fmt.Fprintf(w, "  C2 = %d bytes    (lower bound %d)\n", res.C2, lowerbound.IndexVolume(p.n, p.b, p.k))
 
@@ -107,15 +123,27 @@ func run(w io.Writer, p params) error {
 		default:
 			return fmt.Errorf("unknown concat algorithm %q", p.alg)
 		}
-		in := make([][]byte, p.n)
-		for i := range in {
-			in[i] = make([]byte, p.b)
+		if p.flat {
+			fin, ferr := buffers.New(p.n, 1, p.b)
+			if ferr != nil {
+				return ferr
+			}
+			fout, ferr := buffers.New(p.n, p.n, p.b)
+			if ferr != nil {
+				return ferr
+			}
+			res, err = collective.ConcatFlat(e, g, fin, fout, opt)
+		} else {
+			in := make([][]byte, p.n)
+			for i := range in {
+				in[i] = make([]byte, p.b)
+			}
+			_, res, err = collective.Concat(e, g, in, opt)
 		}
-		_, res, err = collective.Concat(e, g, in, opt)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "concat: n=%d k=%d b=%d alg=%v\n", p.n, p.k, p.b, opt.Algorithm)
+		fmt.Fprintf(w, "concat: n=%d k=%d b=%d alg=%v path=%s\n", p.n, p.k, p.b, opt.Algorithm, pathName(p.flat))
 		fmt.Fprintf(w, "  C1 = %d rounds   (lower bound %d)\n", res.C1, lowerbound.ConcatRounds(p.n, p.k))
 		fmt.Fprintf(w, "  C2 = %d bytes    (lower bound %d)\n", res.C2, lowerbound.ConcatVolume(p.n, p.b, p.k))
 
@@ -130,4 +158,11 @@ func run(w io.Writer, p params) error {
 		fmt.Fprintf(w, "  critical path (SP-1 linear): %v\n", costmodel.Duration(cp))
 	}
 	return nil
+}
+
+func pathName(flat bool) string {
+	if flat {
+		return "flat"
+	}
+	return "legacy"
 }

@@ -5,6 +5,7 @@
 //	concatbench -bounds            # achieved vs Section 2 lower bounds
 //	concatbench -optimality        # Theorem 4.3 across the special range
 //	concatbench -baselines         # circulant vs folklore/ring/recdbl
+//	concatbench -allocs            # legacy vs flat-buffer allocations
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 	bounds := flag.Bool("bounds", false, "print achieved C1/C2 vs lower bounds for both operations")
 	optimality := flag.Bool("optimality", false, "sweep the special range and show the last-round policies")
 	baselines := flag.Bool("baselines", false, "compare the circulant algorithm with the baselines")
+	allocs := flag.Bool("allocs", false, "compare legacy vs flat-buffer allocations per operation")
 	b := flag.Int("b", 4, "block size in bytes")
 	flag.Parse()
 
@@ -36,6 +38,8 @@ func main() {
 		err = runOptimality(os.Stdout, *b)
 	case *baselines:
 		err = runBaselines(os.Stdout, *b)
+	case *allocs:
+		err = runAllocs(os.Stdout, *b)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -111,6 +115,19 @@ func runBaselines(w io.Writer, b int) error {
 			fmt.Fprintf(w, "%5d %-20s %8d %10d %12d %12d\n", n, alg, res.C1, res.C2,
 				lowerbound.ConcatRounds(n, 1), lowerbound.ConcatVolume(n, b, 1))
 		}
+	}
+	return nil
+}
+
+func runAllocs(w io.Writer, b int) error {
+	fmt.Fprintf(w, "concat allocations per operation, legacy (block matrix) vs flat (zero-copy), b = %d\n\n", b)
+	fmt.Fprintf(w, "%5s %3s %14s %14s %12s\n", "n", "k", "legacy", "flat", "reduction")
+	for _, tc := range []struct{ n, k int }{{16, 1}, {32, 1}, {64, 1}, {64, 3}} {
+		legacy, flat, err := sweep.ConcatAllocs(tc.n, b, tc.k, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%5d %3d %14.0f %14.0f %11.0f%%\n", tc.n, tc.k, legacy, flat, 100*(1-flat/legacy))
 	}
 	return nil
 }

@@ -5,6 +5,7 @@
 //	indexbench -fig 5        # r=2 vs r=n vs tuned radix, with crossover
 //	indexbench -fig 6        # time vs radix for several message sizes
 //	indexbench -tune         # optimal radix per message size
+//	indexbench -allocs       # legacy vs flat-buffer allocations per op
 //
 // Schedules are measured on the simulator (per-round message sizes of
 // the real algorithm); times are evaluated under the linear model
@@ -26,6 +27,7 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (4, 5, 6)")
 	tune := flag.Bool("tune", false, "print the optimal radix per message size")
+	allocs := flag.Bool("allocs", false, "compare legacy vs flat-buffer allocations per operation")
 	n := flag.Int("n", 64, "number of processors")
 	k := flag.Int("k", 1, "ports per processor (figures use the one-port model)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -42,6 +44,8 @@ func main() {
 		err = runFig6(os.Stdout, h, *n, *csv)
 	case *tune:
 		err = runTune(os.Stdout, *n, *k)
+	case *allocs:
+		err = runAllocs(os.Stdout, *n, *k)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -120,6 +124,21 @@ func runTune(w io.Writer, n, k int) error {
 		mixed := collective.OptimalRadixSchedule(costmodel.SP1, n, b, k)
 		c1, c2 := collective.IndexMixedCost(n, b, mixed, k)
 		fmt.Fprintf(w, "%10d %12d %12d %16v %10d %12d\n", b, rAll, rP2, mixed, c1, c2)
+	}
+	return nil
+}
+
+func runAllocs(w io.Writer, n, k int) error {
+	fmt.Fprintf(w, "index allocations per operation, legacy (block matrix) vs flat (zero-copy), n = %d, k = %d\n\n", n, k)
+	fmt.Fprintf(w, "%6s %8s %14s %14s %12s\n", "r", "bytes", "legacy", "flat", "reduction")
+	for _, r := range []int{2, 8, n} {
+		for _, b := range []int{16, 128, 1024} {
+			legacy, flat, err := sweep.IndexAllocs(n, b, r, k, 10)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%6d %8d %14.0f %14.0f %11.0f%%\n", r, b, legacy, flat, 100*(1-flat/legacy))
+		}
 	}
 	return nil
 }

@@ -65,5 +65,34 @@ func main() {
 			}
 		}
 	}
+
+	// --- The same index, zero-copy --------------------------------------
+	// The flat API runs the identical schedule on contiguous buffers:
+	// no per-block allocations, results read through in-place views.
+	fin, err := bruck.NewIndexBuffers(n, len(in[0][0]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fout, err := bruck.NewIndexBuffers(n, len(in[0][0]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			copy(fin.Block(i, j), in[i][j])
+		}
+	}
+	frep, err := m.IndexFlat(fin, fout, bruck.WithRadix(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("index with r=2 (flat zero-copy):", frep)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !bytes.Equal(fout.Block(i, j), out[i][j]) {
+				log.Fatalf("flat/legacy mismatch at out[%d][%d]", i, j)
+			}
+		}
+	}
 	fmt.Println("ok")
 }

@@ -1,0 +1,3 @@
+module bruck
+
+go 1.22

@@ -1,3 +1,10 @@
+// Package blocks implements the radix digit arithmetic on block ids
+// used by the index algorithm of Bruck et al. (Section 3.2): block id
+// decomposition into radix-r digits and the digit-based block selection
+// that determines which blocks travel together in each step of a
+// subphase. The pack/unpack data movement itself lives in the
+// collective package (packDigit/unpackDigit), operating directly on
+// flat buffers.
 package blocks
 
 import (
@@ -58,45 +65,4 @@ func SelectAt(n, dist, radix, z int) []int {
 		}
 	}
 	return ids
-}
-
-// Pack gathers the blocks of m whose pos-th radix-r digit equals z into
-// one contiguous message, in increasing block-id order (the paper's
-// routine pack(A, B, blklen, n, r, i, j, nblocks)). It returns the
-// packed payload and the block ids it contains.
-func Pack(m *Matrix, r, pos, z int) (packed []byte, ids []int) {
-	ids = SelectDigit(m.N(), r, pos, z)
-	return PackIDs(m, ids), ids
-}
-
-// PackIDs gathers the listed blocks into one contiguous message in list
-// order.
-func PackIDs(m *Matrix, ids []int) []byte {
-	packed := make([]byte, 0, len(ids)*m.BlockLen())
-	for _, j := range ids {
-		packed = append(packed, m.Block(j)...)
-	}
-	return packed
-}
-
-// Unpack scatters a payload produced by Pack with identical (n, r, pos,
-// z) parameters back into the corresponding block slots of m (the
-// paper's routine unpack). It fails if the payload size does not match
-// the selected block count.
-func Unpack(m *Matrix, payload []byte, r, pos, z int) error {
-	return UnpackIDs(m, payload, SelectDigit(m.N(), r, pos, z))
-}
-
-// UnpackIDs scatters a payload produced by PackIDs with the same id
-// list back into the corresponding block slots of m.
-func UnpackIDs(m *Matrix, payload []byte, ids []int) error {
-	want := len(ids) * m.BlockLen()
-	if len(payload) != want {
-		return fmt.Errorf("blocks: unpack payload %d bytes, want %d (%d blocks of %d bytes)",
-			len(payload), want, len(ids), m.BlockLen())
-	}
-	for i, j := range ids {
-		copy(m.Block(j), payload[i*m.BlockLen():(i+1)*m.BlockLen()])
-	}
-	return nil
 }

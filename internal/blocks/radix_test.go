@@ -133,56 +133,6 @@ func TestSelectDigitMessageSizeBound(t *testing.T) {
 	}
 }
 
-func TestPackUnpackRoundTrip(t *testing.T) {
-	f := func(nRaw, rRaw, bRaw uint8) bool {
-		n := int(nRaw)%20 + 2
-		r := int(rRaw)%(n-1) + 2 // 2..n
-		if r > n {
-			r = n
-		}
-		b := int(bRaw)%8 + 1
-		m, err := New(n, b)
-		if err != nil {
-			return false
-		}
-		fill(m)
-		w := NumDigits(n, r)
-		for pos := 0; pos < w; pos++ {
-			for z := 1; z < r; z++ {
-				src := m.Clone()
-				packed, ids := Pack(src, r, pos, z)
-				if len(packed) != len(ids)*b {
-					return false
-				}
-				dst := src.Clone()
-				// Zero the selected blocks, then unpack restores them.
-				for _, id := range ids {
-					for i := range dst.Block(id) {
-						dst.Block(id)[i] = 0
-					}
-				}
-				if err := Unpack(dst, packed, r, pos, z); err != nil {
-					return false
-				}
-				if !dst.Equal(src) {
-					return false
-				}
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
-		t.Error(err)
-	}
-}
-
-func TestUnpackSizeMismatch(t *testing.T) {
-	m, _ := New(5, 4)
-	if err := Unpack(m, make([]byte, 3), 2, 0, 1); err == nil {
-		t.Error("Unpack accepted wrong-size payload")
-	}
-}
-
 func TestSelectDigitPanicsOnBadStep(t *testing.T) {
 	for _, z := range []int{0, 2} {
 		func() {

@@ -1,0 +1,148 @@
+package buffers
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestShapeAndViews(t *testing.T) {
+	b, err := New(3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Procs() != 3 || b.Blocks() != 4 || b.BlockLen() != 5 || b.ProcLen() != 20 {
+		t.Fatalf("shape = (%d, %d, %d, %d)", b.Procs(), b.Blocks(), b.BlockLen(), b.ProcLen())
+	}
+	if len(b.Bytes()) != 3*4*5 {
+		t.Fatalf("slab length %d, want %d", len(b.Bytes()), 3*4*5)
+	}
+	// Block and Proc are views: writes through one are visible in the other.
+	blk := b.Block(1, 2)
+	for i := range blk {
+		blk[i] = 0xAB
+	}
+	region := b.Proc(1)
+	if !bytes.Equal(region[2*5:3*5], blk) {
+		t.Fatalf("Proc view does not reflect Block write")
+	}
+	if &region[0] != &b.Bytes()[20] {
+		t.Fatalf("Proc(1) is not a view into the slab")
+	}
+}
+
+func TestNewRejectsBadShape(t *testing.T) {
+	for _, tc := range []struct{ p, blk, bl int }{{0, 1, 1}, {1, 0, 1}, {1, 1, -1}} {
+		if _, err := New(tc.p, tc.blk, tc.bl); err == nil {
+			t.Errorf("New(%d, %d, %d) accepted", tc.p, tc.blk, tc.bl)
+		}
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	in := [][][]byte{
+		{{1, 2}, {3, 4}, {5, 6}},
+		{{7, 8}, {9, 10}, {11, 12}},
+		{{13, 14}, {15, 16}, {17, 18}},
+	}
+	b, err := FromMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Block(1, 2); !bytes.Equal(got, []byte{11, 12}) {
+		t.Fatalf("Block(1,2) = %v", got)
+	}
+	out := b.ToMatrix()
+	for i := range in {
+		for j := range in[i] {
+			if !bytes.Equal(out[i][j], in[i][j]) {
+				t.Fatalf("round trip [%d][%d] = %v, want %v", i, j, out[i][j], in[i][j])
+			}
+		}
+	}
+	// ToMatrix must copy, not alias.
+	out[0][0][0] = 99
+	if b.Block(0, 0)[0] == 99 {
+		t.Fatal("ToMatrix aliases the slab")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	in := [][]byte{{1, 2, 3}, {4, 5, 6}}
+	b, err := FromVector(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Procs() != 2 || b.Blocks() != 1 {
+		t.Fatalf("shape (%d, %d)", b.Procs(), b.Blocks())
+	}
+	out, err := b.ToVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if !bytes.Equal(out[i], in[i]) {
+			t.Fatalf("round trip [%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+	idx, _ := New(2, 2, 3)
+	if _, err := idx.ToVector(); err == nil {
+		t.Fatal("ToVector accepted a multi-block Buffers")
+	}
+}
+
+func TestFromMatrixRejectsRagged(t *testing.T) {
+	if _, err := FromMatrix([][][]byte{{{1}}, {{1}, {2}}}); err == nil {
+		t.Fatal("ragged block counts accepted")
+	}
+	if _, err := FromMatrix([][][]byte{{{1, 2}}, {{1}}}); err == nil {
+		t.Fatal("ragged block lengths accepted")
+	}
+	if _, err := FromVector([][]byte{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged vector accepted")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	b, _ := New(2, 3, 2)
+	for i := range b.Bytes() {
+		b.Bytes()[i] = byte(i)
+	}
+	c := b.Clone()
+	if !b.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Block(0, 0)[0] = 77
+	if b.Equal(c) {
+		t.Fatal("clone aliases original")
+	}
+	b.Zero()
+	for _, v := range b.Bytes() {
+		if v != 0 {
+			t.Fatal("Zero left data behind")
+		}
+	}
+}
+
+func TestRotateUp(t *testing.T) {
+	// 5 blocks of 2 bytes, block j = [2j, 2j+1].
+	mk := func() []byte {
+		r := make([]byte, 10)
+		for i := range r {
+			r[i] = byte(i)
+		}
+		return r
+	}
+	for steps := -7; steps <= 7; steps++ {
+		region := mk()
+		RotateUp(region, 5, 2, steps)
+		for j := 0; j < 5; j++ {
+			src := ((j+steps)%5 + 5) % 5
+			if region[2*j] != byte(2*src) || region[2*j+1] != byte(2*src+1) {
+				t.Fatalf("steps %d: block %d = [%d %d], want block %d", steps, j, region[2*j], region[2*j+1], src)
+			}
+		}
+	}
+	// Degenerate shapes must not panic.
+	RotateUp(nil, 1, 0, 3)
+	RotateUp([]byte{1, 2}, 1, 2, 1)
+}

@@ -1,103 +1,96 @@
 package collective
 
 import (
-	"fmt"
-
+	"bruck/internal/buffers"
 	"bruck/internal/intmath"
 	"bruck/internal/mpsim"
 )
 
-// ringConcatBody circulates blocks around the ring: in round z the
+// ringConcatFlatBody circulates blocks around the ring: in round z the
 // processor forwards the block it received in round z-1 (starting with
 // its own) to its predecessor and receives a new one from its
-// successor. One-port schedule: C1 = n-1, C2 = b(n-1). Matches the
-// accumulation convention of the circulant algorithm (temp[q] holds
-// B[(me+q) mod n]).
-func ringConcatBody(p *mpsim.Proc, g *mpsim.Group, myBlock []byte, blockLen int) ([][]byte, error) {
+// successor. One-port schedule: C1 = n-1, C2 = b(n-1). The output
+// region serves as the accumulation buffer in the successor-order
+// convention of the circulant algorithm (block q holds B[(me+q) mod n])
+// and is rotated into rank order in place at the end.
+func ringConcatFlatBody(p *mpsim.Proc, g *mpsim.Group, myBlock, out []byte, blockLen int) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
+	copy(out[:blockLen], myBlock)
 	if n == 1 {
-		return [][]byte{append([]byte(nil), myBlock...)}, nil
+		return nil
 	}
-	temp := make([]byte, n*blockLen)
-	copy(temp[:blockLen], myBlock)
 	pred := g.ID(intmath.Mod(me-1, n))
 	succ := g.ID(intmath.Mod(me+1, n))
+	sends := make([]mpsim.Send, 1)
+	froms := []int{succ}
+	into := make([][]byte, 1)
 	for q := 1; q < n; q++ {
-		outgoing := temp[(q-1)*blockLen : q*blockLen]
-		in, err := p.SendRecv(pred, outgoing, succ)
-		if err != nil {
-			return nil, err
+		sends[0] = mpsim.Send{To: pred, Data: out[(q-1)*blockLen : q*blockLen]}
+		into[0] = out[q*blockLen : (q+1)*blockLen]
+		if err := p.ExchangeInto(sends, froms, into); err != nil {
+			return err
 		}
-		if len(in) != blockLen {
-			return nil, fmt.Errorf("collective: ring received %d bytes, want %d", len(in), blockLen)
-		}
-		copy(temp[q*blockLen:(q+1)*blockLen], in)
 	}
-	return splitConcat(temp, me, n, blockLen), nil
+	buffers.RotateUp(out, n, blockLen, n-me)
+	return nil
 }
 
-// folkloreConcatBody is the two-phase folklore algorithm of Section 4:
-// gather the n blocks to processor 0 along a (k+1)-nomial tree, then
-// broadcast the concatenation back along the same tree. It is
-// round-suboptimal (2*ceil(log_{k+1} n) rounds) and, under the paper's
-// C2 measure, volume-suboptimal because every broadcast round moves the
-// full n*b-byte concatenation.
-func folkloreConcatBody(p *mpsim.Proc, g *mpsim.Group, myBlock []byte, blockLen int) ([][]byte, error) {
+// folkloreConcatFlatBody is the two-phase folklore algorithm of Section
+// 4: gather the n blocks to processor 0 along a (k+1)-nomial tree, then
+// broadcast the concatenation back along the same tree into the output
+// region. It is round-suboptimal (2*ceil(log_{k+1} n) rounds) and,
+// under the paper's C2 measure, volume-suboptimal because every
+// broadcast round moves the full n*b-byte concatenation.
+func folkloreConcatFlatBody(p *mpsim.Proc, g *mpsim.Group, myBlock, out []byte, blockLen int) error {
 	n := g.Size()
 	if n == 1 {
-		return [][]byte{append([]byte(nil), myBlock...)}, nil
+		copy(out[:blockLen], myBlock)
+		return nil
 	}
 	buf, err := gatherBody(p, g, 0, myBlock, blockLen)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// With root 0, virtual ranks equal group ranks, so buf (at the
-	// root) is already in group-rank order.
-	full, err := broadcastBody(p, g, 0, buf)
-	if err != nil {
-		return nil, err
+	// root) is already in group-rank order; the broadcast writes the
+	// rank-ordered concatenation straight into the output region.
+	if err := broadcastBodyInto(p, g, 0, buf, out); err != nil {
+		return err
 	}
-	if len(full) != n*blockLen {
-		return nil, fmt.Errorf("collective: folklore broadcast delivered %d bytes, want %d", len(full), n*blockLen)
+	if buf != nil {
+		p.ReleaseBuf(buf)
 	}
-	out := make([][]byte, n)
-	for j := 0; j < n; j++ {
-		out[j] = append([]byte(nil), full[j*blockLen:(j+1)*blockLen]...)
-	}
-	return out, nil
+	return nil
 }
 
-// recursiveDoublingConcatBody is the hypercube exchange for
+// recursiveDoublingConcatFlatBody is the hypercube exchange for
 // power-of-two group sizes: in round i the processor exchanges its
 // accumulated 2^i blocks with partner me XOR 2^i. One-port schedule:
-// C1 = log2 n, C2 = b(n-1), both optimal for k = 1.
-func recursiveDoublingConcatBody(p *mpsim.Proc, g *mpsim.Group, myBlock []byte, blockLen int) ([][]byte, error) {
+// C1 = log2 n, C2 = b(n-1), both optimal for k = 1. The output region
+// is indexed by group rank throughout, so no final shift is needed:
+// sends are views of the held range, receives land in the partner's
+// range.
+func recursiveDoublingConcatFlatBody(p *mpsim.Proc, g *mpsim.Group, myBlock, out []byte, blockLen int) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
+	copy(out[me*blockLen:(me+1)*blockLen], myBlock)
 	if n == 1 {
-		return [][]byte{append([]byte(nil), myBlock...)}, nil
+		return nil
 	}
-	// buf is indexed by group rank; after round i the processor holds
-	// the contiguous range of ranks sharing its high bits above i.
-	buf := make([]byte, n*blockLen)
-	copy(buf[me*blockLen:], myBlock)
+	sends := make([]mpsim.Send, 1)
+	froms := make([]int, 1)
+	into := make([][]byte, 1)
 	for bit := 1; bit < n; bit <<= 1 {
 		partner := me ^ bit
 		myLo := me &^ (bit - 1) // start of my held rank range
 		partnerLo := partner &^ (bit - 1)
-		in, err := p.SendRecv(g.ID(partner), buf[myLo*blockLen:(myLo+bit)*blockLen], g.ID(partner))
-		if err != nil {
-			return nil, err
+		sends[0] = mpsim.Send{To: g.ID(partner), Data: out[myLo*blockLen : (myLo+bit)*blockLen]}
+		froms[0] = g.ID(partner)
+		into[0] = out[partnerLo*blockLen : (partnerLo+bit)*blockLen]
+		if err := p.ExchangeInto(sends, froms, into); err != nil {
+			return err
 		}
-		if len(in) != bit*blockLen {
-			return nil, fmt.Errorf("collective: recursive doubling received %d bytes, want %d", len(in), bit*blockLen)
-		}
-		copy(buf[partnerLo*blockLen:], in)
 	}
-	out := make([][]byte, n)
-	for j := 0; j < n; j++ {
-		out[j] = append([]byte(nil), buf[j*blockLen:(j+1)*blockLen]...)
-	}
-	return out, nil
+	return nil
 }

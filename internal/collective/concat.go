@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"bruck/internal/buffers"
 	"bruck/internal/intmath"
 	"bruck/internal/mpsim"
 	"bruck/internal/partition"
@@ -59,6 +60,11 @@ type ConcatOptions struct {
 // engine e. in[i] is block B[i] of the processor with group rank i; all
 // blocks must have equal size. out[i][j] = B[j] for every group member
 // i.
+//
+// Concat is a thin adapter over ConcatFlat: it copies the blocks into a
+// flat Buffers, runs the zero-copy path, and copies the result back
+// out. Callers that care about allocation cost should use ConcatFlat
+// directly.
 func Concat(e *mpsim.Engine, g *mpsim.Group, in [][]byte, opt ConcatOptions) ([][][]byte, *Result, error) {
 	n := g.Size()
 	if len(in) != n {
@@ -67,136 +73,169 @@ func Concat(e *mpsim.Engine, g *mpsim.Group, in [][]byte, opt ConcatOptions) ([]
 	if n == 0 {
 		return nil, nil, fmt.Errorf("collective: empty group")
 	}
-	for _, id := range g.IDs() {
-		if id >= e.N() {
-			return nil, nil, fmt.Errorf("collective: group member %d outside engine with %d processors", id, e.N())
-		}
-	}
 	blockLen := len(in[0])
 	for i := range in {
 		if len(in[i]) != blockLen {
 			return nil, nil, fmt.Errorf("collective: block B[%d] has %d bytes, want %d", i, len(in[i]), blockLen)
 		}
 	}
+	fin, err := buffers.FromVector(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	fout, err := buffers.New(n, n, blockLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := ConcatFlat(e, g, fin, fout, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fout.ToMatrix(), res, nil
+}
+
+// ConcatFlat is the flat-buffer concatenation: in is a concat-shaped
+// Buffers (n processor regions of one block each, n the group size) and
+// out an index-shaped Buffers (n regions of n blocks). Afterwards
+// out.Block(i, j) equals in.Block(j, 0) for every member i. in and out
+// must be distinct Buffers; out is fully overwritten and doubles as the
+// algorithms' accumulation memory, so the operation needs no O(n*b)
+// scratch beyond pooled per-message transport buffers.
+func ConcatFlat(e *mpsim.Engine, g *mpsim.Group, in, out *buffers.Buffers, opt ConcatOptions) (*Result, error) {
+	n := g.Size()
+	if n == 0 {
+		return nil, fmt.Errorf("collective: empty group")
+	}
+	for _, id := range g.IDs() {
+		if id >= e.N() {
+			return nil, fmt.Errorf("collective: group member %d outside engine with %d processors", id, e.N())
+		}
+	}
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("collective: nil flat buffer")
+	}
+	if in.Procs() != n || in.Blocks() != 1 {
+		return nil, fmt.Errorf("collective: flat concat input is %dx%d blocks, group needs %dx1",
+			in.Procs(), in.Blocks(), n)
+	}
+	blockLen := in.BlockLen()
+	if out.Procs() != n || out.Blocks() != n || out.BlockLen() != blockLen {
+		return nil, fmt.Errorf("collective: flat concat output is %dx%d blocks of %d bytes, want %dx%d of %d",
+			out.Procs(), out.Blocks(), out.BlockLen(), n, n, blockLen)
+	}
 	if opt.Algorithm == ConcatRecursiveDoubling && !intmath.IsPow(2, n) {
-		return nil, nil, fmt.Errorf("collective: recursive doubling requires a power-of-two group size, got %d", n)
+		return nil, fmt.Errorf("collective: recursive doubling requires a power-of-two group size, got %d", n)
 	}
 
-	// Precompute the circulant last-round plan once; it is identical on
-	// every processor by translation invariance.
+	// Precompute the circulant last-round plan and its per-round area
+	// offsets once; both are identical on every processor by translation
+	// invariance.
 	var plan *partition.Plan
+	var planOffsets [][]int
 	if opt.Algorithm == ConcatCirculant && n > 1 && e.Ports() < n-1 {
 		d := intmath.CeilLog(e.Ports()+1, n)
 		n1 := intmath.Pow(e.Ports()+1, d-1)
 		var err error
 		plan, err = partition.Solve(blockLen, n-n1, n1, e.Ports(), opt.LastRound)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if err := plan.Validate(); err != nil {
-			return nil, nil, err
+			return nil, err
+		}
+		planOffsets = make([][]int, len(plan.Rounds))
+		for i, areas := range plan.Rounds {
+			if planOffsets[i], err = assignAreaOffsets(areas, n1); err != nil {
+				return nil, err
+			}
 		}
 	}
 
-	out := make([][][]byte, n)
 	err := e.Run(func(p *mpsim.Proc) error {
 		me := g.Rank(p.Rank())
 		if me < 0 {
 			return nil
 		}
-		var (
-			res [][]byte
-			err error
-		)
+		var err error
 		switch opt.Algorithm {
 		case ConcatCirculant:
-			res, err = circulantConcatBody(p, g, in[me], blockLen, plan)
+			err = circulantConcatFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen, plan, planOffsets)
 		case ConcatFolklore:
-			res, err = folkloreConcatBody(p, g, in[me], blockLen)
+			err = folkloreConcatFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen)
 		case ConcatRing:
-			res, err = ringConcatBody(p, g, in[me], blockLen)
+			err = ringConcatFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen)
 		case ConcatRecursiveDoubling:
-			res, err = recursiveDoublingConcatBody(p, g, in[me], blockLen)
+			err = recursiveDoublingConcatFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen)
 		default:
 			err = fmt.Errorf("collective: unknown concat algorithm %v", opt.Algorithm)
 		}
 		if err != nil {
 			return fmt.Errorf("group rank %d: %w", me, err)
 		}
-		out[me] = res
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return out, resultFrom(e.Metrics()), nil
+	return resultFrom(e.Metrics()), nil
 }
 
-// circulantConcatBody is the per-processor program of the Section 4
+// circulantConcatFlatBody is the per-processor program of the Section 4
 // algorithm, in the Appendix B convention (spanning trees grown with
 // negative offsets: the processor accumulates the blocks of its
-// successors). temp[q] holds block B[(me+q) mod n].
-func circulantConcatBody(p *mpsim.Proc, g *mpsim.Group, myBlock []byte, blockLen int, plan *partition.Plan) ([][]byte, error) {
+// successors). The output region itself serves as the accumulation
+// buffer: during the rounds out block q holds B[(me+q) mod n], and the
+// final local shift of Appendix B lines 17-18 is an in-place rotation.
+func circulantConcatFlatBody(p *mpsim.Proc, g *mpsim.Group, myBlock, out []byte, blockLen int,
+	plan *partition.Plan, planOffsets [][]int) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
 	k := p.Ports()
 
+	copy(out[:blockLen], myBlock)
 	if n == 1 {
-		return [][]byte{append([]byte(nil), myBlock...)}, nil
+		return nil
 	}
-
-	temp := make([]byte, n*blockLen)
-	copy(temp[:blockLen], myBlock)
 
 	if k >= n-1 {
 		// Trivial single-round algorithm: send the own block to every
 		// other member, receive every other block.
 		sends := make([]mpsim.Send, 0, n-1)
 		froms := make([]int, 0, n-1)
+		into := make([][]byte, 0, n-1)
 		for q := 1; q < n; q++ {
 			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me-q, n)), Data: myBlock})
 			froms = append(froms, g.ID(intmath.Mod(me+q, n)))
+			into = append(into, out[q*blockLen:(q+1)*blockLen])
 		}
-		recvd, err := p.Exchange(sends, froms)
-		if err != nil {
-			return nil, err
+		if err := p.ExchangeInto(sends, froms, into); err != nil {
+			return err
 		}
-		for i := range recvd {
-			if len(recvd[i]) != blockLen {
-				return nil, fmt.Errorf("collective: trivial concat received %d bytes, want %d", len(recvd[i]), blockLen)
-			}
-			copy(temp[(i+1)*blockLen:(i+2)*blockLen], recvd[i])
-		}
-		return splitConcat(temp, me, n, blockLen), nil
+		buffers.RotateUp(out, n, blockLen, n-me)
+		return nil
 	}
 
 	// First phase: d-1 doubling rounds with offset sets S_i. After
 	// round i the processor holds count = (k+1)^(i+1) consecutive
 	// blocks starting with its own.
+	sends := make([]mpsim.Send, 0, k)
+	froms := make([]int, 0, k)
+	into := make([][]byte, 0, k)
 	d := intmath.CeilLog(k+1, n)
 	count := 1
 	for round := 0; round < d-1; round++ {
 		base := count // (k+1)^round
-		sends := make([]mpsim.Send, 0, k)
-		froms := make([]int, 0, k)
+		sends, froms, into = sends[:0], froms[:0], into[:0]
 		for t := 1; t <= k; t++ {
 			sends = append(sends, mpsim.Send{
 				To:   g.ID(intmath.Mod(me-t*base, n)),
-				Data: temp[:count*blockLen],
+				Data: out[:count*blockLen],
 			})
 			froms = append(froms, g.ID(intmath.Mod(me+t*base, n)))
+			into = append(into, out[t*base*blockLen:(t*base+count)*blockLen])
 		}
-		recvd, err := p.Exchange(sends, froms)
-		if err != nil {
-			return nil, err
-		}
-		for t := 1; t <= k; t++ {
-			seg := recvd[t-1]
-			if len(seg) != count*blockLen {
-				return nil, fmt.Errorf("collective: concat round %d received %d bytes, want %d",
-					round, len(seg), count*blockLen)
-			}
-			copy(temp[t*base*blockLen:], seg)
+		if err := p.ExchangeInto(sends, froms, into); err != nil {
+			return err
 		}
 		count *= k + 1
 	}
@@ -207,45 +246,46 @@ func circulantConcatBody(p *mpsim.Proc, g *mpsim.Group, myBlock []byte, blockLen
 	// area determines both the communication partner and which held
 	// block each cell is read from: cell (row, col) travels with offset
 	// o as byte `row` of held block q = n1 + col - o.
-	for _, areas := range plan.Rounds {
-		offsets, err := assignAreaOffsets(areas, n1)
-		if err != nil {
-			return nil, err
-		}
-		sends := make([]mpsim.Send, 0, len(areas))
-		froms := make([]int, 0, len(areas))
+	for ri, areas := range plan.Rounds {
+		offsets := planOffsets[ri]
+		sends, froms, into = sends[:0], froms[:0], into[:0]
 		for ai, area := range areas {
 			o := offsets[ai]
-			payload := make([]byte, 0, area.Size)
+			payload := p.AcquireBuf(area.Size)
+			off := 0
 			for _, run := range area.Runs {
 				q := n1 + run.Col - o
-				blk := temp[q*blockLen : (q+1)*blockLen]
-				payload = append(payload, blk[run.Row0:run.Row0+run.NRows]...)
+				blk := out[q*blockLen : (q+1)*blockLen]
+				off += copy(payload[off:], blk[run.Row0:run.Row0+run.NRows])
 			}
 			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me-o, n)), Data: payload})
 			froms = append(froms, g.ID(intmath.Mod(me+o, n)))
+			into = append(into, p.AcquireBuf(area.Size))
 		}
-		recvd, err := p.Exchange(sends, froms)
+		err := p.ExchangeInto(sends, froms, into)
+		if err == nil {
+			for ai, area := range areas {
+				payload := into[ai]
+				off := 0
+				for _, run := range area.Runs {
+					q := n1 + run.Col
+					blk := out[q*blockLen : (q+1)*blockLen]
+					copy(blk[run.Row0:run.Row0+run.NRows], payload[off:off+run.NRows])
+					off += run.NRows
+				}
+			}
+		}
+		for i := range sends {
+			p.ReleaseBuf(sends[i].Data)
+			p.ReleaseBuf(into[i])
+		}
 		if err != nil {
-			return nil, err
-		}
-		for ai, area := range areas {
-			payload := recvd[ai]
-			if len(payload) != area.Size {
-				return nil, fmt.Errorf("collective: concat last round area %d received %d bytes, want %d",
-					ai, len(payload), area.Size)
-			}
-			off := 0
-			for _, run := range area.Runs {
-				q := n1 + run.Col
-				blk := temp[q*blockLen : (q+1)*blockLen]
-				copy(blk[run.Row0:run.Row0+run.NRows], payload[off:off+run.NRows])
-				off += run.NRows
-			}
+			return err
 		}
 	}
 
-	return splitConcat(temp, me, n, blockLen), nil
+	buffers.RotateUp(out, n, blockLen, n-me)
+	return nil
 }
 
 // assignAreaOffsets chooses a distinct communication offset for every
@@ -266,16 +306,4 @@ func assignAreaOffsets(areas []partition.Area, n1 int) ([]int, error) {
 		next = o
 	}
 	return offsets, nil
-}
-
-// splitConcat converts the successor-ordered accumulation buffer
-// (temp[q] = B[(me+q) mod n]) into the rank-ordered result
-// (out[j] = B[j]), the final local shift of Appendix B lines 17-18.
-func splitConcat(temp []byte, me, n, blockLen int) [][]byte {
-	out := make([][]byte, n)
-	for q := 0; q < n; q++ {
-		j := intmath.Mod(me+q, n)
-		out[j] = append([]byte(nil), temp[q*blockLen:(q+1)*blockLen]...)
-	}
-	return out
 }

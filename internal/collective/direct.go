@@ -1,86 +1,72 @@
 package collective
 
 import (
-	"fmt"
-
 	"bruck/internal/intmath"
 	"bruck/internal/mpsim"
 )
 
-// directIndexBody sends block B[me, dst] straight to dst and receives
-// B[src, me] straight from src: the r = n member of the algorithm
-// family, with minimal data volume C2 = ceil(b(n-1)/k) and maximal
-// round count C1 = ceil((n-1)/k) (Theorem 2.6 shows this round count is
-// forced once the volume is minimal).
-func directIndexBody(p *mpsim.Proc, g *mpsim.Group, myBlocks [][]byte, blockLen int) ([][]byte, error) {
+// directIndexFlatBody sends block B[me, dst] straight to dst and
+// receives B[src, me] straight from src: the r = n member of the
+// algorithm family, with minimal data volume C2 = ceil(b(n-1)/k) and
+// maximal round count C1 = ceil((n-1)/k) (Theorem 2.6 shows this round
+// count is forced once the volume is minimal). Sends are views into the
+// caller's input region and receives land directly in the output
+// region, so the body needs no scratch memory at all.
+func directIndexFlatBody(p *mpsim.Proc, g *mpsim.Group, in, out []byte, blockLen int) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
 	k := p.Ports()
 
-	out := make([][]byte, n)
-	out[me] = append([]byte(nil), myBlocks[me]...)
+	copy(out[me*blockLen:(me+1)*blockLen], in[me*blockLen:])
 
+	sends := make([]mpsim.Send, 0, k)
+	froms := make([]int, 0, k)
+	into := make([][]byte, 0, k)
 	for start := 1; start < n; start += k {
 		end := intmath.Min(start+k-1, n-1)
-		sends := make([]mpsim.Send, 0, end-start+1)
-		froms := make([]int, 0, end-start+1)
-		srcs := make([]int, 0, end-start+1)
+		sends, froms, into = sends[:0], froms[:0], into[:0]
 		for z := start; z <= end; z++ {
 			dst := intmath.Mod(me+z, n)
 			src := intmath.Mod(me-z, n)
-			sends = append(sends, mpsim.Send{To: g.ID(dst), Data: myBlocks[dst]})
+			sends = append(sends, mpsim.Send{To: g.ID(dst), Data: in[dst*blockLen : (dst+1)*blockLen]})
 			froms = append(froms, g.ID(src))
-			srcs = append(srcs, src)
+			into = append(into, out[src*blockLen:(src+1)*blockLen])
 		}
-		recvd, err := p.Exchange(sends, froms)
-		if err != nil {
-			return nil, err
-		}
-		for i, src := range srcs {
-			if len(recvd[i]) != blockLen {
-				return nil, fmt.Errorf("collective: direct index received %d bytes from %d, want %d",
-					len(recvd[i]), src, blockLen)
-			}
-			out[src] = recvd[i]
+		if err := p.ExchangeInto(sends, froms, into); err != nil {
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
-// xorIndexBody is the hypercube pairwise exchange: in step z the
+// xorIndexFlatBody is the hypercube pairwise exchange: in step z the
 // processor exchanges exactly one block with partner me XOR z. The
 // group size must be a power of two. Steps are grouped k at a time
-// under the k-port model.
-func xorIndexBody(p *mpsim.Proc, g *mpsim.Group, myBlocks [][]byte, blockLen int) ([][]byte, error) {
+// under the k-port model. Like the direct exchange it is fully
+// zero-copy: block views travel out of the input region and arrive in
+// the output region.
+func xorIndexFlatBody(p *mpsim.Proc, g *mpsim.Group, in, out []byte, blockLen int) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
 	k := p.Ports()
 
-	out := make([][]byte, n)
-	out[me] = append([]byte(nil), myBlocks[me]...)
+	copy(out[me*blockLen:(me+1)*blockLen], in[me*blockLen:])
 
+	sends := make([]mpsim.Send, 0, k)
+	froms := make([]int, 0, k)
+	into := make([][]byte, 0, k)
 	for start := 1; start < n; start += k {
 		end := intmath.Min(start+k-1, n-1)
-		sends := make([]mpsim.Send, 0, end-start+1)
-		froms := make([]int, 0, end-start+1)
-		partners := make([]int, 0, end-start+1)
+		sends, froms, into = sends[:0], froms[:0], into[:0]
 		for z := start; z <= end; z++ {
 			partner := me ^ z
-			sends = append(sends, mpsim.Send{To: g.ID(partner), Data: myBlocks[partner]})
+			sends = append(sends, mpsim.Send{To: g.ID(partner), Data: in[partner*blockLen : (partner+1)*blockLen]})
 			froms = append(froms, g.ID(partner))
-			partners = append(partners, partner)
+			into = append(into, out[partner*blockLen:(partner+1)*blockLen])
 		}
-		recvd, err := p.Exchange(sends, froms)
-		if err != nil {
-			return nil, err
-		}
-		for i, partner := range partners {
-			if len(recvd[i]) != blockLen {
-				return nil, fmt.Errorf("collective: xor index received %d bytes from %d, want %d",
-					len(recvd[i]), partner, blockLen)
-			}
-			out[partner] = recvd[i]
+		if err := p.ExchangeInto(sends, froms, into); err != nil {
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }

@@ -19,6 +19,20 @@
 // programs: processors in the group execute the schedule, processors
 // outside it idle. Inputs and outputs are indexed by group rank.
 //
+// # Flat and legacy data paths
+//
+// Every operation exists in two layouts. The flat entry points
+// (IndexFlat, IndexMixedFlat, ConcatFlat) work on buffers.Buffers
+// slabs: packing and unpacking write into pool-recycled round buffers,
+// receives land directly in caller-owned memory via
+// mpsim.Proc.ExchangeInto, and the concatenation algorithms accumulate
+// in the output slab itself, finishing with an in-place rotation. On a
+// reused engine a flat operation performs no per-block or per-message
+// allocations. The legacy [][][]byte entry points (Index, IndexMixed,
+// Concat) are thin adapters over the flat paths — one copy in, one copy
+// out — so both layouts execute the identical schedule and produce
+// byte-identical results.
+//
 // The closed-form complexity functions in cost.go predict C1 and C2 for
 // every algorithm; the tests assert that the schedules executed on the
 // simulator match the closed forms exactly, and that both respect the

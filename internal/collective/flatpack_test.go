@@ -1,0 +1,79 @@
+package collective
+
+// Unit tests for the flat pack/unpack kernels, the successors of the
+// legacy blocks.Pack/Unpack routines (the paper's Appendix A pack and
+// unpack): packDigit must emit the selected blocks in increasing id
+// order and unpackDigit must invert it exactly.
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"bruck/internal/blocks"
+)
+
+func TestPackUnpackDigitRoundTrip(t *testing.T) {
+	f := func(nRaw, rRaw, bRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		r := int(rRaw)%(n-1) + 2 // 2..n
+		if r > n {
+			r = n
+		}
+		b := int(bRaw)%8 + 1
+		work := make([]byte, n*b)
+		for i := range work {
+			work[i] = byte(i*7 + 3)
+		}
+		w := blocks.NumDigits(n, r)
+		dist := 1
+		for pos := 0; pos < w; pos++ {
+			for z := 1; z < r; z++ {
+				cnt := digitCount(n, r, z, dist)
+				payload := make([]byte, cnt*b)
+				if got := packDigit(work, n, b, dist, r, z, payload); got != cnt*b {
+					return false
+				}
+				// The payload is the selected blocks in increasing id
+				// order, exactly as SelectDigit enumerates them.
+				ids := blocks.SelectDigit(n, r, pos, z)
+				if len(ids) != cnt {
+					return false
+				}
+				for i, id := range ids {
+					if !bytes.Equal(payload[i*b:(i+1)*b], work[id*b:(id+1)*b]) {
+						return false
+					}
+				}
+				// Zero the selected slots; unpack must restore them.
+				orig := append([]byte(nil), work...)
+				for _, id := range ids {
+					for x := id * b; x < (id+1)*b; x++ {
+						work[x] = 0
+					}
+				}
+				if err := unpackDigit(work, n, b, dist, r, z, payload); err != nil {
+					return false
+				}
+				if !bytes.Equal(work, orig) {
+					return false
+				}
+			}
+			dist *= r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackDigitSizeMismatch(t *testing.T) {
+	work := make([]byte, 5*4)
+	if err := unpackDigit(work, 5, 4, 1, 2, 1, make([]byte, 3)); err == nil {
+		t.Error("unpackDigit accepted a wrong-size payload")
+	}
+	if err := unpackDigit(work, 5, 4, 1, 2, 1, make([]byte, 100)); err == nil {
+		t.Error("unpackDigit accepted an oversized payload")
+	}
+}

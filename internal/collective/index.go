@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bruck/internal/blocks"
+	"bruck/internal/buffers"
 	"bruck/internal/intmath"
 	"bruck/internal/mpsim"
 )
@@ -58,12 +59,45 @@ type IndexOptions struct {
 // g on engine e. in[i][j] is data block B[i, j] (the j-th block of the
 // processor with group rank i); all blocks must have equal size. The
 // returned out satisfies out[i][j] = in[j][i].
+//
+// Index is a thin adapter over IndexFlat: it copies the block matrix
+// into a flat Buffers, runs the zero-copy path, and copies the result
+// back out. Callers that care about allocation cost should use
+// IndexFlat directly.
 func Index(e *mpsim.Engine, g *mpsim.Group, in [][][]byte, opt IndexOptions) ([][][]byte, *Result, error) {
-	n := g.Size()
 	if err := checkIndexInput(e, g, in); err != nil {
 		return nil, nil, err
 	}
-	blockLen := len(in[0][0])
+	fin, err := buffers.FromMatrix(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	fout, err := buffers.New(g.Size(), g.Size(), fin.BlockLen())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := IndexFlat(e, g, fin, fout, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fout.ToMatrix(), res, nil
+}
+
+// IndexFlat is the flat-buffer index operation: in and out are
+// index-shaped Buffers (n processor regions of n blocks each, where n
+// is the group size); block j of region i is B[i, j]. Afterwards
+// out.Block(i, j) equals in.Block(j, i). in and out must be distinct
+// Buffers; out is fully overwritten.
+//
+// All packing and unpacking happens in caller-owned or pool-recycled
+// flat memory: on a reused engine the operation performs no
+// per-block or per-message allocations.
+func IndexFlat(e *mpsim.Engine, g *mpsim.Group, in, out *buffers.Buffers, opt IndexOptions) (*Result, error) {
+	n := g.Size()
+	if err := checkFlatShape(e, g, in, out, n); err != nil {
+		return nil, err
+	}
+	blockLen := in.BlockLen()
 	k := e.Ports()
 
 	r := opt.Radix
@@ -71,42 +105,65 @@ func Index(e *mpsim.Engine, g *mpsim.Group, in [][][]byte, opt IndexOptions) ([]
 		r = intmath.Min(k+1, n)
 	}
 	if opt.Algorithm == IndexBruck && n > 1 && (r < 2 || r > n) {
-		return nil, nil, fmt.Errorf("collective: index radix %d out of range [2, %d]", r, n)
+		return nil, fmt.Errorf("collective: index radix %d out of range [2, %d]", r, n)
 	}
 	if opt.Algorithm == IndexPairwiseXOR && !intmath.IsPow(2, n) {
-		return nil, nil, fmt.Errorf("collective: pairwise-xor index requires a power-of-two group size, got %d", n)
+		return nil, fmt.Errorf("collective: pairwise-xor index requires a power-of-two group size, got %d", n)
 	}
 
-	out := make([][][]byte, n)
 	err := e.Run(func(p *mpsim.Proc) error {
 		me := g.Rank(p.Rank())
 		if me < 0 {
 			return nil // not a member of the group
 		}
-		var (
-			res [][]byte
-			err error
-		)
+		var err error
 		switch opt.Algorithm {
 		case IndexBruck:
-			res, err = bruckIndexBody(p, g, in[me], r, blockLen, opt.NoPack)
+			err = bruckIndexFlatBody(p, g, in.Proc(me), out.Proc(me), r, blockLen, opt.NoPack)
 		case IndexDirect:
-			res, err = directIndexBody(p, g, in[me], blockLen)
+			err = directIndexFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen)
 		case IndexPairwiseXOR:
-			res, err = xorIndexBody(p, g, in[me], blockLen)
+			err = xorIndexFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen)
 		default:
 			err = fmt.Errorf("collective: unknown index algorithm %v", opt.Algorithm)
 		}
 		if err != nil {
 			return fmt.Errorf("group rank %d: %w", me, err)
 		}
-		out[me] = res
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return out, resultFrom(e.Metrics()), nil
+	return resultFrom(e.Metrics()), nil
+}
+
+// checkFlatShape validates an index-shaped flat in/out pair against the
+// group and engine.
+func checkFlatShape(e *mpsim.Engine, g *mpsim.Group, in, out *buffers.Buffers, n int) error {
+	if n == 0 {
+		return fmt.Errorf("collective: empty group")
+	}
+	for _, id := range g.IDs() {
+		if id >= e.N() {
+			return fmt.Errorf("collective: group member %d outside engine with %d processors", id, e.N())
+		}
+	}
+	if in == nil || out == nil {
+		return fmt.Errorf("collective: nil flat buffer")
+	}
+	if in.Procs() != n || in.Blocks() != n {
+		return fmt.Errorf("collective: flat input is %dx%d blocks, group needs %dx%d",
+			in.Procs(), in.Blocks(), n, n)
+	}
+	if out.Procs() != n || out.Blocks() != n || out.BlockLen() != in.BlockLen() {
+		return fmt.Errorf("collective: flat output is %dx%d blocks of %d bytes, want %dx%d of %d",
+			out.Procs(), out.Blocks(), out.BlockLen(), n, n, in.BlockLen())
+	}
+	if in == out {
+		return fmt.Errorf("collective: flat output must not alias the input")
+	}
+	return nil
 }
 
 func checkIndexInput(e *mpsim.Engine, g *mpsim.Group, in [][][]byte) error {
@@ -139,23 +196,28 @@ func checkIndexInput(e *mpsim.Engine, g *mpsim.Group, in [][][]byte) error {
 	return nil
 }
 
-// bruckIndexBody is the per-processor program of the radix-r index
-// algorithm (Appendix A generalized to the k-port model of Section 3.4).
-func bruckIndexBody(p *mpsim.Proc, g *mpsim.Group, myBlocks [][]byte, r, blockLen int, noPack bool) ([][]byte, error) {
+// bruckIndexFlatBody is the per-processor program of the radix-r index
+// algorithm (Appendix A generalized to the k-port model of Section 3.4)
+// on flat buffers. in is this processor's n*blockLen input region, out
+// the destination region of the same size.
+func bruckIndexFlatBody(p *mpsim.Proc, g *mpsim.Group, in, out []byte, r, blockLen int, noPack bool) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
 	k := p.Ports()
 
-	m, err := blocks.FromBlocks(myBlocks)
-	if err != nil {
-		return nil, err
-	}
-
-	// Phase 1: rotate the local blocks me steps upwards so that the
-	// block at position j is the one that must travel j steps right.
-	m.RotateUp(me)
+	// Phase 1: copy the input into a working region rotated me blocks
+	// upwards, so that the block at position j is the one that must
+	// travel j steps right: work block q = in block (q+me) mod n.
+	work := p.AcquireBuf(n * blockLen)
+	defer p.ReleaseBuf(work)
+	cut := intmath.Mod(me, n) * blockLen
+	copy(work, in[cut:])
+	copy(work[len(in)-cut:], in[:cut])
 
 	// Phase 2: w subphases, one per radix-r digit of the block ids.
+	sends := make([]mpsim.Send, 0, k)
+	froms := make([]int, 0, k)
+	into := make([][]byte, 0, k)
 	w := blocks.NumDigits(n, r)
 	dist := 1
 	for pos := 0; pos < w; pos++ {
@@ -165,78 +227,116 @@ func bruckIndexBody(p *mpsim.Proc, g *mpsim.Group, myBlocks [][]byte, r, blockLe
 		if pos == w-1 {
 			h = intmath.CeilDiv(n, dist)
 		}
-		steps := make([]int, 0, h-1)
-		for z := 1; z < h; z++ {
-			steps = append(steps, z)
-		}
 		if noPack {
-			if err := bruckSubphaseUnpacked(p, g, m, r, pos, dist, steps, blockLen); err != nil {
-				return nil, err
+			if err := bruckSubphaseUnpackedFlat(p, g, work, r, dist, h, blockLen, sends, froms, into); err != nil {
+				return err
 			}
-		} else if err := bruckSubphasePacked(p, g, m, r, pos, dist, steps, k); err != nil {
-			return nil, err
+		} else if err := bruckSubphasePackedFlat(p, g, work, r, dist, h, blockLen, k, sends, froms, into); err != nil {
+			return err
 		}
 		dist *= r
 	}
 
 	// Phase 3: the block for source j sits at position (me - j) mod n
 	// (pseudocode lines 21-23).
-	out := make([][]byte, n)
 	for j := 0; j < n; j++ {
-		out[j] = append([]byte(nil), m.Block(intmath.Mod(me-j, n))...)
+		q := intmath.Mod(me-j, n)
+		copy(out[j*blockLen:(j+1)*blockLen], work[q*blockLen:q*blockLen+blockLen])
 	}
-	return out, nil
+	return nil
 }
 
-// bruckSubphasePacked performs the steps of one subphase, packing all
-// blocks of a step into one message and grouping up to k independent
-// steps into one k-port round.
-func bruckSubphasePacked(p *mpsim.Proc, g *mpsim.Group, m *blocks.Matrix, r, pos, dist int, steps []int, k int) error {
-	n := g.Size()
-	me := g.Rank(p.Rank())
-	for start := 0; start < len(steps); start += k {
-		batch := steps[start:intmath.Min(start+k, len(steps))]
-		sends := make([]mpsim.Send, 0, len(batch))
-		froms := make([]int, 0, len(batch))
-		for _, z := range batch {
-			payload, _ := blocks.Pack(m, r, pos, z)
-			sends = append(sends, mpsim.Send{
-				To:   g.ID(intmath.Mod(me+z*dist, n)),
-				Data: payload,
-			})
-			froms = append(froms, g.ID(intmath.Mod(me-z*dist, n)))
+// packDigit copies the blocks of work whose digit at weight dist (radix
+// r) equals z into dst, in increasing block-id order, and returns the
+// number of bytes written. It is the flat, allocation-free counterpart
+// of the paper's pack routine.
+func packDigit(work []byte, n, blockLen, dist, r, z int, dst []byte) int {
+	off := 0
+	for j := 0; j < n; j++ {
+		if (j/dist)%r == z {
+			copy(dst[off:off+blockLen], work[j*blockLen:])
+			off += blockLen
 		}
-		recvd, err := p.Exchange(sends, froms)
-		if err != nil {
-			return err
-		}
-		for i, z := range batch {
-			if err := blocks.Unpack(m, recvd[i], r, pos, z); err != nil {
-				return err
-			}
+	}
+	return off
+}
+
+// unpackDigit scatters a payload produced by packDigit with identical
+// parameters back into the selected block slots of work.
+func unpackDigit(work []byte, n, blockLen, dist, r, z int, payload []byte) error {
+	if want := digitCount(n, r, z, dist) * blockLen; len(payload) != want {
+		return fmt.Errorf("collective: unpack payload %d bytes, want %d", len(payload), want)
+	}
+	off := 0
+	for j := 0; j < n; j++ {
+		if (j/dist)%r == z {
+			copy(work[j*blockLen:(j+1)*blockLen], payload[off:off+blockLen])
+			off += blockLen
 		}
 	}
 	return nil
 }
 
-// bruckSubphaseUnpacked is the packing ablation: every selected block of
-// a step travels in its own single-block round.
-func bruckSubphaseUnpacked(p *mpsim.Proc, g *mpsim.Group, m *blocks.Matrix, r, pos, dist int, steps []int, blockLen int) error {
+// bruckSubphasePackedFlat performs the steps of one subphase, packing
+// all blocks of a step into one pooled message buffer and grouping up
+// to k independent steps into one k-port round. The digit position is
+// fully determined by its weight dist (r^pos in the uniform algorithm,
+// the product of earlier radices in the mixed one, which shares this
+// routine). The sends/froms/into slices are caller-provided scratch
+// reused across subphases.
+func bruckSubphasePackedFlat(p *mpsim.Proc, g *mpsim.Group, work []byte, r, dist, h, blockLen, k int,
+	sends []mpsim.Send, froms []int, into [][]byte) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
-	for _, z := range steps {
+	for start := 1; start < h; start += k {
+		end := intmath.Min(start+k-1, h-1)
+		sends, froms, into = sends[:0], froms[:0], into[:0]
+		for z := start; z <= end; z++ {
+			size := digitCount(n, r, z, dist) * blockLen
+			payload := p.AcquireBuf(size)
+			packDigit(work, n, blockLen, dist, r, z, payload)
+			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me+z*dist, n)), Data: payload})
+			froms = append(froms, g.ID(intmath.Mod(me-z*dist, n)))
+			into = append(into, p.AcquireBuf(size))
+		}
+		err := p.ExchangeInto(sends, froms, into)
+		if err == nil {
+			for i, z := 0, start; z <= end; i, z = i+1, z+1 {
+				if err = unpackDigit(work, n, blockLen, dist, r, z, into[i]); err != nil {
+					break
+				}
+			}
+		}
+		for i := range sends {
+			p.ReleaseBuf(sends[i].Data)
+			p.ReleaseBuf(into[i])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bruckSubphaseUnpackedFlat is the packing ablation: every selected
+// block of a step travels in its own single-block round, received
+// directly into its slot of the working region.
+func bruckSubphaseUnpackedFlat(p *mpsim.Proc, g *mpsim.Group, work []byte, r, dist, h, blockLen int,
+	sends []mpsim.Send, froms []int, into [][]byte) error {
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	for z := 1; z < h; z++ {
 		dst := g.ID(intmath.Mod(me+z*dist, n))
 		src := g.ID(intmath.Mod(me-z*dist, n))
-		ids := blocks.SelectDigit(n, r, pos, z)
-		for _, id := range ids {
-			in, err := p.SendRecv(dst, m.Block(id), src)
-			if err != nil {
+		for j := 0; j < n; j++ {
+			if (j/dist)%r != z {
+				continue
+			}
+			blk := work[j*blockLen : (j+1)*blockLen]
+			sends, froms, into = append(sends[:0], mpsim.Send{To: dst, Data: blk}), append(froms[:0], src), append(into[:0], blk)
+			if err := p.ExchangeInto(sends, froms, into); err != nil {
 				return err
 			}
-			if len(in) != blockLen {
-				return fmt.Errorf("collective: unpacked step received %d bytes, want %d", len(in), blockLen)
-			}
-			copy(m.Block(id), in)
 		}
 	}
 	return nil

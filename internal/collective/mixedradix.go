@@ -3,7 +3,7 @@ package collective
 import (
 	"fmt"
 
-	"bruck/internal/blocks"
+	"bruck/internal/buffers"
 	"bruck/internal/costmodel"
 	"bruck/internal/intmath"
 	"bruck/internal/mpsim"
@@ -53,45 +53,72 @@ func ValidateRadices(n int, radices []int) error {
 
 // IndexMixed performs the index operation with a mixed-radix schedule.
 // See Index for the data layout; radices selects the per-subphase
-// radix.
+// radix. Like Index it is a thin adapter over the flat path
+// (IndexMixedFlat).
 func IndexMixed(e *mpsim.Engine, g *mpsim.Group, in [][][]byte, radices []int) ([][][]byte, *Result, error) {
-	n := g.Size()
 	if err := checkIndexInput(e, g, in); err != nil {
 		return nil, nil, err
 	}
-	if err := ValidateRadices(n, radices); err != nil {
+	fin, err := buffers.FromMatrix(in)
+	if err != nil {
 		return nil, nil, err
 	}
-	out := make([][][]byte, n)
+	fout, err := buffers.New(g.Size(), g.Size(), fin.BlockLen())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := IndexMixedFlat(e, g, fin, fout, radices)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fout.ToMatrix(), res, nil
+}
+
+// IndexMixedFlat is the flat-buffer mixed-radix index operation; in and
+// out are index-shaped Buffers as in IndexFlat.
+func IndexMixedFlat(e *mpsim.Engine, g *mpsim.Group, in, out *buffers.Buffers, radices []int) (*Result, error) {
+	n := g.Size()
+	if err := checkFlatShape(e, g, in, out, n); err != nil {
+		return nil, err
+	}
+	if err := ValidateRadices(n, radices); err != nil {
+		return nil, err
+	}
+	blockLen := in.BlockLen()
 	err := e.Run(func(p *mpsim.Proc) error {
 		me := g.Rank(p.Rank())
 		if me < 0 {
 			return nil
 		}
-		res, err := mixedIndexBody(p, g, in[me], radices)
-		if err != nil {
+		if err := mixedIndexFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen, radices); err != nil {
 			return fmt.Errorf("group rank %d: %w", me, err)
 		}
-		out[me] = res
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return out, resultFrom(e.Metrics()), nil
+	return resultFrom(e.Metrics()), nil
 }
 
-func mixedIndexBody(p *mpsim.Proc, g *mpsim.Group, myBlocks [][]byte, radices []int) ([][]byte, error) {
+// mixedIndexFlatBody is the flat per-processor program: identical to
+// bruckIndexFlatBody except that the digit weight of subphase i is the
+// product of the radices before it instead of r^i.
+func mixedIndexFlatBody(p *mpsim.Proc, g *mpsim.Group, in, out []byte, blockLen int, radices []int) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
 	k := p.Ports()
 
-	m, err := blocks.FromBlocks(myBlocks)
-	if err != nil {
-		return nil, err
-	}
-	m.RotateUp(me)
+	// Phase 1 rotation into the working region (see bruckIndexFlatBody).
+	work := p.AcquireBuf(n * blockLen)
+	defer p.ReleaseBuf(work)
+	cut := intmath.Mod(me, n) * blockLen
+	copy(work, in[cut:])
+	copy(work[len(in)-cut:], in[:cut])
 
+	sends := make([]mpsim.Send, 0, k)
+	froms := make([]int, 0, k)
+	into := make([][]byte, 0, k)
 	weight := 1
 	for _, r := range radices {
 		if n <= 1 || weight >= n {
@@ -100,38 +127,18 @@ func mixedIndexBody(p *mpsim.Proc, g *mpsim.Group, myBlocks [][]byte, radices []
 		// Digit values that actually occur among ids < n at this
 		// position: v with v*weight < n, capped at the radix.
 		h := intmath.Min(r, intmath.CeilDiv(n, weight))
-		for start := 1; start < h; start += k {
-			end := intmath.Min(start+k-1, h-1)
-			sends := make([]mpsim.Send, 0, end-start+1)
-			froms := make([]int, 0, end-start+1)
-			idLists := make([][]int, 0, end-start+1)
-			for z := start; z <= end; z++ {
-				ids := blocks.SelectAt(n, weight, r, z)
-				sends = append(sends, mpsim.Send{
-					To:   g.ID(intmath.Mod(me+z*weight, n)),
-					Data: blocks.PackIDs(m, ids),
-				})
-				froms = append(froms, g.ID(intmath.Mod(me-z*weight, n)))
-				idLists = append(idLists, ids)
-			}
-			recvd, err := p.Exchange(sends, froms)
-			if err != nil {
-				return nil, err
-			}
-			for i, ids := range idLists {
-				if err := blocks.UnpackIDs(m, recvd[i], ids); err != nil {
-					return nil, err
-				}
-			}
+		if err := bruckSubphasePackedFlat(p, g, work, r, weight, h, blockLen, k, sends, froms, into); err != nil {
+			return err
 		}
 		weight *= r
 	}
 
-	res := make([][]byte, n)
+	// Phase 3 (see bruckIndexFlatBody).
 	for j := 0; j < n; j++ {
-		res[j] = append([]byte(nil), m.Block(intmath.Mod(me-j, n))...)
+		q := intmath.Mod(me-j, n)
+		copy(out[j*blockLen:(j+1)*blockLen], work[q*blockLen:q*blockLen+blockLen])
 	}
-	return res, nil
+	return nil
 }
 
 // IndexMixedSchedule returns the per-round largest message size, in

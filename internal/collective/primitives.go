@@ -14,6 +14,11 @@ import (
 // sends its accumulated segment [v, v + (k+1)^pos) to parent
 // v - t*(k+1)^pos during the round in which position pos is active.
 // For k = 1 these are the classic binomial trees.
+//
+// Like the flat collectives, the tree bodies move data through
+// caller-owned or pool-recycled contiguous buffers: every message size
+// is known from the tree shape, so receives use Proc.ExchangeInto and
+// accumulation segments come from the processor-local pool.
 
 // lowestDigitPos returns the position of the lowest nonzero radix-base
 // digit of v > 0, and that digit's value.
@@ -38,8 +43,8 @@ func Broadcast(e *mpsim.Engine, g *mpsim.Group, root int, data []byte) ([][]byte
 		if me < 0 {
 			return nil
 		}
-		buf, err := broadcastBody(p, g, root, data)
-		if err != nil {
+		buf := make([]byte, len(data))
+		if err := broadcastBodyInto(p, g, root, data, buf); err != nil {
 			return fmt.Errorf("group rank %d: %w", me, err)
 		}
 		out[me] = buf
@@ -51,22 +56,24 @@ func Broadcast(e *mpsim.Engine, g *mpsim.Group, root int, data []byte) ([][]byte
 	return out, resultFrom(e.Metrics()), nil
 }
 
-// broadcastBody runs the (k+1)-nomial broadcast. Only the root's data
-// argument is used; every member returns its received copy.
-func broadcastBody(p *mpsim.Proc, g *mpsim.Group, root int, data []byte) ([]byte, error) {
+// broadcastBodyInto runs the (k+1)-nomial broadcast, delivering the
+// root's payload into the caller-owned buffer into on every member.
+// Only the root reads data; len(into) must equal len(data) on every
+// member (the length is part of the shared schedule).
+func broadcastBodyInto(p *mpsim.Proc, g *mpsim.Group, root int, data, into []byte) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
 	k := p.Ports()
 	v := intmath.Mod(me-root, n)
 
-	var buf []byte
 	if v == 0 {
-		buf = append([]byte(nil), data...)
+		copy(into, data)
 	}
 	if n == 1 {
-		return buf, nil
+		return nil
 	}
 	d := intmath.CeilLog(k+1, n)
+	sends := make([]mpsim.Send, 0, k)
 	// Rounds walk digit positions from the top down; leaves (lowest
 	// digit at position 0) receive in the final round.
 	for i := 0; i < d; i++ {
@@ -75,34 +82,32 @@ func broadcastBody(p *mpsim.Proc, g *mpsim.Group, root int, data []byte) ([]byte
 		switch {
 		case v%((k+1)*base) == 0:
 			// Holder: send to children v + t*base that exist.
-			var sends []mpsim.Send
+			sends = sends[:0]
 			for t := 1; t <= k; t++ {
 				child := v + t*base
 				if child < n {
-					sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(child+root, n)), Data: buf})
+					sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(child+root, n)), Data: into})
 				}
 			}
 			if len(sends) == 0 {
 				p.Skip()
 				continue
 			}
-			if _, err := p.Exchange(sends, nil); err != nil {
-				return nil, err
+			if err := p.ExchangeInto(sends, nil, nil); err != nil {
+				return err
 			}
 		case v%base == 0:
 			// Receiver: my lowest nonzero digit is at this position.
 			_, digit := lowestDigitPos(v, k+1)
 			parent := v - digit*base
-			recvd, err := p.Exchange(nil, []int{g.ID(intmath.Mod(parent+root, n))})
-			if err != nil {
-				return nil, err
+			if err := p.ExchangeInto(nil, []int{g.ID(intmath.Mod(parent+root, n))}, [][]byte{into}); err != nil {
+				return err
 			}
-			buf = recvd[0]
 		default:
 			p.Skip()
 		}
 	}
-	return buf, nil
+	return nil
 }
 
 // Gather collects one block from every member of group g at root. The
@@ -122,7 +127,8 @@ func Gather(e *mpsim.Engine, g *mpsim.Group, root int, in [][]byte) ([][]byte, *
 			return nil, nil, fmt.Errorf("collective: gather block %d has %d bytes, want %d", i, len(in[i]), blockLen)
 		}
 	}
-	var rootBuf []byte
+	out := make([][]byte, n)
+	rootDone := false
 	err := e.Run(func(p *mpsim.Proc) error {
 		me := g.Rank(p.Rank())
 		if me < 0 {
@@ -133,28 +139,30 @@ func Gather(e *mpsim.Engine, g *mpsim.Group, root int, in [][]byte) ([][]byte, *
 			return fmt.Errorf("group rank %d: %w", me, err)
 		}
 		if me == root {
-			rootBuf = buf
+			// buf is in virtual-rank order; convert to group-rank order
+			// and recycle the pool segment.
+			for v := 0; v < n; v++ {
+				j := intmath.Mod(root+v, n)
+				out[j] = append([]byte(nil), buf[v*blockLen:(v+1)*blockLen]...)
+			}
+			p.ReleaseBuf(buf)
+			rootDone = true
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	if rootBuf == nil {
+	if !rootDone {
 		return nil, nil, fmt.Errorf("collective: gather produced no root buffer")
-	}
-	// rootBuf is in virtual-rank order; convert to group-rank order.
-	out := make([][]byte, n)
-	for v := 0; v < n; v++ {
-		j := intmath.Mod(root+v, n)
-		out[j] = append([]byte(nil), rootBuf[v*blockLen:(v+1)*blockLen]...)
 	}
 	return out, resultFrom(e.Metrics()), nil
 }
 
 // gatherBody runs the (k+1)-nomial gather and returns, at the root
 // only, the concatenation in virtual-rank order (buf[v] = block of
-// virtual rank v). Non-roots return nil.
+// virtual rank v) in a pool-owned buffer the caller should release with
+// Proc.ReleaseBuf. Non-roots return nil.
 func gatherBody(p *mpsim.Proc, g *mpsim.Group, root int, myBlock []byte, blockLen int) ([]byte, error) {
 	n := g.Size()
 	me := g.Rank(p.Rank())
@@ -162,13 +170,20 @@ func gatherBody(p *mpsim.Proc, g *mpsim.Group, root int, myBlock []byte, blockLe
 	v := intmath.Mod(me-root, n)
 
 	if n == 1 {
-		return append([]byte(nil), myBlock...), nil
+		buf := p.AcquireBuf(blockLen)
+		copy(buf, myBlock)
+		return buf, nil
 	}
 	d := intmath.CeilLog(k+1, n)
-	// seg holds virtual ranks [v, v+segLen) of the concatenation.
-	seg := make([]byte, blockLen, blockLen*intmath.Min(n, intmath.Pow(k+1, d)))
+	// seg holds virtual ranks [v, v+segLen) of the concatenation; it
+	// grows in place inside a pool buffer of the maximal capacity this
+	// node can need.
+	segCap := blockLen * intmath.Min(n, intmath.Pow(k+1, d))
+	seg := p.AcquireBuf(segCap)[:blockLen]
 	copy(seg, myBlock)
 	sent := false
+	froms := make([]int, 0, k)
+	into := make([][]byte, 0, k)
 
 	for pos := 0; pos < d; pos++ {
 		base := intmath.Pow(k+1, pos)
@@ -180,41 +195,37 @@ func gatherBody(p *mpsim.Proc, g *mpsim.Group, root int, myBlock []byte, blockLe
 			// accumulated segment to the parent and go quiet.
 			_, digit := lowestDigitPos(v, k+1)
 			parent := v - digit*base
-			if _, err := p.Exchange([]mpsim.Send{{To: g.ID(intmath.Mod(parent+root, n)), Data: seg}}, nil); err != nil {
+			if err := p.ExchangeInto([]mpsim.Send{{To: g.ID(intmath.Mod(parent+root, n)), Data: seg}}, nil, nil); err != nil {
 				return nil, err
 			}
 			sent = true
 		default:
-			// Receive from children v + t*base that exist, in order,
-			// appending their consecutive segments.
-			var froms []int
-			var children []int
+			// Receive from children v + t*base that exist, in order;
+			// their consecutive segments extend seg in place.
+			froms, into = froms[:0], into[:0]
+			off := len(seg)
 			for t := 1; t <= k; t++ {
 				child := v + t*base
-				if child < n {
-					froms = append(froms, g.ID(intmath.Mod(child+root, n)))
-					children = append(children, child)
+				if child >= n {
+					break
 				}
+				want := intmath.Min(base, n-child) * blockLen
+				froms = append(froms, g.ID(intmath.Mod(child+root, n)))
+				into = append(into, seg[off:off+want])
+				off += want
 			}
 			if len(froms) == 0 {
 				p.Skip()
 				continue
 			}
-			recvd, err := p.Exchange(nil, froms)
-			if err != nil {
+			if err := p.ExchangeInto(nil, froms, into); err != nil {
 				return nil, err
 			}
-			for i, child := range children {
-				want := intmath.Min(base, n-child) * blockLen
-				if len(recvd[i]) != want {
-					return nil, fmt.Errorf("collective: gather received %d bytes from virtual rank %d, want %d",
-						len(recvd[i]), child, want)
-				}
-				seg = append(seg, recvd[i]...)
-			}
+			seg = seg[:off]
 		}
 	}
 	if v != 0 {
+		p.ReleaseBuf(seg)
 		return nil, nil
 	}
 	if len(seg) != n*blockLen {
@@ -279,19 +290,24 @@ func scatterBody(p *mpsim.Proc, g *mpsim.Group, root int, vbuf []byte, blockLen 
 	}
 	d := intmath.CeilLog(k+1, n)
 	// seg covers virtual ranks [v, v+segLen/blockLen); at the root it
-	// starts as the whole buffer, elsewhere it arrives mid-algorithm.
+	// starts as the whole buffer, elsewhere it arrives mid-algorithm
+	// into a pool buffer of the known segment size.
 	var seg []byte
+	havSeg := false
 	if v == 0 {
-		seg = append([]byte(nil), vbuf...)
+		seg = p.AcquireBuf(len(vbuf))
+		copy(seg, vbuf)
+		havSeg = true
 	}
+	sends := make([]mpsim.Send, 0, k)
 	for i := 0; i < d; i++ {
 		pos := d - 1 - i
 		base := intmath.Pow(k+1, pos)
 		switch {
-		case v%((k+1)*base) == 0 && seg != nil:
+		case v%((k+1)*base) == 0 && havSeg:
 			// Holder: carve off and send each existing child's segment
 			// [child, child + base).
-			var sends []mpsim.Send
+			sends = sends[:0]
 			for t := 1; t <= k; t++ {
 				child := v + t*base
 				if child >= n {
@@ -305,7 +321,7 @@ func scatterBody(p *mpsim.Proc, g *mpsim.Group, root int, vbuf []byte, blockLen 
 				p.Skip()
 				continue
 			}
-			if _, err := p.Exchange(sends, nil); err != nil {
+			if err := p.ExchangeInto(sends, nil, nil); err != nil {
 				return nil, err
 			}
 			// Keep only my own prefix [v, v+base).
@@ -314,15 +330,12 @@ func scatterBody(p *mpsim.Proc, g *mpsim.Group, root int, vbuf []byte, blockLen 
 		case v%base == 0 && v%((k+1)*base) != 0:
 			_, digit := lowestDigitPos(v, k+1)
 			parent := v - digit*base
-			recvd, err := p.Exchange(nil, []int{g.ID(intmath.Mod(parent+root, n))})
-			if err != nil {
+			want := intmath.Min(base, n-v) * blockLen
+			seg = p.AcquireBuf(want)
+			havSeg = true
+			if err := p.ExchangeInto(nil, []int{g.ID(intmath.Mod(parent+root, n))}, [][]byte{seg}); err != nil {
 				return nil, err
 			}
-			want := intmath.Min(base, n-v) * blockLen
-			if len(recvd[0]) != want {
-				return nil, fmt.Errorf("collective: scatter received %d bytes, want %d", len(recvd[0]), want)
-			}
-			seg = recvd[0]
 		default:
 			p.Skip()
 		}
@@ -330,5 +343,7 @@ func scatterBody(p *mpsim.Proc, g *mpsim.Group, root int, vbuf []byte, blockLen 
 	if len(seg) < blockLen {
 		return nil, fmt.Errorf("collective: scatter left virtual rank %d with %d bytes", v, len(seg))
 	}
-	return append([]byte(nil), seg[:blockLen]...), nil
+	blk := append([]byte(nil), seg[:blockLen]...)
+	p.ReleaseBuf(seg)
+	return blk, nil
 }

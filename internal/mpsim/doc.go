@@ -25,4 +25,18 @@
 // Estimated communication time in the paper's linear model is
 // T = C1*beta + C2*tau; package costmodel evaluates recorded Metrics
 // under machine profiles.
+//
+// # Transport buffers
+//
+// Message payloads travel in buffers drawn from processor-local free
+// lists that persist across runs: a sender copies its payload into a
+// pooled buffer, and a receiver that consumes the message with
+// Proc.ExchangeInto copies it into the caller's destination and
+// recycles the buffer into its own pool (safe because the channel
+// transfer orders the reuse after the sender's last write). A reused
+// Engine therefore reaches a steady state with no per-message
+// allocations on the ExchangeInto path. The classic Exchange instead
+// transfers buffer ownership to the caller. Proc.AcquireBuf and
+// Proc.ReleaseBuf expose the same pools to algorithm bodies for round
+// scratch space.
 package mpsim

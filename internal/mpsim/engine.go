@@ -42,6 +42,15 @@ type Engine struct {
 	// the paper's pseudocode (Appendix A).
 	mailbox [][]chan message
 
+	// freebufs[rank] is the rank-local free list of payload buffers.
+	// Each list is touched only by the goroutine running processor rank
+	// (one Run at a time, one goroutine per rank), so no lock is needed.
+	// Senders draw payload buffers from their own list; receivers that
+	// consume a message through ExchangeInto return the payload to their
+	// own list. The lists persist across Runs, so a reused Engine reaches
+	// a steady state with no per-message allocations.
+	freebufs [][][]byte
+
 	metrics *Metrics
 }
 
@@ -102,6 +111,7 @@ func New(n int, opts ...Option) (*Engine, error) {
 			e.mailbox[dst][src] = make(chan message, mailboxDepth)
 		}
 	}
+	e.freebufs = make([][][]byte, n)
 	return e, nil
 }
 

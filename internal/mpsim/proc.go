@@ -60,39 +60,105 @@ func (p *Proc) SendRecv(dst int, data []byte, src int) ([]byte, error) {
 // in either direction, send to or receive from this processor itself, or
 // address the same partner twice in one round.
 func (p *Proc) Exchange(sends []Send, from []int) ([][]byte, error) {
+	recvd := make([][]byte, len(from))
+	if err := p.exchange(sends, from, nil, recvd); err != nil {
+		return nil, err
+	}
+	return recvd, nil
+}
+
+// ExchangeInto is Exchange with caller-owned receive buffers: the
+// message from from[i] is copied into into[i], whose length must equal
+// the incoming message's length exactly (flat schedules know every
+// message size in advance; a mismatch is a schedule bug). The consumed
+// transport buffer is recycled into the processor-local pool, so a
+// steady-state flat collective performs no per-message allocations.
+// into may be nil only when from is empty (a send-only round).
+func (p *Proc) ExchangeInto(sends []Send, from []int, into [][]byte) error {
+	if len(into) != len(from) {
+		return fmt.Errorf("mpsim: p%d: ExchangeInto with %d receive buffers for %d sources", p.rank, len(into), len(from))
+	}
+	return p.exchange(sends, from, into, nil)
+}
+
+// exchange is the shared round implementation. Exactly one of into and
+// out is non-nil: into receives by copy into caller-owned buffers (the
+// transport buffer returns to the pool), out receives by ownership
+// transfer of the transport buffer.
+func (p *Proc) exchange(sends []Send, from []int, into [][]byte, out [][]byte) error {
 	e := p.engine
 	round := int(p.round.Add(1) - 1)
 
 	if e.validate {
 		if err := p.validateRound(round, sends, from); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
 	for _, s := range sends {
 		if s.To < 0 || s.To >= e.n {
-			return nil, fmt.Errorf("mpsim: p%d round %d: send to out-of-range rank %d", p.rank, round, s.To)
+			return fmt.Errorf("mpsim: p%d round %d: send to out-of-range rank %d", p.rank, round, s.To)
 		}
-		payload := make([]byte, len(s.Data))
+		payload := p.AcquireBuf(len(s.Data))
 		copy(payload, s.Data)
 		p.metrics.recordSend(p.rank, s.To, round, len(payload))
 		e.mailbox[s.To][p.rank] <- message{round: round, data: payload}
 	}
 
-	recvd := make([][]byte, len(from))
 	for i, src := range from {
 		if src < 0 || src >= e.n {
-			return nil, fmt.Errorf("mpsim: p%d round %d: receive from out-of-range rank %d", p.rank, round, src)
+			return fmt.Errorf("mpsim: p%d round %d: receive from out-of-range rank %d", p.rank, round, src)
 		}
 		msg := <-e.mailbox[p.rank][src]
 		if e.validate && msg.round != round {
-			return nil, fmt.Errorf("mpsim: p%d round %d: received message sent by p%d in round %d (misaligned schedule)",
+			return fmt.Errorf("mpsim: p%d round %d: received message sent by p%d in round %d (misaligned schedule)",
 				p.rank, round, src, msg.round)
 		}
 		p.metrics.recordRecv(p.rank, round, len(msg.data))
-		recvd[i] = msg.data
+		if into != nil {
+			if len(msg.data) != len(into[i]) {
+				return fmt.Errorf("mpsim: p%d round %d: received %d bytes from p%d into a %d-byte buffer",
+					p.rank, round, len(msg.data), src, len(into[i]))
+			}
+			copy(into[i], msg.data)
+			p.ReleaseBuf(msg.data)
+		} else {
+			out[i] = msg.data
+		}
 	}
-	return recvd, nil
+	return nil
+}
+
+// AcquireBuf returns a length-n scratch buffer from the processor-local
+// buffer pool, allocating only when the pool has no buffer of
+// sufficient capacity. The contents are undefined. The pool is owned by
+// this processor's goroutine; buffers cycle sender -> mailbox ->
+// receiver -> receiver's pool, which is safe because the channel
+// transfer orders the receiver's reuse after the sender's last write.
+func (p *Proc) AcquireBuf(n int) []byte {
+	list := &p.engine.freebufs[p.rank]
+	if l := len(*list); l > 0 {
+		b := (*list)[l-1]
+		(*list)[l-1] = nil
+		*list = (*list)[:l-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small for the current message sizes: drop it and let the
+		// pool converge to the sizes actually in flight.
+	}
+	return make([]byte, n)
+}
+
+// ReleaseBuf returns a buffer obtained from AcquireBuf (or a payload
+// slice this processor owns) to the processor-local pool. The caller
+// must not use b afterwards.
+func (p *Proc) ReleaseBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	list := &p.engine.freebufs[p.rank]
+	*list = append(*list, b)
 }
 
 // Skip advances this processor's round counter without communicating.
@@ -106,6 +172,8 @@ func (p *Proc) SkipN(rounds int) { p.round.Add(int64(rounds)) }
 
 // validateRound enforces the k-port model for one round: at most k sends
 // and at most k receives, distinct partners, and no self-communication.
+// Duplicate detection is a quadratic scan rather than a map: k is small
+// in practice and the scan keeps the validated hot path allocation-free.
 func (p *Proc) validateRound(round int, sends []Send, from []int) error {
 	e := p.engine
 	if len(sends) > e.k {
@@ -114,25 +182,25 @@ func (p *Proc) validateRound(round int, sends []Send, from []int) error {
 	if len(from) > e.k {
 		return fmt.Errorf("mpsim: p%d round %d: %d receives exceeds k = %d ports", p.rank, round, len(from), e.k)
 	}
-	seenDst := make(map[int]bool, len(sends))
-	for _, s := range sends {
+	for i, s := range sends {
 		if s.To == p.rank {
 			return fmt.Errorf("mpsim: p%d round %d: self-send", p.rank, round)
 		}
-		if seenDst[s.To] {
-			return fmt.Errorf("mpsim: p%d round %d: duplicate destination %d in one round", p.rank, round, s.To)
+		for j := 0; j < i; j++ {
+			if sends[j].To == s.To {
+				return fmt.Errorf("mpsim: p%d round %d: duplicate destination %d in one round", p.rank, round, s.To)
+			}
 		}
-		seenDst[s.To] = true
 	}
-	seenSrc := make(map[int]bool, len(from))
-	for _, src := range from {
+	for i, src := range from {
 		if src == p.rank {
 			return fmt.Errorf("mpsim: p%d round %d: self-receive", p.rank, round)
 		}
-		if seenSrc[src] {
-			return fmt.Errorf("mpsim: p%d round %d: duplicate source %d in one round", p.rank, round, src)
+		for j := 0; j < i; j++ {
+			if from[j] == src {
+				return fmt.Errorf("mpsim: p%d round %d: duplicate source %d in one round", p.rank, round, src)
+			}
 		}
-		seenSrc[src] = true
 	}
 	return nil
 }

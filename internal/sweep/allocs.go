@@ -1,0 +1,110 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"bruck/internal/buffers"
+	"bruck/internal/collective"
+	"bruck/internal/mpsim"
+)
+
+// Allocation study: the legacy [][][]byte entry points are adapters
+// over the flat zero-copy paths, so the difference between the two
+// measurements below is exactly the cost of the block-matrix layout
+// (per-block slices on input conversion and result assembly). The
+// cmd/indexbench and cmd/concatbench -allocs modes print these numbers;
+// the regression tests in the root package lock in the >= 50%
+// reduction.
+
+// IndexAllocs measures the average allocations per operation of the
+// legacy (block-matrix) and flat index paths for n processors, block
+// size b, radix r and k ports, on a warmed-up engine.
+func IndexAllocs(n, b, r, k, runs int) (legacy, flat float64, err error) {
+	e, err := mpsim.New(n, mpsim.Ports(k))
+	if err != nil {
+		return 0, 0, err
+	}
+	g := mpsim.WorldGroup(n)
+	opt := collective.IndexOptions{Radix: r}
+
+	in := make([][][]byte, n)
+	for i := range in {
+		in[i] = make([][]byte, n)
+		for j := range in[i] {
+			blk := make([]byte, b)
+			for x := range blk {
+				blk[x] = byte(i + j + x)
+			}
+			in[i][j] = blk
+		}
+	}
+	fin, err := buffers.FromMatrix(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	fout, err := buffers.New(n, n, b)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	var opErr error
+	legacy = testing.AllocsPerRun(runs, func() {
+		if _, _, err := collective.Index(e, g, in, opt); err != nil {
+			opErr = err
+		}
+	})
+	flat = testing.AllocsPerRun(runs, func() {
+		if _, err := collective.IndexFlat(e, g, fin, fout, opt); err != nil {
+			opErr = err
+		}
+	})
+	if opErr != nil {
+		return 0, 0, fmt.Errorf("sweep: index alloc study: %w", opErr)
+	}
+	return legacy, flat, nil
+}
+
+// ConcatAllocs measures the average allocations per operation of the
+// legacy and flat concatenation paths for n processors, block size b
+// and k ports, on a warmed-up engine.
+func ConcatAllocs(n, b, k, runs int) (legacy, flat float64, err error) {
+	e, err := mpsim.New(n, mpsim.Ports(k))
+	if err != nil {
+		return 0, 0, err
+	}
+	g := mpsim.WorldGroup(n)
+	opt := collective.ConcatOptions{}
+
+	in := make([][]byte, n)
+	for i := range in {
+		in[i] = make([]byte, b)
+		for x := range in[i] {
+			in[i][x] = byte(i + x)
+		}
+	}
+	fin, err := buffers.FromVector(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	fout, err := buffers.New(n, n, b)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	var opErr error
+	legacy = testing.AllocsPerRun(runs, func() {
+		if _, _, err := collective.Concat(e, g, in, opt); err != nil {
+			opErr = err
+		}
+	})
+	flat = testing.AllocsPerRun(runs, func() {
+		if _, err := collective.ConcatFlat(e, g, fin, fout, opt); err != nil {
+			opErr = err
+		}
+	})
+	if opErr != nil {
+		return 0, 0, fmt.Errorf("sweep: concat alloc study: %w", opErr)
+	}
+	return legacy, flat, nil
+}
