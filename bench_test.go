@@ -68,10 +68,12 @@ func reportModel(b *testing.B, rep *Report) {
 }
 
 // BenchmarkIndex compares the legacy block-matrix index API with the
-// flat zero-copy API on identical schedules. Run with -benchmem: the
-// flat path must show at least 50% fewer allocs/op (the acceptance
-// bound locked in by TestFlatIndexAllocs; measured reductions are
-// larger, see README.md).
+// flat zero-copy API on identical schedules, and the channel transport
+// with the shared-memory slot transport on the flat path. Run with
+// -benchmem: the flat path must show at least 50% fewer allocs/op (the
+// acceptance bound locked in by TestFlatIndexAllocs; measured
+// reductions are larger, see README.md); the slot transport's win is
+// ns/op, not allocations.
 func BenchmarkIndex(b *testing.B) {
 	const n, size, r = 16, 128, 2
 	b.Run("legacy", func(b *testing.B) {
@@ -90,28 +92,30 @@ func BenchmarkIndex(b *testing.B) {
 		b.StopTimer()
 		reportModel(b, rep)
 	})
-	b.Run("flat", func(b *testing.B) {
-		m := MustNewMachine(n)
-		fin, err := buffers.FromMatrix(benchIndexInput(n, size))
-		if err != nil {
-			b.Fatal(err)
-		}
-		fout, err := NewIndexBuffers(n, size)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var rep *Report
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			rep, err = m.IndexFlat(fin, fout, WithRadix(r))
+	for _, backend := range []Backend{BackendChan, BackendSlot} {
+		b.Run("flat-"+string(backend), func(b *testing.B) {
+			m := MustNewMachine(n, WithTransport(backend))
+			fin, err := buffers.FromMatrix(benchIndexInput(n, size))
 			if err != nil {
 				b.Fatal(err)
 			}
-		}
-		b.StopTimer()
-		reportModel(b, rep)
-	})
+			fout, err := NewIndexBuffers(n, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep *Report
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err = m.IndexFlat(fin, fout, WithRadix(r))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModel(b, rep)
+		})
+	}
 }
 
 // BenchmarkConcat compares the legacy block-matrix concatenation API
@@ -135,28 +139,30 @@ func BenchmarkConcat(b *testing.B) {
 		b.StopTimer()
 		reportModel(b, rep)
 	})
-	b.Run("flat", func(b *testing.B) {
-		m := MustNewMachine(n)
-		fin, err := buffers.FromVector(benchConcatInput(n, size))
-		if err != nil {
-			b.Fatal(err)
-		}
-		fout, err := NewIndexBuffers(n, size)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var rep *Report
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			rep, err = m.ConcatFlat(fin, fout)
+	for _, backend := range []Backend{BackendChan, BackendSlot} {
+		b.Run("flat-"+string(backend), func(b *testing.B) {
+			m := MustNewMachine(n, WithTransport(backend))
+			fin, err := buffers.FromVector(benchConcatInput(n, size))
 			if err != nil {
 				b.Fatal(err)
 			}
-		}
-		b.StopTimer()
-		reportModel(b, rep)
-	})
+			fout, err := NewIndexBuffers(n, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep *Report
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err = m.ConcatFlat(fin, fout)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModel(b, rep)
+		})
+	}
 }
 
 // BenchmarkFig4IndexRadixSweep regenerates the Figure 4 grid: the index
@@ -453,25 +459,28 @@ func BenchmarkLowerBoundCheck(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineSendRecv measures the raw simulator round-trip cost,
-// the floor under every collective benchmark above.
+// BenchmarkEngineSendRecv measures the raw simulator round-trip cost
+// per transport backend, the floor under every collective benchmark
+// above and the purest chan-vs-slot comparison.
 func BenchmarkEngineSendRecv(b *testing.B) {
-	for _, n := range []int{2, 16, 64} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			e := mpsim.MustNew(n)
-			payload := make([]byte, 64)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				err := e.Run(func(p *mpsim.Proc) error {
-					me := p.Rank()
-					_, err := p.SendRecv((me+1)%n, payload, (me-1+n)%n)
-					return err
-				})
-				if err != nil {
-					b.Fatal(err)
+	for _, backend := range []mpsim.Backend{mpsim.BackendChan, mpsim.BackendSlot} {
+		for _, n := range []int{2, 16, 64} {
+			b.Run(fmt.Sprintf("%s/n=%d", backend, n), func(b *testing.B) {
+				e := mpsim.MustNew(n, mpsim.WithTransport(backend))
+				payload := make([]byte, 64)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					err := e.Run(func(p *mpsim.Proc) error {
+						me := p.Rank()
+						_, err := p.SendRecv((me+1)%n, payload, (me-1+n)%n)
+						return err
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -58,7 +58,29 @@ type machineConfig struct {
 	ports    int
 	validate bool
 	record   bool
+	backend  Backend
 }
+
+// Backend names a simulator message-transport implementation. The
+// paper's schedules are transport-agnostic, so every backend produces
+// byte-identical results on identical schedules; backends trade
+// simulator wall-clock speed against blocking behaviour.
+type Backend = mpsim.Backend
+
+const (
+	// BackendChan (default) delivers messages over per-pair buffered Go
+	// channels. Blocked processors park for free; best for debugging and
+	// for machines much wider than the host.
+	BackendChan = mpsim.BackendChan
+	// BackendSlot delivers messages through lock-free shared-memory slot
+	// rings, the fast backend for throughput work on machines that fit
+	// the host's cores.
+	BackendSlot = mpsim.BackendSlot
+)
+
+// ParseBackend converts a command-line string ("chan", "slot") into a
+// Backend.
+func ParseBackend(s string) (Backend, error) { return mpsim.ParseBackend(s) }
 
 // Ports sets the number of communication ports k per processor: in each
 // round a processor can send k messages and receive k messages
@@ -80,13 +102,20 @@ func RecordEvents() MachineOption {
 	return func(c *machineConfig) { c.record = true }
 }
 
+// WithTransport selects the simulator's message transport backend,
+// BackendChan (default) or BackendSlot.
+func WithTransport(b Backend) MachineOption {
+	return func(c *machineConfig) { c.backend = b }
+}
+
 // NewMachine creates a simulated machine with n processors.
 func NewMachine(n int, opts ...MachineOption) (*Machine, error) {
-	cfg := machineConfig{ports: 1, validate: true}
+	cfg := machineConfig{ports: 1, validate: true, backend: BackendChan}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	e, err := mpsim.New(n, mpsim.Ports(cfg.ports), mpsim.Validate(cfg.validate), mpsim.Record(cfg.record))
+	e, err := mpsim.New(n, mpsim.Ports(cfg.ports), mpsim.Validate(cfg.validate),
+		mpsim.Record(cfg.record), mpsim.WithTransport(cfg.backend))
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +146,9 @@ func (m *Machine) N() int { return m.engine.N() }
 
 // Ports returns the port count k.
 func (m *Machine) Ports() int { return m.engine.Ports() }
+
+// Transport returns the machine's transport backend.
+func (m *Machine) Transport() Backend { return m.engine.Transport() }
 
 // Group names an ordered subset of processors, like an MPI group; all
 // collective operations accept one via OnGroup. Group ranks are the

@@ -1,0 +1,142 @@
+package bruck
+
+// Cross-backend equivalence: the paper's schedules are transport-
+// agnostic, so the channel and slot transports must produce byte-
+// identical IndexFlat/ConcatFlat results and identical (C1, C2) on
+// every shape. This is the acceptance test of the transport
+// abstraction.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bruck/internal/intmath"
+)
+
+// runIndexFlatOn executes IndexFlat on a fresh machine with the given
+// backend and returns the output buffer and report.
+func runIndexFlatOn(t *testing.T, backend Backend, n, k, blockLen int, opts ...CollectiveOption) (*Buffers, *Report) {
+	t.Helper()
+	m := MustNewMachine(n, Ports(k), WithTransport(backend))
+	if m.Transport() != backend {
+		t.Fatalf("Transport() = %q, want %q", m.Transport(), backend)
+	}
+	fin := flatIndexInput(t, n, blockLen)
+	fout := mustIndexBuffers(t, n, blockLen)
+	rep, err := m.IndexFlat(fin, fout, opts...)
+	if err != nil {
+		t.Fatalf("IndexFlat on %s: %v", backend, err)
+	}
+	return fout, rep
+}
+
+func runConcatFlatOn(t *testing.T, backend Backend, n, k, blockLen int, opts ...CollectiveOption) (*Buffers, *Report) {
+	t.Helper()
+	m := MustNewMachine(n, Ports(k), WithTransport(backend))
+	fin := flatConcatInput(t, n, blockLen)
+	fout := mustIndexBuffers(t, n, blockLen)
+	rep, err := m.ConcatFlat(fin, fout, opts...)
+	if err != nil {
+		t.Fatalf("ConcatFlat on %s: %v", backend, err)
+	}
+	return fout, rep
+}
+
+func compareBackends(t *testing.T, n int, chanOut, slotOut *Buffers, chanRep, slotRep *Report) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !bytes.Equal(chanOut.Block(i, j), slotOut.Block(i, j)) {
+				t.Fatalf("out[%d][%d]: chan %v, slot %v", i, j, chanOut.Block(i, j), slotOut.Block(i, j))
+			}
+		}
+	}
+	if chanRep.C1 != slotRep.C1 || chanRep.C2 != slotRep.C2 {
+		t.Fatalf("schedule differs: chan (C1=%d, C2=%d), slot (C1=%d, C2=%d)",
+			chanRep.C1, chanRep.C2, slotRep.C1, slotRep.C2)
+	}
+}
+
+// TestBackendEquivalenceIndexFlat sweeps n in 1..16 and k in {1,2,3}:
+// IndexFlat must be byte-identical on the chan and slot transports.
+func TestBackendEquivalenceIndexFlat(t *testing.T) {
+	const blockLen = 3
+	for n := 1; n <= 16; n++ {
+		for _, k := range []int{1, 2, 3} {
+			if k > intmath.Max(1, n-1) {
+				continue
+			}
+			t.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(t *testing.T) {
+				optSets := [][]CollectiveOption{nil}
+				if n >= 2 {
+					optSets = append(optSets, []CollectiveOption{WithRadix(2)}, []CollectiveOption{WithRadix(n)})
+				}
+				for _, opts := range optSets {
+					chanOut, chanRep := runIndexFlatOn(t, BackendChan, n, k, blockLen, opts...)
+					slotOut, slotRep := runIndexFlatOn(t, BackendSlot, n, k, blockLen, opts...)
+					compareBackends(t, n, chanOut, slotOut, chanRep, slotRep)
+				}
+			})
+		}
+	}
+}
+
+// TestBackendEquivalenceConcatFlat is the concatenation counterpart of
+// TestBackendEquivalenceIndexFlat, including the last-round policies
+// whose partitioned areas produce mixed-size rounds.
+func TestBackendEquivalenceConcatFlat(t *testing.T) {
+	const blockLen = 3
+	for n := 1; n <= 16; n++ {
+		for _, k := range []int{1, 2, 3} {
+			if k > intmath.Max(1, n-1) {
+				continue
+			}
+			t.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(t *testing.T) {
+				for _, opts := range [][]CollectiveOption{
+					nil,
+					{WithLastRoundPolicy(LastRoundMinRounds)},
+					{WithLastRoundPolicy(LastRoundMinVolume)},
+				} {
+					chanOut, chanRep := runConcatFlatOn(t, BackendChan, n, k, blockLen, opts...)
+					slotOut, slotRep := runConcatFlatOn(t, BackendSlot, n, k, blockLen, opts...)
+					compareBackends(t, n, chanOut, slotOut, chanRep, slotRep)
+				}
+			})
+		}
+	}
+}
+
+// TestSlotBackendReusedMachine runs many consecutive flat operations of
+// varying shapes on one slot-backend machine: pool reuse, drain and the
+// per-pair slot rings all get exercised across run boundaries.
+func TestSlotBackendReusedMachine(t *testing.T) {
+	const n = 9
+	m := MustNewMachine(n, Ports(2), WithTransport(BackendSlot))
+	for _, blockLen := range []int{32, 1, 128, 8} {
+		fin := flatIndexInput(t, n, blockLen)
+		fout := mustIndexBuffers(t, n, blockLen)
+		if _, err := m.IndexFlat(fin, fout, WithRadix(3)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !bytes.Equal(fout.Block(i, j), fin.Block(j, i)) {
+					t.Fatalf("blockLen %d: out[%d][%d] != in[%d][%d]", blockLen, i, j, j, i)
+				}
+			}
+		}
+		cin := flatConcatInput(t, n, blockLen)
+		cout := mustIndexBuffers(t, n, blockLen)
+		if _, err := m.ConcatFlat(cin, cout); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !bytes.Equal(cout.Block(i, j), cin.Block(j, 0)) {
+					t.Fatalf("blockLen %d: concat out[%d][%d] != in[%d]", blockLen, i, j, j)
+				}
+			}
+		}
+	}
+}

@@ -3,8 +3,9 @@
 //
 //	alltoall -op index  -n 64 -b 128 -r 8 -k 1
 //	alltoall -op concat -n 17 -b 64 -k 2
-//	alltoall -op index  -n 64 -b 128 -r auto      # tuned radix
-//	alltoall -op index  -n 64 -b 128 -flat        # zero-copy flat-buffer path
+//	alltoall -op index  -n 64 -b 128 -r auto           # tuned radix
+//	alltoall -op index  -n 64 -b 128 -flat             # zero-copy flat-buffer path
+//	alltoall -op index  -n 64 -b 128 -transport slot   # shared-memory slot transport
 package main
 
 import (
@@ -23,13 +24,14 @@ import (
 
 // params collects one invocation's configuration.
 type params struct {
-	op    string
-	n     int
-	k     int
-	b     int
-	radix string
-	alg   string
-	flat  bool
+	op        string
+	n         int
+	k         int
+	b         int
+	radix     string
+	alg       string
+	flat      bool
+	transport string
 }
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 	flag.StringVar(&p.radix, "r", "", "index radix (2..n), empty for k+1, or 'auto' for model-tuned")
 	flag.StringVar(&p.alg, "alg", "", "algorithm override (index: bruck|direct|xor; concat: circulant|folklore|ring|recdbl)")
 	flag.BoolVar(&p.flat, "flat", false, "run the zero-copy flat-buffer path (IndexFlat/ConcatFlat)")
+	flag.StringVar(&p.transport, "transport", "chan", "simulator transport backend: chan or slot")
 	flag.Parse()
 
 	if err := run(os.Stdout, p); err != nil {
@@ -50,7 +53,14 @@ func main() {
 }
 
 func run(w io.Writer, p params) error {
-	e, err := mpsim.New(p.n, mpsim.Ports(p.k), mpsim.Record(true))
+	backend := mpsim.BackendChan
+	if p.transport != "" {
+		var err error
+		if backend, err = mpsim.ParseBackend(p.transport); err != nil {
+			return err
+		}
+	}
+	e, err := mpsim.New(p.n, mpsim.Ports(p.k), mpsim.Record(true), mpsim.WithTransport(backend))
 	if err != nil {
 		return err
 	}
@@ -105,7 +115,7 @@ func run(w io.Writer, p params) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "index: n=%d k=%d b=%d alg=%v path=%s\n", p.n, p.k, p.b, opt.Algorithm, pathName(p.flat))
+		fmt.Fprintf(w, "index: n=%d k=%d b=%d alg=%v path=%s transport=%s\n", p.n, p.k, p.b, opt.Algorithm, pathName(p.flat), e.Transport())
 		fmt.Fprintf(w, "  C1 = %d rounds   (lower bound %d)\n", res.C1, lowerbound.IndexRounds(p.n, p.k))
 		fmt.Fprintf(w, "  C2 = %d bytes    (lower bound %d)\n", res.C2, lowerbound.IndexVolume(p.n, p.b, p.k))
 
@@ -143,7 +153,7 @@ func run(w io.Writer, p params) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "concat: n=%d k=%d b=%d alg=%v path=%s\n", p.n, p.k, p.b, opt.Algorithm, pathName(p.flat))
+		fmt.Fprintf(w, "concat: n=%d k=%d b=%d alg=%v path=%s transport=%s\n", p.n, p.k, p.b, opt.Algorithm, pathName(p.flat), e.Transport())
 		fmt.Fprintf(w, "  C1 = %d rounds   (lower bound %d)\n", res.C1, lowerbound.ConcatRounds(p.n, p.k))
 		fmt.Fprintf(w, "  C2 = %d bytes    (lower bound %d)\n", res.C2, lowerbound.ConcatVolume(p.n, p.b, p.k))
 

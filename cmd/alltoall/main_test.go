@@ -74,4 +74,23 @@ func TestRunErrors(t *testing.T) {
 	if err := run(&sb, params{op: "index", n: 0, k: 1, b: 8}); err == nil {
 		t.Error("n=0 accepted")
 	}
+	if err := run(&sb, params{op: "index", n: 4, k: 1, b: 8, transport: "pigeon"}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}
+
+func TestRunSlotTransport(t *testing.T) {
+	for _, p := range []params{
+		{op: "index", n: 8, k: 1, b: 16, transport: "slot"},
+		{op: "index", n: 8, k: 1, b: 16, transport: "slot", flat: true},
+		{op: "concat", n: 9, k: 2, b: 16, transport: "slot"},
+	} {
+		var sb strings.Builder
+		if err := run(&sb, p); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if !strings.Contains(sb.String(), "transport=slot") {
+			t.Errorf("%+v: output lacks transport=slot:\n%s", p, sb.String())
+		}
+	}
 }

@@ -6,6 +6,7 @@
 //	concatbench -optimality        # Theorem 4.3 across the special range
 //	concatbench -baselines         # circulant vs folklore/ring/recdbl
 //	concatbench -allocs            # legacy vs flat-buffer allocations
+//	concatbench -allocs -transport slot   # ... on the slot transport
 package main
 
 import (
@@ -28,18 +29,23 @@ func main() {
 	baselines := flag.Bool("baselines", false, "compare the circulant algorithm with the baselines")
 	allocs := flag.Bool("allocs", false, "compare legacy vs flat-buffer allocations per operation")
 	b := flag.Int("b", 4, "block size in bytes")
+	transport := flag.String("transport", "chan", "simulator transport backend: chan or slot")
 	flag.Parse()
 
-	var err error
+	backend, err := mpsim.ParseBackend(*transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "concatbench:", err)
+		os.Exit(2)
+	}
 	switch {
 	case *bounds:
-		err = runBounds(os.Stdout, *b)
+		err = runBounds(os.Stdout, backend, *b)
 	case *optimality:
 		err = runOptimality(os.Stdout, *b)
 	case *baselines:
-		err = runBaselines(os.Stdout, *b)
+		err = runBaselines(os.Stdout, backend, *b)
 	case *allocs:
-		err = runAllocs(os.Stdout, *b)
+		err = runAllocs(os.Stdout, backend, *b)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -50,15 +56,15 @@ func main() {
 	}
 }
 
-func runBounds(w io.Writer, b int) error {
+func runBounds(w io.Writer, backend mpsim.Backend, b int) error {
 	ns := []int{4, 5, 8, 9, 16, 17, 27, 32, 64, 100}
 	ks := []int{1, 2, 3, 4}
-	rows, err := sweep.ConcatBoundsTable(ns, ks, b)
+	rows, err := sweep.ConcatBoundsTable(backend, ns, ks, b)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "concatenation: achieved vs lower bounds (b = %d)\n\n%s\n", b, sweep.RenderBounds(rows))
-	irows, err := sweep.IndexBoundsTable([]int{8, 9, 16, 27, 64}, []int{1, 2, 3}, b)
+	irows, err := sweep.IndexBoundsTable(backend, []int{8, 9, 16, 27, 64}, []int{1, 2, 3}, b)
 	if err != nil {
 		return err
 	}
@@ -95,15 +101,15 @@ func runOptimality(w io.Writer, b int) error {
 	return nil
 }
 
-func runBaselines(w io.Writer, b int) error {
-	fmt.Fprintf(w, "concatenation algorithms, one port, b = %d\n\n", b)
+func runBaselines(w io.Writer, backend mpsim.Backend, b int) error {
+	fmt.Fprintf(w, "concatenation algorithms, one port, b = %d, transport = %s\n\n", b, backend)
 	fmt.Fprintf(w, "%5s %-20s %8s %10s %12s %12s\n", "n", "algorithm", "C1", "C2", "C1 bound", "C2 bound")
 	for _, n := range []int{8, 16, 32, 64} {
 		for _, alg := range []collective.ConcatAlgorithm{
 			collective.ConcatCirculant, collective.ConcatFolklore,
 			collective.ConcatRing, collective.ConcatRecursiveDoubling,
 		} {
-			e := mpsim.MustNew(n)
+			e := mpsim.MustNew(n, mpsim.WithTransport(backend))
 			in := make([][]byte, n)
 			for i := range in {
 				in[i] = make([]byte, b)
@@ -119,11 +125,11 @@ func runBaselines(w io.Writer, b int) error {
 	return nil
 }
 
-func runAllocs(w io.Writer, b int) error {
-	fmt.Fprintf(w, "concat allocations per operation, legacy (block matrix) vs flat (zero-copy), b = %d\n\n", b)
+func runAllocs(w io.Writer, backend mpsim.Backend, b int) error {
+	fmt.Fprintf(w, "concat allocations per operation, legacy (block matrix) vs flat (zero-copy), b = %d, transport = %s\n\n", b, backend)
 	fmt.Fprintf(w, "%5s %3s %14s %14s %12s\n", "n", "k", "legacy", "flat", "reduction")
 	for _, tc := range []struct{ n, k int }{{16, 1}, {32, 1}, {64, 1}, {64, 3}} {
-		legacy, flat, err := sweep.ConcatAllocs(tc.n, b, tc.k, 10)
+		legacy, flat, err := sweep.ConcatAllocs(backend, tc.n, b, tc.k, 10)
 		if err != nil {
 			return err
 		}

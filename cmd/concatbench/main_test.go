@@ -3,11 +3,13 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"bruck/internal/mpsim"
 )
 
 func TestRunBoundsAllOptimal(t *testing.T) {
 	var sb strings.Builder
-	if err := runBounds(&sb, 4); err != nil {
+	if err := runBounds(&sb, mpsim.BackendChan, 4); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -48,14 +50,16 @@ func TestRunOptimalitySpecialRange(t *testing.T) {
 }
 
 func TestRunBaselines(t *testing.T) {
-	var sb strings.Builder
-	if err := runBaselines(&sb, 4); err != nil {
-		t.Fatal(err)
-	}
-	out := sb.String()
-	for _, want := range []string{"circulant", "folklore", "ring", "recursive-doubling"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("output lacks %q", want)
+	for _, backend := range []mpsim.Backend{mpsim.BackendChan, mpsim.BackendSlot} {
+		var sb strings.Builder
+		if err := runBaselines(&sb, backend, 4); err != nil {
+			t.Fatal(err)
+		}
+		out := sb.String()
+		for _, want := range []string{"circulant", "folklore", "ring", "recursive-doubling", "transport = " + string(backend)} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s output lacks %q", backend, want)
+			}
 		}
 	}
 }

@@ -6,6 +6,7 @@
 //	indexbench -fig 6        # time vs radix for several message sizes
 //	indexbench -tune         # optimal radix per message size
 //	indexbench -allocs       # legacy vs flat-buffer allocations per op
+//	indexbench -allocs -transport slot   # ... on the slot transport
 //
 // Schedules are measured on the simulator (per-round message sizes of
 // the real algorithm); times are evaluated under the linear model
@@ -21,6 +22,7 @@ import (
 
 	"bruck/internal/collective"
 	"bruck/internal/costmodel"
+	"bruck/internal/mpsim"
 	"bruck/internal/sweep"
 )
 
@@ -31,10 +33,16 @@ func main() {
 	n := flag.Int("n", 64, "number of processors")
 	k := flag.Int("k", 1, "ports per processor (figures use the one-port model)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	transport := flag.String("transport", "chan", "simulator transport backend: chan or slot")
 	flag.Parse()
 
+	backend, err := mpsim.ParseBackend(*transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "indexbench:", err)
+		os.Exit(2)
+	}
 	h := sweep.NewHarness(costmodel.SP1)
-	var err error
+	h.Backend = backend
 	switch {
 	case *fig == 4:
 		err = runFig4(os.Stdout, h, *n, *csv)
@@ -45,7 +53,7 @@ func main() {
 	case *tune:
 		err = runTune(os.Stdout, *n, *k)
 	case *allocs:
-		err = runAllocs(os.Stdout, *n, *k)
+		err = runAllocs(os.Stdout, backend, *n, *k)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -128,12 +136,12 @@ func runTune(w io.Writer, n, k int) error {
 	return nil
 }
 
-func runAllocs(w io.Writer, n, k int) error {
-	fmt.Fprintf(w, "index allocations per operation, legacy (block matrix) vs flat (zero-copy), n = %d, k = %d\n\n", n, k)
+func runAllocs(w io.Writer, backend mpsim.Backend, n, k int) error {
+	fmt.Fprintf(w, "index allocations per operation, legacy (block matrix) vs flat (zero-copy), n = %d, k = %d, transport = %s\n\n", n, k, backend)
 	fmt.Fprintf(w, "%6s %8s %14s %14s %12s\n", "r", "bytes", "legacy", "flat", "reduction")
 	for _, r := range []int{2, 8, n} {
 		for _, b := range []int{16, 128, 1024} {
-			legacy, flat, err := sweep.IndexAllocs(n, b, r, k, 10)
+			legacy, flat, err := sweep.IndexAllocs(backend, n, b, r, k, 10)
 			if err != nil {
 				return err
 			}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"bruck/internal/buffers"
 	"bruck/internal/intmath"
 	"bruck/internal/lowerbound"
 	"bruck/internal/mpsim"
@@ -259,6 +260,72 @@ func TestConcatOnSubgroup(t *testing.T) {
 	checkConcat(t, in, out, "subgroup")
 	if want := lowerbound.ConcatRounds(7, 2); res.C1 != want {
 		t.Errorf("subgroup C1 = %d, want %d", res.C1, want)
+	}
+}
+
+// TestCirculantConcatNonPowerGroupSizes: circulant concatenation with
+// k > 1 on group sizes that are NOT powers of k+1, where the last round
+// covers fewer than n1 nodes per tree and the area offsets of the
+// partitioned last round can collide (assignAreaOffsets resolves them
+// greedily). Runs each size both as the full world and as a shuffled
+// strict subgroup (group rank != engine rank), on both flat and legacy
+// paths, and cross-checks the measured cost against the closed form.
+func TestCirculantConcatNonPowerGroupSizes(t *testing.T) {
+	const blockLen = 3
+	for _, k := range []int{2, 3} {
+		for n := k + 2; n <= 30; n++ {
+			if intmath.IsPow(k+1, n) {
+				continue
+			}
+			t.Run(fmt.Sprintf("k=%d/n=%d", k, n), func(t *testing.T) {
+				in := genConcatInput(n, blockLen)
+
+				// Full world, legacy path, cost cross-check.
+				res := runConcat(t, n, blockLen, k, ConcatOptions{Algorithm: ConcatCirculant})
+				wantC1, wantC2, err := ConcatCost(n, blockLen, k, partition.PreferOptimal)
+				if err != nil {
+					t.Fatalf("ConcatCost: %v", err)
+				}
+				if res.C1 != wantC1 || res.C2 != wantC2 {
+					t.Errorf("world: measured (C1=%d, C2=%d), closed form (%d, %d)", res.C1, res.C2, wantC1, wantC2)
+				}
+
+				// Shuffled strict subgroup of a wider machine, flat path.
+				wide := n + 3
+				e := mpsim.MustNew(wide, mpsim.Ports(k))
+				ids := make([]int, n)
+				for i := range ids {
+					ids[i] = (i + 3) % wide // rotated, so group rank != engine rank
+				}
+				g, err := mpsim.NewGroup(ids, wide)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fin, err := buffers.FromVector(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fout, err := buffers.New(n, n, blockLen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fres, err := ConcatFlat(e, g, fin, fout, ConcatOptions{Algorithm: ConcatCirculant})
+				if err != nil {
+					t.Fatalf("ConcatFlat on subgroup: %v", err)
+				}
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if !bytes.Equal(fout.Block(i, j), in[j]) {
+							t.Fatalf("subgroup flat: out[%d][%d] != B[%d]", i, j, j)
+						}
+					}
+				}
+				if fres.C1 != wantC1 || fres.C2 != wantC2 {
+					t.Errorf("subgroup flat: measured (C1=%d, C2=%d), closed form (%d, %d)",
+						fres.C1, fres.C2, wantC1, wantC2)
+				}
+			})
+		}
 	}
 }
 

@@ -26,17 +26,58 @@
 // T = C1*beta + C2*tau; package costmodel evaluates recorded Metrics
 // under machine profiles.
 //
-// # Transport buffers
+// # Transports
+//
+// Message delivery is pluggable behind the Transport interface, chosen
+// with WithTransport. Exactly one goroutine sends on a given (src, dst)
+// pair and exactly one receives on it, so a backend only needs
+// single-writer single-reader ordering per ordered pair. Two backends
+// ship:
+//
+//   - BackendChan (default): one buffered Go channel per ordered pair.
+//     Blocked processors park in the runtime for free; best for
+//     debugging schedules and for machines much wider than the host.
+//   - BackendSlot: one lock-free single-writer slot ring per ordered
+//     pair, synchronized with two atomic counters; waiting escalates
+//     spin -> yield -> sleep. The fast backend for throughput work.
+//
+// Both give a pair two messages of slack — exactly what a round-aligned
+// schedule needs, since a sender runs at most one round ahead of the
+// matching receiver per pair — so schedule bugs surface as deadlocks
+// rather than hide in deep buffers. The paper's schedules are
+// transport-agnostic: every backend produces byte-identical results on
+// identical schedules.
+//
+// # Buffer ownership
 //
 // Message payloads travel in buffers drawn from processor-local free
 // lists that persist across runs: a sender copies its payload into a
 // pooled buffer, and a receiver that consumes the message with
 // Proc.ExchangeInto copies it into the caller's destination and
-// recycles the buffer into its own pool (safe because the channel
-// transfer orders the reuse after the sender's last write). A reused
+// recycles the buffer into its own pool (safe because the transport's
+// delivery orders the reuse after the sender's last write). A reused
 // Engine therefore reaches a steady state with no per-message
-// allocations on the ExchangeInto path. The classic Exchange instead
-// transfers buffer ownership to the caller. Proc.AcquireBuf and
-// Proc.ReleaseBuf expose the same pools to algorithm bodies for round
-// scratch space.
+// allocations on the ExchangeInto path; Proc.AcquireBuf scans a bounded
+// number of free-list entries so mixed-size rounds (the circulant
+// last round) reach that steady state too. The classic Exchange
+// instead transfers buffer ownership to the caller. Proc.AcquireBuf
+// and Proc.ReleaseBuf expose the same pools to algorithm bodies for
+// round scratch space. Each pool is owned by one processor goroutine;
+// the engine goroutine touches pools only between runs.
+//
+// # Run lifecycle
+//
+// Every Run gets a generation number, stamped on each Proc and each
+// message; receivers reject messages from another generation. A run
+// that fails with all processors exited may leave undelivered messages
+// in the transport; the next Run drains them first, recycling their
+// payload buffers into the destination pools. A run that the watchdog
+// declares deadlocked still has processors blocked in sends or
+// receives, so the engine fences it instead: the transport is
+// abandoned — waking every blocked processor with an error so the
+// zombies exit rather than leak — and the next Run proceeds on a fresh
+// transport and fresh pools. Zombies keep references only to the
+// orphaned instances, so they can neither race with later runs nor
+// leak stale messages into them, at the cost of losing the pools' warm
+// steady state on that (already exceptional) path.
 package mpsim

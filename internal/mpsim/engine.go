@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,45 +18,61 @@ const (
 	// DefaultWatchdog is the time the engine waits for all processors to
 	// finish before declaring the run deadlocked.
 	DefaultWatchdog = 30 * time.Second
-
-	// mailboxDepth is the per-(src,dst) channel buffer. Two slots are
-	// enough for any round-aligned schedule (a sender may run at most one
-	// round ahead of the matching receiver per pair); extra capacity only
-	// hides schedule bugs, so keep it tight.
-	mailboxDepth = 2
 )
 
 // Engine simulates an n-processor fully connected multiport
 // message-passing system. Create one with New, then execute SPMD
 // programs with Run. An Engine may be reused for several consecutive
-// runs; it is not safe for concurrent Runs.
+// runs — including after a failed or deadlocked run, see Run — but it
+// is not safe for concurrent Runs.
 type Engine struct {
 	n        int
 	k        int
 	validate bool
 	record   bool
 	watchdog time.Duration
+	backend  Backend
 
-	// mailbox[dst][src] carries messages from processor src to processor
-	// dst. Per-pair channels keep ordering per ordered pair and make
-	// receive-from-specific-source trivial, mirroring send_and_recv in
-	// the paper's pseudocode (Appendix A).
-	mailbox [][]chan message
+	// tr carries messages between processors. After a deadlocked run the
+	// engine abandons the instance to the stuck goroutines and installs
+	// a fresh one, so a transport is only ever shared by the goroutines
+	// of a single run.
+	tr Transport
 
-	// freebufs[rank] is the rank-local free list of payload buffers.
-	// Each list is touched only by the goroutine running processor rank
-	// (one Run at a time, one goroutine per rank), so no lock is needed.
-	// Senders draw payload buffers from their own list; receivers that
+	// pools[rank] is the rank-local free list of payload buffers. Each
+	// pool is touched only by the goroutine running processor rank (one
+	// Run at a time, one goroutine per rank), so no lock is needed.
+	// Senders draw payload buffers from their own pool; receivers that
 	// consume a message through ExchangeInto return the payload to their
-	// own list. The lists persist across Runs, so a reused Engine reaches
-	// a steady state with no per-message allocations.
-	freebufs [][][]byte
+	// own pool. The pools persist across Runs — they are replaced, like
+	// the transport, only when a deadlocked run may still be touching
+	// them — so a reused Engine reaches a steady state with no
+	// per-message allocations.
+	pools []*bufPool
+
+	// gen counts Runs. Every Proc and every message carries the
+	// generation of the Run that created it, and receivers reject
+	// messages from another generation: together with the post-deadlock
+	// replacement of transport and pools this fences zombie goroutines
+	// of an abandoned run out of all later runs.
+	gen uint64
+
+	// live counts the not-yet-returned processor goroutines of the most
+	// recent run; nonzero after Run only when a watchdog deadlock
+	// abandoned them. Each Run allocates its own counter (and its
+	// goroutines decrement that one), so zombies of a fenced run cannot
+	// corrupt a later run's count.
+	live *atomic.Int64
 
 	metrics *Metrics
 }
 
+// message is one payload in flight from src to dst: the communication
+// round it belongs to, the run generation that produced it, and the
+// pooled payload buffer.
 type message struct {
 	round int
+	gen   uint64
 	data  []byte
 }
 
@@ -82,6 +99,13 @@ func Watchdog(d time.Duration) Option {
 	return func(e *Engine) { e.watchdog = d }
 }
 
+// WithTransport selects the message transport backend, BackendChan
+// (default) or BackendSlot. See the Backend constants for the
+// trade-off.
+func WithTransport(b Backend) Option {
+	return func(e *Engine) { e.backend = b }
+}
+
 // New creates an engine for n processors. n must be at least 1 and the
 // port count k must satisfy 1 <= k <= max(1, n-1).
 func New(n int, opts ...Option) (*Engine, error) {
@@ -93,6 +117,7 @@ func New(n int, opts ...Option) (*Engine, error) {
 		k:        DefaultPorts,
 		validate: true,
 		watchdog: DefaultWatchdog,
+		backend:  BackendChan,
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -104,14 +129,12 @@ func New(n int, opts ...Option) (*Engine, error) {
 	if e.k < 1 || e.k > maxK {
 		return nil, fmt.Errorf("mpsim: port count k = %d, want 1 <= k <= %d for n = %d", e.k, maxK, n)
 	}
-	e.mailbox = make([][]chan message, n)
-	for dst := range e.mailbox {
-		e.mailbox[dst] = make([]chan message, n)
-		for src := range e.mailbox[dst] {
-			e.mailbox[dst][src] = make(chan message, mailboxDepth)
-		}
+	tr, err := newTransport(e.backend, n)
+	if err != nil {
+		return nil, err
 	}
-	e.freebufs = make([][][]byte, n)
+	e.tr = tr
+	e.pools = newPools(n)
 	return e, nil
 }
 
@@ -131,21 +154,44 @@ func (e *Engine) N() int { return e.n }
 // Ports returns the port count k.
 func (e *Engine) Ports() int { return e.k }
 
+// Transport returns the backend the engine was created with.
+func (e *Engine) Transport() Backend { return e.backend }
+
 // Run executes body concurrently on all n processors and waits for every
 // processor to return. It returns the joined errors of all processors,
 // or a deadlock error naming the stuck processors if the watchdog fires.
 // The recorded Metrics for the run are available from Metrics afterwards.
+//
+// An Engine remains usable after any failed run. Residue messages of a
+// run that returned an error are drained (their buffers recycled into
+// the pools) before the next run starts. A deadlocked run is fenced
+// instead: its transport and buffer pools are abandoned to the stuck
+// goroutines — which the abandoned transport wakes with an error so
+// they can exit — and the next run proceeds on fresh ones, losing only
+// the pools' warm steady state.
 func (e *Engine) Run(body func(p *Proc) error) error {
+	e.tr.Drain(func(dst int, data []byte) { e.pools[dst].put(data) })
+
+	e.gen++
 	e.metrics = newMetrics(e.n)
 	e.metrics.record = e.record
-	e.drainMailboxes()
+	live := new(atomic.Int64)
+	live.Store(int64(e.n))
+	e.live = live
 
 	procs := make([]*Proc, e.n)
 	errs := make([]error, e.n)
 	var wg sync.WaitGroup
 	wg.Add(e.n)
 	for i := 0; i < e.n; i++ {
-		p := &Proc{engine: e, metrics: e.metrics, rank: i}
+		p := &Proc{
+			engine:  e,
+			tr:      e.tr,
+			pool:    e.pools[i],
+			metrics: e.metrics,
+			gen:     e.gen,
+			rank:    i,
+		}
 		procs[i] = p
 		go func(rank int, p *Proc) {
 			defer wg.Done()
@@ -155,6 +201,7 @@ func (e *Engine) Run(body func(p *Proc) error) error {
 				}
 				p.metrics.setFinish(rank, p.Round())
 				p.done.Store(true)
+				live.Add(-1)
 			}()
 			errs[rank] = body(p)
 		}(i, p)
@@ -172,7 +219,9 @@ func (e *Engine) Run(body func(p *Proc) error) error {
 		select {
 		case <-doneCh:
 		case <-timer.C:
-			return e.deadlockError(procs)
+			err := e.deadlockError(procs)
+			e.fence()
+			return err
 		}
 	} else {
 		<-doneCh
@@ -191,21 +240,22 @@ func (e *Engine) Run(body func(p *Proc) error) error {
 // Run has not been called.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
 
-// drainMailboxes empties any residue left by a previous failed run so
-// the engine can be reused.
-func (e *Engine) drainMailboxes() {
-	for dst := range e.mailbox {
-		for src := range e.mailbox[dst] {
-			for {
-				select {
-				case <-e.mailbox[dst][src]:
-				default:
-					goto next
-				}
-			}
-		next:
-		}
+// fence isolates the engine from the goroutines of a deadlocked run.
+// Abandoning the transport wakes every processor blocked in a send or
+// receive with an error so it can exit; replacing the transport and the
+// buffer pools guarantees that even a processor that ignores the error
+// (or is still executing body code) only ever touches structures no
+// future run shares. The zombies' Procs keep their references to the
+// orphaned instances, so no lock is needed anywhere on this path.
+func (e *Engine) fence() {
+	e.tr.Abandon()
+	tr, err := newTransport(e.backend, e.n)
+	if err != nil {
+		// The backend was validated in New; a failure here is impossible.
+		panic(err)
 	}
+	e.tr = tr
+	e.pools = newPools(e.n)
 }
 
 // deadlockError reports which processors had not finished when the

@@ -10,9 +10,19 @@ import (
 // Proc. A Proc is confined to the goroutine that runs the body; it must
 // not be shared. (The round counter and completion flag are atomic only
 // so the engine's deadlock watchdog can inspect a stuck processor.)
+//
+// A Proc holds direct references to the transport, buffer pool and
+// metrics of the Run that created it, plus that Run's generation. The
+// engine replaces the transport and pools after a deadlocked run, so a
+// zombie processor of an abandoned run keeps operating on its own
+// orphaned instances and can never race with — or leak a stale message
+// into — a later run.
 type Proc struct {
 	engine  *Engine
-	metrics *Metrics // the metrics of the Run that created this Proc
+	tr      Transport // the transport of the Run that created this Proc
+	pool    *bufPool  // this rank's buffer pool of that Run
+	metrics *Metrics  // the metrics of that Run
+	gen     uint64    // that Run's generation; stamped on every message
 	rank    int
 	round   atomic.Int64
 	done    atomic.Bool
@@ -102,14 +112,27 @@ func (p *Proc) exchange(sends []Send, from []int, into [][]byte, out [][]byte) e
 		payload := p.AcquireBuf(len(s.Data))
 		copy(payload, s.Data)
 		p.metrics.recordSend(p.rank, s.To, round, len(payload))
-		e.mailbox[s.To][p.rank] <- message{round: round, data: payload}
+		if err := p.tr.Send(p.rank, s.To, message{round: round, gen: p.gen, data: payload}); err != nil {
+			return fmt.Errorf("mpsim: p%d round %d: send to p%d: %w", p.rank, round, s.To, err)
+		}
 	}
 
 	for i, src := range from {
 		if src < 0 || src >= e.n {
 			return fmt.Errorf("mpsim: p%d round %d: receive from out-of-range rank %d", p.rank, round, src)
 		}
-		msg := <-e.mailbox[p.rank][src]
+		msg, err := p.tr.Recv(p.rank, src)
+		if err != nil {
+			return fmt.Errorf("mpsim: p%d round %d: receive from p%d: %w", p.rank, round, src, err)
+		}
+		if msg.gen != p.gen {
+			// Unreachable when the engine's fencing works: messages of an
+			// abandoned run live in an orphaned transport and residue of a
+			// completed run is drained before the next starts. Checked
+			// unconditionally as a last line of defence.
+			return fmt.Errorf("mpsim: p%d round %d: received message from p%d of run generation %d (current %d): stale message leaked across runs",
+				p.rank, round, src, msg.gen, p.gen)
+		}
 		if e.validate && msg.round != round {
 			return fmt.Errorf("mpsim: p%d round %d: received message sent by p%d in round %d (misaligned schedule)",
 				p.rank, round, src, msg.round)
@@ -130,35 +153,21 @@ func (p *Proc) exchange(sends []Send, from []int, into [][]byte, out [][]byte) e
 }
 
 // AcquireBuf returns a length-n scratch buffer from the processor-local
-// buffer pool, allocating only when the pool has no buffer of
-// sufficient capacity. The contents are undefined. The pool is owned by
-// this processor's goroutine; buffers cycle sender -> mailbox ->
-// receiver -> receiver's pool, which is safe because the channel
-// transfer orders the receiver's reuse after the sender's last write.
+// buffer pool, allocating only when none of the poolScanDepth newest
+// pooled buffers has sufficient capacity. The contents are undefined.
+// The pool is owned by this processor's goroutine; buffers cycle
+// sender -> transport -> receiver -> receiver's pool, which is safe
+// because the transport's delivery orders the receiver's reuse after
+// the sender's last write.
 func (p *Proc) AcquireBuf(n int) []byte {
-	list := &p.engine.freebufs[p.rank]
-	if l := len(*list); l > 0 {
-		b := (*list)[l-1]
-		(*list)[l-1] = nil
-		*list = (*list)[:l-1]
-		if cap(b) >= n {
-			return b[:n]
-		}
-		// Too small for the current message sizes: drop it and let the
-		// pool converge to the sizes actually in flight.
-	}
-	return make([]byte, n)
+	return p.pool.get(n)
 }
 
 // ReleaseBuf returns a buffer obtained from AcquireBuf (or a payload
 // slice this processor owns) to the processor-local pool. The caller
 // must not use b afterwards.
 func (p *Proc) ReleaseBuf(b []byte) {
-	if cap(b) == 0 {
-		return
-	}
-	list := &p.engine.freebufs[p.rank]
-	*list = append(*list, b)
+	p.pool.put(b)
 }
 
 // Skip advances this processor's round counter without communicating.

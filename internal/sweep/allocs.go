@@ -19,9 +19,10 @@ import (
 
 // IndexAllocs measures the average allocations per operation of the
 // legacy (block-matrix) and flat index paths for n processors, block
-// size b, radix r and k ports, on a warmed-up engine.
-func IndexAllocs(n, b, r, k, runs int) (legacy, flat float64, err error) {
-	e, err := mpsim.New(n, mpsim.Ports(k))
+// size b, radix r and k ports, on a warmed-up engine using transport
+// backend tr.
+func IndexAllocs(tr mpsim.Backend, n, b, r, k, runs int) (legacy, flat float64, err error) {
+	e, err := mpsim.New(n, mpsim.Ports(k), mpsim.WithTransport(tr))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -67,9 +68,9 @@ func IndexAllocs(n, b, r, k, runs int) (legacy, flat float64, err error) {
 
 // ConcatAllocs measures the average allocations per operation of the
 // legacy and flat concatenation paths for n processors, block size b
-// and k ports, on a warmed-up engine.
-func ConcatAllocs(n, b, k, runs int) (legacy, flat float64, err error) {
-	e, err := mpsim.New(n, mpsim.Ports(k))
+// and k ports, on a warmed-up engine using transport backend tr.
+func ConcatAllocs(tr mpsim.Backend, n, b, k, runs int) (legacy, flat float64, err error) {
+	e, err := mpsim.New(n, mpsim.Ports(k), mpsim.WithTransport(tr))
 	if err != nil {
 		return 0, 0, err
 	}

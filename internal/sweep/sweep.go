@@ -46,6 +46,12 @@ type Series struct {
 type Harness struct {
 	Profile costmodel.Profile
 
+	// Backend selects the simulator transport the measurement engines
+	// use; the zero value means mpsim.BackendChan. The measured
+	// schedules — and therefore every figure — are identical across
+	// backends; the choice only affects the harness's own wall-clock.
+	Backend mpsim.Backend
+
 	mu    sync.Mutex
 	cache map[[3]int][]int // (n, r, k) -> per-round sizes in blocks
 }
@@ -54,6 +60,15 @@ type Harness struct {
 // profile.
 func NewHarness(p costmodel.Profile) *Harness {
 	return &Harness{Profile: p, cache: make(map[[3]int][]int)}
+}
+
+// backend resolves the harness's transport choice, defaulting to the
+// channel backend.
+func (h *Harness) backend() mpsim.Backend {
+	if h.Backend == "" {
+		return mpsim.BackendChan
+	}
+	return h.Backend
 }
 
 // schedule returns the per-round message sizes, in blocks, of the
@@ -67,7 +82,7 @@ func (h *Harness) schedule(n, r, k int) ([]int, error) {
 	if ok {
 		return cached, nil
 	}
-	e, err := mpsim.New(n, mpsim.Ports(k))
+	e, err := mpsim.New(n, mpsim.Ports(k), mpsim.WithTransport(h.backend()))
 	if err != nil {
 		return nil, err
 	}
@@ -308,15 +323,19 @@ type BoundsRow struct {
 }
 
 // ConcatBoundsTable measures the circulant concatenation across the
-// given n and k values at block size b and reports achieved-vs-bound.
-func ConcatBoundsTable(ns, ks []int, b int) ([]BoundsRow, error) {
+// given n and k values at block size b on transport backend tr and
+// reports achieved-vs-bound.
+func ConcatBoundsTable(tr mpsim.Backend, ns, ks []int, b int) ([]BoundsRow, error) {
+	if tr == "" {
+		tr = mpsim.BackendChan
+	}
 	var rows []BoundsRow
 	for _, n := range ns {
 		for _, k := range ks {
 			if k > intmath.Max(1, n-1) {
 				continue
 			}
-			e, err := mpsim.New(n, mpsim.Ports(k))
+			e, err := mpsim.New(n, mpsim.Ports(k), mpsim.WithTransport(tr))
 			if err != nil {
 				return nil, err
 			}
@@ -349,10 +368,12 @@ func ConcatBoundsTable(ns, ks []int, b int) ([]BoundsRow, error) {
 }
 
 // IndexBoundsTable measures the Bruck index with round-minimal radix
-// (k+1) and volume-minimal radix (n) across configurations.
-func IndexBoundsTable(ns, ks []int, b int) ([]BoundsRow, error) {
+// (k+1) and volume-minimal radix (n) across configurations, on
+// transport backend tr.
+func IndexBoundsTable(tr mpsim.Backend, ns, ks []int, b int) ([]BoundsRow, error) {
 	var rows []BoundsRow
 	h := NewHarness(costmodel.SP1)
+	h.Backend = tr
 	for _, n := range ns {
 		for _, k := range ks {
 			if k > intmath.Max(1, n-1) || n < 2 {

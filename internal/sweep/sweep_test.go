@@ -6,6 +6,7 @@ import (
 
 	"bruck/internal/collective"
 	"bruck/internal/costmodel"
+	"bruck/internal/mpsim"
 )
 
 // TestFig4Shape: with SP-1 parameters and n = 64, the smallest radix is
@@ -128,7 +129,7 @@ func TestScheduleCache(t *testing.T) {
 }
 
 func TestConcatBoundsTableOptimal(t *testing.T) {
-	rows, err := ConcatBoundsTable([]int{4, 5, 8, 9, 16, 17, 27, 32}, []int{1, 2}, 4)
+	rows, err := ConcatBoundsTable(mpsim.BackendChan, []int{4, 5, 8, 9, 16, 17, 27, 32}, []int{1, 2}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestConcatBoundsTableOptimal(t *testing.T) {
 }
 
 func TestIndexBoundsTable(t *testing.T) {
-	rows, err := IndexBoundsTable([]int{8, 9, 16}, []int{1, 2}, 4)
+	rows, err := IndexBoundsTable(mpsim.BackendSlot, []int{8, 9, 16}, []int{1, 2}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestRenderers(t *testing.T) {
 	if lines := strings.Count(csv, "\n"); lines != 3 {
 		t.Errorf("CSV has %d lines, want 3", lines)
 	}
-	rows, err := ConcatBoundsTable([]int{4, 8}, []int{1}, 2)
+	rows, err := ConcatBoundsTable(mpsim.BackendChan, []int{4, 8}, []int{1}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
