@@ -490,3 +490,170 @@ func BenchmarkOptimalRadixSearch(b *testing.B) {
 		_ = OptimalRadix(SP1, 64, 128, 1, false)
 	}
 }
+
+// BenchmarkIndexPlanReuse isolates the cost of per-call schedule
+// construction: "compile-per-call" is the package-level IndexFlat
+// (compile + execute on every iteration), "plan-reuse" executes one
+// precompiled Plan. Results are byte-identical; the delta is pure
+// schedule-compilation overhead (digit bucketing, round layout). The
+// channel backend keeps idle processors parked, so the delta is not
+// drowned in spin-waiting on hosts with fewer cores than processors.
+func BenchmarkIndexPlanReuse(b *testing.B) {
+	const size = 64
+	for _, n := range []int{16, 64} {
+		e := mpsim.MustNew(n, mpsim.WithTransport(mpsim.BackendChan))
+		g := mpsim.WorldGroup(n)
+		fin, err := buffers.FromMatrix(benchIndexInput(n, size))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fout, err := buffers.New(n, n, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt := collective.IndexOptions{Radix: 2}
+		plan, err := collective.CompileIndex(e, g, size, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/compile-per-call", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := collective.IndexFlat(e, g, fin, fout, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/plan-reuse", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Execute(fin, fout); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/compile-only", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := collective.CompileIndex(e, g, size, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcatPlanReuse is the concatenation counterpart; here
+// compile-per-call re-solves the last-round table partition on every
+// call, so the amortization win is larger.
+func BenchmarkConcatPlanReuse(b *testing.B) {
+	const size = 64
+	for _, n := range []int{16, 64} {
+		e := mpsim.MustNew(n, mpsim.WithTransport(mpsim.BackendChan))
+		g := mpsim.WorldGroup(n)
+		fin, err := buffers.FromVector(benchConcatInput(n, size))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fout, err := buffers.New(n, n, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt := collective.ConcatOptions{}
+		plan, err := collective.CompileConcat(e, g, size, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/compile-per-call", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := collective.ConcatFlat(e, g, fin, fout, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/plan-reuse", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Execute(fin, fout); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/compile-only", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := collective.CompileConcat(e, g, size, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunPlansDisjoint compares executing two disjoint-group plans
+// sequentially (two engine runs) against one concurrent RunPlans pass
+// (one engine run hosting both groups).
+func BenchmarkRunPlansDisjoint(b *testing.B) {
+	const per, size = 8, 64
+	m := MustNewMachine(2*per, WithTransport(BackendSlot))
+	lo := make([]int, per)
+	hi := make([]int, per)
+	for i := 0; i < per; i++ {
+		lo[i], hi[i] = i, per+i
+	}
+	gLo, err := m.NewGroup(lo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gHi, err := m.NewGroup(hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plLo, err := m.CompileIndex(size, OnGroup(gLo), WithRadix(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plHi, err := m.CompileIndex(size, OnGroup(gHi), WithRadix(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func() (*Buffers, *Buffers) {
+		in, err := buffers.FromMatrix(benchIndexInput(per, size))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := buffers.New(per, per, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return in, out
+	}
+	inLo, outLo := mk()
+	inHi, outHi := mk()
+	if err := plLo.Bind(inLo, outLo); err != nil {
+		b.Fatal(err)
+	}
+	if err := plHi.Bind(inHi, outHi); err != nil {
+		b.Fatal(err)
+	}
+	plans := []*Plan{plLo, plHi}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plLo.Execute(inLo, outLo); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plHi.Execute(inHi, outHi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.RunPlans(plans); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

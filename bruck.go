@@ -46,9 +46,18 @@ import (
 // message-passing system. Create one with NewMachine; a Machine may run
 // any number of consecutive collective operations but is not safe for
 // concurrent use.
+//
+// Every collective call is routed through an internal plan cache keyed
+// by (operation, group, options, block size): the first call with a
+// configuration compiles its schedule, later calls replay the compiled
+// Plan with zero schedule recomputation. CompileIndex and CompileConcat
+// expose the plans directly, and RunPlans executes plans on disjoint
+// groups concurrently. The cache keys groups by pointer, so reuse the
+// *Group value (World, or a stored NewGroup result) to hit it.
 type Machine struct {
 	engine *mpsim.Engine
 	world  *Group
+	plans  *collective.PlanCache
 }
 
 // MachineOption configures NewMachine.
@@ -119,7 +128,7 @@ func NewMachine(n int, opts ...MachineOption) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{engine: e, world: mpsim.WorldGroup(n)}, nil
+	return &Machine{engine: e, world: mpsim.WorldGroup(n), plans: collective.NewPlanCache()}, nil
 }
 
 // CriticalPathTime evaluates the most recent operation's schedule under
@@ -132,6 +141,9 @@ func NewMachine(n int, opts ...MachineOption) (*Machine, error) {
 func (m *Machine) CriticalPathTime(p Profile) (float64, error) {
 	metrics := m.engine.Metrics()
 	if metrics == nil {
+		if m.engine.ProgramsInLastRun() > 1 {
+			return 0, fmt.Errorf("bruck: CriticalPathTime is unavailable after RunPlans (per-plan schedules; use the returned Reports)")
+		}
 		return 0, fmt.Errorf("bruck: CriticalPathTime before any operation")
 	}
 	events := metrics.Events()
@@ -293,9 +305,9 @@ func (m *Machine) call(opts []CollectiveOption) callConfig {
 func (m *Machine) Index(in [][][]byte, opts ...CollectiveOption) ([][][]byte, *Report, error) {
 	cfg := m.call(opts)
 	if cfg.radices != nil {
-		return collective.IndexMixed(m.engine, cfg.group, in, cfg.radices)
+		return m.plans.IndexMixed(m.engine, cfg.group, in, cfg.radices)
 	}
-	return collective.Index(m.engine, cfg.group, in, cfg.indexOpt)
+	return m.plans.Index(m.engine, cfg.group, in, cfg.indexOpt)
 }
 
 // Concat performs all-to-all broadcast (MPI_Allgather): in[i] is block
@@ -306,7 +318,7 @@ func (m *Machine) Index(in [][][]byte, opts ...CollectiveOption) ([][][]byte, *R
 // callers should use ConcatFlat.
 func (m *Machine) Concat(in [][]byte, opts ...CollectiveOption) ([][][]byte, *Report, error) {
 	cfg := m.call(opts)
-	return collective.Concat(m.engine, cfg.group, in, cfg.concatOpt)
+	return m.plans.Concat(m.engine, cfg.group, in, cfg.concatOpt)
 }
 
 // Buffers is the flat block store of the zero-copy collective paths:
@@ -349,9 +361,9 @@ func NewConcatBuffers(n, blockLen int) (*Buffers, error) {
 func (m *Machine) IndexFlat(in, out *Buffers, opts ...CollectiveOption) (*Report, error) {
 	cfg := m.call(opts)
 	if cfg.radices != nil {
-		return collective.IndexMixedFlat(m.engine, cfg.group, in, out, cfg.radices)
+		return m.plans.IndexMixedFlat(m.engine, cfg.group, in, out, cfg.radices)
 	}
-	return collective.IndexFlat(m.engine, cfg.group, in, out, cfg.indexOpt)
+	return m.plans.IndexFlat(m.engine, cfg.group, in, out, cfg.indexOpt)
 }
 
 // ConcatFlat is the zero-copy concatenation: in is a concat-shaped flat
@@ -362,7 +374,52 @@ func (m *Machine) IndexFlat(in, out *Buffers, opts ...CollectiveOption) (*Report
 // allocates nothing on a reused Machine.
 func (m *Machine) ConcatFlat(in, out *Buffers, opts ...CollectiveOption) (*Report, error) {
 	cfg := m.call(opts)
-	return collective.ConcatFlat(m.engine, cfg.group, in, out, cfg.concatOpt)
+	return m.plans.ConcatFlat(m.engine, cfg.group, in, out, cfg.concatOpt)
+}
+
+// Plan is a compiled collective schedule: the complete round, partner
+// and packing layout of one operation on one (group, block size,
+// options) configuration, precomputed so repeated executions perform no
+// schedule work at all — the paper's schedules are fixed functions of
+// (n, k, r), so one compilation serves every invocation. Obtain plans
+// from CompileIndex/CompileConcat, run one with Plan.Execute, or run
+// several disjoint-group plans concurrently with RunPlans. A Plan
+// remains valid for the lifetime of its Machine, including across
+// recovery from a deadlocked run.
+type Plan = collective.Plan
+
+// CompileIndex compiles (and caches) the index schedule for the given
+// block size and options. The returned plan's Execute takes
+// index-shaped input and output buffers (NewIndexBuffers) and produces
+// exactly what IndexFlat would — IndexFlat itself is a thin wrapper
+// that compiles through the same cache and executes once.
+func (m *Machine) CompileIndex(blockLen int, opts ...CollectiveOption) (*Plan, error) {
+	cfg := m.call(opts)
+	if cfg.radices != nil {
+		return m.plans.IndexMixedPlan(m.engine, cfg.group, blockLen, cfg.radices)
+	}
+	return m.plans.IndexPlan(m.engine, cfg.group, blockLen, cfg.indexOpt)
+}
+
+// CompileConcat compiles (and caches) the concatenation schedule for
+// the given block size and options — including the circulant
+// algorithm's last-round table partition, the expensive part of
+// per-call schedule construction. The returned plan's Execute takes a
+// concat-shaped input (NewConcatBuffers) and an index-shaped output
+// (NewIndexBuffers).
+func (m *Machine) CompileConcat(blockLen int, opts ...CollectiveOption) (*Plan, error) {
+	cfg := m.call(opts)
+	return m.plans.ConcatPlan(m.engine, cfg.group, blockLen, cfg.concatOpt)
+}
+
+// RunPlans executes several compiled plans concurrently inside one
+// engine run. The plans must belong to this machine, their groups must
+// be pairwise disjoint, and each must carry buffers attached with
+// Plan.Bind. Every plan keeps its own Report (per-group metrics); the
+// k-port constraint is still enforced per processor. Results are
+// byte-identical to executing the plans sequentially.
+func (m *Machine) RunPlans(plans []*Plan) ([]*Report, error) {
+	return collective.ExecutePlans(m.engine, plans)
 }
 
 // Broadcast sends root's data to every group member; the result holds
@@ -384,6 +441,34 @@ func (m *Machine) Gather(root int, in [][]byte, opts ...CollectiveOption) ([][]b
 func (m *Machine) Scatter(root int, in [][]byte, opts ...CollectiveOption) ([][]byte, *Report, error) {
 	cfg := m.call(opts)
 	return collective.Scatter(m.engine, cfg.group, root, in)
+}
+
+// BroadcastInto is the caller-owned-memory broadcast: root's data lands
+// in out.Block(i, 0) of a concat-shaped Buffers (NewConcatBuffers with
+// blockLen = len(data)). Unlike Broadcast it allocates no per-member
+// result slices: on a reused Machine the operation performs no
+// allocations beyond pooled transport buffers.
+func (m *Machine) BroadcastInto(root int, data []byte, out *Buffers, opts ...CollectiveOption) (*Report, error) {
+	cfg := m.call(opts)
+	return collective.BroadcastInto(m.engine, cfg.group, root, data, out)
+}
+
+// GatherInto is the caller-owned-memory gather: each member's block is
+// in.Block(me, 0) of a concat-shaped Buffers, and the concatenation
+// lands at the root, in group-rank order, in the caller's out slice of
+// n*blockLen bytes. Non-roots never touch out.
+func (m *Machine) GatherInto(root int, in *Buffers, out []byte, opts ...CollectiveOption) (*Report, error) {
+	cfg := m.call(opts)
+	return collective.GatherInto(m.engine, cfg.group, root, in, out)
+}
+
+// ScatterInto is the caller-owned-memory scatter: in is the root's
+// per-member blocks as one n*blockLen slice in group-rank order, and
+// member j's block lands in out.Block(j, 0) of a concat-shaped
+// Buffers. in is only read at the root.
+func (m *Machine) ScatterInto(root int, in []byte, out *Buffers, opts ...CollectiveOption) (*Report, error) {
+	cfg := m.call(opts)
+	return collective.ScatterInto(m.engine, cfg.group, root, in, out)
 }
 
 // OptimalRadix returns the radix minimizing the linear-model time of

@@ -6,6 +6,12 @@
 //	alltoall -op index  -n 64 -b 128 -r auto           # tuned radix
 //	alltoall -op index  -n 64 -b 128 -flat             # zero-copy flat-buffer path
 //	alltoall -op index  -n 64 -b 128 -transport slot   # shared-memory slot transport
+//	alltoall -op index  -n 64 -b 128 -repeat 100       # plan-reuse study
+//
+// With -repeat N (N > 1) the command runs the operation N times twice
+// over on flat buffers — once compiling the schedule on every call and
+// once executing a single precompiled plan — verifies both produce the
+// same bytes, and reports the wall-clock per operation of each mode.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"time"
 
 	"bruck/internal/buffers"
 	"bruck/internal/collective"
@@ -32,6 +39,7 @@ type params struct {
 	alg       string
 	flat      bool
 	transport string
+	repeat    int
 }
 
 func main() {
@@ -44,6 +52,7 @@ func main() {
 	flag.StringVar(&p.alg, "alg", "", "algorithm override (index: bruck|direct|xor; concat: circulant|folklore|ring|recdbl)")
 	flag.BoolVar(&p.flat, "flat", false, "run the zero-copy flat-buffer path (IndexFlat/ConcatFlat)")
 	flag.StringVar(&p.transport, "transport", "chan", "simulator transport backend: chan or slot")
+	flag.IntVar(&p.repeat, "repeat", 1, "run the operation N times and compare compile-per-call vs plan reuse")
 	flag.Parse()
 
 	if err := run(os.Stdout, p); err != nil {
@@ -92,6 +101,9 @@ func run(w io.Writer, p params) error {
 			}
 			opt.Radix = r
 		}
+		if p.repeat > 1 {
+			return runIndexRepeat(w, p, e, g, opt)
+		}
 		if p.flat {
 			fin, ferr := buffers.New(p.n, p.n, p.b)
 			if ferr != nil {
@@ -132,6 +144,9 @@ func run(w io.Writer, p params) error {
 			opt.Algorithm = collective.ConcatRecursiveDoubling
 		default:
 			return fmt.Errorf("unknown concat algorithm %q", p.alg)
+		}
+		if p.repeat > 1 {
+			return runConcatRepeat(w, p, e, g, opt)
 		}
 		if p.flat {
 			fin, ferr := buffers.New(p.n, 1, p.b)
@@ -175,4 +190,112 @@ func pathName(flat bool) string {
 		return "flat"
 	}
 	return "legacy"
+}
+
+// runIndexRepeat is the plan-reuse study for the index operation: the
+// same configuration executed p.repeat times compiling on every call,
+// then p.repeat times through one precompiled plan, with a byte-level
+// equivalence check between the two result sets.
+func runIndexRepeat(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group, opt collective.IndexOptions) error {
+	fin, err := buffers.New(p.n, p.n, p.b)
+	if err != nil {
+		return err
+	}
+	fillPattern(fin)
+	perCallOut, err := buffers.New(p.n, p.n, p.b)
+	if err != nil {
+		return err
+	}
+	planOut, err := buffers.New(p.n, p.n, p.b)
+	if err != nil {
+		return err
+	}
+	plan, err := collective.CompileIndex(e, g, p.b, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "index plan-reuse study: n=%d k=%d b=%d alg=%v transport=%s repeat=%d\n",
+		p.n, p.k, p.b, opt.Algorithm, e.Transport(), p.repeat)
+	return repeatStudy(w, p.repeat, plan,
+		func() error { _, err := collective.IndexFlat(e, g, fin, perCallOut, opt); return err },
+		func() error { _, err := plan.Execute(fin, planOut); return err },
+		perCallOut, planOut)
+}
+
+// runConcatRepeat is the plan-reuse study for the concatenation, where
+// compile-per-call includes re-solving the last-round table partition.
+func runConcatRepeat(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group, opt collective.ConcatOptions) error {
+	fin, err := buffers.New(p.n, 1, p.b)
+	if err != nil {
+		return err
+	}
+	fillPattern(fin)
+	perCallOut, err := buffers.New(p.n, p.n, p.b)
+	if err != nil {
+		return err
+	}
+	planOut, err := buffers.New(p.n, p.n, p.b)
+	if err != nil {
+		return err
+	}
+	plan, err := collective.CompileConcat(e, g, p.b, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "concat plan-reuse study: n=%d k=%d b=%d alg=%v transport=%s repeat=%d\n",
+		p.n, p.k, p.b, opt.Algorithm, e.Transport(), p.repeat)
+	return repeatStudy(w, p.repeat, plan,
+		func() error { _, err := collective.ConcatFlat(e, g, fin, perCallOut, opt); return err },
+		func() error { _, err := plan.Execute(fin, planOut); return err },
+		perCallOut, planOut)
+}
+
+// repeatStudy times the two execution modes, checks byte equivalence,
+// and prints the comparison.
+func repeatStudy(w io.Writer, repeat int, plan *collective.Plan,
+	perCall, planned func() error, perCallOut, planOut *buffers.Buffers) error {
+	// Warm both paths once so transport pools reach steady state before
+	// the timed loops.
+	if err := perCall(); err != nil {
+		return err
+	}
+	if err := planned(); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	for i := 0; i < repeat; i++ {
+		if err := perCall(); err != nil {
+			return err
+		}
+	}
+	perCallAvg := time.Since(start) / time.Duration(repeat)
+
+	start = time.Now()
+	for i := 0; i < repeat; i++ {
+		if err := planned(); err != nil {
+			return err
+		}
+	}
+	planAvg := time.Since(start) / time.Duration(repeat)
+
+	if !perCallOut.Equal(planOut) {
+		return fmt.Errorf("plan execution diverged from compile-per-call results")
+	}
+	fmt.Fprintf(w, "  schedule: %d rounds, largest pooled buffer %d bytes\n", plan.Rounds(), plan.MaxMessageBytes())
+	fmt.Fprintf(w, "  compile-per-call: %v/op\n", perCallAvg)
+	fmt.Fprintf(w, "  plan-reuse:       %v/op\n", planAvg)
+	if planAvg > 0 {
+		fmt.Fprintf(w, "  speedup:          %.2fx\n", float64(perCallAvg)/float64(planAvg))
+	}
+	fmt.Fprintln(w, "  results byte-identical across modes: ok")
+	return nil
+}
+
+// fillPattern writes a deterministic pattern into a flat buffer.
+func fillPattern(b *buffers.Buffers) {
+	data := b.Bytes()
+	for i := range data {
+		data[i] = byte(i*11 + 5)
+	}
 }

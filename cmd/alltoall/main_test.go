@@ -94,3 +94,29 @@ func TestRunSlotTransport(t *testing.T) {
 		}
 	}
 }
+
+// TestRunRepeatMode: the plan-reuse study runs both modes, verifies
+// byte-equivalence and prints the comparison, for both operations and
+// both transports.
+func TestRunRepeatMode(t *testing.T) {
+	for _, p := range []params{
+		{op: "index", n: 8, k: 1, b: 16, repeat: 3},
+		{op: "index", n: 9, k: 2, b: 8, radix: "3", repeat: 3, transport: "slot"},
+		{op: "concat", n: 8, k: 1, b: 16, repeat: 3},
+		{op: "concat", n: 17, k: 2, b: 12, repeat: 3, transport: "slot"},
+	} {
+		var sb strings.Builder
+		if err := run(&sb, p); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		out := sb.String()
+		for _, want := range []string{
+			"plan-reuse study", "compile-per-call:", "plan-reuse:",
+			"results byte-identical across modes: ok",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%+v: output lacks %q:\n%s", p, want, out)
+			}
+		}
+	}
+}

@@ -126,14 +126,14 @@ func runBaselines(w io.Writer, backend mpsim.Backend, b int) error {
 }
 
 func runAllocs(w io.Writer, backend mpsim.Backend, b int) error {
-	fmt.Fprintf(w, "concat allocations per operation, legacy (block matrix) vs flat (zero-copy), b = %d, transport = %s\n\n", b, backend)
-	fmt.Fprintf(w, "%5s %3s %14s %14s %12s\n", "n", "k", "legacy", "flat", "reduction")
+	fmt.Fprintf(w, "concat allocations per operation, legacy (block matrix) vs flat (zero-copy) vs compiled plan, b = %d, transport = %s\n\n", b, backend)
+	fmt.Fprintf(w, "%5s %3s %14s %14s %14s %12s\n", "n", "k", "legacy", "flat", "plan", "reduction")
 	for _, tc := range []struct{ n, k int }{{16, 1}, {32, 1}, {64, 1}, {64, 3}} {
-		legacy, flat, err := sweep.ConcatAllocs(backend, tc.n, b, tc.k, 10)
+		legacy, flat, planned, err := sweep.ConcatAllocs(backend, tc.n, b, tc.k, 10)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%5d %3d %14.0f %14.0f %11.0f%%\n", tc.n, tc.k, legacy, flat, 100*(1-flat/legacy))
+		fmt.Fprintf(w, "%5d %3d %14.0f %14.0f %14.0f %11.0f%%\n", tc.n, tc.k, legacy, flat, planned, 100*(1-planned/legacy))
 	}
 	return nil
 }

@@ -7,8 +7,14 @@
 // Usage:
 //
 //	figures -fig 1|2|3|7|8|9 [-n N] [-r R]
+//	figures -fig 9 -transport slot   # verify the trace on the slot backend
 //	figures -table 1
 //	figures -all
+//
+// The -transport flag matches the other commands (alltoall, indexbench,
+// concatbench): figures 2, 3 and 9 depict algorithm executions, and
+// their label traces are cross-checked against a byte-level run of the
+// real schedule on the selected simulator backend before rendering.
 package main
 
 import (
@@ -17,8 +23,11 @@ import (
 	"io"
 	"os"
 
+	"bruck/internal/buffers"
 	"bruck/internal/circulant"
+	"bruck/internal/collective"
 	"bruck/internal/intmath"
+	"bruck/internal/mpsim"
 	"bruck/internal/partition"
 	"bruck/internal/trace"
 )
@@ -29,11 +38,17 @@ func main() {
 	all := flag.Bool("all", false, "render every figure and table")
 	n := flag.Int("n", 5, "number of processors for figures 1-3 and 9")
 	r := flag.Int("r", 2, "radix for figure 3")
+	transport := flag.String("transport", "chan", "simulator transport backend for trace verification: chan or slot")
 	flag.Parse()
 
+	backend, err := mpsim.ParseBackend(*transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
 	if *all {
 		for _, f := range []int{1, 2, 3, 7, 8, 9} {
-			if err := renderFig(os.Stdout, f, *n, *r); err != nil {
+			if err := renderFig(os.Stdout, f, *n, *r, backend); err != nil {
 				fatal(err)
 			}
 		}
@@ -52,7 +67,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := renderFig(os.Stdout, *fig, *n, *r); err != nil {
+	if err := renderFig(os.Stdout, *fig, *n, *r, backend); err != nil {
 		fatal(err)
 	}
 }
@@ -62,7 +77,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func renderFig(w io.Writer, fig, n, r int) error {
+func renderFig(w io.Writer, fig, n, r int, backend mpsim.Backend) error {
 	switch fig {
 	case 1:
 		fmt.Fprintf(w, "=== Figure 1: memory-processor configurations before and after an index operation on %d processors ===\n\n", n)
@@ -74,6 +89,10 @@ func renderFig(w io.Writer, fig, n, r int) error {
 			return err
 		}
 		fmt.Fprint(w, tr)
+		if err := verifyIndexOnBackend(n, n, backend); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(schedule verified byte-level on the %s transport)\n\n", backend)
 	case 3:
 		fmt.Fprintf(w, "=== Figure 3: the index algorithm with r = %d on %d processors (optimal C1) ===\n\n", r, n)
 		tr, err := trace.TraceIndex(n, r)
@@ -81,6 +100,10 @@ func renderFig(w io.Writer, fig, n, r int) error {
 			return err
 		}
 		fmt.Fprint(w, tr)
+		if err := verifyIndexOnBackend(n, r, backend); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(schedule verified byte-level on the %s transport)\n\n", backend)
 	case 7, 8:
 		root := fig - 7 // figure 7 is T0, figure 8 is T1
 		fmt.Fprintf(w, "=== Figure %d: constructing the spanning tree rooted at node %d for n = 9 and k = 2 ===\n\n", fig, root)
@@ -106,8 +129,84 @@ func renderFig(w io.Writer, fig, n, r int) error {
 			return err
 		}
 		fmt.Fprint(w, tr)
+		if err := verifyConcatOnBackend(n, backend); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(schedule verified byte-level on the %s transport)\n\n", backend)
 	default:
 		return fmt.Errorf("unknown figure %d (have 1, 2, 3, 7, 8, 9)", fig)
+	}
+	return nil
+}
+
+// verifyIndexOnBackend runs the radix-r index schedule the figure
+// depicts on the real simulator with the selected transport, checking
+// the defining permutation out[i][j] = in[j][i] byte for byte. Blocks
+// encode their (processor, block) label, mirroring the figures' "ij"
+// notation.
+func verifyIndexOnBackend(n, r int, backend mpsim.Backend) error {
+	e, err := mpsim.New(n, mpsim.WithTransport(backend))
+	if err != nil {
+		return err
+	}
+	g := mpsim.WorldGroup(n)
+	in, err := buffers.New(n, n, 2)
+	if err != nil {
+		return err
+	}
+	out, err := buffers.New(n, n, 2)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			in.Block(i, j)[0], in.Block(i, j)[1] = byte(i), byte(j)
+		}
+	}
+	if _, err := collective.IndexFlat(e, g, in, out, collective.IndexOptions{Radix: r}); err != nil {
+		return fmt.Errorf("verifying on %s transport: %w", backend, err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if blk := out.Block(i, j); blk[0] != byte(j) || blk[1] != byte(i) {
+				return fmt.Errorf("verification on %s transport: processor %d slot %d holds %d%d, want %d%d",
+					backend, i, j, blk[0], blk[1], j, i)
+			}
+		}
+	}
+	return nil
+}
+
+// verifyConcatOnBackend runs the one-port circulant concatenation on
+// the real simulator with the selected transport and checks the
+// defining result out[i][j] = B[j].
+func verifyConcatOnBackend(n int, backend mpsim.Backend) error {
+	e, err := mpsim.New(n, mpsim.WithTransport(backend))
+	if err != nil {
+		return err
+	}
+	g := mpsim.WorldGroup(n)
+	in, err := buffers.New(n, 1, 1)
+	if err != nil {
+		return err
+	}
+	out, err := buffers.New(n, n, 1)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		in.Block(i, 0)[0] = byte(i)
+	}
+	if _, err := collective.ConcatFlat(e, g, in, out, collective.ConcatOptions{}); err != nil {
+		return fmt.Errorf("verifying on %s transport: %w", backend, err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if out.Block(i, j)[0] != byte(j) {
+				return fmt.Errorf("verification on %s transport: processor %d slot %d holds %d, want %d",
+					backend, i, j, out.Block(i, j)[0], j)
+			}
+		}
 	}
 	return nil
 }

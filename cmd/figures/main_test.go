@@ -3,13 +3,20 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"bruck/internal/mpsim"
 )
 
 func render(t *testing.T, fig, n, r int) string {
 	t.Helper()
+	return renderOn(t, fig, n, r, mpsim.BackendChan)
+}
+
+func renderOn(t *testing.T, fig, n, r int, backend mpsim.Backend) string {
+	t.Helper()
 	var sb strings.Builder
-	if err := renderFig(&sb, fig, n, r); err != nil {
-		t.Fatalf("renderFig(%d, %d, %d): %v", fig, n, r, err)
+	if err := renderFig(&sb, fig, n, r, backend); err != nil {
+		t.Fatalf("renderFig(%d, %d, %d, %s): %v", fig, n, r, backend, err)
 	}
 	return sb.String()
 }
@@ -62,8 +69,35 @@ func TestRenderFig9(t *testing.T) {
 
 func TestRenderUnknownFigure(t *testing.T) {
 	var sb strings.Builder
-	if err := renderFig(&sb, 42, 5, 2); err == nil {
+	if err := renderFig(&sb, 42, 5, 2, mpsim.BackendChan); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+// TestTransportFlagParity: figures accepts the same -transport values
+// as the other commands, verifies algorithm figures on the selected
+// backend, and rejects unknown backends at the flag boundary.
+func TestTransportFlagParity(t *testing.T) {
+	for _, backend := range []mpsim.Backend{mpsim.BackendChan, mpsim.BackendSlot} {
+		for _, fig := range []int{2, 3, 9} {
+			out := renderOn(t, fig, 5, 2, backend)
+			want := "verified byte-level on the " + string(backend) + " transport"
+			if !strings.Contains(out, want) {
+				t.Errorf("figure %d on %s lacks %q", fig, backend, want)
+			}
+		}
+		// Structural figures accept the flag without claiming verification.
+		if out := renderOn(t, 7, 5, 2, backend); strings.Contains(out, "verified byte-level") {
+			t.Errorf("figure 7 claims byte-level verification but renders pure structure")
+		}
+	}
+	if _, err := mpsim.ParseBackend("bogus"); err == nil {
+		t.Error("ParseBackend accepted an unknown transport")
+	}
+	// An unknown backend smuggled past the flag parser still fails.
+	var sb strings.Builder
+	if err := renderFig(&sb, 9, 5, 2, mpsim.Backend("bogus")); err == nil {
+		t.Error("renderFig verified on an unknown transport")
 	}
 }
 

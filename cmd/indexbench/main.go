@@ -100,7 +100,10 @@ func runFig5(w io.Writer, h *sweep.Harness, n int, csv bool) error {
 		}
 		fmt.Fprint(w, sweep.RenderSeries(view))
 	}
-	cross := sweep.Crossover(series[0], series[1])
+	cross, err := sweep.Crossover(series[0], series[1])
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\nbreak-even point of r=2 vs r=n: %d bytes (paper reports 100-200 bytes)\n", cross)
 	return nil
 }
@@ -137,15 +140,15 @@ func runTune(w io.Writer, n, k int) error {
 }
 
 func runAllocs(w io.Writer, backend mpsim.Backend, n, k int) error {
-	fmt.Fprintf(w, "index allocations per operation, legacy (block matrix) vs flat (zero-copy), n = %d, k = %d, transport = %s\n\n", n, k, backend)
-	fmt.Fprintf(w, "%6s %8s %14s %14s %12s\n", "r", "bytes", "legacy", "flat", "reduction")
+	fmt.Fprintf(w, "index allocations per operation, legacy (block matrix) vs flat (zero-copy) vs compiled plan, n = %d, k = %d, transport = %s\n\n", n, k, backend)
+	fmt.Fprintf(w, "%6s %8s %14s %14s %14s %12s\n", "r", "bytes", "legacy", "flat", "plan", "reduction")
 	for _, r := range []int{2, 8, n} {
 		for _, b := range []int{16, 128, 1024} {
-			legacy, flat, err := sweep.IndexAllocs(backend, n, b, r, k, 10)
+			legacy, flat, planned, err := sweep.IndexAllocs(backend, n, b, r, k, 10)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%6d %8d %14.0f %14.0f %11.0f%%\n", r, b, legacy, flat, 100*(1-flat/legacy))
+			fmt.Fprintf(w, "%6d %8d %14.0f %14.0f %14.0f %11.0f%%\n", r, b, legacy, flat, planned, 100*(1-planned/legacy))
 		}
 	}
 	return nil

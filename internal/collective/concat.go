@@ -66,24 +66,14 @@ type ConcatOptions struct {
 // out. Callers that care about allocation cost should use ConcatFlat
 // directly.
 func Concat(e *mpsim.Engine, g *mpsim.Group, in [][]byte, opt ConcatOptions) ([][][]byte, *Result, error) {
-	n := g.Size()
-	if len(in) != n {
-		return nil, nil, fmt.Errorf("collective: concat input has %d blocks, group has %d members", len(in), n)
-	}
-	if n == 0 {
-		return nil, nil, fmt.Errorf("collective: empty group")
-	}
-	blockLen := len(in[0])
-	for i := range in {
-		if len(in[i]) != blockLen {
-			return nil, nil, fmt.Errorf("collective: block B[%d] has %d bytes, want %d", i, len(in[i]), blockLen)
-		}
+	if err := checkConcatInput(g, in); err != nil {
+		return nil, nil, err
 	}
 	fin, err := buffers.FromVector(in)
 	if err != nil {
 		return nil, nil, err
 	}
-	fout, err := buffers.New(n, n, blockLen)
+	fout, err := buffers.New(g.Size(), g.Size(), fin.BlockLen())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -94,6 +84,25 @@ func Concat(e *mpsim.Engine, g *mpsim.Group, in [][]byte, opt ConcatOptions) ([]
 	return fout.ToMatrix(), res, nil
 }
 
+// checkConcatInput validates a legacy concat input vector against the
+// group.
+func checkConcatInput(g *mpsim.Group, in [][]byte) error {
+	n := g.Size()
+	if len(in) != n {
+		return fmt.Errorf("collective: concat input has %d blocks, group has %d members", len(in), n)
+	}
+	if n == 0 {
+		return fmt.Errorf("collective: empty group")
+	}
+	blockLen := len(in[0])
+	for i := range in {
+		if len(in[i]) != blockLen {
+			return fmt.Errorf("collective: block B[%d] has %d bytes, want %d", i, len(in[i]), blockLen)
+		}
+	}
+	return nil
+}
+
 // ConcatFlat is the flat-buffer concatenation: in is a concat-shaped
 // Buffers (n processor regions of one block each, n the group size) and
 // out an index-shaped Buffers (n regions of n blocks). Afterwards
@@ -101,15 +110,15 @@ func Concat(e *mpsim.Engine, g *mpsim.Group, in [][]byte, opt ConcatOptions) ([]
 // must be distinct Buffers; out is fully overwritten and doubles as the
 // algorithms' accumulation memory, so the operation needs no O(n*b)
 // scratch beyond pooled per-message transport buffers.
+//
+// ConcatFlat compiles the schedule — including the circulant last-round
+// table partition — and executes it once. Repeated callers should
+// compile once with CompileConcat (or go through a PlanCache, as the
+// public Machine API does) and reuse the Plan.
 func ConcatFlat(e *mpsim.Engine, g *mpsim.Group, in, out *buffers.Buffers, opt ConcatOptions) (*Result, error) {
 	n := g.Size()
 	if n == 0 {
 		return nil, fmt.Errorf("collective: empty group")
-	}
-	for _, id := range g.IDs() {
-		if id >= e.N() {
-			return nil, fmt.Errorf("collective: group member %d outside engine with %d processors", id, e.N())
-		}
 	}
 	if in == nil || out == nil {
 		return nil, fmt.Errorf("collective: nil flat buffer")
@@ -118,174 +127,11 @@ func ConcatFlat(e *mpsim.Engine, g *mpsim.Group, in, out *buffers.Buffers, opt C
 		return nil, fmt.Errorf("collective: flat concat input is %dx%d blocks, group needs %dx1",
 			in.Procs(), in.Blocks(), n)
 	}
-	blockLen := in.BlockLen()
-	if out.Procs() != n || out.Blocks() != n || out.BlockLen() != blockLen {
-		return nil, fmt.Errorf("collective: flat concat output is %dx%d blocks of %d bytes, want %dx%d of %d",
-			out.Procs(), out.Blocks(), out.BlockLen(), n, n, blockLen)
-	}
-	if opt.Algorithm == ConcatRecursiveDoubling && !intmath.IsPow(2, n) {
-		return nil, fmt.Errorf("collective: recursive doubling requires a power-of-two group size, got %d", n)
-	}
-
-	// Precompute the circulant last-round plan and its per-round area
-	// offsets once; both are identical on every processor by translation
-	// invariance.
-	var plan *partition.Plan
-	var planOffsets [][]int
-	if opt.Algorithm == ConcatCirculant && n > 1 && e.Ports() < n-1 {
-		d := intmath.CeilLog(e.Ports()+1, n)
-		n1 := intmath.Pow(e.Ports()+1, d-1)
-		var err error
-		plan, err = partition.Solve(blockLen, n-n1, n1, e.Ports(), opt.LastRound)
-		if err != nil {
-			return nil, err
-		}
-		if err := plan.Validate(); err != nil {
-			return nil, err
-		}
-		planOffsets = make([][]int, len(plan.Rounds))
-		for i, areas := range plan.Rounds {
-			if planOffsets[i], err = assignAreaOffsets(areas, n1); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	err := e.Run(func(p *mpsim.Proc) error {
-		me := g.Rank(p.Rank())
-		if me < 0 {
-			return nil
-		}
-		var err error
-		switch opt.Algorithm {
-		case ConcatCirculant:
-			err = circulantConcatFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen, plan, planOffsets)
-		case ConcatFolklore:
-			err = folkloreConcatFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen)
-		case ConcatRing:
-			err = ringConcatFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen)
-		case ConcatRecursiveDoubling:
-			err = recursiveDoublingConcatFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen)
-		default:
-			err = fmt.Errorf("collective: unknown concat algorithm %v", opt.Algorithm)
-		}
-		if err != nil {
-			return fmt.Errorf("group rank %d: %w", me, err)
-		}
-		return nil
-	})
+	pl, err := CompileConcat(e, g, in.BlockLen(), opt)
 	if err != nil {
 		return nil, err
 	}
-	return resultFrom(e.Metrics()), nil
-}
-
-// circulantConcatFlatBody is the per-processor program of the Section 4
-// algorithm, in the Appendix B convention (spanning trees grown with
-// negative offsets: the processor accumulates the blocks of its
-// successors). The output region itself serves as the accumulation
-// buffer: during the rounds out block q holds B[(me+q) mod n], and the
-// final local shift of Appendix B lines 17-18 is an in-place rotation.
-func circulantConcatFlatBody(p *mpsim.Proc, g *mpsim.Group, myBlock, out []byte, blockLen int,
-	plan *partition.Plan, planOffsets [][]int) error {
-	n := g.Size()
-	me := g.Rank(p.Rank())
-	k := p.Ports()
-
-	copy(out[:blockLen], myBlock)
-	if n == 1 {
-		return nil
-	}
-
-	if k >= n-1 {
-		// Trivial single-round algorithm: send the own block to every
-		// other member, receive every other block.
-		sends := make([]mpsim.Send, 0, n-1)
-		froms := make([]int, 0, n-1)
-		into := make([][]byte, 0, n-1)
-		for q := 1; q < n; q++ {
-			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me-q, n)), Data: myBlock})
-			froms = append(froms, g.ID(intmath.Mod(me+q, n)))
-			into = append(into, out[q*blockLen:(q+1)*blockLen])
-		}
-		if err := p.ExchangeInto(sends, froms, into); err != nil {
-			return err
-		}
-		buffers.RotateUp(out, n, blockLen, n-me)
-		return nil
-	}
-
-	// First phase: d-1 doubling rounds with offset sets S_i. After
-	// round i the processor holds count = (k+1)^(i+1) consecutive
-	// blocks starting with its own.
-	sends := make([]mpsim.Send, 0, k)
-	froms := make([]int, 0, k)
-	into := make([][]byte, 0, k)
-	d := intmath.CeilLog(k+1, n)
-	count := 1
-	for round := 0; round < d-1; round++ {
-		base := count // (k+1)^round
-		sends, froms, into = sends[:0], froms[:0], into[:0]
-		for t := 1; t <= k; t++ {
-			sends = append(sends, mpsim.Send{
-				To:   g.ID(intmath.Mod(me-t*base, n)),
-				Data: out[:count*blockLen],
-			})
-			froms = append(froms, g.ID(intmath.Mod(me+t*base, n)))
-			into = append(into, out[t*base*blockLen:(t*base+count)*blockLen])
-		}
-		if err := p.ExchangeInto(sends, froms, into); err != nil {
-			return err
-		}
-		count *= k + 1
-	}
-	n1 := count // (k+1)^(d-1)
-
-	// Last round(s): byte-granular delivery of the remaining n2 blocks
-	// according to the table-partition plan. The offset assigned to an
-	// area determines both the communication partner and which held
-	// block each cell is read from: cell (row, col) travels with offset
-	// o as byte `row` of held block q = n1 + col - o.
-	for ri, areas := range plan.Rounds {
-		offsets := planOffsets[ri]
-		sends, froms, into = sends[:0], froms[:0], into[:0]
-		for ai, area := range areas {
-			o := offsets[ai]
-			payload := p.AcquireBuf(area.Size)
-			off := 0
-			for _, run := range area.Runs {
-				q := n1 + run.Col - o
-				blk := out[q*blockLen : (q+1)*blockLen]
-				off += copy(payload[off:], blk[run.Row0:run.Row0+run.NRows])
-			}
-			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me-o, n)), Data: payload})
-			froms = append(froms, g.ID(intmath.Mod(me+o, n)))
-			into = append(into, p.AcquireBuf(area.Size))
-		}
-		err := p.ExchangeInto(sends, froms, into)
-		if err == nil {
-			for ai, area := range areas {
-				payload := into[ai]
-				off := 0
-				for _, run := range area.Runs {
-					q := n1 + run.Col
-					blk := out[q*blockLen : (q+1)*blockLen]
-					copy(blk[run.Row0:run.Row0+run.NRows], payload[off:off+run.NRows])
-					off += run.NRows
-				}
-			}
-		}
-		for i := range sends {
-			p.ReleaseBuf(sends[i].Data)
-			p.ReleaseBuf(into[i])
-		}
-		if err != nil {
-			return err
-		}
-	}
-
-	buffers.RotateUp(out, n, blockLen, n-me)
-	return nil
+	return pl.Execute(in, out)
 }
 
 // assignAreaOffsets chooses a distinct communication offset for every

@@ -33,6 +33,42 @@
 // out — so both layouts execute the identical schedule and produce
 // byte-identical results.
 //
+// # Compiled plans
+//
+// The paper's schedules are fixed functions of (n, k, r) — nothing
+// about them depends on the payload — so schedule construction is
+// split from execution. CompileIndex, CompileIndexMixed and
+// CompileConcat build a Plan: the complete round, partner and packing
+// layout (for the circulant concatenation including the solved
+// last-round table partition and its area offsets), plus pool-sizing
+// hints. Plan.Execute replays the schedule with zero recomputation;
+// the one-shot entry points above are thin compile-and-execute
+// wrappers, and PlanCache memoizes plans per (op, group, options,
+// block size) so repeated configurations — the public Machine API
+// routes everything through a cache — compile exactly once.
+//
+// Plan lifecycle rules:
+//
+//   - A Plan is immutable after compilation and bound to the engine
+//     and group it was compiled for; executing it on another engine is
+//     rejected.
+//   - A Plan holds no reference to any transport generation: each
+//     execution runs through the engine's current transport and pools,
+//     so plans remain valid across the engine's post-deadlock fencing
+//     (the run that deadlocked fails; the plan's next execution simply
+//     uses the fresh transport).
+//   - Buffers are per-execution state, not plan state: Execute takes
+//     them explicitly, and Bind attaches a pair only as the standing
+//     target for ExecutePlans. Rebinding retargets the plan; the
+//     schedule never changes.
+//   - ExecutePlans runs several plans with pairwise disjoint groups
+//     concurrently inside one engine run (one mpsim.Program per plan),
+//     with per-plan metrics. Plans of overlapping groups, unbound
+//     plans, and plans of a different engine are rejected up front.
+//   - Like the engine itself, plans and caches are not safe for
+//     concurrent use from multiple goroutines; the concurrency model
+//     is disjoint groups inside one run, not concurrent Executes.
+//
 // The closed-form complexity functions in cost.go predict C1 and C2 for
 // every algorithm; the tests assert that the schedules executed on the
 // simulator match the closed forms exactly, and that both respect the

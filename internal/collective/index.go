@@ -3,9 +3,7 @@ package collective
 import (
 	"fmt"
 
-	"bruck/internal/blocks"
 	"bruck/internal/buffers"
-	"bruck/internal/intmath"
 	"bruck/internal/mpsim"
 )
 
@@ -92,50 +90,20 @@ func Index(e *mpsim.Engine, g *mpsim.Group, in [][][]byte, opt IndexOptions) ([]
 // All packing and unpacking happens in caller-owned or pool-recycled
 // flat memory: on a reused engine the operation performs no
 // per-block or per-message allocations.
+//
+// IndexFlat compiles the schedule and executes it once. Callers that
+// repeat a configuration should compile once with CompileIndex (or go
+// through a PlanCache, as the public Machine API does) and reuse the
+// Plan: execution then performs zero schedule recomputation.
 func IndexFlat(e *mpsim.Engine, g *mpsim.Group, in, out *buffers.Buffers, opt IndexOptions) (*Result, error) {
-	n := g.Size()
-	if err := checkFlatShape(e, g, in, out, n); err != nil {
+	if err := checkFlatShape(e, g, in, out, g.Size()); err != nil {
 		return nil, err
 	}
-	blockLen := in.BlockLen()
-	k := e.Ports()
-
-	r := opt.Radix
-	if r == 0 {
-		r = intmath.Min(k+1, n)
-	}
-	if opt.Algorithm == IndexBruck && n > 1 && (r < 2 || r > n) {
-		return nil, fmt.Errorf("collective: index radix %d out of range [2, %d]", r, n)
-	}
-	if opt.Algorithm == IndexPairwiseXOR && !intmath.IsPow(2, n) {
-		return nil, fmt.Errorf("collective: pairwise-xor index requires a power-of-two group size, got %d", n)
-	}
-
-	err := e.Run(func(p *mpsim.Proc) error {
-		me := g.Rank(p.Rank())
-		if me < 0 {
-			return nil // not a member of the group
-		}
-		var err error
-		switch opt.Algorithm {
-		case IndexBruck:
-			err = bruckIndexFlatBody(p, g, in.Proc(me), out.Proc(me), r, blockLen, opt.NoPack)
-		case IndexDirect:
-			err = directIndexFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen)
-		case IndexPairwiseXOR:
-			err = xorIndexFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen)
-		default:
-			err = fmt.Errorf("collective: unknown index algorithm %v", opt.Algorithm)
-		}
-		if err != nil {
-			return fmt.Errorf("group rank %d: %w", me, err)
-		}
-		return nil
-	})
+	pl, err := CompileIndex(e, g, in.BlockLen(), opt)
 	if err != nil {
 		return nil, err
 	}
-	return resultFrom(e.Metrics()), nil
+	return pl.Execute(in, out)
 }
 
 // checkFlatShape validates an index-shaped flat in/out pair against the
@@ -190,152 +158,6 @@ func checkIndexInput(e *mpsim.Engine, g *mpsim.Group, in [][][]byte) error {
 		for j := range in[i] {
 			if len(in[i][j]) != blockLen {
 				return fmt.Errorf("collective: block B[%d,%d] has %d bytes, want %d", i, j, len(in[i][j]), blockLen)
-			}
-		}
-	}
-	return nil
-}
-
-// bruckIndexFlatBody is the per-processor program of the radix-r index
-// algorithm (Appendix A generalized to the k-port model of Section 3.4)
-// on flat buffers. in is this processor's n*blockLen input region, out
-// the destination region of the same size.
-func bruckIndexFlatBody(p *mpsim.Proc, g *mpsim.Group, in, out []byte, r, blockLen int, noPack bool) error {
-	n := g.Size()
-	me := g.Rank(p.Rank())
-	k := p.Ports()
-
-	// Phase 1: copy the input into a working region rotated me blocks
-	// upwards, so that the block at position j is the one that must
-	// travel j steps right: work block q = in block (q+me) mod n.
-	work := p.AcquireBuf(n * blockLen)
-	defer p.ReleaseBuf(work)
-	cut := intmath.Mod(me, n) * blockLen
-	copy(work, in[cut:])
-	copy(work[len(in)-cut:], in[:cut])
-
-	// Phase 2: w subphases, one per radix-r digit of the block ids.
-	sends := make([]mpsim.Send, 0, k)
-	froms := make([]int, 0, k)
-	into := make([][]byte, 0, k)
-	w := blocks.NumDigits(n, r)
-	dist := 1
-	for pos := 0; pos < w; pos++ {
-		// In the last subphase only digit values that occur among ids
-		// 0..n-1 take part (pseudocode lines 7-11).
-		h := r
-		if pos == w-1 {
-			h = intmath.CeilDiv(n, dist)
-		}
-		if noPack {
-			if err := bruckSubphaseUnpackedFlat(p, g, work, r, dist, h, blockLen, sends, froms, into); err != nil {
-				return err
-			}
-		} else if err := bruckSubphasePackedFlat(p, g, work, r, dist, h, blockLen, k, sends, froms, into); err != nil {
-			return err
-		}
-		dist *= r
-	}
-
-	// Phase 3: the block for source j sits at position (me - j) mod n
-	// (pseudocode lines 21-23).
-	for j := 0; j < n; j++ {
-		q := intmath.Mod(me-j, n)
-		copy(out[j*blockLen:(j+1)*blockLen], work[q*blockLen:q*blockLen+blockLen])
-	}
-	return nil
-}
-
-// packDigit copies the blocks of work whose digit at weight dist (radix
-// r) equals z into dst, in increasing block-id order, and returns the
-// number of bytes written. It is the flat, allocation-free counterpart
-// of the paper's pack routine.
-func packDigit(work []byte, n, blockLen, dist, r, z int, dst []byte) int {
-	off := 0
-	for j := 0; j < n; j++ {
-		if (j/dist)%r == z {
-			copy(dst[off:off+blockLen], work[j*blockLen:])
-			off += blockLen
-		}
-	}
-	return off
-}
-
-// unpackDigit scatters a payload produced by packDigit with identical
-// parameters back into the selected block slots of work.
-func unpackDigit(work []byte, n, blockLen, dist, r, z int, payload []byte) error {
-	if want := digitCount(n, r, z, dist) * blockLen; len(payload) != want {
-		return fmt.Errorf("collective: unpack payload %d bytes, want %d", len(payload), want)
-	}
-	off := 0
-	for j := 0; j < n; j++ {
-		if (j/dist)%r == z {
-			copy(work[j*blockLen:(j+1)*blockLen], payload[off:off+blockLen])
-			off += blockLen
-		}
-	}
-	return nil
-}
-
-// bruckSubphasePackedFlat performs the steps of one subphase, packing
-// all blocks of a step into one pooled message buffer and grouping up
-// to k independent steps into one k-port round. The digit position is
-// fully determined by its weight dist (r^pos in the uniform algorithm,
-// the product of earlier radices in the mixed one, which shares this
-// routine). The sends/froms/into slices are caller-provided scratch
-// reused across subphases.
-func bruckSubphasePackedFlat(p *mpsim.Proc, g *mpsim.Group, work []byte, r, dist, h, blockLen, k int,
-	sends []mpsim.Send, froms []int, into [][]byte) error {
-	n := g.Size()
-	me := g.Rank(p.Rank())
-	for start := 1; start < h; start += k {
-		end := intmath.Min(start+k-1, h-1)
-		sends, froms, into = sends[:0], froms[:0], into[:0]
-		for z := start; z <= end; z++ {
-			size := digitCount(n, r, z, dist) * blockLen
-			payload := p.AcquireBuf(size)
-			packDigit(work, n, blockLen, dist, r, z, payload)
-			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me+z*dist, n)), Data: payload})
-			froms = append(froms, g.ID(intmath.Mod(me-z*dist, n)))
-			into = append(into, p.AcquireBuf(size))
-		}
-		err := p.ExchangeInto(sends, froms, into)
-		if err == nil {
-			for i, z := 0, start; z <= end; i, z = i+1, z+1 {
-				if err = unpackDigit(work, n, blockLen, dist, r, z, into[i]); err != nil {
-					break
-				}
-			}
-		}
-		for i := range sends {
-			p.ReleaseBuf(sends[i].Data)
-			p.ReleaseBuf(into[i])
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// bruckSubphaseUnpackedFlat is the packing ablation: every selected
-// block of a step travels in its own single-block round, received
-// directly into its slot of the working region.
-func bruckSubphaseUnpackedFlat(p *mpsim.Proc, g *mpsim.Group, work []byte, r, dist, h, blockLen int,
-	sends []mpsim.Send, froms []int, into [][]byte) error {
-	n := g.Size()
-	me := g.Rank(p.Rank())
-	for z := 1; z < h; z++ {
-		dst := g.ID(intmath.Mod(me+z*dist, n))
-		src := g.ID(intmath.Mod(me-z*dist, n))
-		for j := 0; j < n; j++ {
-			if (j/dist)%r != z {
-				continue
-			}
-			blk := work[j*blockLen : (j+1)*blockLen]
-			sends, froms, into = append(sends[:0], mpsim.Send{To: dst, Data: blk}), append(froms[:0], src), append(into[:0], blk)
-			if err := p.ExchangeInto(sends, froms, into); err != nil {
-				return err
 			}
 		}
 	}

@@ -75,70 +75,18 @@ func IndexMixed(e *mpsim.Engine, g *mpsim.Group, in [][][]byte, radices []int) (
 }
 
 // IndexMixedFlat is the flat-buffer mixed-radix index operation; in and
-// out are index-shaped Buffers as in IndexFlat.
+// out are index-shaped Buffers as in IndexFlat. Like IndexFlat it
+// compiles the schedule and executes it once; repeated callers should
+// hold a Plan from CompileIndexMixed instead.
 func IndexMixedFlat(e *mpsim.Engine, g *mpsim.Group, in, out *buffers.Buffers, radices []int) (*Result, error) {
-	n := g.Size()
-	if err := checkFlatShape(e, g, in, out, n); err != nil {
+	if err := checkFlatShape(e, g, in, out, g.Size()); err != nil {
 		return nil, err
 	}
-	if err := ValidateRadices(n, radices); err != nil {
-		return nil, err
-	}
-	blockLen := in.BlockLen()
-	err := e.Run(func(p *mpsim.Proc) error {
-		me := g.Rank(p.Rank())
-		if me < 0 {
-			return nil
-		}
-		if err := mixedIndexFlatBody(p, g, in.Proc(me), out.Proc(me), blockLen, radices); err != nil {
-			return fmt.Errorf("group rank %d: %w", me, err)
-		}
-		return nil
-	})
+	pl, err := CompileIndexMixed(e, g, in.BlockLen(), radices)
 	if err != nil {
 		return nil, err
 	}
-	return resultFrom(e.Metrics()), nil
-}
-
-// mixedIndexFlatBody is the flat per-processor program: identical to
-// bruckIndexFlatBody except that the digit weight of subphase i is the
-// product of the radices before it instead of r^i.
-func mixedIndexFlatBody(p *mpsim.Proc, g *mpsim.Group, in, out []byte, blockLen int, radices []int) error {
-	n := g.Size()
-	me := g.Rank(p.Rank())
-	k := p.Ports()
-
-	// Phase 1 rotation into the working region (see bruckIndexFlatBody).
-	work := p.AcquireBuf(n * blockLen)
-	defer p.ReleaseBuf(work)
-	cut := intmath.Mod(me, n) * blockLen
-	copy(work, in[cut:])
-	copy(work[len(in)-cut:], in[:cut])
-
-	sends := make([]mpsim.Send, 0, k)
-	froms := make([]int, 0, k)
-	into := make([][]byte, 0, k)
-	weight := 1
-	for _, r := range radices {
-		if n <= 1 || weight >= n {
-			break
-		}
-		// Digit values that actually occur among ids < n at this
-		// position: v with v*weight < n, capped at the radix.
-		h := intmath.Min(r, intmath.CeilDiv(n, weight))
-		if err := bruckSubphasePackedFlat(p, g, work, r, weight, h, blockLen, k, sends, froms, into); err != nil {
-			return err
-		}
-		weight *= r
-	}
-
-	// Phase 3 (see bruckIndexFlatBody).
-	for j := 0; j < n; j++ {
-		q := intmath.Mod(me-j, n)
-		copy(out[j*blockLen:(j+1)*blockLen], work[q*blockLen:q*blockLen+blockLen])
-	}
-	return nil
+	return pl.Execute(in, out)
 }
 
 // IndexMixedSchedule returns the per-round largest message size, in

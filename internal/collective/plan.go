@@ -1,0 +1,899 @@
+package collective
+
+import (
+	"fmt"
+
+	"bruck/internal/buffers"
+	"bruck/internal/intmath"
+	"bruck/internal/mpsim"
+	"bruck/internal/partition"
+)
+
+// A Plan is a compiled collective schedule: the full round, partner and
+// packing layout of one operation on one (engine, group, block size,
+// options) configuration, precomputed once so that repeated executions
+// perform zero schedule recomputation. The paper's schedules are fixed
+// functions of (n, k, r) — nothing about them depends on the payload —
+// which is exactly what makes them compilable.
+//
+// A Plan is immutable after compilation and remains valid for the
+// lifetime of its engine, across any number of runs and across the
+// engine's post-deadlock fencing (each execution picks up the engine's
+// current transport and pools). Execute runs the plan alone;
+// ExecutePlans runs several plans with pairwise disjoint groups
+// concurrently inside a single engine run.
+type Plan struct {
+	engine   *mpsim.Engine
+	group    *mpsim.Group
+	op       planOp
+	blockLen int
+
+	// in/out are the buffers bound by Bind for ExecutePlans; Execute
+	// takes explicit buffers and ignores them.
+	in, out *buffers.Buffers
+
+	// Index plans (Bruck family, uniform and mixed radix).
+	ialg   IndexAlgorithm
+	noPack bool
+	rounds []indexRound
+
+	// Concat plans.
+	calg    ConcatAlgorithm
+	trivial bool // k >= n-1: single all-pairs round
+	n1      int  // (k+1)^(d-1), first block outside the doubling phase
+	dbl     []dblRound
+	last    []lastRound
+
+	// poolHint is the largest pool buffer any execution acquires. The
+	// bodies make sure each run's first pool acquisition has this size —
+	// the Bruck working region is exactly hint-sized, and the circulant
+	// body pre-acquires it before its mixed-size last rounds — so the
+	// processor-local pool reaches steady state in one step instead of
+	// thrashing through the pool's bounded scan.
+	poolHint int
+	// c1 is the number of communication rounds the schedule performs.
+	c1 int
+}
+
+type planOp int
+
+const (
+	opIndex planOp = iota
+	opConcat
+)
+
+func (o planOp) String() string {
+	if o == opIndex {
+		return "index"
+	}
+	return "concat"
+}
+
+// indexRound is one k-port round of a compiled Bruck-family index
+// schedule: up to k independent transfers.
+type indexRound struct {
+	xfers []indexXfer
+}
+
+// indexXfer is one message of an index round. The processor with group
+// rank me sends the listed working-region blocks to rank me+offset and
+// receives the same-shaped payload from rank me-offset (mod n) — the
+// schedule is translation invariant, so one compiled transfer serves
+// every group member.
+type indexXfer struct {
+	offset int   // partner offset in group ranks
+	bytes  int   // payload size
+	blocks []int // working-region block ids carried, ascending
+}
+
+// dblRound is one doubling round of the circulant concatenation: the
+// processor sends its first count blocks with offset t*base for
+// t = 1..k and receives the same shapes into blocks t*base onward.
+type dblRound struct {
+	base  int // (k+1)^round
+	count int // blocks held entering the round
+}
+
+// lastRound is one byte-granular last round of the circulant
+// concatenation: the table-partition areas of the round with their
+// communication offsets resolved at compile time.
+type lastRound struct {
+	areas []lastArea
+}
+
+type lastArea struct {
+	offset int // communication offset o; cells travel as block n1+col-o
+	size   int // payload bytes
+	runs   []partition.Run
+}
+
+// Op returns "index" or "concat".
+func (pl *Plan) Op() string { return pl.op.String() }
+
+// Group returns the group the plan was compiled for.
+func (pl *Plan) Group() *mpsim.Group { return pl.group }
+
+// BlockLen returns the block size in bytes the plan was compiled for.
+func (pl *Plan) BlockLen() int { return pl.blockLen }
+
+// Rounds returns the number of communication rounds (the paper's C1)
+// the compiled schedule executes.
+func (pl *Plan) Rounds() int { return pl.c1 }
+
+// MaxMessageBytes returns the largest pooled buffer an execution
+// acquires — the pre-sizing hint handed to the processor-local pools.
+func (pl *Plan) MaxMessageBytes() int { return pl.poolHint }
+
+// CompileIndex compiles the index schedule selected by opt for group g
+// on engine e at block size blockLen. See IndexOptions for the radix
+// and algorithm choices; the compiled plan executes the exact schedule
+// IndexFlat would, with identical Results.
+func CompileIndex(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt IndexOptions) (*Plan, error) {
+	n := g.Size()
+	if err := checkGroup(e, g); err != nil {
+		return nil, err
+	}
+	if blockLen < 0 {
+		return nil, fmt.Errorf("collective: negative block size %d", blockLen)
+	}
+	k := e.Ports()
+	r := opt.Radix
+	if r == 0 {
+		r = intmath.Min(k+1, n)
+	}
+	if opt.Algorithm == IndexBruck && n > 1 && (r < 2 || r > n) {
+		return nil, fmt.Errorf("collective: index radix %d out of range [2, %d]", r, n)
+	}
+	if opt.Algorithm == IndexPairwiseXOR && !intmath.IsPow(2, n) {
+		return nil, fmt.Errorf("collective: pairwise-xor index requires a power-of-two group size, got %d", n)
+	}
+	pl := &Plan{
+		engine:   e,
+		group:    g,
+		op:       opIndex,
+		blockLen: blockLen,
+		ialg:     opt.Algorithm,
+		noPack:   opt.NoPack,
+	}
+	switch opt.Algorithm {
+	case IndexBruck:
+		pl.rounds = compileBruckRounds(n, k, blockLen, func(int) int { return r }, opt.NoPack)
+	case IndexDirect, IndexPairwiseXOR:
+		// Partner arithmetic is the whole schedule; nothing to precompute
+		// beyond the round count.
+	default:
+		return nil, fmt.Errorf("collective: unknown index algorithm %v", opt.Algorithm)
+	}
+	pl.finishIndex(n, k)
+	return pl, nil
+}
+
+// CompileIndexMixed compiles the mixed-radix index schedule: subphase i
+// uses radices[i]. The compiled plan executes the exact schedule
+// IndexMixedFlat would.
+func CompileIndexMixed(e *mpsim.Engine, g *mpsim.Group, blockLen int, radices []int) (*Plan, error) {
+	n := g.Size()
+	if err := checkGroup(e, g); err != nil {
+		return nil, err
+	}
+	if blockLen < 0 {
+		return nil, fmt.Errorf("collective: negative block size %d", blockLen)
+	}
+	if err := ValidateRadices(n, radices); err != nil {
+		return nil, err
+	}
+	pl := &Plan{
+		engine:   e,
+		group:    g,
+		op:       opIndex,
+		blockLen: blockLen,
+		ialg:     IndexBruck,
+	}
+	pl.rounds = compileBruckRounds(n, e.Ports(), blockLen, func(i int) int { return radices[i] }, false)
+	pl.finishIndex(n, e.Ports())
+	return pl, nil
+}
+
+// finishIndex derives the round count and pool hint of a compiled index
+// plan from its representation.
+func (pl *Plan) finishIndex(n, k int) {
+	switch pl.ialg {
+	case IndexBruck:
+		pl.c1 = len(pl.rounds)
+		hint := n * pl.blockLen // working region
+		for _, rd := range pl.rounds {
+			for _, x := range rd.xfers {
+				if x.bytes > hint {
+					hint = x.bytes
+				}
+			}
+		}
+		pl.poolHint = hint
+	case IndexDirect, IndexPairwiseXOR:
+		pl.c1 = intmath.CeilDiv(n-1, k)
+		pl.poolHint = pl.blockLen // transport payloads only
+	}
+}
+
+// compileBruckRounds builds the k-port round structure of the
+// Bruck-family index algorithm for group size n: radixAt(i) is the
+// radix of subphase i (a constant function for the uniform algorithm).
+// Each subphase selects, for every digit value z in 1..h-1, the block
+// ids whose digit at the subphase's weight equals z; packed mode groups
+// up to k digit values into one round, noPack mode emits one
+// single-block round per selected block (the paper's packing ablation).
+func compileBruckRounds(n, k, blockLen int, radixAt func(int) int, noPack bool) []indexRound {
+	var rounds []indexRound
+	weight := 1
+	for sub := 0; weight < n; sub++ {
+		r := radixAt(sub)
+		h := intmath.Min(r, intmath.CeilDiv(n, weight))
+		// One pass over the block ids buckets them by digit value.
+		sel := make([][]int, h)
+		for j := 0; j < n; j++ {
+			if z := (j / weight) % r; z >= 1 && z < h {
+				sel[z] = append(sel[z], j)
+			}
+		}
+		if noPack {
+			for z := 1; z < h; z++ {
+				for _, j := range sel[z] {
+					rounds = append(rounds, indexRound{xfers: []indexXfer{{
+						offset: z * weight,
+						bytes:  blockLen,
+						blocks: []int{j},
+					}}})
+				}
+			}
+		} else {
+			for start := 1; start < h; start += k {
+				end := intmath.Min(start+k-1, h-1)
+				rd := indexRound{xfers: make([]indexXfer, 0, end-start+1)}
+				for z := start; z <= end; z++ {
+					rd.xfers = append(rd.xfers, indexXfer{
+						offset: z * weight,
+						bytes:  len(sel[z]) * blockLen,
+						blocks: sel[z],
+					})
+				}
+				rounds = append(rounds, rd)
+			}
+		}
+		weight *= r
+	}
+	return rounds
+}
+
+// CompileConcat compiles the concatenation schedule selected by opt for
+// group g on engine e at block size blockLen. For the circulant
+// algorithm this solves the last-round table partition and resolves the
+// per-area communication offsets once; ConcatFlat re-solves them on
+// every call.
+func CompileConcat(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt ConcatOptions) (*Plan, error) {
+	n := g.Size()
+	if err := checkGroup(e, g); err != nil {
+		return nil, err
+	}
+	if blockLen < 0 {
+		return nil, fmt.Errorf("collective: negative block size %d", blockLen)
+	}
+	if opt.Algorithm == ConcatRecursiveDoubling && !intmath.IsPow(2, n) {
+		return nil, fmt.Errorf("collective: recursive doubling requires a power-of-two group size, got %d", n)
+	}
+	k := e.Ports()
+	pl := &Plan{
+		engine:   e,
+		group:    g,
+		op:       opConcat,
+		blockLen: blockLen,
+		calg:     opt.Algorithm,
+		poolHint: blockLen,
+	}
+	switch opt.Algorithm {
+	case ConcatCirculant:
+		if n == 1 {
+			pl.c1 = 0
+			break
+		}
+		if k >= n-1 {
+			pl.trivial = true
+			pl.c1 = 1
+			break
+		}
+		d := intmath.CeilLog(k+1, n)
+		count := 1
+		for round := 0; round < d-1; round++ {
+			pl.dbl = append(pl.dbl, dblRound{base: count, count: count})
+			count *= k + 1
+		}
+		pl.n1 = count
+		part, err := partition.Solve(blockLen, n-pl.n1, pl.n1, k, opt.LastRound)
+		if err != nil {
+			return nil, err
+		}
+		if err := part.Validate(); err != nil {
+			return nil, err
+		}
+		for _, areas := range part.Rounds {
+			offsets, err := assignAreaOffsets(areas, pl.n1)
+			if err != nil {
+				return nil, err
+			}
+			lr := lastRound{areas: make([]lastArea, len(areas))}
+			for ai, area := range areas {
+				lr.areas[ai] = lastArea{offset: offsets[ai], size: area.Size, runs: area.Runs}
+				if area.Size > pl.poolHint {
+					pl.poolHint = area.Size
+				}
+			}
+			pl.last = append(pl.last, lr)
+		}
+		pl.c1 = len(pl.dbl) + len(pl.last)
+	case ConcatFolklore, ConcatRing, ConcatRecursiveDoubling:
+		// The baseline bodies compute their trees and rings on the fly;
+		// there is no per-call schedule solving to amortize. C1 for
+		// reporting only.
+		switch opt.Algorithm {
+		case ConcatFolklore:
+			if n > 1 {
+				pl.c1 = 2 * intmath.CeilLog(k+1, n)
+			}
+			pl.poolHint = n * blockLen
+		case ConcatRing:
+			pl.c1 = n - 1
+		case ConcatRecursiveDoubling:
+			if n > 1 {
+				pl.c1 = intmath.CeilLog(2, n)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("collective: unknown concat algorithm %v", opt.Algorithm)
+	}
+	return pl, nil
+}
+
+// checkGroup validates a group against the engine.
+func checkGroup(e *mpsim.Engine, g *mpsim.Group) error {
+	if g == nil || g.Size() == 0 {
+		return fmt.Errorf("collective: empty group")
+	}
+	for _, id := range g.IDs() {
+		if id >= e.N() {
+			return fmt.Errorf("collective: group member %d outside engine with %d processors", id, e.N())
+		}
+	}
+	return nil
+}
+
+// checkBuffers validates an (in, out) pair against the plan's shape:
+// index plans need two index-shaped buffers, concat plans a
+// concat-shaped input and an index-shaped output.
+func (pl *Plan) checkBuffers(in, out *buffers.Buffers) error {
+	n := pl.group.Size()
+	if in == nil || out == nil {
+		return fmt.Errorf("collective: nil flat buffer")
+	}
+	if in == out {
+		return fmt.Errorf("collective: flat output must not alias the input")
+	}
+	wantInBlocks := n
+	if pl.op == opConcat {
+		wantInBlocks = 1
+	}
+	if in.Procs() != n || in.Blocks() != wantInBlocks || in.BlockLen() != pl.blockLen {
+		return fmt.Errorf("collective: %s plan input is %dx%d blocks of %d bytes, want %dx%d of %d",
+			pl.op, in.Procs(), in.Blocks(), in.BlockLen(), n, wantInBlocks, pl.blockLen)
+	}
+	if out.Procs() != n || out.Blocks() != n || out.BlockLen() != pl.blockLen {
+		return fmt.Errorf("collective: %s plan output is %dx%d blocks of %d bytes, want %dx%d of %d",
+			pl.op, out.Procs(), out.Blocks(), out.BlockLen(), n, n, pl.blockLen)
+	}
+	return nil
+}
+
+// Bind validates and attaches an (in, out) buffer pair to the plan for
+// use by ExecutePlans. Binding may be repeated to retarget the plan;
+// Execute ignores the binding.
+func (pl *Plan) Bind(in, out *buffers.Buffers) error {
+	if err := pl.checkBuffers(in, out); err != nil {
+		return err
+	}
+	pl.in, pl.out = in, out
+	return nil
+}
+
+// Bound returns the buffers attached by Bind, or nils.
+func (pl *Plan) Bound() (in, out *buffers.Buffers) { return pl.in, pl.out }
+
+// Execute runs the compiled schedule on its engine with the given
+// buffers: for index plans out.Block(i, j) ends up equal to
+// in.Block(j, i), for concat plans out.Block(i, j) equals
+// in.Block(j, 0). The schedule — and therefore the Result — is
+// byte-identical to the corresponding IndexFlat/ConcatFlat call; only
+// the per-call schedule construction is gone.
+func (pl *Plan) Execute(in, out *buffers.Buffers) (*Result, error) {
+	if err := pl.checkBuffers(in, out); err != nil {
+		return nil, err
+	}
+	err := pl.engine.Run(func(p *mpsim.Proc) error {
+		return pl.body(p, in, out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(pl.engine.Metrics()), nil
+}
+
+// ExecutePlans runs several compiled plans concurrently inside one
+// engine run. The plans must all belong to engine e, have pairwise
+// disjoint groups, and carry buffers attached with Bind. Each plan
+// keeps its own metrics; the returned Results are in plan order. The
+// k-port constraint is enforced per processor as always, and schedule
+// validation applies per plan group.
+func ExecutePlans(e *mpsim.Engine, plans []*Plan) ([]*Result, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("collective: no plans to execute")
+	}
+	seen := make(map[int]int, e.N())
+	progs := make([]mpsim.Program, len(plans))
+	for i, pl := range plans {
+		if pl == nil {
+			return nil, fmt.Errorf("collective: plan %d is nil", i)
+		}
+		if pl.engine != e {
+			return nil, fmt.Errorf("collective: plan %d was compiled for a different engine", i)
+		}
+		if pl.in == nil || pl.out == nil {
+			return nil, fmt.Errorf("collective: plan %d has no bound buffers (call Bind)", i)
+		}
+		for _, id := range pl.group.IDs() {
+			if prev, dup := seen[id]; dup {
+				return nil, fmt.Errorf("collective: plans %d and %d share processor %d; groups must be disjoint", prev, i, id)
+			}
+			seen[id] = i
+		}
+		pl := pl
+		progs[i] = mpsim.Program{
+			Members: pl.group.IDs(),
+			Body: func(p *mpsim.Proc) error {
+				return pl.body(p, pl.in, pl.out)
+			},
+		}
+	}
+	metrics, err := e.RunPrograms(progs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(metrics))
+	for i, m := range metrics {
+		results[i] = resultFrom(m)
+	}
+	return results, nil
+}
+
+// body dispatches the per-processor program of the plan.
+func (pl *Plan) body(p *mpsim.Proc, in, out *buffers.Buffers) error {
+	me := pl.group.Rank(p.Rank())
+	if me < 0 {
+		return nil
+	}
+	var err error
+	switch pl.op {
+	case opIndex:
+		switch pl.ialg {
+		case IndexBruck:
+			err = pl.bruckBody(p, in.Proc(me), out.Proc(me))
+		case IndexDirect:
+			err = directIndexFlatBody(p, pl.group, in.Proc(me), out.Proc(me), pl.blockLen)
+		case IndexPairwiseXOR:
+			err = xorIndexFlatBody(p, pl.group, in.Proc(me), out.Proc(me), pl.blockLen)
+		}
+	case opConcat:
+		switch pl.calg {
+		case ConcatCirculant:
+			err = pl.circulantBody(p, in.Proc(me), out.Proc(me))
+		case ConcatFolklore:
+			err = folkloreConcatFlatBody(p, pl.group, in.Proc(me), out.Proc(me), pl.blockLen)
+		case ConcatRing:
+			err = ringConcatFlatBody(p, pl.group, in.Proc(me), out.Proc(me), pl.blockLen)
+		case ConcatRecursiveDoubling:
+			err = recursiveDoublingConcatFlatBody(p, pl.group, in.Proc(me), out.Proc(me), pl.blockLen)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("group rank %d: %w", me, err)
+	}
+	return nil
+}
+
+// bruckBody is the per-processor program of a compiled Bruck-family
+// index plan (uniform or mixed radix, packed or not): Phase 1 rotates
+// the input into the working region, Phase 2 replays the precomputed
+// rounds, Phase 3 writes the output permutation. All schedule decisions
+// — partners, payload sizes, which blocks travel together — were made
+// at compile time.
+func (pl *Plan) bruckBody(p *mpsim.Proc, in, out []byte) error {
+	g := pl.group
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	bl := pl.blockLen
+	k := p.Ports()
+
+	work := p.AcquireBuf(n * bl)
+	defer p.ReleaseBuf(work)
+	cut := me * bl
+	copy(work, in[cut:])
+	copy(work[len(in)-cut:], in[:cut])
+
+	sends := make([]mpsim.Send, 0, k)
+	froms := make([]int, 0, k)
+	into := make([][]byte, 0, k)
+	for _, rd := range pl.rounds {
+		if pl.noPack {
+			// Single-block round: the block travels as a view of its own
+			// working slot and the reply lands back in the same slot (the
+			// engine copies the payload out before delivery).
+			x := rd.xfers[0]
+			blk := work[x.blocks[0]*bl : (x.blocks[0]+1)*bl]
+			sends = append(sends[:0], mpsim.Send{To: g.ID(intmath.Mod(me+x.offset, n)), Data: blk})
+			froms = append(froms[:0], g.ID(intmath.Mod(me-x.offset, n)))
+			into = append(into[:0], blk)
+			if err := p.ExchangeInto(sends, froms, into); err != nil {
+				return err
+			}
+			continue
+		}
+		sends, froms, into = sends[:0], froms[:0], into[:0]
+		for _, x := range rd.xfers {
+			payload := p.AcquireBuf(x.bytes)
+			off := 0
+			for _, j := range x.blocks {
+				copy(payload[off:off+bl], work[j*bl:])
+				off += bl
+			}
+			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me+x.offset, n)), Data: payload})
+			froms = append(froms, g.ID(intmath.Mod(me-x.offset, n)))
+			into = append(into, p.AcquireBuf(x.bytes))
+		}
+		err := p.ExchangeInto(sends, froms, into)
+		if err == nil {
+			for i, x := range rd.xfers {
+				off := 0
+				for _, j := range x.blocks {
+					copy(work[j*bl:(j+1)*bl], into[i][off:off+bl])
+					off += bl
+				}
+			}
+		}
+		for i := range sends {
+			p.ReleaseBuf(sends[i].Data)
+			p.ReleaseBuf(into[i])
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	for j := 0; j < n; j++ {
+		q := intmath.Mod(me-j, n)
+		copy(out[j*bl:(j+1)*bl], work[q*bl:q*bl+bl])
+	}
+	return nil
+}
+
+// circulantBody is the per-processor program of a compiled circulant
+// concatenation plan: the doubling rounds and the byte-granular last
+// rounds replay precomputed shapes; the table partition and its area
+// offsets were solved at compile time. The output region is the
+// accumulation buffer, as in circulantConcatFlatBody.
+func (pl *Plan) circulantBody(p *mpsim.Proc, myBlock, out []byte) error {
+	g := pl.group
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	bl := pl.blockLen
+	k := p.Ports()
+
+	copy(out[:bl], myBlock)
+	if n == 1 {
+		return nil
+	}
+
+	if pl.trivial {
+		sends := make([]mpsim.Send, 0, n-1)
+		froms := make([]int, 0, n-1)
+		into := make([][]byte, 0, n-1)
+		for q := 1; q < n; q++ {
+			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me-q, n)), Data: myBlock})
+			froms = append(froms, g.ID(intmath.Mod(me+q, n)))
+			into = append(into, out[q*bl:(q+1)*bl])
+		}
+		if err := p.ExchangeInto(sends, froms, into); err != nil {
+			return err
+		}
+		buffers.RotateUp(out, n, bl, n-me)
+		return nil
+	}
+
+	if len(pl.last) > 0 && pl.poolHint > 0 {
+		// Pre-size the pool: one hint-sized acquisition up front means
+		// every mixed-size area payload of the last rounds finds a
+		// fitting buffer within the pool's bounded scan.
+		p.ReleaseBuf(p.AcquireBuf(pl.poolHint))
+	}
+
+	sends := make([]mpsim.Send, 0, k)
+	froms := make([]int, 0, k)
+	into := make([][]byte, 0, k)
+	for _, rd := range pl.dbl {
+		sends, froms, into = sends[:0], froms[:0], into[:0]
+		for t := 1; t <= k; t++ {
+			sends = append(sends, mpsim.Send{
+				To:   g.ID(intmath.Mod(me-t*rd.base, n)),
+				Data: out[:rd.count*bl],
+			})
+			froms = append(froms, g.ID(intmath.Mod(me+t*rd.base, n)))
+			into = append(into, out[t*rd.base*bl:(t*rd.base+rd.count)*bl])
+		}
+		if err := p.ExchangeInto(sends, froms, into); err != nil {
+			return err
+		}
+	}
+
+	for _, lr := range pl.last {
+		sends, froms, into = sends[:0], froms[:0], into[:0]
+		for _, area := range lr.areas {
+			payload := p.AcquireBuf(area.size)
+			off := 0
+			for _, run := range area.runs {
+				q := pl.n1 + run.Col - area.offset
+				blk := out[q*bl : (q+1)*bl]
+				off += copy(payload[off:], blk[run.Row0:run.Row0+run.NRows])
+			}
+			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me-area.offset, n)), Data: payload})
+			froms = append(froms, g.ID(intmath.Mod(me+area.offset, n)))
+			into = append(into, p.AcquireBuf(area.size))
+		}
+		err := p.ExchangeInto(sends, froms, into)
+		if err == nil {
+			for ai, area := range lr.areas {
+				payload := into[ai]
+				off := 0
+				for _, run := range area.runs {
+					q := pl.n1 + run.Col
+					blk := out[q*bl : (q+1)*bl]
+					copy(blk[run.Row0:run.Row0+run.NRows], payload[off:off+run.NRows])
+					off += run.NRows
+				}
+			}
+		}
+		for i := range sends {
+			p.ReleaseBuf(sends[i].Data)
+			p.ReleaseBuf(into[i])
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	buffers.RotateUp(out, n, bl, n-me)
+	return nil
+}
+
+// planCacheKey identifies a compiled plan inside a PlanCache. The
+// engine is part of the key — a cache may serve several engines
+// without ever handing one engine's plan (and its k-port schedule and
+// transport) to another. Groups key by pointer identity: callers that
+// reuse a *Group (the common case — Machine.World or a stored NewGroup
+// result) hit the cache, distinct pointers with equal members merely
+// recompile.
+type planCacheKey struct {
+	e        *mpsim.Engine
+	g        *mpsim.Group
+	op       planOp
+	ialg     IndexAlgorithm
+	calg     ConcatAlgorithm
+	radix    int
+	radices  string
+	noPack   bool
+	policy   partition.Policy
+	blockLen int
+}
+
+// maxCachedPlans bounds a PlanCache. Schedules are cheap to recompile
+// (microseconds), so when callers churn through configurations — e.g.
+// a fresh ephemeral *Group per request, which never hits the
+// pointer-keyed cache — the cache evicts rather than growing without
+// bound and pinning every dead group.
+const maxCachedPlans = 256
+
+// PlanCache memoizes compiled plans per (engine, op, group, options,
+// block size) configuration, holding at most maxCachedPlans entries
+// (an arbitrary entry is evicted beyond that). Like the engines it
+// serves, a PlanCache is not safe for concurrent use.
+type PlanCache struct {
+	plans map[planCacheKey]*Plan
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{plans: make(map[planCacheKey]*Plan)}
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int { return len(c.plans) }
+
+// insert stores a compiled plan, evicting an arbitrary entry first if
+// the cache is full.
+func (c *PlanCache) insert(key planCacheKey, pl *Plan) {
+	if len(c.plans) >= maxCachedPlans {
+		for k := range c.plans {
+			delete(c.plans, k)
+			break
+		}
+	}
+	c.plans[key] = pl
+}
+
+// IndexPlan returns the cached plan for the configuration, compiling
+// and caching it on first use.
+func (c *PlanCache) IndexPlan(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt IndexOptions) (*Plan, error) {
+	key := planCacheKey{
+		e: e, g: g, op: opIndex, ialg: opt.Algorithm,
+		radix: opt.Radix, noPack: opt.NoPack, blockLen: blockLen,
+	}
+	if pl, ok := c.plans[key]; ok {
+		return pl, nil
+	}
+	pl, err := CompileIndex(e, g, blockLen, opt)
+	if err != nil {
+		return nil, err
+	}
+	c.insert(key, pl)
+	return pl, nil
+}
+
+// IndexMixedPlan is IndexPlan for mixed-radix schedules.
+func (c *PlanCache) IndexMixedPlan(e *mpsim.Engine, g *mpsim.Group, blockLen int, radices []int) (*Plan, error) {
+	key := planCacheKey{
+		e: e, g: g, op: opIndex, ialg: IndexBruck,
+		radices: fmt.Sprint(radices), blockLen: blockLen,
+	}
+	if pl, ok := c.plans[key]; ok {
+		return pl, nil
+	}
+	pl, err := CompileIndexMixed(e, g, blockLen, radices)
+	if err != nil {
+		return nil, err
+	}
+	c.insert(key, pl)
+	return pl, nil
+}
+
+// ConcatPlan is IndexPlan for concatenation schedules.
+func (c *PlanCache) ConcatPlan(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt ConcatOptions) (*Plan, error) {
+	key := planCacheKey{
+		e: e, g: g, op: opConcat, calg: opt.Algorithm,
+		policy: opt.LastRound, blockLen: blockLen,
+	}
+	if pl, ok := c.plans[key]; ok {
+		return pl, nil
+	}
+	pl, err := CompileConcat(e, g, blockLen, opt)
+	if err != nil {
+		return nil, err
+	}
+	c.insert(key, pl)
+	return pl, nil
+}
+
+// The cached entry points below mirror the package-level operations but
+// amortize compilation through the cache; the public Machine API routes
+// every call through them, so repeated configurations transparently
+// reuse their plans.
+
+// IndexFlat is the cached counterpart of the package-level IndexFlat.
+func (c *PlanCache) IndexFlat(e *mpsim.Engine, g *mpsim.Group, in, out *buffers.Buffers, opt IndexOptions) (*Result, error) {
+	if err := checkFlatShape(e, g, in, out, g.Size()); err != nil {
+		return nil, err
+	}
+	pl, err := c.IndexPlan(e, g, in.BlockLen(), opt)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Execute(in, out)
+}
+
+// IndexMixedFlat is the cached counterpart of the package-level
+// IndexMixedFlat.
+func (c *PlanCache) IndexMixedFlat(e *mpsim.Engine, g *mpsim.Group, in, out *buffers.Buffers, radices []int) (*Result, error) {
+	if err := checkFlatShape(e, g, in, out, g.Size()); err != nil {
+		return nil, err
+	}
+	pl, err := c.IndexMixedPlan(e, g, in.BlockLen(), radices)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Execute(in, out)
+}
+
+// ConcatFlat is the cached counterpart of the package-level ConcatFlat.
+func (c *PlanCache) ConcatFlat(e *mpsim.Engine, g *mpsim.Group, in, out *buffers.Buffers, opt ConcatOptions) (*Result, error) {
+	n := g.Size()
+	if n == 0 {
+		return nil, fmt.Errorf("collective: empty group")
+	}
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("collective: nil flat buffer")
+	}
+	if in.Procs() != n || in.Blocks() != 1 {
+		return nil, fmt.Errorf("collective: flat concat input is %dx%d blocks, group needs %dx1",
+			in.Procs(), in.Blocks(), n)
+	}
+	pl, err := c.ConcatPlan(e, g, in.BlockLen(), opt)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Execute(in, out)
+}
+
+// Index is the cached counterpart of the package-level legacy Index:
+// one copy in, one copy out, compiled schedule in between.
+func (c *PlanCache) Index(e *mpsim.Engine, g *mpsim.Group, in [][][]byte, opt IndexOptions) ([][][]byte, *Result, error) {
+	if err := checkIndexInput(e, g, in); err != nil {
+		return nil, nil, err
+	}
+	fin, err := buffers.FromMatrix(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	fout, err := buffers.New(g.Size(), g.Size(), fin.BlockLen())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := c.IndexFlat(e, g, fin, fout, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fout.ToMatrix(), res, nil
+}
+
+// IndexMixed is the cached counterpart of the package-level legacy
+// IndexMixed.
+func (c *PlanCache) IndexMixed(e *mpsim.Engine, g *mpsim.Group, in [][][]byte, radices []int) ([][][]byte, *Result, error) {
+	if err := checkIndexInput(e, g, in); err != nil {
+		return nil, nil, err
+	}
+	fin, err := buffers.FromMatrix(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	fout, err := buffers.New(g.Size(), g.Size(), fin.BlockLen())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := c.IndexMixedFlat(e, g, fin, fout, radices)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fout.ToMatrix(), res, nil
+}
+
+// Concat is the cached counterpart of the package-level legacy Concat.
+func (c *PlanCache) Concat(e *mpsim.Engine, g *mpsim.Group, in [][]byte, opt ConcatOptions) ([][][]byte, *Result, error) {
+	if err := checkConcatInput(g, in); err != nil {
+		return nil, nil, err
+	}
+	fin, err := buffers.FromVector(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	fout, err := buffers.New(g.Size(), g.Size(), fin.BlockLen())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := c.ConcatFlat(e, g, fin, fout, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fout.ToMatrix(), res, nil
+}

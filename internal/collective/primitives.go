@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"bruck/internal/buffers"
 	"bruck/internal/intmath"
 	"bruck/internal/mpsim"
 )
@@ -32,6 +33,9 @@ func lowestDigitPos(v, base int) (pos, digit int) {
 
 // Broadcast sends root's data block to every member of group g. The
 // returned slice holds, for each group rank, its copy of the data.
+//
+// Broadcast allocates every member's result slice on each call; the
+// allocation-free path is BroadcastInto.
 func Broadcast(e *mpsim.Engine, g *mpsim.Group, root int, data []byte) ([][]byte, *Result, error) {
 	n := g.Size()
 	if root < 0 || root >= n {
@@ -54,6 +58,48 @@ func Broadcast(e *mpsim.Engine, g *mpsim.Group, root int, data []byte) ([][]byte
 		return nil, nil, err
 	}
 	return out, resultFrom(e.Metrics()), nil
+}
+
+// BroadcastInto is the caller-owned-memory broadcast: root's data lands
+// in out.Block(i, 0) for every group rank i. out must be a
+// concat-shaped Buffers (n processor regions of one block of len(data)
+// bytes). Beyond pooled transport buffers the operation allocates
+// nothing on a reused engine.
+func BroadcastInto(e *mpsim.Engine, g *mpsim.Group, root int, data []byte, out *buffers.Buffers) (*Result, error) {
+	n := g.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: broadcast root %d out of range [0,%d)", root, n)
+	}
+	if err := checkOneBlockShape("broadcast", out, n, len(data)); err != nil {
+		return nil, err
+	}
+	err := e.Run(func(p *mpsim.Proc) error {
+		me := g.Rank(p.Rank())
+		if me < 0 {
+			return nil
+		}
+		if err := broadcastBodyInto(p, g, root, data, out.Proc(me)); err != nil {
+			return fmt.Errorf("group rank %d: %w", me, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(e.Metrics()), nil
+}
+
+// checkOneBlockShape validates an n-member one-block-per-processor flat
+// buffer of the given block size.
+func checkOneBlockShape(opName string, b *buffers.Buffers, n, blockLen int) error {
+	if b == nil {
+		return fmt.Errorf("collective: nil flat buffer")
+	}
+	if b.Procs() != n || b.Blocks() != 1 || b.BlockLen() != blockLen {
+		return fmt.Errorf("collective: %s buffer is %dx%d blocks of %d bytes, want %dx1 of %d",
+			opName, b.Procs(), b.Blocks(), b.BlockLen(), n, blockLen)
+	}
+	return nil
 }
 
 // broadcastBodyInto runs the (k+1)-nomial broadcast, delivering the
@@ -157,6 +203,53 @@ func Gather(e *mpsim.Engine, g *mpsim.Group, root int, in [][]byte) ([][]byte, *
 		return nil, nil, fmt.Errorf("collective: gather produced no root buffer")
 	}
 	return out, resultFrom(e.Metrics()), nil
+}
+
+// GatherInto is the caller-owned-memory gather: each member's block is
+// in.Block(me, 0) (a concat-shaped Buffers of n one-block regions) and
+// the concatenation lands at the root, in group-rank order, in the
+// caller's out slice of n*blockLen bytes. Non-roots never touch out.
+// Beyond pooled transport buffers the operation allocates nothing on a
+// reused engine.
+func GatherInto(e *mpsim.Engine, g *mpsim.Group, root int, in *buffers.Buffers, out []byte) (*Result, error) {
+	n := g.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: gather root %d out of range [0,%d)", root, n)
+	}
+	if in == nil {
+		return nil, fmt.Errorf("collective: nil flat buffer")
+	}
+	blockLen := in.BlockLen()
+	if err := checkOneBlockShape("gather", in, n, blockLen); err != nil {
+		return nil, err
+	}
+	if len(out) != n*blockLen {
+		return nil, fmt.Errorf("collective: gather output is %d bytes, want n*b = %d", len(out), n*blockLen)
+	}
+	err := e.Run(func(p *mpsim.Proc) error {
+		me := g.Rank(p.Rank())
+		if me < 0 {
+			return nil
+		}
+		buf, err := gatherBody(p, g, root, in.Proc(me), blockLen)
+		if err != nil {
+			return fmt.Errorf("group rank %d: %w", me, err)
+		}
+		if me == root {
+			// buf is in virtual-rank order; rewrite into group-rank order
+			// directly in the caller's memory.
+			for v := 0; v < n; v++ {
+				j := intmath.Mod(root+v, n)
+				copy(out[j*blockLen:(j+1)*blockLen], buf[v*blockLen:])
+			}
+			p.ReleaseBuf(buf)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(e.Metrics()), nil
 }
 
 // gatherBody runs the (k+1)-nomial gather and returns, at the root
@@ -263,8 +356,8 @@ func Scatter(e *mpsim.Engine, g *mpsim.Group, root int, in [][]byte) ([][]byte, 
 		if me < 0 {
 			return nil
 		}
-		blk, err := scatterBody(p, g, root, vbuf, blockLen)
-		if err != nil {
+		blk := make([]byte, blockLen)
+		if err := scatterBodyInto(p, g, root, vbuf, blockLen, blk); err != nil {
 			return fmt.Errorf("group rank %d: %w", me, err)
 		}
 		out[me] = blk
@@ -276,17 +369,66 @@ func Scatter(e *mpsim.Engine, g *mpsim.Group, root int, in [][]byte) ([][]byte, 
 	return out, resultFrom(e.Metrics()), nil
 }
 
-// scatterBody runs the (k+1)-nomial scatter (the gather tree reversed):
-// vbuf is the full concatenation in virtual-rank order at the root.
-// Every member returns its own block.
-func scatterBody(p *mpsim.Proc, g *mpsim.Group, root int, vbuf []byte, blockLen int) ([]byte, error) {
+// ScatterInto is the caller-owned-memory scatter: in is the root's
+// per-member blocks as one n*blockLen slice in group-rank order (block
+// j at offset j*blockLen), and each member's block lands in
+// out.Block(me, 0) of a concat-shaped Buffers. in is only read at the
+// root. Beyond pooled transport buffers the operation allocates nothing
+// on a reused engine.
+func ScatterInto(e *mpsim.Engine, g *mpsim.Group, root int, in []byte, out *buffers.Buffers) (*Result, error) {
+	n := g.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: scatter root %d out of range [0,%d)", root, n)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("collective: nil flat buffer")
+	}
+	blockLen := out.BlockLen()
+	if err := checkOneBlockShape("scatter", out, n, blockLen); err != nil {
+		return nil, err
+	}
+	if len(in) != n*blockLen {
+		return nil, fmt.Errorf("collective: scatter input is %d bytes, want n*b = %d", len(in), n*blockLen)
+	}
+	err := e.Run(func(p *mpsim.Proc) error {
+		me := g.Rank(p.Rank())
+		if me < 0 {
+			return nil
+		}
+		var vbuf []byte
+		if me == root {
+			// Reorder group-rank blocks into virtual-rank order inside a
+			// pooled buffer; only the root reads it.
+			vbuf = p.AcquireBuf(n * blockLen)
+			defer p.ReleaseBuf(vbuf)
+			for v := 0; v < n; v++ {
+				copy(vbuf[v*blockLen:(v+1)*blockLen], in[intmath.Mod(root+v, n)*blockLen:])
+			}
+		}
+		if err := scatterBodyInto(p, g, root, vbuf, blockLen, out.Proc(me)); err != nil {
+			return fmt.Errorf("group rank %d: %w", me, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(e.Metrics()), nil
+}
+
+// scatterBodyInto runs the (k+1)-nomial scatter (the gather tree
+// reversed): vbuf is the full concatenation in virtual-rank order at
+// the root (ignored elsewhere). Every member's own block lands in the
+// caller-owned into slice.
+func scatterBodyInto(p *mpsim.Proc, g *mpsim.Group, root int, vbuf []byte, blockLen int, into []byte) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
 	k := p.Ports()
 	v := intmath.Mod(me-root, n)
 
 	if n == 1 {
-		return append([]byte(nil), vbuf[:blockLen]...), nil
+		copy(into, vbuf[:blockLen])
+		return nil
 	}
 	d := intmath.CeilLog(k+1, n)
 	// seg covers virtual ranks [v, v+segLen/blockLen); at the root it
@@ -322,7 +464,7 @@ func scatterBody(p *mpsim.Proc, g *mpsim.Group, root int, vbuf []byte, blockLen 
 				continue
 			}
 			if err := p.ExchangeInto(sends, nil, nil); err != nil {
-				return nil, err
+				return err
 			}
 			// Keep only my own prefix [v, v+base).
 			keep := intmath.Min(base, n-v) * blockLen
@@ -334,16 +476,16 @@ func scatterBody(p *mpsim.Proc, g *mpsim.Group, root int, vbuf []byte, blockLen 
 			seg = p.AcquireBuf(want)
 			havSeg = true
 			if err := p.ExchangeInto(nil, []int{g.ID(intmath.Mod(parent+root, n))}, [][]byte{seg}); err != nil {
-				return nil, err
+				return err
 			}
 		default:
 			p.Skip()
 		}
 	}
 	if len(seg) < blockLen {
-		return nil, fmt.Errorf("collective: scatter left virtual rank %d with %d bytes", v, len(seg))
+		return fmt.Errorf("collective: scatter left virtual rank %d with %d bytes", v, len(seg))
 	}
-	blk := append([]byte(nil), seg[:blockLen]...)
+	copy(into, seg[:blockLen])
 	p.ReleaseBuf(seg)
-	return blk, nil
+	return nil
 }

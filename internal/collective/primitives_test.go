@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"bruck/internal/buffers"
 	"bruck/internal/intmath"
 	"bruck/internal/lowerbound"
 	"bruck/internal/mpsim"
@@ -173,4 +174,165 @@ func TestBroadcastMeetsRoundLowerBound(t *testing.T) {
 			t.Errorf("n=%d k=%d: broadcast C1 = %d, want bound %d", tc.n, tc.k, res.C1, want)
 		}
 	}
+}
+
+// TestPrimitiveIntoSweep: the caller-owned-memory variants produce the
+// same bytes as their allocating counterparts across sizes, ports and
+// roots.
+func TestPrimitiveIntoSweep(t *testing.T) {
+	const b = 5
+	for _, k := range []int{1, 2, 3} {
+		for n := 1; n <= 17; n++ {
+			if k > intmath.Max(1, n-1) {
+				continue
+			}
+			for _, root := range []int{0, n / 2, n - 1} {
+				if root < 0 {
+					continue
+				}
+				e := mpsim.MustNew(n, mpsim.Ports(k))
+				g := mpsim.WorldGroup(n)
+
+				data := make([]byte, b)
+				for x := range data {
+					data[x] = byte(37 + x)
+				}
+				bout, err := buffers.New(n, 1, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := BroadcastInto(e, g, root, data, bout); err != nil {
+					t.Fatalf("BroadcastInto(n=%d, k=%d, root=%d): %v", n, k, root, err)
+				}
+				for i := 0; i < n; i++ {
+					if !bytes.Equal(bout.Block(i, 0), data) {
+						t.Fatalf("broadcast n=%d k=%d root=%d: member %d got %v", n, k, root, i, bout.Block(i, 0))
+					}
+				}
+
+				gin, err := buffers.New(n, 1, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					for x := 0; x < b; x++ {
+						gin.Block(i, 0)[x] = byte(i*b + x)
+					}
+				}
+				gout := make([]byte, n*b)
+				if _, err := GatherInto(e, g, root, gin, gout); err != nil {
+					t.Fatalf("GatherInto(n=%d, k=%d, root=%d): %v", n, k, root, err)
+				}
+				for i := 0; i < n; i++ {
+					if !bytes.Equal(gout[i*b:(i+1)*b], gin.Block(i, 0)) {
+						t.Fatalf("gather n=%d k=%d root=%d: block %d wrong", n, k, root, i)
+					}
+				}
+
+				sout, err := buffers.New(n, 1, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ScatterInto(e, g, root, gout, sout); err != nil {
+					t.Fatalf("ScatterInto(n=%d, k=%d, root=%d): %v", n, k, root, err)
+				}
+				for i := 0; i < n; i++ {
+					if !bytes.Equal(sout.Block(i, 0), gout[i*b:(i+1)*b]) {
+						t.Fatalf("scatter n=%d k=%d root=%d: member %d wrong", n, k, root, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrimitiveIntoShapeValidation: wrong-shaped destination buffers
+// are rejected before any communication.
+func TestPrimitiveIntoShapeValidation(t *testing.T) {
+	const n, b = 6, 4
+	e := mpsim.MustNew(n)
+	g := mpsim.WorldGroup(n)
+	good, _ := buffers.New(n, 1, b)
+	wrongProcs, _ := buffers.New(n+1, 1, b)
+	wrongBlocks, _ := buffers.New(n, 2, b)
+	wrongLen, _ := buffers.New(n, 1, b+1)
+	data := make([]byte, b)
+	for _, bad := range []*buffers.Buffers{nil, wrongProcs, wrongBlocks, wrongLen} {
+		if _, err := BroadcastInto(e, g, 0, data, bad); err == nil {
+			t.Errorf("BroadcastInto accepted bad buffer %+v", bad)
+		}
+		if _, err := GatherInto(e, g, 0, bad, make([]byte, n*b)); err == nil {
+			t.Errorf("GatherInto accepted bad buffer %+v", bad)
+		}
+		if _, err := ScatterInto(e, g, 0, make([]byte, n*b), bad); err == nil {
+			t.Errorf("ScatterInto accepted bad buffer %+v", bad)
+		}
+	}
+	if _, err := GatherInto(e, g, 0, good, make([]byte, n*b-1)); err == nil {
+		t.Error("GatherInto accepted a short output slice")
+	}
+	if _, err := ScatterInto(e, g, 0, make([]byte, n*b+1), good); err == nil {
+		t.Error("ScatterInto accepted a long input slice")
+	}
+}
+
+// TestPrimitiveIntoAllocs pins the point of the Into variants: the
+// legacy primitives allocate at least one result slice per member per
+// run; the Into variants route results through caller-owned or pooled
+// memory, so their per-run allocation count must sit at least n below
+// the legacy one (the remaining allocations are the engine's fixed
+// per-Run bookkeeping, identical for both paths).
+func TestPrimitiveIntoAllocs(t *testing.T) {
+	const n, b, runs = 8, 64, 20
+	e := mpsim.MustNew(n)
+	g := mpsim.WorldGroup(n)
+	data := make([]byte, b)
+	out, _ := buffers.New(n, 1, b)
+	gin, _ := buffers.New(n, 1, b)
+	gout := make([]byte, n*b)
+	legacyIn := make([][]byte, n)
+	for i := range legacyIn {
+		legacyIn[i] = make([]byte, b)
+	}
+	check := func(name string, legacy, into float64) {
+		t.Helper()
+		t.Logf("%s: legacy %.0f allocs/op, into %.0f allocs/op", name, legacy, into)
+		if into > legacy-n {
+			t.Errorf("%s: Into variant saves only %.0f allocs/op over legacy (%.0f vs %.0f), want >= %d",
+				name, legacy-into, into, legacy, n)
+		}
+	}
+	check("broadcast",
+		testing.AllocsPerRun(runs, func() {
+			if _, _, err := Broadcast(e, g, 0, data); err != nil {
+				t.Fatal(err)
+			}
+		}),
+		testing.AllocsPerRun(runs, func() {
+			if _, err := BroadcastInto(e, g, 0, data, out); err != nil {
+				t.Fatal(err)
+			}
+		}))
+	check("gather",
+		testing.AllocsPerRun(runs, func() {
+			if _, _, err := Gather(e, g, 0, legacyIn); err != nil {
+				t.Fatal(err)
+			}
+		}),
+		testing.AllocsPerRun(runs, func() {
+			if _, err := GatherInto(e, g, 0, gin, gout); err != nil {
+				t.Fatal(err)
+			}
+		}))
+	check("scatter",
+		testing.AllocsPerRun(runs, func() {
+			if _, _, err := Scatter(e, g, 0, legacyIn); err != nil {
+				t.Fatal(err)
+			}
+		}),
+		testing.AllocsPerRun(runs, func() {
+			if _, err := ScatterInto(e, g, 0, gout, out); err != nil {
+				t.Fatal(err)
+			}
+		}))
 }

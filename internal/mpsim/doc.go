@@ -65,6 +65,21 @@
 // round scratch space. Each pool is owned by one processor goroutine;
 // the engine goroutine touches pools only between runs.
 //
+// # Partitioned runs
+//
+// Engine.RunPrograms executes several independent SPMD programs in one
+// run: each Program names its member ranks and its body, member sets
+// must be pairwise disjoint, unclaimed ranks spawn no goroutine, and
+// every program records into its own Metrics (returned in program
+// order). The k-port constraint remains per processor; the
+// round-uniformity check applies per program, so programs with
+// different round counts can share a run as long as no message crosses
+// a program boundary (a crossing surfaces as a round-alignment or
+// misaligned-schedule error under validation). Run is the
+// single-program special case. Package collective builds concurrent
+// disjoint-group collectives (ExecutePlans / bruck.Machine.RunPlans)
+// on this primitive.
+//
 // # Run lifecycle
 //
 // Every Run gets a generation number, stamped on each Proc and each

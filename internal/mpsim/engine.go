@@ -65,6 +65,11 @@ type Engine struct {
 	live *atomic.Int64
 
 	metrics *Metrics
+
+	// lastPrograms is how many programs the most recent run executed;
+	// Metrics is nil after a multi-program run, and this lets callers
+	// distinguish that case from "never ran".
+	lastPrograms int
 }
 
 // message is one payload in flight from src to dst: the communication
@@ -170,30 +175,113 @@ func (e *Engine) Transport() Backend { return e.backend }
 // they can exit — and the next run proceeds on fresh ones, losing only
 // the pools' warm steady state.
 func (e *Engine) Run(body func(p *Proc) error) error {
+	_, err := e.RunPrograms([]Program{{Body: body}})
+	return err
+}
+
+// Program is one SPMD body of a partitioned run together with the
+// engine ranks that execute it. Members nil means every rank (only
+// allowed when it is the sole program of the run); otherwise the member
+// sets of all programs of one RunPrograms call must be disjoint.
+type Program struct {
+	// Members lists the engine ranks that run Body, nil for all.
+	Members []int
+	// Body is the per-processor program, as in Run.
+	Body func(p *Proc) error
+}
+
+// RunPrograms executes several independent SPMD programs concurrently
+// inside one engine run: each program's body runs on its member ranks,
+// ranks claimed by no program sit the run out entirely, and every
+// program records into its own Metrics, returned in program order. The
+// k-port constraint is still enforced per processor, and under
+// validation the round-uniformity check applies per program, so
+// programs of different round counts may share a run as long as they
+// never exchange messages across program boundaries (a cross-program
+// message is caught by the round-alignment check as a misaligned
+// schedule).
+//
+// A single program with nil Members is exactly Run. After a run with
+// one program Metrics returns that program's metrics; after a
+// multi-program run it returns nil — use the returned slice instead.
+// Error and deadlock recovery behave as in Run: the whole run shares
+// one watchdog, and a deadlock anywhere fences the transport for every
+// program of the run.
+func (e *Engine) RunPrograms(progs []Program) ([]*Metrics, error) {
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("mpsim: RunPrograms with no programs")
+	}
+	owner := make([]int, e.n) // rank -> program index, -1 for idle
+	for i := range owner {
+		owner[i] = -1
+	}
+	spawn := 0
+	for pi := range progs {
+		if progs[pi].Body == nil {
+			return nil, fmt.Errorf("mpsim: program %d has no body", pi)
+		}
+		if progs[pi].Members == nil {
+			if len(progs) > 1 {
+				return nil, fmt.Errorf("mpsim: program %d claims all ranks (nil Members) in a %d-program run", pi, len(progs))
+			}
+			for r := range owner {
+				owner[r] = pi
+			}
+			spawn = e.n
+			continue
+		}
+		if len(progs[pi].Members) == 0 {
+			return nil, fmt.Errorf("mpsim: program %d has no members", pi)
+		}
+		for _, r := range progs[pi].Members {
+			if r < 0 || r >= e.n {
+				return nil, fmt.Errorf("mpsim: program %d member %d out of range [0,%d)", pi, r, e.n)
+			}
+			if owner[r] != -1 {
+				return nil, fmt.Errorf("mpsim: rank %d belongs to programs %d and %d; programs must be disjoint", r, owner[r], pi)
+			}
+			owner[r] = pi
+			spawn++
+		}
+	}
+
 	e.tr.Drain(func(dst int, data []byte) { e.pools[dst].put(data) })
 
 	e.gen++
-	e.metrics = newMetrics(e.n)
-	e.metrics.record = e.record
+	metrics := make([]*Metrics, len(progs))
+	for i := range metrics {
+		metrics[i] = newMetrics(e.n)
+		metrics[i].record = e.record
+	}
+	if len(progs) == 1 {
+		e.metrics = metrics[0]
+	} else {
+		e.metrics = nil
+	}
+	e.lastPrograms = len(progs)
 	live := new(atomic.Int64)
-	live.Store(int64(e.n))
+	live.Store(int64(spawn))
 	e.live = live
 
 	procs := make([]*Proc, e.n)
 	errs := make([]error, e.n)
 	var wg sync.WaitGroup
-	wg.Add(e.n)
+	wg.Add(spawn)
 	for i := 0; i < e.n; i++ {
+		pi := owner[i]
+		if pi == -1 {
+			continue
+		}
 		p := &Proc{
 			engine:  e,
 			tr:      e.tr,
 			pool:    e.pools[i],
-			metrics: e.metrics,
+			metrics: metrics[pi],
 			gen:     e.gen,
 			rank:    i,
 		}
 		procs[i] = p
-		go func(rank int, p *Proc) {
+		go func(rank int, p *Proc, body func(p *Proc) error) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -204,7 +292,7 @@ func (e *Engine) Run(body func(p *Proc) error) error {
 				live.Add(-1)
 			}()
 			errs[rank] = body(p)
-		}(i, p)
+		}(i, p, progs[pi].Body)
 	}
 
 	doneCh := make(chan struct{})
@@ -221,24 +309,37 @@ func (e *Engine) Run(body func(p *Proc) error) error {
 		case <-timer.C:
 			err := e.deadlockError(procs)
 			e.fence()
-			return err
+			return nil, err
 		}
 	} else {
 		<-doneCh
 	}
 
 	if err := errors.Join(errs...); err != nil {
-		return err
+		return nil, err
 	}
 	if e.validate {
-		return e.metrics.uniformityError()
+		for pi, m := range metrics {
+			if err := m.uniformityError(); err != nil {
+				if len(metrics) > 1 {
+					return nil, fmt.Errorf("mpsim: program %d: %w", pi, err)
+				}
+				return nil, err
+			}
+		}
 	}
-	return nil
+	return metrics, nil
 }
 
-// Metrics returns the metrics recorded by the most recent Run, or nil if
-// Run has not been called.
+// Metrics returns the metrics recorded by the most recent Run (or
+// single-program RunPrograms), or nil if Run has not been called or the
+// most recent run executed multiple programs — per-program metrics are
+// returned by RunPrograms itself.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// ProgramsInLastRun returns how many programs the most recent run
+// executed (1 for plain Run), or 0 if the engine has never run.
+func (e *Engine) ProgramsInLastRun() int { return e.lastPrograms }
 
 // fence isolates the engine from the goroutines of a deadlocked run.
 // Abandoning the transport wakes every processor blocked in a send or
@@ -264,6 +365,9 @@ func (e *Engine) fence() {
 func (e *Engine) deadlockError(procs []*Proc) error {
 	var stuck []string
 	for _, p := range procs {
+		if p == nil {
+			continue // rank sat the run out (no program claimed it)
+		}
 		if !p.done.Load() {
 			stuck = append(stuck, fmt.Sprintf("p%d(round %d)", p.rank, p.Round()))
 		}

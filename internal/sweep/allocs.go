@@ -10,21 +10,23 @@ import (
 )
 
 // Allocation study: the legacy [][][]byte entry points are adapters
-// over the flat zero-copy paths, so the difference between the two
-// measurements below is exactly the cost of the block-matrix layout
-// (per-block slices on input conversion and result assembly). The
-// cmd/indexbench and cmd/concatbench -allocs modes print these numbers;
-// the regression tests in the root package lock in the >= 50%
+// over the flat zero-copy paths, so the difference between the first
+// two measurements below is exactly the cost of the block-matrix layout
+// (per-block slices on input conversion and result assembly). The third
+// measurement executes a precompiled Plan, removing per-call schedule
+// construction on top of the flat layout. The cmd/indexbench and
+// cmd/concatbench -allocs modes print these numbers; the regression
+// tests in the root package lock in the >= 50% legacy-to-flat
 // reduction.
 
 // IndexAllocs measures the average allocations per operation of the
-// legacy (block-matrix) and flat index paths for n processors, block
-// size b, radix r and k ports, on a warmed-up engine using transport
-// backend tr.
-func IndexAllocs(tr mpsim.Backend, n, b, r, k, runs int) (legacy, flat float64, err error) {
+// legacy (block-matrix), flat and compiled-plan index paths for n
+// processors, block size b, radix r and k ports, on a warmed-up engine
+// using transport backend tr.
+func IndexAllocs(tr mpsim.Backend, n, b, r, k, runs int) (legacy, flat, planned float64, err error) {
 	e, err := mpsim.New(n, mpsim.Ports(k), mpsim.WithTransport(tr))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	g := mpsim.WorldGroup(n)
 	opt := collective.IndexOptions{Radix: r}
@@ -42,11 +44,15 @@ func IndexAllocs(tr mpsim.Backend, n, b, r, k, runs int) (legacy, flat float64, 
 	}
 	fin, err := buffers.FromMatrix(in)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	fout, err := buffers.New(n, n, b)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
+	}
+	plan, err := collective.CompileIndex(e, g, b, opt)
+	if err != nil {
+		return 0, 0, 0, err
 	}
 
 	var opErr error
@@ -60,19 +66,25 @@ func IndexAllocs(tr mpsim.Backend, n, b, r, k, runs int) (legacy, flat float64, 
 			opErr = err
 		}
 	})
+	planned = testing.AllocsPerRun(runs, func() {
+		if _, err := plan.Execute(fin, fout); err != nil {
+			opErr = err
+		}
+	})
 	if opErr != nil {
-		return 0, 0, fmt.Errorf("sweep: index alloc study: %w", opErr)
+		return 0, 0, 0, fmt.Errorf("sweep: index alloc study: %w", opErr)
 	}
-	return legacy, flat, nil
+	return legacy, flat, planned, nil
 }
 
 // ConcatAllocs measures the average allocations per operation of the
-// legacy and flat concatenation paths for n processors, block size b
-// and k ports, on a warmed-up engine using transport backend tr.
-func ConcatAllocs(tr mpsim.Backend, n, b, k, runs int) (legacy, flat float64, err error) {
+// legacy, flat and compiled-plan concatenation paths for n processors,
+// block size b and k ports, on a warmed-up engine using transport
+// backend tr.
+func ConcatAllocs(tr mpsim.Backend, n, b, k, runs int) (legacy, flat, planned float64, err error) {
 	e, err := mpsim.New(n, mpsim.Ports(k), mpsim.WithTransport(tr))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	g := mpsim.WorldGroup(n)
 	opt := collective.ConcatOptions{}
@@ -86,11 +98,15 @@ func ConcatAllocs(tr mpsim.Backend, n, b, k, runs int) (legacy, flat float64, er
 	}
 	fin, err := buffers.FromVector(in)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	fout, err := buffers.New(n, n, b)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
+	}
+	plan, err := collective.CompileConcat(e, g, b, opt)
+	if err != nil {
+		return 0, 0, 0, err
 	}
 
 	var opErr error
@@ -104,8 +120,13 @@ func ConcatAllocs(tr mpsim.Backend, n, b, k, runs int) (legacy, flat float64, er
 			opErr = err
 		}
 	})
+	planned = testing.AllocsPerRun(runs, func() {
+		if _, err := plan.Execute(fin, fout); err != nil {
+			opErr = err
+		}
+	})
 	if opErr != nil {
-		return 0, 0, fmt.Errorf("sweep: concat alloc study: %w", opErr)
+		return 0, 0, 0, fmt.Errorf("sweep: concat alloc study: %w", opErr)
 	}
-	return legacy, flat, nil
+	return legacy, flat, planned, nil
 }

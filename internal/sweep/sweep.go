@@ -13,6 +13,7 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -195,33 +196,55 @@ func (h *Harness) Fig6(n int, sizes, radices []int) ([]Series, error) {
 	return out, nil
 }
 
-// Crossover returns the smallest block size in sizes at which series b
-// is at least as fast as series a, or -1 if none. Both series must have
-// one point per size, in order.
-func Crossover(a, b Series) int {
+// Crossover returns the smallest block size at which series b is at
+// least as fast as series a, or -1 if b never catches a. The series
+// must be aligned — non-empty, with one point per block size in the
+// same order — and Crossover reports an error otherwise: a silent -1
+// on ragged input used to hide crossovers lying in the untracked tail
+// of the longer series.
+func Crossover(a, b Series) (int, error) {
+	if len(a.Points) == 0 || len(b.Points) == 0 {
+		return -1, fmt.Errorf("sweep: crossover of empty series (%q has %d points, %q has %d)",
+			a.Name, len(a.Points), b.Name, len(b.Points))
+	}
+	if len(a.Points) != len(b.Points) {
+		return -1, fmt.Errorf("sweep: crossover of ragged series: %q has %d points, %q has %d",
+			a.Name, len(a.Points), b.Name, len(b.Points))
+	}
 	for i := range a.Points {
-		if i < len(b.Points) && b.Points[i].Seconds <= a.Points[i].Seconds {
-			return a.Points[i].BlockLen
+		if b.Points[i].Seconds <= a.Points[i].Seconds {
+			return a.Points[i].BlockLen, nil
 		}
 	}
-	return -1
+	return -1, nil
 }
 
 // BestRadixPerSize returns, for each point position, the radix whose
-// series has the lowest time there.
+// series has the lowest time there. Ragged series are handled by
+// considering, at each position, only the series that have a point
+// there; positions beyond every series are absent from the result. The
+// result is nil when no series has any points.
 func BestRadixPerSize(series []Series) []int {
-	if len(series) == 0 {
+	maxLen := 0
+	for _, s := range series {
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	if maxLen == 0 {
 		return nil
 	}
-	out := make([]int, len(series[0].Points))
+	out := make([]int, maxLen)
 	for i := range out {
-		best := series[0].Points[i]
-		for _, s := range series[1:] {
-			if i < len(s.Points) && s.Points[i].Seconds < best.Seconds {
-				best = s.Points[i]
+		bestR := 0
+		bestSec := math.Inf(1)
+		for _, s := range series {
+			if i < len(s.Points) && s.Points[i].Seconds < bestSec {
+				bestSec = s.Points[i].Seconds
+				bestR = s.Points[i].R
 			}
 		}
-		out[i] = best.R
+		out[i] = bestR
 	}
 	return out
 }

@@ -50,7 +50,10 @@ func TestFig5Crossover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cross := Crossover(series[0], series[1])
+	cross, err := Crossover(series[0], series[1])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cross < 100 || cross > 200 {
 		t.Errorf("crossover at %d bytes, paper reports 100-200", cross)
 	}
@@ -206,10 +209,77 @@ func TestRenderers(t *testing.T) {
 func TestCrossoverNone(t *testing.T) {
 	a := Series{Points: []Point{{BlockLen: 1, Seconds: 1}, {BlockLen: 2, Seconds: 1}}}
 	b := Series{Points: []Point{{BlockLen: 1, Seconds: 2}, {BlockLen: 2, Seconds: 2}}}
-	if got := Crossover(a, b); got != -1 {
-		t.Errorf("Crossover = %d, want -1", got)
+	if got, err := Crossover(a, b); err != nil || got != -1 {
+		t.Errorf("Crossover = %d (err %v), want -1", got, err)
 	}
-	if got := Crossover(b, a); got != 1 {
-		t.Errorf("Crossover = %d, want 1", got)
+	if got, err := Crossover(b, a); err != nil || got != 1 {
+		t.Errorf("Crossover = %d (err %v), want 1", got, err)
+	}
+}
+
+// TestCrossoverRaggedAndEmpty: unequal-length or empty series report an
+// error instead of silently returning -1 — the crossover could lie in
+// the untracked tail of the longer series.
+func TestCrossoverRaggedAndEmpty(t *testing.T) {
+	short := Series{Name: "short", Points: []Point{{BlockLen: 1, Seconds: 1}}}
+	long := Series{Name: "long", Points: []Point{
+		{BlockLen: 1, Seconds: 2}, {BlockLen: 2, Seconds: 0.5},
+	}}
+	empty := Series{Name: "empty"}
+	if _, err := Crossover(short, long); err == nil {
+		t.Error("Crossover accepted ragged series (crossover hidden in the tail)")
+	}
+	if _, err := Crossover(long, short); err == nil {
+		t.Error("Crossover accepted ragged series")
+	}
+	if _, err := Crossover(empty, long); err == nil {
+		t.Error("Crossover accepted an empty series")
+	}
+	if _, err := Crossover(long, empty); err == nil {
+		t.Error("Crossover accepted an empty series")
+	}
+}
+
+// TestBestRadixPerSizeRagged: ragged series contribute only at the
+// positions they cover, and fully empty input yields nil.
+func TestBestRadixPerSizeRagged(t *testing.T) {
+	series := []Series{
+		{Name: "r=2", Points: []Point{{R: 2, Seconds: 1.0}, {R: 2, Seconds: 1.0}}},
+		{Name: "r=4", Points: []Point{{R: 4, Seconds: 2.0}, {R: 4, Seconds: 0.5}, {R: 4, Seconds: 3.0}}},
+	}
+	got := BestRadixPerSize(series)
+	want := []int{2, 4, 4} // position 2 only covered by r=4
+	if len(got) != len(want) {
+		t.Fatalf("BestRadixPerSize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BestRadixPerSize = %v, want %v", got, want)
+		}
+	}
+	if out := BestRadixPerSize(nil); out != nil {
+		t.Errorf("BestRadixPerSize(nil) = %v, want nil", out)
+	}
+	if out := BestRadixPerSize([]Series{{Name: "empty"}}); out != nil {
+		t.Errorf("BestRadixPerSize(empty series) = %v, want nil", out)
+	}
+}
+
+// TestAllocsPlannedColumn: the compiled-plan path never allocates more
+// than the flat path, which never allocates more than the legacy path.
+func TestAllocsPlannedColumn(t *testing.T) {
+	legacy, flat, planned, err := IndexAllocs(mpsim.BackendChan, 16, 64, 2, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(planned <= flat && flat <= legacy) {
+		t.Errorf("alloc ordering violated: legacy %.0f, flat %.0f, planned %.0f", legacy, flat, planned)
+	}
+	clegacy, cflat, cplanned, err := ConcatAllocs(mpsim.BackendChan, 16, 64, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cplanned <= cflat && cflat <= clegacy) {
+		t.Errorf("concat alloc ordering violated: legacy %.0f, flat %.0f, planned %.0f", clegacy, cflat, cplanned)
 	}
 }
