@@ -657,3 +657,131 @@ func BenchmarkRunPlansDisjoint(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkIndexV compares the ragged-layout index paths: the uniform
+// fast path through IndexVFlat (which must track IndexFlat), a skewed
+// ragged layout on the padded Bruck schedule, the same layout on the
+// exact-extent direct exchange, and the cost-model auto dispatch. All
+// variants reuse one machine and its plan cache, so the steady state is
+// schedule replay only.
+func BenchmarkIndexV(b *testing.B) {
+	const n, size = 16, 128
+	raggedCounts := make([][]int, n)
+	for i := range raggedCounts {
+		raggedCounts[i] = make([]int, n)
+		for j := range raggedCounts[i] {
+			raggedCounts[i][j] = 1 + (i*7+j*3)%size
+			if (i*n+j)%6 == 0 {
+				raggedCounts[i][j] = 0
+			}
+		}
+	}
+	uniformCounts := make([][]int, n)
+	for i := range uniformCounts {
+		uniformCounts[i] = make([]int, n)
+		for j := range uniformCounts[i] {
+			uniformCounts[i][j] = size
+		}
+	}
+	cases := []struct {
+		name   string
+		counts [][]int
+		opts   []CollectiveOption
+	}{
+		{"uniform", uniformCounts, []CollectiveOption{WithRadix(2)}},
+		{"ragged-bruck", raggedCounts, []CollectiveOption{WithRadix(2)}},
+		{"ragged-direct", raggedCounts, []CollectiveOption{WithIndexAlgorithm(IndexDirect)}},
+		{"ragged-auto", raggedCounts, []CollectiveOption{WithAuto(SP1)}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			m := MustNewMachine(n)
+			l, err := NewIndexLayout(tc.counts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vin, err := NewRaggedBuffers(l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vout, err := NewRaggedBuffers(l.Transpose())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for x, data := 0, vin.Bytes(); x < len(data); x++ {
+				data[x] = byte(x*3 + 1)
+			}
+			var rep *Report
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err = m.IndexVFlat(vin, vout, tc.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModel(b, rep)
+		})
+	}
+}
+
+// BenchmarkConcatV is the concatenation counterpart: uniform fast path,
+// padded circulant on a skewed contribution vector, exact-extent ring,
+// and auto dispatch.
+func BenchmarkConcatV(b *testing.B) {
+	const n, size = 16, 128
+	ragged := make([]int, n)
+	for i := range ragged {
+		ragged[i] = (i * 29) % size
+	}
+	uniform := make([]int, n)
+	for i := range uniform {
+		uniform[i] = size
+	}
+	cases := []struct {
+		name   string
+		counts []int
+		opts   []CollectiveOption
+	}{
+		{"uniform", uniform, nil},
+		{"ragged-circulant", ragged, nil},
+		{"ragged-ring", ragged, []CollectiveOption{WithConcatAlgorithm(ConcatRing)}},
+		{"ragged-auto", ragged, []CollectiveOption{WithAuto(SP1)}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			m := MustNewMachine(n)
+			l, err := NewConcatLayout(tc.counts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			outL, err := l.ConcatOut()
+			if err != nil {
+				b.Fatal(err)
+			}
+			vin, err := NewRaggedBuffers(l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vout, err := NewRaggedBuffers(outL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for x, data := 0, vin.Bytes(); x < len(data); x++ {
+				data[x] = byte(x*5 + 2)
+			}
+			var rep *Report
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err = m.ConcatVFlat(vin, vout, tc.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModel(b, rep)
+		})
+	}
+}

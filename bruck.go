@@ -35,6 +35,7 @@ package bruck
 import (
 	"fmt"
 
+	"bruck/internal/blocks"
 	"bruck/internal/buffers"
 	"bruck/internal/collective"
 	"bruck/internal/costmodel"
@@ -234,6 +235,7 @@ type callConfig struct {
 	indexOpt  collective.IndexOptions
 	radices   []int
 	concatOpt collective.ConcatOptions
+	auto      *Profile
 }
 
 // OnGroup restricts the operation to an ordered subset of processors;
@@ -283,6 +285,19 @@ func WithConcatAlgorithm(a collective.ConcatAlgorithm) CollectiveOption {
 // LastRoundMinVolume).
 func WithLastRoundPolicy(p partition.Policy) CollectiveOption {
 	return func(c *callConfig) { c.concatOpt.LastRound = p }
+}
+
+// WithAuto makes the ragged-layout operations (IndexV, ConcatV and
+// their Flat/Compile variants) pick the algorithm and radix per layout
+// by evaluating the linear cost model T = C1*Beta + C2*Tau over the
+// compiled candidate plans: for the index the Bruck family at several
+// radices (on padded slots) against the padding-free direct exchange,
+// for the concatenation the padded circulant schedule against the
+// exact-extent ring. It overrides WithRadix/WithIndexAlgorithm/
+// WithConcatAlgorithm on those operations and is ignored by the
+// fixed-size operations (tune those with OptimalRadix).
+func WithAuto(p Profile) CollectiveOption {
+	return func(c *callConfig) { prof := p; c.auto = &prof }
 }
 
 func (m *Machine) call(opts []CollectiveOption) callConfig {
@@ -375,6 +390,164 @@ func (m *Machine) IndexFlat(in, out *Buffers, opts ...CollectiveOption) (*Report
 func (m *Machine) ConcatFlat(in, out *Buffers, opts ...CollectiveOption) (*Report, error) {
 	cfg := m.call(opts)
 	return m.plans.ConcatFlat(m.engine, cfg.group, in, out, cfg.concatOpt)
+}
+
+// Layout describes the block-size structure of a ragged collective: a
+// table of per-(src, dst) byte counts for IndexV (MPI_Alltoallv's
+// counts) or per-source counts for ConcatV (MPI_Allgatherv's). Uniform
+// layouts — including ragged-constructed tables whose entries are all
+// equal — compile to exactly the schedules of the fixed-size
+// operations. See NewIndexLayout and NewConcatLayout.
+type Layout = blocks.Layout
+
+// NewIndexLayout builds an index layout from counts[i][j] = the number
+// of bytes group rank i holds for rank j. Zero-length blocks are
+// allowed; an all-equal table yields the uniform fast path.
+func NewIndexLayout(counts [][]int) (*Layout, error) { return blocks.Ragged(counts) }
+
+// NewConcatLayout builds a concatenation layout from counts[i] = group
+// rank i's contribution in bytes.
+func NewConcatLayout(counts []int) (*Layout, error) { return blocks.RaggedVector(counts) }
+
+// RaggedBuffers is the flat block store of the ragged collective paths:
+// one contiguous slab whose block boundaries follow a Layout instead of
+// a fixed stride. Block and Proc return in-place views, never copies.
+// IndexVFlat takes a slab of the plan's layout and one of its
+// transpose; ConcatVFlat takes the n x 1 input layout and its n x n
+// ConcatOut shape.
+type RaggedBuffers = buffers.Ragged
+
+// NewRaggedBuffers creates an all-zero ragged slab shaped by the
+// layout.
+func NewRaggedBuffers(l *Layout) (*RaggedBuffers, error) { return buffers.NewRagged(l) }
+
+// indexVPlan resolves the layout plan of one IndexV-family call:
+// auto-dispatched, mixed-radix, or the configured algorithm/radix, all
+// through the plan cache under layout-digest keys.
+func (m *Machine) indexVPlan(cfg callConfig, l *Layout) (*Plan, error) {
+	if cfg.auto != nil {
+		return m.plans.AutoIndexVPlan(m.engine, cfg.group, l, *cfg.auto)
+	}
+	if cfg.radices != nil {
+		return m.plans.IndexVMixedPlan(m.engine, cfg.group, l, cfg.radices)
+	}
+	return m.plans.IndexVPlan(m.engine, cfg.group, l, cfg.indexOpt)
+}
+
+// concatVPlan is indexVPlan for the concatenation.
+func (m *Machine) concatVPlan(cfg callConfig, l *Layout) (*Plan, error) {
+	if cfg.auto != nil {
+		return m.plans.AutoConcatVPlan(m.engine, cfg.group, l, *cfg.auto, cfg.concatOpt.LastRound)
+	}
+	return m.plans.ConcatVPlan(m.engine, cfg.group, l, cfg.concatOpt)
+}
+
+// IndexV performs all-to-all personalized communication with
+// variable-size blocks (MPI_Alltoallv): in[i][j] is the block group
+// rank i holds for rank j, and block lengths may differ freely —
+// including zero. The layout is derived from the lengths themselves;
+// the result satisfies out[i][j] = in[j][i]. On equal-length input
+// IndexV is byte- and Report-identical to Index.
+//
+// IndexV is a convenience adapter over IndexVFlat (one copy in, one
+// copy out); allocation-sensitive callers should use IndexVFlat.
+func (m *Machine) IndexV(in [][][]byte, opts ...CollectiveOption) ([][][]byte, *Report, error) {
+	cfg := m.call(opts)
+	fin, err := buffers.FromRaggedMatrix(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := m.indexVPlan(cfg, fin.Layout())
+	if err != nil {
+		return nil, nil, err
+	}
+	fout, err := buffers.NewRagged(pl.OutLayout())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := pl.ExecuteV(fin, fout)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fout.ToMatrix(), res, nil
+}
+
+// ConcatV performs all-to-all broadcast with variable-size
+// contributions (MPI_Allgatherv): in[i] is group rank i's block, of any
+// length; afterwards out[i][j] = in[j] for every member i. On
+// equal-length input ConcatV is byte- and Report-identical to Concat.
+//
+// ConcatV is a convenience adapter over ConcatVFlat; allocation-
+// sensitive callers should use ConcatVFlat.
+func (m *Machine) ConcatV(in [][]byte, opts ...CollectiveOption) ([][][]byte, *Report, error) {
+	cfg := m.call(opts)
+	fin, err := buffers.FromRaggedVector(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := m.concatVPlan(cfg, fin.Layout())
+	if err != nil {
+		return nil, nil, err
+	}
+	fout, err := buffers.NewRagged(pl.OutLayout())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := pl.ExecuteV(fin, fout)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fout.ToMatrix(), res, nil
+}
+
+// IndexVFlat is the zero-copy ragged index: in is a RaggedBuffers of
+// the call's n x n layout and out one of its transpose (afterwards
+// out.Block(i, j) equals in.Block(j, i) at its true length). Like
+// IndexFlat it routes through the plan cache — here under layout-digest
+// keys — so repeated layouts compile once, and on a reused Machine the
+// steady state performs no per-block or per-message allocations.
+func (m *Machine) IndexVFlat(in, out *RaggedBuffers, opts ...CollectiveOption) (*Report, error) {
+	cfg := m.call(opts)
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("bruck: nil ragged buffer")
+	}
+	pl, err := m.indexVPlan(cfg, in.Layout())
+	if err != nil {
+		return nil, err
+	}
+	return pl.ExecuteV(in, out)
+}
+
+// ConcatVFlat is the zero-copy ragged concatenation: in is a
+// RaggedBuffers of the n x 1 contribution layout and out one of its
+// ConcatOut shape (afterwards out.Block(i, j) equals in.Block(j, 0)).
+func (m *Machine) ConcatVFlat(in, out *RaggedBuffers, opts ...CollectiveOption) (*Report, error) {
+	cfg := m.call(opts)
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("bruck: nil ragged buffer")
+	}
+	pl, err := m.concatVPlan(cfg, in.Layout())
+	if err != nil {
+		return nil, err
+	}
+	return pl.ExecuteV(in, out)
+}
+
+// CompileIndexV compiles (and caches) the ragged index schedule for the
+// layout. With WithAuto the returned plan is the cost-model winner over
+// the candidate algorithms and radices. The plan's ExecuteV takes a
+// slab of the layout and one of its transpose; BindV attaches such a
+// pair for RunPlans, where ragged and fixed-size plans may run
+// concurrently on disjoint groups.
+func (m *Machine) CompileIndexV(l *Layout, opts ...CollectiveOption) (*Plan, error) {
+	return m.indexVPlan(m.call(opts), l)
+}
+
+// CompileConcatV compiles (and caches) the ragged concatenation
+// schedule for the layout (circulant on padded slots, or the
+// exact-extent ring via WithConcatAlgorithm/WithAuto).
+func (m *Machine) CompileConcatV(l *Layout, opts ...CollectiveOption) (*Plan, error) {
+	return m.concatVPlan(m.call(opts), l)
 }
 
 // Plan is a compiled collective schedule: the complete round, partner

@@ -120,3 +120,45 @@ func TestRunRepeatMode(t *testing.T) {
 		}
 	}
 }
+
+// TestRunRaggedStudy: the skewed-size study runs all candidate
+// schedules, verifies them against the local reference, and reports the
+// auto dispatch's pick, for both operations and transports.
+func TestRunRaggedStudy(t *testing.T) {
+	for _, p := range []params{
+		{op: "index", n: 12, k: 1, b: 48, ragged: 1.2},
+		{op: "index", n: 9, k: 2, b: 32, ragged: 2.0, transport: "slot"},
+		{op: "concat", n: 11, k: 1, b: 40, ragged: 1.5},
+		{op: "concat", n: 8, k: 3, b: 24, ragged: 0.7, transport: "slot"},
+	} {
+		var sb strings.Builder
+		if err := run(&sb, p); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		out := sb.String()
+		for _, want := range []string{
+			"ragged " + p.op + " study", "C2 lower bound",
+			"auto dispatch picked:", "byte-identical",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%+v: output lacks %q:\n%s", p, want, out)
+			}
+		}
+	}
+}
+
+// TestRunRaggedHeavySkewZeroBlocks: a steep skew produces zero-length
+// blocks and the study must still verify.
+func TestRunRaggedHeavySkewZeroBlocks(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, params{op: "index", n: 16, k: 1, b: 8, ragged: 3.0}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "zero-length blocks") || strings.Contains(out, "zero-length blocks 0,") {
+		t.Errorf("steep skew should produce zero-length blocks:\n%s", out)
+	}
+	if !strings.Contains(out, "byte-identical") {
+		t.Errorf("study did not verify:\n%s", out)
+	}
+}

@@ -4,12 +4,17 @@
 //
 // A 12-processor machine is partitioned into three disjoint tenant
 // groups of four processors. Each tenant's collective is compiled ONCE
-// into a Plan (the schedule is a fixed function of (n, k, r), so no
-// per-request schedule work remains), and every request wave executes
-// all three plans concurrently in a single engine pass with RunPlans —
-// per-tenant reports included. The loop verifies every wave against the
-// operations' defining permutations and prints the aggregate
-// throughput.
+// into a Plan (the schedule is a fixed function of (n, k, r) — or, for
+// ragged layouts, of the layout — so no per-request schedule work
+// remains), and every request wave executes all three plans
+// concurrently in a single engine pass with RunPlans — per-tenant
+// reports included. Tenants 0 and 1 serve uniform all-to-all
+// personalized traffic (index); tenant 2 serves all-to-all broadcast
+// with a ragged per-member payload layout (ConcatV, the
+// MPI_Allgatherv shape), demonstrating fixed-size and ragged plans
+// coexisting in one concurrent pass. The loop verifies every wave
+// against the operations' defining permutations and prints the
+// aggregate throughput.
 package main
 
 import (
@@ -28,15 +33,17 @@ const (
 	waves    = 25
 )
 
+// raggedCounts is tenant 2's contribution layout: wildly different
+// per-member payloads, including an idle member contributing nothing.
+var raggedCounts = []int{96, 0, 8, 40}
+
 func main() {
 	m := bruck.MustNewMachine(tenants * perGroup)
 
-	// Carve the machine into disjoint tenant groups and compile each
-	// tenant's plan once. Tenants 0 and 1 serve all-to-all personalized
-	// traffic (index), tenant 2 serves all-to-all broadcast (concat).
 	plans := make([]*bruck.Plan, tenants)
-	ins := make([]*bruck.Buffers, tenants)
-	outs := make([]*bruck.Buffers, tenants)
+	uniIns := make([]*bruck.Buffers, tenants)
+	uniOuts := make([]*bruck.Buffers, tenants)
+	var ragIn, ragOut *bruck.RaggedBuffers
 	for tenant := 0; tenant < tenants; tenant++ {
 		ids := make([]int, perGroup)
 		for i := range ids {
@@ -49,27 +56,40 @@ func main() {
 		var plan *bruck.Plan
 		if tenant < 2 {
 			plan, err = m.CompileIndex(blockLen, bruck.OnGroup(g), bruck.WithRadix(2))
-			if err == nil {
-				ins[tenant], err = bruck.NewIndexBuffers(perGroup, blockLen)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if uniIns[tenant], err = bruck.NewIndexBuffers(perGroup, blockLen); err != nil {
+				log.Fatal(err)
+			}
+			if uniOuts[tenant], err = bruck.NewIndexBuffers(perGroup, blockLen); err != nil {
+				log.Fatal(err)
+			}
+			if err := plan.Bind(uniIns[tenant], uniOuts[tenant]); err != nil {
+				log.Fatal(err)
 			}
 		} else {
-			plan, err = m.CompileConcat(blockLen, bruck.OnGroup(g))
-			if err == nil {
-				ins[tenant], err = bruck.NewConcatBuffers(perGroup, blockLen)
+			layout, lerr := bruck.NewConcatLayout(raggedCounts)
+			if lerr != nil {
+				log.Fatal(lerr)
+			}
+			plan, err = m.CompileConcatV(layout, bruck.OnGroup(g), bruck.WithAuto(bruck.SP1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ragIn, err = bruck.NewRaggedBuffers(layout); err != nil {
+				log.Fatal(err)
+			}
+			if ragOut, err = bruck.NewRaggedBuffers(plan.OutLayout()); err != nil {
+				log.Fatal(err)
+			}
+			if err := plan.BindV(ragIn, ragOut); err != nil {
+				log.Fatal(err)
 			}
 		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		if outs[tenant], err = bruck.NewIndexBuffers(perGroup, blockLen); err != nil {
-			log.Fatal(err)
-		}
-		if err := plan.Bind(ins[tenant], outs[tenant]); err != nil {
-			log.Fatal(err)
-		}
 		plans[tenant] = plan
-		fmt.Printf("tenant %d: %s plan on processors %v, %d rounds\n",
-			tenant, plan.Op(), ids, plan.Rounds())
+		fmt.Printf("tenant %d: %s plan (%s) on processors %v, %d rounds\n",
+			tenant, plan.Op(), plan.Algorithm(), ids, plan.Rounds())
 	}
 
 	// The request loop: refresh every tenant's payload, run all plans in
@@ -77,27 +97,35 @@ func main() {
 	start := time.Now()
 	var reports []*bruck.Report
 	for wave := 0; wave < waves; wave++ {
-		for tenant := 0; tenant < tenants; tenant++ {
-			data := ins[tenant].Bytes()
+		for tenant := 0; tenant < 2; tenant++ {
+			data := uniIns[tenant].Bytes()
 			for x := range data {
 				data[x] = byte(wave*31 + tenant*7 + x)
 			}
+		}
+		ragData := ragIn.Bytes()
+		for x := range ragData {
+			ragData[x] = byte(wave*17 + x*3)
 		}
 		var err error
 		reports, err = m.RunPlans(plans)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for tenant := 0; tenant < tenants; tenant++ {
-			if err := verify(plans[tenant], ins[tenant], outs[tenant]); err != nil {
+		for tenant := 0; tenant < 2; tenant++ {
+			if err := verifyIndex(uniIns[tenant], uniOuts[tenant]); err != nil {
 				log.Fatalf("wave %d tenant %d: %v", wave, tenant, err)
 			}
+		}
+		if err := verifyConcatV(ragIn, ragOut); err != nil {
+			log.Fatalf("wave %d tenant 2: %v", wave, err)
 		}
 	}
 	elapsed := time.Since(start)
 
 	for tenant, rep := range reports {
-		fmt.Printf("tenant %d steady-state schedule: %v\n", tenant, rep)
+		fmt.Printf("tenant %d steady-state schedule: %v (C2 lower bound %d)\n",
+			tenant, rep, rep.C2LowerBound)
 	}
 	fmt.Printf("served %d waves x %d tenants in %v (%.0f collectives/s, simulator wall-clock)\n",
 		waves, tenants, elapsed.Round(time.Millisecond),
@@ -105,21 +133,27 @@ func main() {
 	fmt.Println("ok")
 }
 
-// verify checks a wave's output against the operation's definition:
-// index delivers out[i][j] = in[j][i], concat delivers out[i][j] =
-// in[j].
-func verify(plan *bruck.Plan, in, out *bruck.Buffers) error {
+// verifyIndex checks the index permutation out[i][j] = in[j][i].
+func verifyIndex(in, out *bruck.Buffers) error {
 	n := in.Procs()
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			var want []byte
-			if plan.Op() == "index" {
-				want = in.Block(j, i)
-			} else {
-				want = in.Block(j, 0)
+			if !bytes.Equal(out.Block(i, j), in.Block(j, i)) {
+				return fmt.Errorf("out[%d][%d] = %v, want %v", i, j, out.Block(i, j), in.Block(j, i))
 			}
-			if !bytes.Equal(out.Block(i, j), want) {
-				return fmt.Errorf("out[%d][%d] = %v, want %v", i, j, out.Block(i, j), want)
+		}
+	}
+	return nil
+}
+
+// verifyConcatV checks the ragged concatenation out[i][j] = in[j] at
+// each block's true length.
+func verifyConcatV(in, out *bruck.RaggedBuffers) error {
+	n := in.Layout().Rows()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !bytes.Equal(out.Block(i, j), in.Block(j, 0)) {
+				return fmt.Errorf("out[%d][%d] = %v, want %v", i, j, out.Block(i, j), in.Block(j, 0))
 			}
 		}
 	}

@@ -1,0 +1,265 @@
+package blocks
+
+import "fmt"
+
+// Layout describes the block-size structure of one collective's data: a
+// rows x cols table of per-block byte counts together with the prefix
+// offsets that place the blocks back to back in a single slab. The index
+// operation uses an n x n layout (Count(i, j) is the number of bytes
+// processor i holds for processor j, MPI_Alltoallv's sendcounts), the
+// concatenation an n x 1 layout (Count(i, 0) is processor i's
+// contribution, MPI_Allgatherv's recvcounts).
+//
+// A layout is either uniform — every block the same size, the fast path
+// every pre-existing operation runs on — or ragged, with an explicit
+// count table. Ragged constructors normalize: a count table whose
+// entries are all equal produces a uniform layout, so equal-size inputs
+// always take the uniform fast path no matter how they were described.
+// A Layout is immutable after construction and safe to share.
+type Layout struct {
+	rows, cols int
+	uniform    bool
+	blockLen   int   // block size when uniform
+	counts     []int // rows*cols row-major byte counts; nil when uniform
+	off        []int // rows*cols+1 prefix offsets into the slab; nil when uniform
+	max        int   // largest block
+	total      int   // slab size in bytes
+}
+
+// Uniform returns the layout of rows x cols equal blocks of blockLen
+// bytes — the shape of every fixed-size operation.
+func Uniform(rows, cols, blockLen int) (*Layout, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("blocks: layout %dx%d, want at least 1x1", rows, cols)
+	}
+	if blockLen < 0 {
+		return nil, fmt.Errorf("blocks: negative block size %d", blockLen)
+	}
+	return &Layout{
+		rows: rows, cols: cols,
+		uniform:  true,
+		blockLen: blockLen,
+		max:      blockLen,
+		total:    rows * cols * blockLen,
+	}, nil
+}
+
+// Ragged builds a layout from an explicit count matrix: counts[i][j] is
+// the size in bytes of block (i, j). Zero-length blocks are allowed.
+// Every row must have the same number of columns. If all counts are
+// equal the result is the corresponding uniform layout.
+func Ragged(counts [][]int) (*Layout, error) {
+	rows := len(counts)
+	if rows == 0 {
+		return nil, fmt.Errorf("blocks: empty count matrix")
+	}
+	cols := len(counts[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("blocks: row 0 has no columns")
+	}
+	flat := make([]int, 0, rows*cols)
+	for i, row := range counts {
+		if len(row) != cols {
+			return nil, fmt.Errorf("blocks: row %d has %d columns, row 0 has %d", i, len(row), cols)
+		}
+		flat = append(flat, row...)
+	}
+	return raggedFlat(rows, cols, flat)
+}
+
+// RaggedVector builds an n x 1 layout (the concatenation input shape)
+// from per-processor byte counts.
+func RaggedVector(counts []int) (*Layout, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("blocks: empty count vector")
+	}
+	return raggedFlat(len(counts), 1, append([]int(nil), counts...))
+}
+
+// raggedFlat finishes construction from an owned row-major count slice,
+// normalizing all-equal tables to the uniform representation.
+func raggedFlat(rows, cols int, flat []int) (*Layout, error) {
+	allEqual := true
+	for i, c := range flat {
+		if c < 0 {
+			return nil, fmt.Errorf("blocks: block (%d, %d) has negative size %d", i/cols, i%cols, c)
+		}
+		if c != flat[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		return Uniform(rows, cols, flat[0])
+	}
+	l := &Layout{rows: rows, cols: cols, counts: flat}
+	l.off = make([]int, rows*cols+1)
+	for i, c := range flat {
+		l.off[i+1] = l.off[i] + c
+		if c > l.max {
+			l.max = c
+		}
+	}
+	l.total = l.off[len(l.off)-1]
+	return l, nil
+}
+
+// Rows returns the number of rows (processor regions).
+func (l *Layout) Rows() int { return l.rows }
+
+// Cols returns the number of blocks per row.
+func (l *Layout) Cols() int { return l.cols }
+
+// Uniform reports whether every block has the same size.
+func (l *Layout) Uniform() bool { return l.uniform }
+
+// BlockLen returns the common block size of a uniform layout, and -1
+// for a ragged one.
+func (l *Layout) BlockLen() int {
+	if !l.uniform {
+		return -1
+	}
+	return l.blockLen
+}
+
+// Count returns the size in bytes of block (i, j).
+func (l *Layout) Count(i, j int) int {
+	if l.uniform {
+		return l.blockLen
+	}
+	return l.counts[i*l.cols+j]
+}
+
+// Offset returns the slab offset of block (i, j).
+func (l *Layout) Offset(i, j int) int {
+	if l.uniform {
+		return (i*l.cols + j) * l.blockLen
+	}
+	return l.off[i*l.cols+j]
+}
+
+// RowStart returns the slab offset of row i's region.
+func (l *Layout) RowStart(i int) int { return l.Offset(i, 0) }
+
+// RowBytes returns the size in bytes of row i's region.
+func (l *Layout) RowBytes(i int) int {
+	if l.uniform {
+		return l.cols * l.blockLen
+	}
+	return l.off[(i+1)*l.cols] - l.off[i*l.cols]
+}
+
+// Max returns the largest block size — the padded slot size of the
+// two-phase packing the ragged Bruck and circulant schedules run on.
+func (l *Layout) Max() int { return l.max }
+
+// Total returns the slab size in bytes.
+func (l *Layout) Total() int { return l.total }
+
+// Transpose returns the layout with Count(i, j) = l.Count(j, i) — the
+// output shape of the index operation, whose result block (i, j) is
+// input block (j, i).
+func (l *Layout) Transpose() *Layout {
+	if l.uniform {
+		t, _ := Uniform(l.cols, l.rows, l.blockLen)
+		return t
+	}
+	flat := make([]int, l.rows*l.cols)
+	for i := 0; i < l.rows; i++ {
+		for j := 0; j < l.cols; j++ {
+			flat[j*l.rows+i] = l.counts[i*l.cols+j]
+		}
+	}
+	t, _ := raggedFlat(l.cols, l.rows, flat)
+	return t
+}
+
+// ConcatOut returns the output layout of the concatenation with this
+// n x 1 input layout: n x n with Count(i, j) = l.Count(j, 0) — every
+// row holds the full concatenation.
+func (l *Layout) ConcatOut() (*Layout, error) {
+	if l.cols != 1 {
+		return nil, fmt.Errorf("blocks: ConcatOut on a %dx%d layout, want %dx1", l.rows, l.cols, l.rows)
+	}
+	if l.uniform {
+		return Uniform(l.rows, l.rows, l.blockLen)
+	}
+	flat := make([]int, l.rows*l.rows)
+	for i := 0; i < l.rows; i++ {
+		copy(flat[i*l.rows:], l.counts)
+	}
+	return raggedFlat(l.rows, l.rows, flat)
+}
+
+// CountsMatrix returns the count table as a fresh [][]int.
+func (l *Layout) CountsMatrix() [][]int {
+	out := make([][]int, l.rows)
+	for i := range out {
+		out[i] = make([]int, l.cols)
+		for j := range out[i] {
+			out[i][j] = l.Count(i, j)
+		}
+	}
+	return out
+}
+
+// CountsVector returns the first column as a fresh []int (the
+// per-processor counts of a concat-shaped layout).
+func (l *Layout) CountsVector() []int {
+	out := make([]int, l.rows)
+	for i := range out {
+		out[i] = l.Count(i, 0)
+	}
+	return out
+}
+
+// Equal reports whether two layouts describe identical block tables.
+func (l *Layout) Equal(o *Layout) bool {
+	if l.rows != o.rows || l.cols != o.cols || l.uniform != o.uniform {
+		return false
+	}
+	if l.uniform {
+		return l.blockLen == o.blockLen
+	}
+	for i, c := range l.counts {
+		if c != o.counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Digest returns a 64-bit FNV-1a hash of the layout's shape and counts,
+// the key component under which plan caches file layout-specific plans.
+// Cache consumers must confirm a digest hit with Equal; a collision
+// between distinct layouts is astronomically unlikely but not
+// impossible.
+func (l *Layout) Digest() uint64 {
+	if l == nil {
+		return 0 // callers reject nil layouts; a zero digest never confirms via Equal
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v int) {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(l.rows)
+	mix(l.cols)
+	if l.uniform {
+		mix(1)
+		mix(l.blockLen)
+		return h
+	}
+	mix(0)
+	for _, c := range l.counts {
+		mix(c)
+	}
+	return h
+}

@@ -1,0 +1,180 @@
+package blocks
+
+import "testing"
+
+func TestUniformLayout(t *testing.T) {
+	l, err := Uniform(4, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Uniform() || l.BlockLen() != 8 || l.Rows() != 4 || l.Cols() != 3 {
+		t.Fatalf("bad uniform layout: %+v", l)
+	}
+	if l.Count(2, 1) != 8 || l.Offset(2, 1) != (2*3+1)*8 {
+		t.Errorf("Count/Offset wrong: %d, %d", l.Count(2, 1), l.Offset(2, 1))
+	}
+	if l.Total() != 4*3*8 || l.Max() != 8 {
+		t.Errorf("Total/Max wrong: %d, %d", l.Total(), l.Max())
+	}
+	if l.RowStart(2) != 2*3*8 || l.RowBytes(2) != 3*8 {
+		t.Errorf("RowStart/RowBytes wrong: %d, %d", l.RowStart(2), l.RowBytes(2))
+	}
+}
+
+func TestRaggedLayout(t *testing.T) {
+	counts := [][]int{
+		{3, 0, 5},
+		{1, 7, 0},
+	}
+	l, err := Ragged(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Uniform() {
+		t.Fatal("ragged table reported uniform")
+	}
+	if l.BlockLen() != -1 {
+		t.Errorf("BlockLen on ragged = %d, want -1", l.BlockLen())
+	}
+	if l.Max() != 7 || l.Total() != 16 {
+		t.Errorf("Max/Total = %d/%d, want 7/16", l.Max(), l.Total())
+	}
+	wantOff := []int{0, 3, 3, 8, 9, 16}
+	for idx, want := range wantOff {
+		i, j := idx/3, idx%3
+		if got := l.Offset(i, j); got != want {
+			t.Errorf("Offset(%d,%d) = %d, want %d", i, j, got, want)
+		}
+	}
+	if l.RowStart(1) != 8 || l.RowBytes(1) != 8 || l.RowBytes(0) != 8 {
+		t.Errorf("row geometry wrong: start=%d bytes=%d/%d", l.RowStart(1), l.RowBytes(0), l.RowBytes(1))
+	}
+}
+
+// TestRaggedNormalizesUniform pins the normalization rule: an all-equal
+// count table becomes a uniform layout, so equal-size inputs always hit
+// the uniform fast path.
+func TestRaggedNormalizesUniform(t *testing.T) {
+	l, err := Ragged([][]int{{4, 4}, {4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Uniform() || l.BlockLen() != 4 {
+		t.Fatalf("all-equal table not normalized: %+v", l)
+	}
+	u, _ := Uniform(2, 2, 4)
+	if !l.Equal(u) || l.Digest() != u.Digest() {
+		t.Errorf("normalized layout differs from Uniform (digest %x vs %x)", l.Digest(), u.Digest())
+	}
+	v, err := RaggedVector([]int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Uniform() || v.BlockLen() != 0 {
+		t.Errorf("all-zero vector should normalize to uniform zero: %+v", v)
+	}
+}
+
+func TestLayoutTranspose(t *testing.T) {
+	l, err := Ragged([][]int{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := l.Transpose()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if tr.Count(i, j) != l.Count(j, i) {
+				t.Errorf("Transpose.Count(%d,%d) = %d, want %d", i, j, tr.Count(i, j), l.Count(j, i))
+			}
+		}
+	}
+	if !tr.Transpose().Equal(l) {
+		t.Error("double transpose is not the identity")
+	}
+}
+
+func TestLayoutConcatOut(t *testing.T) {
+	l, err := RaggedVector([]int{2, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := l.ConcatOut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 3 || out.Cols() != 3 {
+		t.Fatalf("ConcatOut shape %dx%d, want 3x3", out.Rows(), out.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if out.Count(i, j) != l.Count(j, 0) {
+				t.Errorf("ConcatOut.Count(%d,%d) = %d, want %d", i, j, out.Count(i, j), l.Count(j, 0))
+			}
+		}
+	}
+	if _, err := out.ConcatOut(); err == nil {
+		t.Error("ConcatOut on a multi-column layout should fail")
+	}
+}
+
+func TestLayoutDigestDistinguishes(t *testing.T) {
+	a, _ := Ragged([][]int{{1, 2}, {3, 4}})
+	b, _ := Ragged([][]int{{1, 2}, {4, 3}})
+	c, _ := Ragged([][]int{{1, 2}, {3, 4}})
+	if a.Digest() == b.Digest() {
+		t.Error("distinct tables share a digest (possible but should not happen on this pair)")
+	}
+	if a.Digest() != c.Digest() || !a.Equal(c) {
+		t.Error("equal tables must share a digest and be Equal")
+	}
+	u1, _ := Uniform(2, 2, 3)
+	u2, _ := Uniform(2, 3, 2)
+	if u1.Digest() == u2.Digest() {
+		t.Error("shape must enter the digest")
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	if _, err := Ragged(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := Ragged([][]int{{1, 2}, {3}}); err == nil {
+		t.Error("ragged row lengths accepted")
+	}
+	if _, err := Ragged([][]int{{1, -2}}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := RaggedVector(nil); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if _, err := Uniform(0, 1, 1); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := Uniform(1, 1, -1); err == nil {
+		t.Error("negative block size accepted")
+	}
+}
+
+func TestLayoutCountsRoundTrip(t *testing.T) {
+	counts := [][]int{{0, 3}, {9, 1}}
+	l, _ := Ragged(counts)
+	got := l.CountsMatrix()
+	for i := range counts {
+		for j := range counts[i] {
+			if got[i][j] != counts[i][j] {
+				t.Fatalf("CountsMatrix[%d][%d] = %d, want %d", i, j, got[i][j], counts[i][j])
+			}
+		}
+	}
+	v, _ := RaggedVector([]int{5, 0, 2})
+	gotV := v.CountsVector()
+	for i, want := range []int{5, 0, 2} {
+		if gotV[i] != want {
+			t.Fatalf("CountsVector[%d] = %d, want %d", i, gotV[i], want)
+		}
+	}
+}

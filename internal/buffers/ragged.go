@@ -1,0 +1,185 @@
+package buffers
+
+import (
+	"bytes"
+	"fmt"
+
+	"bruck/internal/blocks"
+)
+
+// Ragged is the flat block store of the variable-size collective paths
+// (IndexV, ConcatV): one contiguous byte slab whose block boundaries are
+// given by a blocks.Layout instead of a fixed stride. Block and Proc
+// return in-place views, never copies, exactly like Buffers. A uniform
+// layout makes Ragged a drop-in equivalent of the fixed-stride Buffers.
+type Ragged struct {
+	layout *blocks.Layout
+	data   []byte
+}
+
+// NewRagged returns an all-zero slab shaped by the layout.
+func NewRagged(l *blocks.Layout) (*Ragged, error) {
+	if l == nil {
+		return nil, fmt.Errorf("buffers: nil layout")
+	}
+	return &Ragged{layout: l, data: make([]byte, l.Total())}, nil
+}
+
+// Layout returns the slab's layout.
+func (r *Ragged) Layout() *blocks.Layout { return r.layout }
+
+// Bytes returns the whole slab (a view, not a copy).
+func (r *Ragged) Bytes() []byte { return r.data }
+
+// Proc returns the contiguous region of row i (a view).
+func (r *Ragged) Proc(i int) []byte {
+	start := r.layout.RowStart(i)
+	return r.data[start : start+r.layout.RowBytes(i)]
+}
+
+// Block returns block (i, j) (a view; zero-length blocks return empty
+// slices).
+func (r *Ragged) Block(i, j int) []byte {
+	off := r.layout.Offset(i, j)
+	return r.data[off : off+r.layout.Count(i, j)]
+}
+
+// Zero clears the slab.
+func (r *Ragged) Zero() {
+	for i := range r.data {
+		r.data[i] = 0
+	}
+}
+
+// Clone returns a deep copy sharing the (immutable) layout.
+func (r *Ragged) Clone() *Ragged {
+	c := &Ragged{layout: r.layout, data: make([]byte, len(r.data))}
+	copy(c.data, r.data)
+	return c
+}
+
+// Equal reports whether two slabs have equal layouts and contents.
+func (r *Ragged) Equal(o *Ragged) bool {
+	return r.layout.Equal(o.layout) && bytes.Equal(r.data, o.data)
+}
+
+// FromRaggedMatrix builds an index-shaped Ragged slab from a legacy
+// block matrix whose block lengths may differ: the layout is derived
+// from the lengths themselves (Count(i, j) = len(in[i][j])). Rows must
+// have equal block counts; zero-length blocks are allowed.
+func FromRaggedMatrix(in [][][]byte) (*Ragged, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("buffers: empty matrix")
+	}
+	counts := make([][]int, len(in))
+	for i := range in {
+		if len(in[i]) != len(in[0]) {
+			return nil, fmt.Errorf("buffers: processor %d has %d blocks, processor 0 has %d", i, len(in[i]), len(in[0]))
+		}
+		counts[i] = make([]int, len(in[i]))
+		for j := range in[i] {
+			counts[i][j] = len(in[i][j])
+		}
+	}
+	l, err := blocks.Ragged(counts)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewRagged(l)
+	if err != nil {
+		return nil, err
+	}
+	for i := range in {
+		for j := range in[i] {
+			copy(r.Block(i, j), in[i][j])
+		}
+	}
+	return r, nil
+}
+
+// FromRaggedVector builds a concat-shaped Ragged slab (one block per
+// row) from a legacy block vector of possibly differing lengths.
+func FromRaggedVector(in [][]byte) (*Ragged, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("buffers: empty vector")
+	}
+	counts := make([]int, len(in))
+	for i := range in {
+		counts[i] = len(in[i])
+	}
+	l, err := blocks.RaggedVector(counts)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewRagged(l)
+	if err != nil {
+		return nil, err
+	}
+	for i := range in {
+		copy(r.Block(i, 0), in[i])
+	}
+	return r, nil
+}
+
+// ToMatrix copies the slab out into the legacy layout out[i][j], with
+// each block at its true (possibly zero) length.
+func (r *Ragged) ToMatrix() [][][]byte {
+	l := r.layout
+	out := make([][][]byte, l.Rows())
+	for i := range out {
+		out[i] = make([][]byte, l.Cols())
+		for j := range out[i] {
+			out[i][j] = append([]byte(nil), r.Block(i, j)...)
+		}
+	}
+	return out
+}
+
+// ToVector copies a one-column slab out into the legacy layout out[i].
+func (r *Ragged) ToVector() ([][]byte, error) {
+	if r.layout.Cols() != 1 {
+		return nil, fmt.Errorf("buffers: ToVector on a %d-column Ragged", r.layout.Cols())
+	}
+	out := make([][]byte, r.layout.Rows())
+	for i := range out {
+		out[i] = append([]byte(nil), r.Block(i, 0)...)
+	}
+	return out, nil
+}
+
+// PackRow is the first phase of the two-phase packing that lets the
+// fixed-size schedules carry ragged blocks: it copies the cols blocks of
+// row i into dst at a uniform stride of slot bytes, rotated so that
+// dst[t*slot:] receives block (i, (rot + step*t) mod cols). slot must be
+// at least the row's largest block; bytes of a slot beyond its block's
+// true length are left untouched (the schedules transfer whole slots and
+// the unpack reads only true lengths, so padding content never matters).
+// step is +1 or -1 — the index algorithm packs forward (+1, its Phase 1
+// rotation) and unpacks backward (-1, its Phase 3 permutation).
+func (r *Ragged) PackRow(i, rot, step, slot int, dst []byte) {
+	l := r.layout
+	cols := l.Cols()
+	for t := 0; t < cols; t++ {
+		j := mod(rot+step*t, cols)
+		copy(dst[t*slot:], r.Block(i, j))
+	}
+}
+
+// UnpackRow is the inverse of PackRow: block (i, (rot + step*t) mod
+// cols) receives the first Count bytes of src[t*slot:].
+func (r *Ragged) UnpackRow(i, rot, step, slot int, src []byte) {
+	l := r.layout
+	cols := l.Cols()
+	for t := 0; t < cols; t++ {
+		j := mod(rot+step*t, cols)
+		copy(r.Block(i, j), src[t*slot:t*slot+l.Count(i, j)])
+	}
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}

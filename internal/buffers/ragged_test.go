@@ -1,0 +1,196 @@
+package buffers
+
+import (
+	"bytes"
+	"testing"
+
+	"bruck/internal/blocks"
+)
+
+func TestRaggedViews(t *testing.T) {
+	l, err := blocks.Ragged([][]int{
+		{3, 0, 5},
+		{1, 7, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRagged(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Bytes()) != l.Total() {
+		t.Fatalf("slab is %d bytes, want %d", len(r.Bytes()), l.Total())
+	}
+	blk := r.Block(1, 1)
+	if len(blk) != 7 {
+		t.Fatalf("Block(1,1) has %d bytes, want 7", len(blk))
+	}
+	for x := range blk {
+		blk[x] = byte(x + 1)
+	}
+	// The view writes through to the slab, and Proc covers it.
+	row := r.Proc(1)
+	if !bytes.Equal(row[1:8], blk) {
+		t.Error("Block view does not alias the slab")
+	}
+	if len(r.Block(0, 1)) != 0 || len(r.Block(1, 2)) != 0 {
+		t.Error("zero-length blocks must be empty views")
+	}
+	c := r.Clone()
+	if !c.Equal(r) {
+		t.Error("clone differs")
+	}
+	c.Zero()
+	if c.Equal(r) {
+		t.Error("zeroed clone still equal")
+	}
+}
+
+func TestRaggedMatrixRoundTrip(t *testing.T) {
+	in := [][][]byte{
+		{{1, 2}, {}, {3}},
+		{{4}, {5, 6, 7}, {}},
+		{{}, {8}, {9, 10}},
+	}
+	r, err := FromRaggedMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.ToMatrix()
+	for i := range in {
+		for j := range in[i] {
+			if !bytes.Equal(out[i][j], in[i][j]) {
+				t.Fatalf("round trip broke block (%d,%d): %v != %v", i, j, out[i][j], in[i][j])
+			}
+		}
+	}
+	if _, err := FromRaggedMatrix([][][]byte{{{1}}, {{1}, {2}}}); err == nil {
+		t.Error("uneven block counts accepted")
+	}
+
+	v, err := FromRaggedVector([][]byte{{1, 2, 3}, {}, {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := v.ToVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(vec[0], []byte{1, 2, 3}) || len(vec[1]) != 0 || !bytes.Equal(vec[2], []byte{4}) {
+		t.Fatalf("vector round trip broke: %v", vec)
+	}
+	if _, err := r.ToVector(); err == nil {
+		t.Error("ToVector on a multi-column slab accepted")
+	}
+}
+
+// TestPackUnpackRow pins the rotation semantics of the two-phase
+// packing against a direct index computation.
+func TestPackUnpackRow(t *testing.T) {
+	l, err := blocks.Ragged([][]int{
+		{2, 0, 3, 1},
+		{1, 4, 0, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewRagged(l)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			blk := r.Block(i, j)
+			for x := range blk {
+				blk[x] = byte(100 + i*10 + j)
+			}
+		}
+	}
+	slot := l.Max()
+	for _, step := range []int{1, -1} {
+		for rot := 0; rot < 4; rot++ {
+			padded := make([]byte, 4*slot)
+			r.PackRow(1, rot, step, slot, padded)
+			for tt := 0; tt < 4; tt++ {
+				j := ((rot+step*tt)%4 + 4) % 4
+				want := r.Block(1, j)
+				if !bytes.Equal(padded[tt*slot:tt*slot+len(want)], want) {
+					t.Fatalf("step %d rot %d: slot %d != block %d", step, rot, tt, j)
+				}
+			}
+			dst := r.Clone()
+			row := dst.Proc(1)
+			for x := range row {
+				row[x] = 0
+			}
+			dst.UnpackRow(1, rot, step, slot, padded)
+			if !dst.Equal(r) {
+				t.Fatalf("step %d rot %d: unpack did not restore the row", step, rot)
+			}
+		}
+	}
+}
+
+// FuzzRaggedPackUnpack fuzzes the two-phase packing round trip over
+// random count tables — zero-length blocks included — random rotations
+// and both step directions: PackRow into a padded, canary-filled
+// scratch then UnpackRow into a cleared row must restore every block
+// exactly and touch nothing outside the row.
+func FuzzRaggedPackUnpack(f *testing.F) {
+	f.Add([]byte{3, 0, 5, 1, 7, 0}, uint8(0), false)
+	f.Add([]byte{1, 1, 2, 9}, uint8(3), true)
+	f.Add([]byte{0, 0, 0, 4}, uint8(1), false)
+	f.Fuzz(func(t *testing.T, raw []byte, rotRaw uint8, back bool) {
+		if len(raw) == 0 || len(raw) > 64 {
+			t.Skip()
+		}
+		// Derive a square-ish count table from the fuzz bytes; cols from
+		// the first byte, counts (0..15, zeros common) from the rest.
+		cols := int(raw[0]%6) + 1
+		rows := (len(raw) + cols - 1) / cols
+		counts := make([][]int, rows)
+		idx := 0
+		for i := range counts {
+			counts[i] = make([]int, cols)
+			for j := range counts[i] {
+				if idx < len(raw) {
+					counts[i][j] = int(raw[idx] % 16)
+					idx++
+				}
+			}
+		}
+		l, err := blocks.Ragged(counts)
+		if err != nil {
+			t.Fatalf("layout from fuzz counts: %v", err)
+		}
+		r, err := NewRagged(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := r.Bytes()
+		for x := range data {
+			data[x] = byte(x*31 + 7)
+		}
+		orig := r.Clone()
+
+		step := 1
+		if back {
+			step = -1
+		}
+		slot := l.Max()
+		for i := 0; i < rows; i++ {
+			rot := int(rotRaw) % cols
+			padded := make([]byte, cols*slot)
+			for x := range padded {
+				padded[x] = 0xEE // canary: padding bytes must never be read back as data
+			}
+			r.PackRow(i, rot, step, slot, padded)
+			row := r.Proc(i)
+			for x := range row {
+				row[x] = 0
+			}
+			r.UnpackRow(i, rot, step, slot, padded)
+		}
+		if !r.Equal(orig) {
+			t.Fatalf("pack/unpack round trip diverged for counts %v", counts)
+		}
+	})
+}

@@ -47,11 +47,45 @@
 // block size) so repeated configurations — the public Machine API
 // routes everything through a cache — compile exactly once.
 //
+// # Ragged layouts
+//
+// IndexV and ConcatV (vplan.go) generalize both operations to
+// variable block sizes, the MPI_Alltoallv/MPI_Allgatherv shapes. A
+// blocks.Layout carries the per-(src, dst) count and displacement
+// tables; CompileIndexV/CompileIndexVMixed/CompileConcatV compile it
+// into the same Plan machinery. Schedules that forward blocks through
+// intermediate processors (the Bruck family, the circulant
+// concatenation) run unchanged on slots padded to the layout's largest
+// block — two-phase local packing: pack at the source, fixed-size
+// schedule on padded slots, unpack at true lengths (the layout is
+// global knowledge, so every receiver knows every extent; padding
+// travels but is never read). Schedules whose blocks travel directly
+// (direct exchange, pairwise-XOR, ring) carry exact per-transfer
+// extents with no padding. A uniform layout — including any all-equal
+// count table, which construction normalizes — compiles to rounds
+// byte-identical to the fixed-size plan's, so uniform V executions are
+// byte- and Report-identical to the flat paths. AutoIndexVPlan and
+// AutoConcatVPlan pick the algorithm and radix per layout by
+// evaluating the linear cost model over the compiled candidates'
+// exact (C1, C2); verdicts are memoized in the cache.
+//
 // Plan lifecycle rules:
 //
 //   - A Plan is immutable after compilation and bound to the engine
 //     and group it was compiled for; executing it on another engine is
 //     rejected.
+//   - Layout plans (CompileIndexV/CompileConcatV) additionally bind to
+//     their input layout; PlanCache keys them by the layout's 64-bit
+//     digest (confirmed with Layout.Equal on every hit — a colliding
+//     digest compiles a fresh uncached plan, never serves the wrong
+//     schedule). Layouts are immutable, so a cached layout plan can
+//     never go stale.
+//   - Layout plans execute through ExecuteV/BindV on buffers.Ragged
+//     slabs of the plan's input layout and its output layout (the
+//     transpose for index, Layout.ConcatOut for concat); handing them
+//     fixed-size Buffers — or a fixed-size plan ragged slabs — is
+//     rejected. ExecutePlans accepts any mix of Bind-ed fixed-size and
+//     BindV-ed layout plans on disjoint groups.
 //   - A Plan holds no reference to any transport generation: each
 //     execution runs through the engine's current transport and pools,
 //     so plans remain valid across the engine's post-deadlock fencing

@@ -3,8 +3,11 @@ package collective
 import (
 	"fmt"
 
+	"bruck/internal/blocks"
 	"bruck/internal/buffers"
+	"bruck/internal/costmodel"
 	"bruck/internal/intmath"
+	"bruck/internal/lowerbound"
 	"bruck/internal/mpsim"
 	"bruck/internal/partition"
 )
@@ -32,6 +35,16 @@ type Plan struct {
 	// takes explicit buffers and ignores them.
 	in, out *buffers.Buffers
 
+	// Layout plans (IndexV / ConcatV). layout is the input layout the
+	// plan was compiled for and outLayout the shape of its result; slot
+	// is the padded slot size (layout.Max()) the two-phase packing runs
+	// the fixed-size schedule on. Classic fixed-size plans leave layout
+	// nil. vin/vout are the ragged buffers bound by BindV.
+	layout    *blocks.Layout
+	outLayout *blocks.Layout
+	slot      int
+	vin, vout *buffers.Ragged
+
 	// Index plans (Bruck family, uniform and mixed radix).
 	ialg   IndexAlgorithm
 	noPack bool
@@ -53,6 +66,14 @@ type Plan struct {
 	poolHint int
 	// c1 is the number of communication rounds the schedule performs.
 	c1 int
+	// c2 is the schedule's predicted data volume (sum over rounds of the
+	// round's largest message, in bytes) — the quantity the auto
+	// dispatcher evaluates the linear cost model on. The simulator's
+	// measured C2 matches it exactly.
+	c2 int
+	// c2lb is the layout's data-volume lower bound (package lowerbound),
+	// carried into every Result this plan produces.
+	c2lb int
 }
 
 type planOp int
@@ -110,10 +131,21 @@ type lastArea struct {
 // Op returns "index" or "concat".
 func (pl *Plan) Op() string { return pl.op.String() }
 
+// Algorithm returns the compiled schedule's algorithm name ("bruck",
+// "direct", "pairwise-xor", "circulant", "ring", ...).
+func (pl *Plan) Algorithm() string {
+	if pl.op == opIndex {
+		return pl.ialg.String()
+	}
+	return pl.calg.String()
+}
+
 // Group returns the group the plan was compiled for.
 func (pl *Plan) Group() *mpsim.Group { return pl.group }
 
-// BlockLen returns the block size in bytes the plan was compiled for.
+// BlockLen returns the block size in bytes the plan was compiled for;
+// for layout plans this is the padded slot size (Layout().Max()) the
+// two-phase packing runs the fixed-size schedule on.
 func (pl *Plan) BlockLen() int { return pl.blockLen }
 
 // Rounds returns the number of communication rounds (the paper's C1)
@@ -123,6 +155,39 @@ func (pl *Plan) Rounds() int { return pl.c1 }
 // MaxMessageBytes returns the largest pooled buffer an execution
 // acquires — the pre-sizing hint handed to the processor-local pools.
 func (pl *Plan) MaxMessageBytes() int { return pl.poolHint }
+
+// PredictedC2 returns the schedule's data volume in bytes (the paper's
+// C2, sum over rounds of the round's largest message), known exactly at
+// compile time. Executions measure the same value.
+func (pl *Plan) PredictedC2() int { return pl.c2 }
+
+// C2LowerBound returns the layout's data-volume lower bound (package
+// lowerbound; the non-uniform generalization of Propositions 2.2/2.4
+// for layout plans). Every Result the plan produces carries it.
+func (pl *Plan) C2LowerBound() int { return pl.c2lb }
+
+// Time returns the linear-model estimate C1*Beta + C2*Tau of one
+// execution of the plan — the quantity the auto dispatcher minimizes
+// over candidate plans.
+func (pl *Plan) Time(p costmodel.Profile) float64 {
+	return p.Time(pl.c1, pl.c2)
+}
+
+// Layout returns the input layout of a layout plan (CompileIndexV /
+// CompileConcatV), or nil for a classic fixed-size plan.
+func (pl *Plan) Layout() *blocks.Layout { return pl.layout }
+
+// OutLayout returns the output layout a layout plan requires (the
+// transpose for index, the n x n concatenation shape for concat), or
+// nil for a classic plan.
+func (pl *Plan) OutLayout() *blocks.Layout { return pl.outLayout }
+
+// result builds the Result of one execution of this plan.
+func (pl *Plan) result(m *mpsim.Metrics) *Result {
+	res := resultFrom(m)
+	res.C2LowerBound = pl.c2lb
+	return res
+}
 
 // CompileIndex compiles the index schedule selected by opt for group g
 // on engine e at block size blockLen. See IndexOptions for the radix
@@ -165,6 +230,7 @@ func CompileIndex(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt IndexOption
 		return nil, fmt.Errorf("collective: unknown index algorithm %v", opt.Algorithm)
 	}
 	pl.finishIndex(n, k)
+	pl.c2lb = lowerbound.IndexVolume(n, blockLen, k)
 	return pl, nil
 }
 
@@ -191,26 +257,35 @@ func CompileIndexMixed(e *mpsim.Engine, g *mpsim.Group, blockLen int, radices []
 	}
 	pl.rounds = compileBruckRounds(n, e.Ports(), blockLen, func(i int) int { return radices[i] }, false)
 	pl.finishIndex(n, e.Ports())
+	pl.c2lb = lowerbound.IndexVolume(n, blockLen, e.Ports())
 	return pl, nil
 }
 
-// finishIndex derives the round count and pool hint of a compiled index
-// plan from its representation.
+// finishIndex derives the round count, predicted data volume and pool
+// hint of a compiled index plan from its representation. For layout
+// plans blockLen is the padded slot size, and the ragged direct/xor
+// volumes are overwritten afterwards from the layout's exact extents.
 func (pl *Plan) finishIndex(n, k int) {
 	switch pl.ialg {
 	case IndexBruck:
 		pl.c1 = len(pl.rounds)
 		hint := n * pl.blockLen // working region
 		for _, rd := range pl.rounds {
+			roundMax := 0
 			for _, x := range rd.xfers {
 				if x.bytes > hint {
 					hint = x.bytes
 				}
+				if x.bytes > roundMax {
+					roundMax = x.bytes
+				}
 			}
+			pl.c2 += roundMax
 		}
 		pl.poolHint = hint
 	case IndexDirect, IndexPairwiseXOR:
 		pl.c1 = intmath.CeilDiv(n-1, k)
+		pl.c2 = pl.c1 * pl.blockLen
 		pl.poolHint = pl.blockLen // transport payloads only
 	}
 }
@@ -298,6 +373,7 @@ func CompileConcat(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt ConcatOpti
 		if k >= n-1 {
 			pl.trivial = true
 			pl.c1 = 1
+			pl.c2 = blockLen
 			break
 		}
 		d := intmath.CeilLog(k+1, n)
@@ -314,41 +390,50 @@ func CompileConcat(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt ConcatOpti
 		if err := part.Validate(); err != nil {
 			return nil, err
 		}
+		for _, rd := range pl.dbl {
+			pl.c2 += rd.count * blockLen
+		}
 		for _, areas := range part.Rounds {
 			offsets, err := assignAreaOffsets(areas, pl.n1)
 			if err != nil {
 				return nil, err
 			}
 			lr := lastRound{areas: make([]lastArea, len(areas))}
+			roundMax := 0
 			for ai, area := range areas {
 				lr.areas[ai] = lastArea{offset: offsets[ai], size: area.Size, runs: area.Runs}
 				if area.Size > pl.poolHint {
 					pl.poolHint = area.Size
 				}
+				if area.Size > roundMax {
+					roundMax = area.Size
+				}
 			}
+			pl.c2 += roundMax
 			pl.last = append(pl.last, lr)
 		}
 		pl.c1 = len(pl.dbl) + len(pl.last)
 	case ConcatFolklore, ConcatRing, ConcatRecursiveDoubling:
 		// The baseline bodies compute their trees and rings on the fly;
-		// there is no per-call schedule solving to amortize. C1 for
-		// reporting only.
+		// there is no per-call schedule solving to amortize. C1 and C2
+		// for reporting and auto dispatch only.
 		switch opt.Algorithm {
 		case ConcatFolklore:
 			if n > 1 {
-				pl.c1 = 2 * intmath.CeilLog(k+1, n)
+				pl.c1, pl.c2 = FolkloreConcatCost(n, blockLen, k)
 			}
 			pl.poolHint = n * blockLen
 		case ConcatRing:
-			pl.c1 = n - 1
+			pl.c1, pl.c2 = RingConcatCost(n, blockLen)
 		case ConcatRecursiveDoubling:
 			if n > 1 {
-				pl.c1 = intmath.CeilLog(2, n)
+				pl.c1, pl.c2 = RecursiveDoublingConcatCost(n, blockLen)
 			}
 		}
 	default:
 		return nil, fmt.Errorf("collective: unknown concat algorithm %v", opt.Algorithm)
 	}
+	pl.c2lb = lowerbound.ConcatVolume(n, blockLen, k)
 	return pl, nil
 }
 
@@ -370,6 +455,9 @@ func checkGroup(e *mpsim.Engine, g *mpsim.Group) error {
 // concat-shaped input and an index-shaped output.
 func (pl *Plan) checkBuffers(in, out *buffers.Buffers) error {
 	n := pl.group.Size()
+	if pl.layout != nil {
+		return fmt.Errorf("collective: %s layout plan takes ragged buffers (use ExecuteV/BindV)", pl.op)
+	}
 	if in == nil || out == nil {
 		return fmt.Errorf("collective: nil flat buffer")
 	}
@@ -421,8 +509,63 @@ func (pl *Plan) Execute(in, out *buffers.Buffers) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return resultFrom(pl.engine.Metrics()), nil
+	return pl.result(pl.engine.Metrics()), nil
 }
+
+// checkRagged validates an (in, out) ragged pair against a layout
+// plan's input and output layouts.
+func (pl *Plan) checkRagged(in, out *buffers.Ragged) error {
+	if pl.layout == nil {
+		return fmt.Errorf("collective: %s fixed-size plan takes flat buffers (use Execute/Bind)", pl.op)
+	}
+	if in == nil || out == nil {
+		return fmt.Errorf("collective: nil ragged buffer")
+	}
+	if in == out {
+		return fmt.Errorf("collective: ragged output must not alias the input")
+	}
+	if !in.Layout().Equal(pl.layout) {
+		return fmt.Errorf("collective: %s plan input layout is %dx%d, want the plan's compiled layout (%dx%d)",
+			pl.op, in.Layout().Rows(), in.Layout().Cols(), pl.layout.Rows(), pl.layout.Cols())
+	}
+	if !out.Layout().Equal(pl.outLayout) {
+		return fmt.Errorf("collective: %s plan output layout does not match the plan's output shape (want %dx%d, the input's %s)",
+			pl.op, pl.outLayout.Rows(), pl.outLayout.Cols(),
+			map[planOp]string{opIndex: "transpose", opConcat: "concatenation"}[pl.op])
+	}
+	return nil
+}
+
+// ExecuteV runs a compiled layout plan: for index plans out.Block(i, j)
+// ends up equal to in.Block(j, i) (at its true, possibly zero, length),
+// for concat plans out.Block(i, j) equals in.Block(j, 0). On a uniform
+// layout the schedule — and therefore the Result — is byte-identical to
+// the corresponding fixed-size plan's.
+func (pl *Plan) ExecuteV(in, out *buffers.Ragged) (*Result, error) {
+	if err := pl.checkRagged(in, out); err != nil {
+		return nil, err
+	}
+	err := pl.engine.Run(func(p *mpsim.Proc) error {
+		return pl.vbody(p, in, out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pl.result(pl.engine.Metrics()), nil
+}
+
+// BindV validates and attaches a ragged (in, out) pair to a layout plan
+// for use by ExecutePlans, the ragged counterpart of Bind.
+func (pl *Plan) BindV(in, out *buffers.Ragged) error {
+	if err := pl.checkRagged(in, out); err != nil {
+		return err
+	}
+	pl.vin, pl.vout = in, out
+	return nil
+}
+
+// BoundV returns the ragged buffers attached by BindV, or nils.
+func (pl *Plan) BoundV() (in, out *buffers.Ragged) { return pl.vin, pl.vout }
 
 // ExecutePlans runs several compiled plans concurrently inside one
 // engine run. The plans must all belong to engine e, have pairwise
@@ -443,7 +586,11 @@ func ExecutePlans(e *mpsim.Engine, plans []*Plan) ([]*Result, error) {
 		if pl.engine != e {
 			return nil, fmt.Errorf("collective: plan %d was compiled for a different engine", i)
 		}
-		if pl.in == nil || pl.out == nil {
+		if pl.layout != nil {
+			if pl.vin == nil || pl.vout == nil {
+				return nil, fmt.Errorf("collective: layout plan %d has no bound ragged buffers (call BindV)", i)
+			}
+		} else if pl.in == nil || pl.out == nil {
 			return nil, fmt.Errorf("collective: plan %d has no bound buffers (call Bind)", i)
 		}
 		for _, id := range pl.group.IDs() {
@@ -453,11 +600,17 @@ func ExecutePlans(e *mpsim.Engine, plans []*Plan) ([]*Result, error) {
 			seen[id] = i
 		}
 		pl := pl
+		body := func(p *mpsim.Proc) error {
+			return pl.body(p, pl.in, pl.out)
+		}
+		if pl.layout != nil {
+			body = func(p *mpsim.Proc) error {
+				return pl.vbody(p, pl.vin, pl.vout)
+			}
+		}
 		progs[i] = mpsim.Program{
 			Members: pl.group.IDs(),
-			Body: func(p *mpsim.Proc) error {
-				return pl.body(p, pl.in, pl.out)
-			},
+			Body:    body,
 		}
 	}
 	metrics, err := e.RunPrograms(progs)
@@ -466,7 +619,7 @@ func ExecutePlans(e *mpsim.Engine, plans []*Plan) ([]*Result, error) {
 	}
 	results := make([]*Result, len(metrics))
 	for i, m := range metrics {
-		results[i] = resultFrom(m)
+		results[i] = plans[i].result(m)
 	}
 	return results, nil
 }
@@ -517,13 +670,33 @@ func (pl *Plan) bruckBody(p *mpsim.Proc, in, out []byte) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
 	bl := pl.blockLen
-	k := p.Ports()
 
 	work := p.AcquireBuf(n * bl)
 	defer p.ReleaseBuf(work)
 	cut := me * bl
 	copy(work, in[cut:])
 	copy(work[len(in)-cut:], in[:cut])
+
+	if err := pl.replayBruckRounds(p, work, bl); err != nil {
+		return err
+	}
+
+	for j := 0; j < n; j++ {
+		q := intmath.Mod(me-j, n)
+		copy(out[j*bl:(j+1)*bl], work[q*bl:q*bl+bl])
+	}
+	return nil
+}
+
+// replayBruckRounds runs the compiled Phase 2 rounds on a working
+// region of n slots of bl bytes — shared by the fixed-size body (bl is
+// the block size) and the layout body (bl is the padded slot size of
+// the two-phase packing).
+func (pl *Plan) replayBruckRounds(p *mpsim.Proc, work []byte, bl int) error {
+	g := pl.group
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	k := p.Ports()
 
 	sends := make([]mpsim.Send, 0, k)
 	froms := make([]int, 0, k)
@@ -573,11 +746,6 @@ func (pl *Plan) bruckBody(p *mpsim.Proc, in, out []byte) error {
 			return err
 		}
 	}
-
-	for j := 0; j < n; j++ {
-		q := intmath.Mod(me-j, n)
-		copy(out[j*bl:(j+1)*bl], work[q*bl:q*bl+bl])
-	}
 	return nil
 }
 
@@ -591,7 +759,6 @@ func (pl *Plan) circulantBody(p *mpsim.Proc, myBlock, out []byte) error {
 	n := g.Size()
 	me := g.Rank(p.Rank())
 	bl := pl.blockLen
-	k := p.Ports()
 
 	copy(out[:bl], myBlock)
 	if n == 1 {
@@ -621,6 +788,26 @@ func (pl *Plan) circulantBody(p *mpsim.Proc, myBlock, out []byte) error {
 		p.ReleaseBuf(p.AcquireBuf(pl.poolHint))
 	}
 
+	if err := pl.replayCirculantRounds(p, out, bl); err != nil {
+		return err
+	}
+
+	buffers.RotateUp(out, n, bl, n-me)
+	return nil
+}
+
+// replayCirculantRounds runs the compiled doubling and last rounds on
+// an accumulation region of n slots of bl bytes in successor order
+// (slot q holds the block of group rank me+q) — shared by the
+// fixed-size body (acc is the output region, bl the block size) and the
+// layout body (acc is a pooled padded working region, bl the slot
+// size).
+func (pl *Plan) replayCirculantRounds(p *mpsim.Proc, acc []byte, bl int) error {
+	g := pl.group
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	k := p.Ports()
+
 	sends := make([]mpsim.Send, 0, k)
 	froms := make([]int, 0, k)
 	into := make([][]byte, 0, k)
@@ -629,10 +816,10 @@ func (pl *Plan) circulantBody(p *mpsim.Proc, myBlock, out []byte) error {
 		for t := 1; t <= k; t++ {
 			sends = append(sends, mpsim.Send{
 				To:   g.ID(intmath.Mod(me-t*rd.base, n)),
-				Data: out[:rd.count*bl],
+				Data: acc[:rd.count*bl],
 			})
 			froms = append(froms, g.ID(intmath.Mod(me+t*rd.base, n)))
-			into = append(into, out[t*rd.base*bl:(t*rd.base+rd.count)*bl])
+			into = append(into, acc[t*rd.base*bl:(t*rd.base+rd.count)*bl])
 		}
 		if err := p.ExchangeInto(sends, froms, into); err != nil {
 			return err
@@ -646,7 +833,7 @@ func (pl *Plan) circulantBody(p *mpsim.Proc, myBlock, out []byte) error {
 			off := 0
 			for _, run := range area.runs {
 				q := pl.n1 + run.Col - area.offset
-				blk := out[q*bl : (q+1)*bl]
+				blk := acc[q*bl : (q+1)*bl]
 				off += copy(payload[off:], blk[run.Row0:run.Row0+run.NRows])
 			}
 			sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me-area.offset, n)), Data: payload})
@@ -660,7 +847,7 @@ func (pl *Plan) circulantBody(p *mpsim.Proc, myBlock, out []byte) error {
 				off := 0
 				for _, run := range area.runs {
 					q := pl.n1 + run.Col
-					blk := out[q*bl : (q+1)*bl]
+					blk := acc[q*bl : (q+1)*bl]
 					copy(blk[run.Row0:run.Row0+run.NRows], payload[off:off+run.NRows])
 					off += run.NRows
 				}
@@ -674,8 +861,6 @@ func (pl *Plan) circulantBody(p *mpsim.Proc, myBlock, out []byte) error {
 			return err
 		}
 	}
-
-	buffers.RotateUp(out, n, bl, n-me)
 	return nil
 }
 
@@ -686,6 +871,12 @@ func (pl *Plan) circulantBody(p *mpsim.Proc, myBlock, out []byte) error {
 // reuse a *Group (the common case — Machine.World or a stored NewGroup
 // result) hit the cache, distinct pointers with equal members merely
 // recompile.
+// Layout plans key by the layout's 64-bit digest (v distinguishes a
+// layout plan from a fixed-size plan so digests can never collide with
+// block sizes); a digest hit is confirmed against the stored plan's
+// layout with Equal, and a mismatching hit — an astronomically unlikely
+// digest collision — compiles a fresh uncached plan rather than ever
+// serving the wrong schedule.
 type planCacheKey struct {
 	e        *mpsim.Engine
 	g        *mpsim.Group
@@ -697,6 +888,8 @@ type planCacheKey struct {
 	noPack   bool
 	policy   partition.Policy
 	blockLen int
+	v        bool
+	layout   uint64
 }
 
 // maxCachedPlans bounds a PlanCache. Schedules are cheap to recompile
@@ -767,6 +960,60 @@ func (c *PlanCache) IndexMixedPlan(e *mpsim.Engine, g *mpsim.Group, blockLen int
 	}
 	c.insert(key, pl)
 	return pl, nil
+}
+
+// vPlan resolves one layout-plan cache lookup: a digest hit confirmed
+// by Layout.Equal is served as-is; an unconfirmed hit — a digest
+// collision between distinct layouts — compiles fresh without touching
+// the cache, so the wrong schedule is never served; a miss compiles
+// and caches.
+func (c *PlanCache) vPlan(key planCacheKey, l *blocks.Layout, compile func() (*Plan, error)) (*Plan, error) {
+	if l == nil {
+		return nil, fmt.Errorf("collective: nil layout")
+	}
+	if pl, ok := c.plans[key]; ok {
+		if pl.layout.Equal(l) {
+			return pl, nil
+		}
+		return compile()
+	}
+	pl, err := compile()
+	if err != nil {
+		return nil, err
+	}
+	c.insert(key, pl)
+	return pl, nil
+}
+
+// IndexVPlan returns the cached layout plan for the configuration,
+// compiling and caching it under the layout's digest on first use.
+func (c *PlanCache) IndexVPlan(e *mpsim.Engine, g *mpsim.Group, l *blocks.Layout, opt IndexOptions) (*Plan, error) {
+	key := planCacheKey{
+		e: e, g: g, op: opIndex, ialg: opt.Algorithm,
+		radix: opt.Radix, noPack: opt.NoPack,
+		v: true, layout: l.Digest(),
+	}
+	return c.vPlan(key, l, func() (*Plan, error) { return CompileIndexV(e, g, l, opt) })
+}
+
+// IndexVMixedPlan is IndexVPlan for mixed-radix schedules.
+func (c *PlanCache) IndexVMixedPlan(e *mpsim.Engine, g *mpsim.Group, l *blocks.Layout, radices []int) (*Plan, error) {
+	key := planCacheKey{
+		e: e, g: g, op: opIndex, ialg: IndexBruck,
+		radices: fmt.Sprint(radices),
+		v:       true, layout: l.Digest(),
+	}
+	return c.vPlan(key, l, func() (*Plan, error) { return CompileIndexVMixed(e, g, l, radices) })
+}
+
+// ConcatVPlan is IndexVPlan for concatenation schedules.
+func (c *PlanCache) ConcatVPlan(e *mpsim.Engine, g *mpsim.Group, l *blocks.Layout, opt ConcatOptions) (*Plan, error) {
+	key := planCacheKey{
+		e: e, g: g, op: opConcat, calg: opt.Algorithm,
+		policy: opt.LastRound,
+		v:      true, layout: l.Digest(),
+	}
+	return c.vPlan(key, l, func() (*Plan, error) { return CompileConcatV(e, g, l, opt) })
 }
 
 // ConcatPlan is IndexPlan for concatenation schedules.

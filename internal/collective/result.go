@@ -21,6 +21,14 @@ type Result struct {
 	TotalBytes int64
 	// Messages is the number of point-to-point messages sent.
 	Messages int64
+	// C2LowerBound is the data-volume lower bound of the operation's
+	// layout: the largest number of bytes any processor must push or
+	// pull through its k ports (package lowerbound — Propositions
+	// 2.2/2.4 for uniform layouts, their non-uniform generalization for
+	// ragged ones). Populated by every plan-routed collective (Index,
+	// Concat, their Flat and V variants, RunPlans); zero for the
+	// one-to-all primitives.
+	C2LowerBound int
 }
 
 func resultFrom(m *mpsim.Metrics) *Result {

@@ -70,6 +70,66 @@ func IndexRoundsAtMinVolume(n, k int) int {
 	return intmath.CeilDiv(n-1, k)
 }
 
+// IndexVVolume returns the non-uniform generalization of Proposition
+// 2.4 for ragged index layouts (MPI_Alltoallv shapes): counts[i][j] is
+// the number of bytes processor i holds for processor j. Every
+// processor p must push its whole send row (minus the diagonal) out
+// through k ports and pull its whole receive column in through k ports,
+// so any algorithm needs at least
+//
+//	ceil( max_p max( sum_{j != p} counts[p][j],
+//	                 sum_{j != p} counts[j][p] ) / k )
+//
+// bytes through some port. On a uniform layout this reduces to
+// IndexVolume.
+func IndexVVolume(counts [][]int, k int) int {
+	n := len(counts)
+	worst := 0
+	for p := 0; p < n; p++ {
+		send, recv := 0, 0
+		for j := 0; j < n; j++ {
+			if j == p {
+				continue
+			}
+			send += counts[p][j]
+			recv += counts[j][p]
+		}
+		if send > worst {
+			worst = send
+		}
+		if recv > worst {
+			worst = recv
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return intmath.CeilDiv(worst, k)
+}
+
+// ConcatVVolume returns the non-uniform generalization of Proposition
+// 2.2 for ragged concatenation layouts (MPI_Allgatherv shapes):
+// counts[i] is processor i's contribution. Every processor p must
+// receive all other contributions through its k input ports, so any
+// algorithm needs at least ceil(max_p (total - counts[p]) / k) bytes
+// through some port. On a uniform layout this reduces to ConcatVolume.
+func ConcatVVolume(counts []int, k int) int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	worst := 0
+	for _, c := range counts {
+		if recv := total - c; recv > worst {
+			worst = recv
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return intmath.CeilDiv(worst, k)
+}
+
 // OnePortIndexVolumeOrder returns the Theorem 2.9 Omega(b n log2 n)
 // expression for the one-port model when C1 = O(log n): the returned
 // value b*n*log2(n)/2 is a convenient representative of the order class

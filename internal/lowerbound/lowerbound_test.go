@@ -123,3 +123,73 @@ func TestOnePortIndexVolumeOrder(t *testing.T) {
 		t.Error("order expression should exceed n for n=64")
 	}
 }
+
+// TestIndexVVolumeUniformReduction pins the non-uniform bound to its
+// uniform special case.
+func TestIndexVVolumeUniformReduction(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16} {
+		for _, b := range []int{0, 1, 7, 64} {
+			for _, k := range []int{1, 2, 3} {
+				counts := make([][]int, n)
+				for i := range counts {
+					counts[i] = make([]int, n)
+					for j := range counts[i] {
+						counts[i][j] = b
+					}
+				}
+				if got, want := IndexVVolume(counts, k), IndexVolume(n, b, k); got != want {
+					t.Errorf("IndexVVolume(uniform n=%d b=%d, k=%d) = %d, want IndexVolume = %d", n, b, k, got, want)
+				}
+				vec := make([]int, n)
+				for i := range vec {
+					vec[i] = b
+				}
+				if got, want := ConcatVVolume(vec, k), ConcatVolume(n, b, k); got != want {
+					t.Errorf("ConcatVVolume(uniform n=%d b=%d, k=%d) = %d, want ConcatVolume = %d", n, b, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexVVolumeSkew checks the bound tracks the busiest processor's
+// send row or receive column, whichever is larger.
+func TestIndexVVolumeSkew(t *testing.T) {
+	// The diagonal never counts: self-blocks stay put.
+	counts := [][]int{
+		{999, 10, 30},
+		{1, 999, 6},
+		{2, 0, 999},
+	}
+	// send rows (off-diagonal): p0 = 40, p1 = 7, p2 = 2
+	// recv cols (off-diagonal): p0 = 3, p1 = 10, p2 = 36
+	if got := IndexVVolume(counts, 1); got != 40 {
+		t.Errorf("IndexVVolume(k=1) = %d, want 40 (p0's send row)", got)
+	}
+	if got := IndexVVolume(counts, 3); got != 14 {
+		t.Errorf("IndexVVolume(k=3) = %d, want ceil(40/3) = 14", got)
+	}
+
+	vec := []int{5, 100, 0, 1}
+	// total = 106; worst receiver is any p != 1 with 106 - own:
+	// p2 receives 106.
+	if got := ConcatVVolume(vec, 1); got != 106 {
+		t.Errorf("ConcatVVolume(k=1) = %d, want 106", got)
+	}
+	if got := ConcatVVolume(vec, 4); got != 27 {
+		t.Errorf("ConcatVVolume(k=4) = %d, want ceil(106/4) = 27", got)
+	}
+}
+
+// TestVVolumeZeroLayouts: all-zero layouts bound to zero.
+func TestVVolumeZeroLayouts(t *testing.T) {
+	if got := IndexVVolume([][]int{{0, 0}, {0, 0}}, 1); got != 0 {
+		t.Errorf("all-zero index bound = %d, want 0", got)
+	}
+	if got := ConcatVVolume([]int{0, 0, 0}, 2); got != 0 {
+		t.Errorf("all-zero concat bound = %d, want 0", got)
+	}
+	if got := IndexVVolume(nil, 1); got != 0 {
+		t.Errorf("empty index bound = %d, want 0", got)
+	}
+}

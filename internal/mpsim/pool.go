@@ -34,6 +34,12 @@ func newPools(n int) []*bufPool {
 // in flight instead of growing without bound — and a fresh buffer is
 // allocated.
 func (pl *bufPool) get(n int) []byte {
+	if n == 0 {
+		// Zero-length payloads (ragged layouts may carry empty blocks)
+		// need no backing memory; handing out a pooled buffer would only
+		// churn the free list's recency order.
+		return nil
+	}
 	free := pl.free
 	for i, scanned := len(free)-1, 0; i >= 0 && scanned < poolScanDepth; i, scanned = i-1, scanned+1 {
 		if cap(free[i]) >= n {
