@@ -785,3 +785,86 @@ func BenchmarkConcatV(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkReduceScatter compares the three reduce-scatter schedules —
+// ring, recursive halving and the Bruck index family — on one machine,
+// with the compiled plan reused across iterations, on both transports.
+func BenchmarkReduceScatter(b *testing.B) {
+	const n, size = 16, 128
+	for _, backend := range []Backend{BackendChan, BackendSlot} {
+		for _, alg := range []struct {
+			name string
+			opts []CollectiveOption
+		}{
+			{"ring", []CollectiveOption{WithReduceAlgorithm(ReduceRing)}},
+			{"halving", []CollectiveOption{WithReduceAlgorithm(ReduceHalving)}},
+			{"bruck-r2", []CollectiveOption{WithReduceAlgorithm(ReduceBruck), WithRadix(2)}},
+		} {
+			b.Run(alg.name+"-"+string(backend), func(b *testing.B) {
+				m := MustNewMachine(n, WithTransport(backend))
+				opts := append([]CollectiveOption{WithKernel(ReduceSum, Float32)}, alg.opts...)
+				plan, err := m.CompileReduce(ReduceScatterKind, size, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				in, err := NewIndexBuffers(n, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fillReduceInput(in, Float32, 9)
+				out, err := NewConcatBuffers(n, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var rep *Report
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err = plan.Execute(in, out)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				reportModel(b, rep)
+			})
+		}
+	}
+}
+
+// BenchmarkAllReduce runs the full composition (reduce-scatter +
+// circulant allgather) through a reused compiled plan, cost-model
+// dispatched, on both transports.
+func BenchmarkAllReduce(b *testing.B) {
+	const n, size = 16, 128
+	for _, backend := range []Backend{BackendChan, BackendSlot} {
+		b.Run("auto-"+string(backend), func(b *testing.B) {
+			m := MustNewMachine(n, WithTransport(backend))
+			plan, err := m.CompileReduce(AllReduceKind, size,
+				WithKernel(ReduceSum, Float32), WithAuto(costmodel.SP1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			in, err := NewIndexBuffers(n, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fillReduceInput(in, Float32, 3)
+			out, err := NewIndexBuffers(n, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep *Report
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err = plan.Execute(in, out)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportModel(b, rep)
+		})
+	}
+}

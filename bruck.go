@@ -235,6 +235,11 @@ type callConfig struct {
 	indexOpt  collective.IndexOptions
 	radices   []int
 	concatOpt collective.ConcatOptions
+	reduceAlg collective.ReduceAlgorithm
+	kernelOp  ReduceOp
+	kernelTyp DataType
+	kernelSet bool
+	combine   CombineFunc
 	auto      *Profile
 }
 
@@ -288,16 +293,112 @@ func WithLastRoundPolicy(p partition.Policy) CollectiveOption {
 }
 
 // WithAuto makes the ragged-layout operations (IndexV, ConcatV and
-// their Flat/Compile variants) pick the algorithm and radix per layout
-// by evaluating the linear cost model T = C1*Beta + C2*Tau over the
-// compiled candidate plans: for the index the Bruck family at several
-// radices (on padded slots) against the padding-free direct exchange,
-// for the concatenation the padded circulant schedule against the
-// exact-extent ring. It overrides WithRadix/WithIndexAlgorithm/
-// WithConcatAlgorithm on those operations and is ignored by the
-// fixed-size operations (tune those with OptimalRadix).
+// their Flat/Compile variants) and the reductions (ReduceScatter,
+// AllReduce and their Flat/Compile variants) pick the algorithm — and,
+// where applicable, the radix — by evaluating the linear cost model
+// T = C1*Beta + C2*Tau over the compiled candidate plans: for the index
+// the Bruck family at several radices (on padded slots) against the
+// padding-free direct exchange, for the concatenation the padded
+// circulant schedule against the exact-extent ring, and for the
+// reductions the ring against recursive halving (power-of-two groups)
+// and the Bruck index schedule at the candidate radices. It overrides
+// WithRadix/WithIndexAlgorithm/WithConcatAlgorithm/WithReduceAlgorithm
+// on those operations and is ignored by the fixed-size index and
+// concatenation (tune those with OptimalRadix).
 func WithAuto(p Profile) CollectiveOption {
 	return func(c *callConfig) { prof := p; c.auto = &prof }
+}
+
+// Reduction kernels: a reduction collective combines blocks where a
+// plain collective copies them. WithKernel selects a built-in
+// elementwise kernel; WithCombine plugs in an arbitrary user reduction
+// over whole blocks.
+
+// ReduceOp names a built-in elementwise reduction (ReduceSum,
+// ReduceMin, ReduceMax).
+type ReduceOp = buffers.ReduceOp
+
+const (
+	ReduceSum = buffers.Sum
+	ReduceMin = buffers.Min
+	ReduceMax = buffers.Max
+)
+
+// DataType names the element type of a built-in reduction kernel
+// (Int32, Int64, Float32, Float64), encoded little-endian. The typed
+// view helpers (PutFloat32s and friends) produce exactly this layout.
+type DataType = buffers.DataType
+
+const (
+	Int32   = buffers.Int32
+	Int64   = buffers.Int64
+	Float32 = buffers.Float32
+	Float64 = buffers.Float64
+)
+
+// CombineFunc combines src into dst elementwise: dst = dst op src. The
+// slices have equal length and never overlap; the function must not
+// retain them (src is pooled transport memory). It is never invoked on
+// empty slabs. For results independent of the schedule the reduction
+// must be associative and commutative; each compiled plan applies its
+// combines in a fixed order, so repeated executions of one plan are
+// bit-identical, but different algorithms associate differently — which
+// floating-point summation notices at the last ulp.
+type CombineFunc = buffers.CombineFunc
+
+// ReduceAlgorithm selects the reduce-scatter schedule (and thereby the
+// first phase of AllReduce).
+type ReduceAlgorithm = collective.ReduceAlgorithm
+
+const (
+	// ReduceRing (default) passes each chunk's partial once around the
+	// ring: n-1 rounds, (n-1)*b volume, any group size.
+	ReduceRing = collective.ReduceRing
+	// ReduceHalving is recursive vector halving: log2 n rounds, (n-1)*b
+	// volume, power-of-two group sizes.
+	ReduceHalving = collective.ReduceHalving
+	// ReduceBruck runs the radix-r Bruck index schedule and combines at
+	// the destination: C1/C2 are the index algorithm's, so WithRadix
+	// dials the paper's trade-off for reductions too.
+	ReduceBruck = collective.ReduceBruck
+)
+
+// ReduceKind selects the operation CompileReduce compiles:
+// ReduceScatterKind or AllReduceKind.
+type ReduceKind = collective.ReduceKind
+
+const (
+	ReduceScatterKind = collective.ReduceScatterKind
+	AllReduceKind     = collective.AllReduceKind
+)
+
+// WithKernel selects the built-in elementwise reduction kernel for a
+// reduction collective: op over elements of type t. The block size must
+// be a multiple of the element size. Required (or WithCombine) on every
+// reduction call with a nonzero block size.
+func WithKernel(op ReduceOp, t DataType) CollectiveOption {
+	return func(c *callConfig) {
+		c.kernelOp, c.kernelTyp, c.kernelSet = op, t, true
+		c.combine = nil
+	}
+}
+
+// WithCombine plugs a user reduction into a reduction collective.
+// Plans compiled for a user kernel are not cached — the plan cache
+// cannot tell two functions apart — so hold the Plan from CompileReduce
+// when calling repeatedly. See CombineFunc for the safety rules.
+func WithCombine(fn CombineFunc) CollectiveOption {
+	return func(c *callConfig) {
+		c.combine = fn
+		c.kernelSet = false
+	}
+}
+
+// WithReduceAlgorithm selects the reduce-scatter schedule (ReduceRing,
+// ReduceHalving, ReduceBruck). For ReduceBruck, WithRadix selects the
+// index radix. WithAuto overrides this with the cost-model verdict.
+func WithReduceAlgorithm(a ReduceAlgorithm) CollectiveOption {
+	return func(c *callConfig) { c.reduceAlg = a }
 }
 
 func (m *Machine) call(opts []CollectiveOption) callConfig {
@@ -588,12 +689,178 @@ func (m *Machine) CompileConcat(blockLen int, opts ...CollectiveOption) (*Plan, 
 // RunPlans executes several compiled plans concurrently inside one
 // engine run. The plans must belong to this machine, their groups must
 // be pairwise disjoint, and each must carry buffers attached with
-// Plan.Bind. Every plan keeps its own Report (per-group metrics); the
-// k-port constraint is still enforced per processor. Results are
-// byte-identical to executing the plans sequentially.
+// Plan.Bind (BindV for layout plans). Fixed-size, ragged and reduction
+// plans may share a pass. Every plan keeps its own Report (per-group
+// metrics); the k-port constraint is still enforced per processor.
+// Results are byte-identical to executing the plans sequentially.
 func (m *Machine) RunPlans(plans []*Plan) ([]*Report, error) {
 	return collective.ExecutePlans(m.engine, plans)
 }
+
+// reduceOptions resolves one reduction call's configuration into the
+// implementation options: the built-in kernel named by WithKernel (with
+// its element size and cache identity) or the raw WithCombine function.
+func (c callConfig) reduceOptions() (collective.ReduceOptions, error) {
+	opt := collective.ReduceOptions{
+		Algorithm: c.reduceAlg,
+		Radix:     c.indexOpt.Radix,
+		LastRound: c.concatOpt.LastRound,
+	}
+	switch {
+	case c.combine != nil:
+		opt.Kernel = c.combine
+	case c.kernelSet:
+		fn, err := buffers.Kernel(c.kernelOp, c.kernelTyp)
+		if err != nil {
+			return opt, err
+		}
+		opt.Kernel = fn
+		opt.ElemSize = c.kernelTyp.Size()
+		opt.KernelKey = c.kernelOp.String() + "/" + c.kernelTyp.String()
+	}
+	return opt, nil
+}
+
+// reducePlan resolves the plan of one reduction call: auto-dispatched
+// or the configured algorithm, through the plan cache (user kernels
+// compile fresh, see WithCombine).
+func (m *Machine) reducePlan(cfg callConfig, kind ReduceKind, blockLen int) (*Plan, error) {
+	opt, err := cfg.reduceOptions()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.auto != nil {
+		return m.plans.AutoReducePlan(m.engine, cfg.group, kind, blockLen, opt, *cfg.auto)
+	}
+	return m.plans.ReducePlan(m.engine, cfg.group, kind, blockLen, opt)
+}
+
+// ReduceScatterFlat is the zero-copy reduce-scatter: in is an
+// index-shaped flat buffer (NewIndexBuffers) whose Block(i, j) is group
+// rank i's contribution to chunk j, and out a concat-shaped one
+// (NewConcatBuffers); afterwards out.Block(i, 0) is the elementwise
+// combination over j of in.Block(j, i) under the kernel selected with
+// WithKernel or WithCombine. The data movement is the index
+// operation's; the combine is applied on receive in place of the plain
+// copy. ReduceScatterFlat routes through the plan cache exactly like
+// IndexFlat.
+func (m *Machine) ReduceScatterFlat(in, out *Buffers, opts ...CollectiveOption) (*Report, error) {
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("bruck: nil flat buffer")
+	}
+	pl, err := m.reducePlan(m.call(opts), ReduceScatterKind, in.BlockLen())
+	if err != nil {
+		return nil, err
+	}
+	return pl.Execute(in, out)
+}
+
+// AllReduceFlat is the zero-copy allreduce: in and out are both
+// index-shaped (NewIndexBuffers), in.Block(i, j) is rank i's
+// contribution to chunk j, and afterwards out.Block(i, j) is the
+// combination over p of in.Block(p, j) — identical on every rank. The
+// schedule is the classic composition reduce-scatter + allgather: the
+// reduce-scatter phase selected by WithReduceAlgorithm (or WithAuto)
+// followed by the paper's circulant concatenation, inside one simulated
+// run.
+func (m *Machine) AllReduceFlat(in, out *Buffers, opts ...CollectiveOption) (*Report, error) {
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("bruck: nil flat buffer")
+	}
+	pl, err := m.reducePlan(m.call(opts), AllReduceKind, in.BlockLen())
+	if err != nil {
+		return nil, err
+	}
+	return pl.Execute(in, out)
+}
+
+// ReduceScatter is the legacy-slice reduce-scatter: in[i][j] is group
+// rank i's contribution to chunk j (all blocks equal-size), and the
+// result's element i is rank i's fully combined chunk i. A convenience
+// adapter over ReduceScatterFlat — one copy in, one copy out;
+// allocation-sensitive callers should use ReduceScatterFlat.
+func (m *Machine) ReduceScatter(in [][][]byte, opts ...CollectiveOption) ([][]byte, *Report, error) {
+	fin, err := buffers.FromMatrix(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := m.call(opts)
+	fout, err := buffers.New(cfg.group.Size(), 1, fin.BlockLen())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.ReduceScatterFlat(fin, fout, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := fout.ToVector()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, res, nil
+}
+
+// AllReduce is the legacy-slice allreduce: in[i][j] is group rank i's
+// contribution to chunk j; the result satisfies out[i][j] = the
+// combination over p of in[p][j] on every rank i. A convenience adapter
+// over AllReduceFlat.
+func (m *Machine) AllReduce(in [][][]byte, opts ...CollectiveOption) ([][][]byte, *Report, error) {
+	fin, err := buffers.FromMatrix(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := m.call(opts)
+	fout, err := buffers.New(cfg.group.Size(), cfg.group.Size(), fin.BlockLen())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.AllReduceFlat(fin, fout, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fout.ToMatrix(), res, nil
+}
+
+// CompileReduce compiles (and caches) the reduction selected by kind —
+// ReduceScatterKind or AllReduceKind — for the given block size and
+// options. The returned plan's Execute takes an index-shaped input and
+// a concat-shaped (reduce-scatter) or index-shaped (allreduce) output;
+// Bind attaches such a pair for RunPlans, where reduction plans run
+// concurrently with index, concat and layout plans on disjoint groups.
+// With WithAuto the returned plan is the cost-model winner over the
+// candidate reduce-scatter schedules.
+func (m *Machine) CompileReduce(kind ReduceKind, blockLen int, opts ...CollectiveOption) (*Plan, error) {
+	return m.reducePlan(m.call(opts), kind, blockLen)
+}
+
+// Typed element views, re-exported from the buffer layer: encode typed
+// vectors into the little-endian byte layout the built-in kernels
+// reduce over, and decode slabs back. The Put variants require dst to
+// hold exactly len(vals) elements.
+
+// PutInt32s encodes vals into dst little-endian.
+func PutInt32s(dst []byte, vals []int32) { buffers.PutInt32s(dst, vals) }
+
+// Int32s decodes src as little-endian int32 elements.
+func Int32s(src []byte) []int32 { return buffers.Int32s(src) }
+
+// PutInt64s encodes vals into dst little-endian.
+func PutInt64s(dst []byte, vals []int64) { buffers.PutInt64s(dst, vals) }
+
+// Int64s decodes src as little-endian int64 elements.
+func Int64s(src []byte) []int64 { return buffers.Int64s(src) }
+
+// PutFloat32s encodes vals into dst little-endian.
+func PutFloat32s(dst []byte, vals []float32) { buffers.PutFloat32s(dst, vals) }
+
+// Float32s decodes src as little-endian float32 elements.
+func Float32s(src []byte) []float32 { return buffers.Float32s(src) }
+
+// PutFloat64s encodes vals into dst little-endian.
+func PutFloat64s(dst []byte, vals []float64) { buffers.PutFloat64s(dst, vals) }
+
+// Float64s decodes src as little-endian float64 elements.
+func Float64s(src []byte) []float64 { return buffers.Float64s(src) }
 
 // Broadcast sends root's data to every group member; the result holds
 // each member's copy.

@@ -1,0 +1,616 @@
+package bruck
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bruck/internal/buffers"
+	"bruck/internal/costmodel"
+	"bruck/internal/lowerbound"
+)
+
+// reduceTestBlockLen holds whole elements of every built-in type.
+const reduceTestBlockLen = 16
+
+// allKernels enumerates every built-in (op, type) kernel pair.
+var allKernels = func() []struct {
+	op  ReduceOp
+	typ DataType
+} {
+	var out []struct {
+		op  ReduceOp
+		typ DataType
+	}
+	for _, op := range []ReduceOp{ReduceSum, ReduceMin, ReduceMax} {
+		for _, typ := range []DataType{Int32, Int64, Float32, Float64} {
+			out = append(out, struct {
+				op  ReduceOp
+				typ DataType
+			}{op, typ})
+		}
+	}
+	return out
+}()
+
+// fillReduceInput writes deterministic small integer-valued elements
+// (in [-8, 8)) of the given type into every block. Small integers are
+// exactly representable in float32/float64 and sums of up to 16 of
+// them stay exact, so byte equivalence holds across combine orders —
+// which is what lets one reference serve every algorithm.
+func fillReduceInput(in *Buffers, typ DataType, seed int) {
+	data := in.Bytes()
+	elems := len(data) / typ.Size()
+	for e := 0; e < elems; e++ {
+		v := (seed+e*7)%16 - 8
+		switch typ {
+		case Int32:
+			buffers.PutInt32s(data[e*4:], []int32{int32(v)})
+		case Int64:
+			buffers.PutInt64s(data[e*8:], []int64{int64(v)})
+		case Float32:
+			buffers.PutFloat32s(data[e*4:], []float32{float32(v)})
+		case Float64:
+			buffers.PutFloat64s(data[e*8:], []float64{float64(v)})
+		}
+	}
+}
+
+// refReduce returns the reference reduction of chunk j: the combination
+// of every rank's contribution to j, applied in rank order.
+func refReduce(in *Buffers, j int, fn CombineFunc) []byte {
+	acc := append([]byte(nil), in.Block(0, j)...)
+	for p := 1; p < in.Procs(); p++ {
+		if len(acc) > 0 {
+			fn(acc, in.Block(p, j))
+		}
+	}
+	return acc
+}
+
+// machineSizes skips (n, k) pairs the engine rejects.
+func portsOK(n, k int) bool {
+	maxK := n - 1
+	if maxK < 1 {
+		maxK = 1
+	}
+	return k <= maxK
+}
+
+// TestAllReduceEquivalence is the acceptance suite: AllReduce matches a
+// direct reference reduce byte-for-byte for n = 1..16, k = 1..3, every
+// built-in kernel, on both transports.
+func TestAllReduceEquivalence(t *testing.T) {
+	for _, backend := range []Backend{BackendChan, BackendSlot} {
+		for k := 1; k <= 3; k++ {
+			for n := 1; n <= 16; n++ {
+				if !portsOK(n, k) {
+					continue
+				}
+				m := MustNewMachine(n, Ports(k), WithTransport(backend))
+				for _, ker := range allKernels {
+					in, err := NewIndexBuffers(n, reduceTestBlockLen)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fillReduceInput(in, ker.typ, n*31+k*7)
+					out, err := NewIndexBuffers(n, reduceTestBlockLen)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := m.AllReduceFlat(in, out, WithKernel(ker.op, ker.typ))
+					if err != nil {
+						t.Fatalf("%v n=%d k=%d %v/%v: %v", backend, n, k, ker.op, ker.typ, err)
+					}
+					fn, err := buffers.Kernel(ker.op, ker.typ)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j := 0; j < n; j++ {
+						want := refReduce(in, j, fn)
+						for i := 0; i < n; i++ {
+							if !bytes.Equal(out.Block(i, j), want) {
+								t.Fatalf("%v n=%d k=%d %v/%v: out[%d][%d] = %v, want %v",
+									backend, n, k, ker.op, ker.typ, i, j, out.Block(i, j), want)
+							}
+						}
+					}
+					if rep.C1 < rep.C1LowerBound {
+						t.Errorf("%v n=%d k=%d: C1 = %d below bound %d", backend, n, k, rep.C1, rep.C1LowerBound)
+					}
+					if rep.C2 < rep.C2LowerBound {
+						t.Errorf("%v n=%d k=%d: C2 = %d below bound %d", backend, n, k, rep.C2, rep.C2LowerBound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReduceScatterAlgorithmsMatchReference runs every reduce-scatter
+// schedule — ring, recursive halving where the size allows, and the
+// Bruck family at its radix extremes — against the reference reduce,
+// and checks the measured schedule matches the compiled prediction.
+func TestReduceScatterAlgorithmsMatchReference(t *testing.T) {
+	fn, err := buffers.Kernel(buffers.Sum, buffers.Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []Backend{BackendChan, BackendSlot} {
+		for k := 1; k <= 3; k++ {
+			for n := 1; n <= 16; n++ {
+				if !portsOK(n, k) {
+					continue
+				}
+				m := MustNewMachine(n, Ports(k), WithTransport(backend))
+				algs := []struct {
+					name string
+					opts []CollectiveOption
+				}{
+					{"ring", []CollectiveOption{WithReduceAlgorithm(ReduceRing)}},
+					{"bruck r=2", []CollectiveOption{WithReduceAlgorithm(ReduceBruck), WithRadix(2)}},
+					{"bruck r=n", []CollectiveOption{WithReduceAlgorithm(ReduceBruck), WithRadix(n)}},
+				}
+				if n&(n-1) == 0 && n > 1 {
+					algs = append(algs, struct {
+						name string
+						opts []CollectiveOption
+					}{"halving", []CollectiveOption{WithReduceAlgorithm(ReduceHalving)}})
+				}
+				in, err := NewIndexBuffers(n, reduceTestBlockLen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fillReduceInput(in, Int32, n*13+k)
+				want := make([][]byte, n)
+				for j := 0; j < n; j++ {
+					want[j] = refReduce(in, j, fn)
+				}
+				for _, alg := range algs {
+					if n == 1 && alg.name == "bruck r=2" {
+						continue // radix 2 > n is rejected for n = 1
+					}
+					out, err := NewConcatBuffers(n, reduceTestBlockLen)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := append([]CollectiveOption{WithKernel(ReduceSum, Int32)}, alg.opts...)
+					rep, err := m.ReduceScatterFlat(in, out, opts...)
+					if err != nil {
+						t.Fatalf("%v n=%d k=%d %s: %v", backend, n, k, alg.name, err)
+					}
+					for i := 0; i < n; i++ {
+						if !bytes.Equal(out.Block(i, 0), want[i]) {
+							t.Fatalf("%v n=%d k=%d %s: chunk %d = %v, want %v",
+								backend, n, k, alg.name, i, out.Block(i, 0), want[i])
+						}
+					}
+					pl, err := m.CompileReduce(ReduceScatterKind, reduceTestBlockLen, alg.opts...)
+					_ = pl
+					if err == nil {
+						// CompileReduce without a kernel must fail; with one it
+						// must predict the measured schedule exactly.
+						t.Fatalf("%v n=%d k=%d %s: CompileReduce without kernel accepted", backend, n, k, alg.name)
+					}
+					pl, err = m.CompileReduce(ReduceScatterKind, reduceTestBlockLen, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.C1 != pl.Rounds() || rep.C2 != pl.PredictedC2() {
+						t.Errorf("%v n=%d k=%d %s: measured (C1, C2) = (%d, %d), compiled predicts (%d, %d)",
+							backend, n, k, alg.name, rep.C1, rep.C2, pl.Rounds(), pl.PredictedC2())
+					}
+					if rep.C2 < lowerbound.ReduceScatterVolume(n, reduceTestBlockLen, k) {
+						t.Errorf("%v n=%d k=%d %s: C2 = %d below the send-side bound", backend, n, k, alg.name, rep.C2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllReduceLegacyMatchesFlat pins the legacy-slice wrappers to the
+// flat path, and the reduce-scatter + allgather composition to its
+// parts: every output row equals the reduce-scatter result gathered
+// everywhere.
+func TestAllReduceLegacyMatchesFlat(t *testing.T) {
+	const n, bl = 6, 8
+	m := MustNewMachine(n, Ports(2))
+	in := make([][][]byte, n)
+	for i := range in {
+		in[i] = make([][]byte, n)
+		for j := range in[i] {
+			in[i][j] = make([]byte, bl)
+			fill := &Buffers{}
+			_ = fill
+			for e := 0; e < bl/4; e++ {
+				buffers.PutInt32s(in[i][j][e*4:], []int32{int32((i*n+j+e)%16 - 8)})
+			}
+		}
+	}
+	chunks, rsRep, err := m.ReduceScatter(in, WithKernel(ReduceSum, Int32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, arRep, err := m.AllReduce(in, WithKernel(ReduceSum, Int32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !bytes.Equal(full[i][j], chunks[j]) {
+				t.Fatalf("allreduce[%d][%d] = %v, reduce-scatter chunk %d = %v", i, j, full[i][j], j, chunks[j])
+			}
+		}
+	}
+	if arRep.C1 <= rsRep.C1 {
+		t.Errorf("allreduce C1 = %d should exceed reduce-scatter C1 = %d (it appends the concatenation)", arRep.C1, rsRep.C1)
+	}
+}
+
+// TestReduceZeroBlockLen pins the zero-length edge: a zero block size
+// must neither invoke the kernel on empty slabs nor fail — empty
+// messages keep the round structure (the pool's zero-length fast path)
+// and every output stays empty.
+func TestReduceZeroBlockLen(t *testing.T) {
+	for _, alg := range []ReduceAlgorithm{ReduceRing, ReduceHalving, ReduceBruck} {
+		calls := 0
+		counting := func(dst, src []byte) { calls++ }
+		m := MustNewMachine(4, Ports(2))
+		in, err := NewIndexBuffers(4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := NewIndexBuffers(4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.AllReduceFlat(in, out, WithReduceAlgorithm(alg), WithCombine(counting))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if calls != 0 {
+			t.Errorf("%v: kernel invoked %d times on empty slabs", alg, calls)
+		}
+		if rep.C2 != 0 {
+			t.Errorf("%v: C2 = %d for zero-length blocks", alg, rep.C2)
+		}
+		if rep.C1 == 0 {
+			t.Errorf("%v: round structure collapsed for zero-length blocks", alg)
+		}
+		// Without any kernel at all, a zero block size is still fine.
+		if _, err := m.ReduceScatterFlat(in, NewBuffersOrDie(t, 4, 1, 0), WithReduceAlgorithm(alg)); err != nil {
+			t.Errorf("%v: kernel-less zero-length reduce-scatter failed: %v", alg, err)
+		}
+	}
+}
+
+func NewBuffersOrDie(t *testing.T, procs, blocks, blockLen int) *Buffers {
+	t.Helper()
+	b, err := NewBuffers(procs, blocks, blockLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRunPlansMixesReductions drives an index plan, a concat plan and
+// an allreduce plan on three disjoint groups through one RunPlans pass
+// and verifies all three against their defining permutations.
+func TestRunPlansMixesReductions(t *testing.T) {
+	const per, bl = 4, 8
+	m := MustNewMachine(3 * per)
+	groups := make([]*Group, 3)
+	for gi := range groups {
+		ids := make([]int, per)
+		for i := range ids {
+			ids[i] = gi*per + i
+		}
+		g, err := m.NewGroup(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[gi] = g
+	}
+
+	idxIn := NewBuffersOrDie(t, per, per, bl)
+	idxOut := NewBuffersOrDie(t, per, per, bl)
+	catIn := NewBuffersOrDie(t, per, 1, bl)
+	catOut := NewBuffersOrDie(t, per, per, bl)
+	redIn := NewBuffersOrDie(t, per, per, bl)
+	redOut := NewBuffersOrDie(t, per, per, bl)
+	for i, b := range []*Buffers{idxIn, catIn} {
+		data := b.Bytes()
+		for x := range data {
+			data[x] = byte(x*7 + i)
+		}
+	}
+	fillReduceInput(redIn, Int64, 3)
+
+	idxPlan, err := m.CompileIndex(bl, OnGroup(groups[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	catPlan, err := m.CompileConcat(bl, OnGroup(groups[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	redPlan, err := m.CompileReduce(AllReduceKind, bl, OnGroup(groups[2]), WithKernel(ReduceMax, Int64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idxPlan.Bind(idxIn, idxOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := catPlan.Bind(catIn, catOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := redPlan.Bind(redIn, redOut); err != nil {
+		t.Fatal(err)
+	}
+
+	reports, err := m.RunPlans([]*Plan{idxPlan, catPlan, redPlan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for i := 0; i < per; i++ {
+		for j := 0; j < per; j++ {
+			if !bytes.Equal(idxOut.Block(i, j), idxIn.Block(j, i)) {
+				t.Fatalf("index out[%d][%d] wrong", i, j)
+			}
+			if !bytes.Equal(catOut.Block(i, j), catIn.Block(j, 0)) {
+				t.Fatalf("concat out[%d][%d] wrong", i, j)
+			}
+		}
+	}
+	fn, err := buffers.Kernel(buffers.Max, buffers.Int64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < per; j++ {
+		want := refReduce(redIn, j, fn)
+		for i := 0; i < per; i++ {
+			if !bytes.Equal(redOut.Block(i, j), want) {
+				t.Fatalf("allreduce out[%d][%d] = %v, want %v", i, j, redOut.Block(i, j), want)
+			}
+		}
+	}
+	if reports[2].C2LowerBound != lowerbound.AllReduceVolume(per, bl, 1) {
+		t.Errorf("allreduce report lower bound %d wrong", reports[2].C2LowerBound)
+	}
+}
+
+// TestAutoReduceDispatch checks that the cost-model dispatcher never
+// does worse than any explicit candidate, picks a log-round schedule on
+// a latency-bound profile, and memoizes its verdict.
+func TestAutoReduceDispatch(t *testing.T) {
+	const n, bl = 16, 64
+	m := MustNewMachine(n)
+	kernel := WithKernel(ReduceSum, Float64)
+
+	auto, err := m.CompileReduce(ReduceScatterKind, bl, kernel, WithAuto(costmodel.HighLatency))
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := [][]CollectiveOption{
+		{kernel, WithReduceAlgorithm(ReduceRing)},
+		{kernel, WithReduceAlgorithm(ReduceHalving)},
+		{kernel, WithReduceAlgorithm(ReduceBruck), WithRadix(2)},
+		{kernel, WithReduceAlgorithm(ReduceBruck), WithRadix(n)},
+	}
+	for _, copts := range candidates {
+		pl, err := m.CompileReduce(ReduceScatterKind, bl, copts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auto.Time(costmodel.HighLatency) > pl.Time(costmodel.HighLatency)+1e-15 {
+			t.Errorf("auto picked %s (%g), worse than %s (%g)",
+				auto.Algorithm(), auto.Time(costmodel.HighLatency), pl.Algorithm(), pl.Time(costmodel.HighLatency))
+		}
+	}
+	if auto.Algorithm() == "ring" {
+		t.Errorf("latency-bound profile picked the %d-round ring", n-1)
+	}
+	again, err := m.CompileReduce(ReduceScatterKind, bl, kernel, WithAuto(costmodel.HighLatency))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != auto {
+		t.Error("auto verdict was not memoized")
+	}
+
+	// A bandwidth-bound profile prefers a volume-optimal schedule.
+	cheap, err := m.CompileReduce(ReduceScatterKind, bl, kernel, WithAuto(costmodel.LowLatency))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cheap.PredictedC2(); got != (n-1)*bl {
+		t.Errorf("bandwidth-bound verdict %s has C2 = %d, want the volume-optimal %d", cheap.Algorithm(), got, (n-1)*bl)
+	}
+}
+
+// TestReducePlanCacheIdentity pins the caching rules: built-in kernel
+// configurations hit the cache, user kernels never do.
+func TestReducePlanCacheIdentity(t *testing.T) {
+	const n, bl = 8, 16
+	m := MustNewMachine(n)
+	a, err := m.CompileReduce(AllReduceKind, bl, WithKernel(ReduceSum, Int32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.CompileReduce(AllReduceKind, bl, WithKernel(ReduceSum, Int32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical built-in kernel configurations compiled twice")
+	}
+	c, err := m.CompileReduce(AllReduceKind, bl, WithKernel(ReduceMin, Int32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different kernels shared one plan")
+	}
+	// Option fields the plan ignores are normalized out of the key: a
+	// radix on the ring schedule, a last-round policy on reduce-scatter.
+	ringA, err := m.CompileReduce(ReduceScatterKind, bl, WithKernel(ReduceSum, Int32), WithReduceAlgorithm(ReduceRing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringB, err := m.CompileReduce(ReduceScatterKind, bl, WithKernel(ReduceSum, Int32), WithReduceAlgorithm(ReduceRing),
+		WithRadix(5), WithLastRoundPolicy(LastRoundMinVolume))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ringA != ringB {
+		t.Error("ignored option fields fragmented the reduce-plan cache")
+	}
+	user := func(dst, src []byte) {}
+	d, err := m.CompileReduce(AllReduceKind, bl, WithCombine(user))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.CompileReduce(AllReduceKind, bl, WithCombine(user))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == e {
+		t.Error("user-kernel plans must not be cached")
+	}
+}
+
+// TestReduceValidation exercises the compile- and execute-time error
+// paths of the reduction entry points.
+func TestReduceValidation(t *testing.T) {
+	const n, bl = 6, 16
+	m := MustNewMachine(n)
+	in := NewBuffersOrDie(t, n, n, bl)
+	outRS := NewBuffersOrDie(t, n, 1, bl)
+	outAR := NewBuffersOrDie(t, n, n, bl)
+
+	if _, err := m.ReduceScatterFlat(in, outRS); err == nil {
+		t.Error("reduce without a kernel accepted")
+	}
+	if _, err := m.ReduceScatterFlat(in, outRS, WithKernel(ReduceSum, Float64), WithReduceAlgorithm(ReduceHalving)); err == nil {
+		t.Error("halving on a non-power-of-two group accepted")
+	}
+	odd := NewBuffersOrDie(t, n, n, 10)
+	oddOut := NewBuffersOrDie(t, n, 1, 10)
+	if _, err := m.ReduceScatterFlat(odd, oddOut, WithKernel(ReduceSum, Float64)); err == nil {
+		t.Error("block size not divisible by the element size accepted")
+	}
+	if _, err := m.ReduceScatterFlat(in, outAR, WithKernel(ReduceSum, Int32)); err == nil {
+		t.Error("index-shaped output accepted for reduce-scatter")
+	}
+	if _, err := m.AllReduceFlat(in, outRS, WithKernel(ReduceSum, Int32)); err == nil {
+		t.Error("concat-shaped output accepted for allreduce")
+	}
+	if _, err := m.ReduceScatterFlat(in, nil, WithKernel(ReduceSum, Int32)); err == nil {
+		t.Error("nil output accepted")
+	}
+	if _, err := m.CompileReduce(ReduceScatterKind, bl, WithKernel(ReduceSum, Int32), WithReduceAlgorithm(ReduceBruck), WithRadix(n+1)); err == nil {
+		t.Error("radix above n accepted")
+	}
+	pl, err := m.CompileReduce(ReduceScatterKind, bl, WithKernel(ReduceSum, Int32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Bind(in, outAR); err == nil {
+		t.Error("Bind accepted an index-shaped output on a reduce-scatter plan")
+	}
+	if err := pl.Bind(in, outRS); err != nil {
+		t.Errorf("Bind rejected the correct shapes: %v", err)
+	}
+}
+
+// TestReduceOnGroup runs a reduction on a strict subgroup, with
+// out-of-group processors idle.
+func TestReduceOnGroup(t *testing.T) {
+	const n, per, bl = 8, 4, 8
+	m := MustNewMachine(n)
+	g, err := m.NewGroup([]int{1, 3, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewBuffersOrDie(t, per, per, bl)
+	fillReduceInput(in, Float32, 11)
+	out := NewBuffersOrDie(t, per, 1, bl)
+	if _, err := m.ReduceScatterFlat(in, out, OnGroup(g), WithKernel(ReduceMin, Float32)); err != nil {
+		t.Fatal(err)
+	}
+	fn, err := buffers.Kernel(buffers.Min, buffers.Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < per; i++ {
+		if want := refReduce(in, i, fn); !bytes.Equal(out.Block(i, 0), want) {
+			t.Fatalf("group chunk %d = %v, want %v", i, out.Block(i, 0), want)
+		}
+	}
+}
+
+// TestReduceReportsAgainstBounds sweeps the compiled predictions
+// against the reduction lower bounds.
+func TestReduceReportsAgainstBounds(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		for n := 2; n <= 16; n++ {
+			if !portsOK(n, k) {
+				continue
+			}
+			m := MustNewMachine(n, Ports(k))
+			for _, kind := range []ReduceKind{ReduceScatterKind, AllReduceKind} {
+				pl, err := m.CompileReduce(kind, reduceTestBlockLen, WithKernel(ReduceSum, Int32))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var c1lb, c2lb int
+				if kind == ReduceScatterKind {
+					c1lb = lowerbound.ReduceScatterRounds(n, k)
+					c2lb = lowerbound.ReduceScatterVolume(n, reduceTestBlockLen, k)
+				} else {
+					c1lb = lowerbound.AllReduceRounds(n, k)
+					c2lb = lowerbound.AllReduceVolume(n, reduceTestBlockLen, k)
+				}
+				if pl.Rounds() < c1lb {
+					t.Errorf("%v n=%d k=%d: C1 = %d below bound %d", kind, n, k, pl.Rounds(), c1lb)
+				}
+				if pl.PredictedC2() < c2lb {
+					t.Errorf("%v n=%d k=%d: C2 = %d below bound %d", kind, n, k, pl.PredictedC2(), c2lb)
+				}
+				if pl.C2LowerBound() != c2lb {
+					t.Errorf("%v n=%d k=%d: plan carries bound %d, want %d", kind, n, k, pl.C2LowerBound(), c2lb)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceAlgorithmNames pins the reporting surface.
+func TestReduceAlgorithmNames(t *testing.T) {
+	m := MustNewMachine(8)
+	for _, tc := range []struct {
+		kind ReduceKind
+		alg  ReduceAlgorithm
+		op   string
+		name string
+	}{
+		{ReduceScatterKind, ReduceRing, "reduce-scatter", "ring"},
+		{ReduceScatterKind, ReduceHalving, "reduce-scatter", "halving"},
+		{AllReduceKind, ReduceBruck, "allreduce", "bruck"},
+	} {
+		pl, err := m.CompileReduce(tc.kind, 8, WithKernel(ReduceSum, Int32), WithReduceAlgorithm(tc.alg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Op() != tc.op || pl.Algorithm() != tc.name {
+			t.Errorf("plan reports (%s, %s), want (%s, %s)", pl.Op(), pl.Algorithm(), tc.op, tc.name)
+		}
+	}
+	if s := fmt.Sprint(ReduceScatterKind, AllReduceKind); s != "reduce-scatter allreduce" {
+		t.Errorf("kind strings: %q", s)
+	}
+}

@@ -162,3 +162,54 @@ func TestRunRaggedHeavySkewZeroBlocks(t *testing.T) {
 		t.Errorf("study did not verify:\n%s", out)
 	}
 }
+
+// TestRunReduceOps: both reduction operations across algorithms,
+// kernels and transports, each verified against the serial reference
+// inside run.
+func TestRunReduceOps(t *testing.T) {
+	for _, p := range []params{
+		{op: "reducescatter", n: 8, k: 1, b: 16, kernel: "sum:int32"},
+		{op: "reducescatter", n: 8, k: 1, b: 16, alg: "halving", kernel: "min:float64"},
+		{op: "reducescatter", n: 9, k: 2, b: 16, alg: "bruck", radix: "3", kernel: "max:int64", transport: "slot"},
+		{op: "allreduce", n: 8, k: 1, b: 16, kernel: "sum:float32"},
+		{op: "allreduce", n: 12, k: 2, b: 24, alg: "auto", kernel: "sum:int32", transport: "slot"},
+	} {
+		var sb strings.Builder
+		if err := run(&sb, p); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		out := sb.String()
+		for _, want := range []string{p.op + ":", "lower bound", "serial reference reduce: ok"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%+v: output lacks %q:\n%s", p, want, out)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := run(&sb, params{op: "allreduce", n: 8, k: 1, b: 16, alg: "auto", kernel: "sum:int32"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "auto dispatch picked:") {
+		t.Errorf("auto run lacks the dispatch line:\n%s", sb.String())
+	}
+}
+
+// TestRunReduceErrors: kernel and algorithm parse failures.
+func TestRunReduceErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, params{op: "reducescatter", n: 4, k: 1, b: 16, kernel: "nonsense"}); err == nil {
+		t.Error("bad kernel accepted")
+	}
+	if err := run(&sb, params{op: "reducescatter", n: 4, k: 1, b: 16, kernel: "sum:int13"}); err == nil {
+		t.Error("bad element type accepted")
+	}
+	if err := run(&sb, params{op: "allreduce", n: 4, k: 1, b: 16, kernel: "sum:int32", alg: "nonsense"}); err == nil {
+		t.Error("bad reduce algorithm accepted")
+	}
+	if err := run(&sb, params{op: "reducescatter", n: 6, k: 1, b: 16, kernel: "sum:int32", alg: "halving"}); err == nil {
+		t.Error("halving on non-power-of-two accepted")
+	}
+	if err := run(&sb, params{op: "reducescatter", n: 4, k: 1, b: 10, kernel: "sum:int64"}); err == nil {
+		t.Error("block size not divisible by element size accepted")
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunInProcess executes the multi-tenant gradient-averaging loop
+// in-process, including its per-step bit-exact verification against
+// the serial sum.
+func TestRunInProcess(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("ok\n")) {
+		t.Errorf("example did not self-verify:\n%s", out.String())
+	}
+}

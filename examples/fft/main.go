@@ -19,9 +19,11 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/cmplx"
+	"os"
 
 	"bruck"
 )
@@ -29,6 +31,14 @@ import (
 const n = 8 // processors; transform length is n*n = 64
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run computes the distributed FFT and verifies it against the direct
+// DFT; the integration test drives it in-process.
+func run(w io.Writer) error {
 	const L = n * n
 	// Input signal; processor r owns x[r*n .. r*n+n-1].
 	x := make([]complex128, L)
@@ -43,8 +53,10 @@ func main() {
 	m := bruck.MustNewMachine(n)
 
 	// Step 1: transpose, so processor c holds y_c[r] = x[r*n + c].
-	var rep1, rep2 *bruck.Report
-	local, rep1 = transpose(m, local)
+	local, rep1, err := transpose(m, local)
+	if err != nil {
+		return err
+	}
 
 	// Step 2: local FFT over r: processor c now holds
 	// Y[u][c] = sum_r y_c[r] e^{-2pi i u r / n} at local index u.
@@ -60,7 +72,10 @@ func main() {
 	}
 
 	// Step 4: transpose, so processor u holds Z[u][c] over c.
-	local, rep2 = transpose(m, local)
+	local, rep2, err := transpose(m, local)
+	if err != nil {
+		return err
+	}
 
 	// Step 5: local FFT over c: X[u + v*n] = sum_c Z[u][c]
 	// e^{-2pi i v c / n} lands on processor u at local index v.
@@ -87,19 +102,20 @@ func main() {
 		}
 	}
 	if worst > 1e-8 {
-		log.Fatalf("FFT mismatch: worst coefficient error %g", worst)
+		return fmt.Errorf("FFT mismatch: worst coefficient error %g", worst)
 	}
-	fmt.Printf("distributed %d-point FFT on %d processors\n", L, n)
-	fmt.Printf("  transpose 1: %s\n", rep1)
-	fmt.Printf("  transpose 2: %s\n", rep2)
-	fmt.Printf("  worst coefficient error vs direct DFT: %.2e\n", worst)
-	fmt.Println("ok")
+	fmt.Fprintf(w, "distributed %d-point FFT on %d processors\n", L, n)
+	fmt.Fprintf(w, "  transpose 1: %s\n", rep1)
+	fmt.Fprintf(w, "  transpose 2: %s\n", rep2)
+	fmt.Fprintf(w, "  worst coefficient error vs direct DFT: %.2e\n", worst)
+	fmt.Fprintln(w, "ok")
+	return nil
 }
 
 // transpose exchanges local[i][j] across processors via the index
 // operation: afterwards processor i holds the old local[j][i] at
 // position j.
-func transpose(m *bruck.Machine, local [][]complex128) ([][]complex128, *bruck.Report) {
+func transpose(m *bruck.Machine, local [][]complex128) ([][]complex128, *bruck.Report, error) {
 	in := make([][][]byte, n)
 	for i := 0; i < n; i++ {
 		in[i] = make([][]byte, n)
@@ -109,7 +125,7 @@ func transpose(m *bruck.Machine, local [][]complex128) ([][]complex128, *bruck.R
 	}
 	out, rep, err := m.Index(in, bruck.WithRadix(2))
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, err
 	}
 	res := make([][]complex128, n)
 	for i := 0; i < n; i++ {
@@ -118,7 +134,7 @@ func transpose(m *bruck.Machine, local [][]complex128) ([][]complex128, *bruck.R
 			res[i][j] = decodeComplex(out[i][j])
 		}
 	}
-	return res, rep
+	return res, rep, nil
 }
 
 // fft is an in-place radix-2 Cooley-Tukey FFT; len(a) must be a power

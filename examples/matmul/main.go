@@ -13,8 +13,10 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"bruck"
 )
@@ -25,6 +27,14 @@ const (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run performs the distributed multiplication and verifies it against
+// the serial product; the integration test drives it in-process.
+func run(w io.Writer) error {
 	rowsPer := N / n
 	var a, b [N][N]float64
 	for r := 0; r < N; r++ {
@@ -51,9 +61,9 @@ func main() {
 	m := bruck.MustNewMachine(n, bruck.Ports(2)) // a 2-port machine
 	all, rep, err := m.Concat(in)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("allgathered B's row blocks on %d processors (k=2): %s\n", n, rep)
+	fmt.Fprintf(w, "allgathered B's row blocks on %d processors (k=2): %s\n", n, rep)
 
 	// Every processor reconstructs the full B and multiplies its rows
 	// of A against it.
@@ -94,9 +104,10 @@ func main() {
 		}
 	}
 	if worst > 1e-12 {
-		log.Fatalf("matmul mismatch: worst error %g", worst)
+		return fmt.Errorf("matmul mismatch: worst error %g", worst)
 	}
-	fmt.Printf("C = A*B (%dx%d) verified, worst element error %.2e\n", N, N, worst)
-	fmt.Printf("estimated communication time on SP-1: %.1fus\n", rep.Time(bruck.SP1)*1e6)
-	fmt.Println("ok")
+	fmt.Fprintf(w, "C = A*B (%dx%d) verified, worst element error %.2e\n", N, N, worst)
+	fmt.Fprintf(w, "estimated communication time on SP-1: %.1fus\n", rep.Time(bruck.SP1)*1e6)
+	fmt.Fprintln(w, "ok")
+	return nil
 }

@@ -13,7 +13,9 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"bruck"
 )
@@ -26,6 +28,14 @@ const (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run performs the redistribution and verifies the cyclic layout on
+// every processor; the integration test drives it in-process.
+func run(w io.Writer) error {
 	// Global array for verification.
 	data := make([]uint32, L)
 	for i := range data {
@@ -64,10 +74,10 @@ func main() {
 	r := bruck.OptimalRadix(bruck.SP1, n, stride*4, 1, true)
 	out, rep, err := m.Index(in, bruck.WithRadix(r))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("remapped (block,*) -> (cyclic,*): %d rows of %d elements over %d processors\n", rows, stride, n)
-	fmt.Printf("  tuned power-of-two radix: %d, schedule: %s\n", r, rep)
+	fmt.Fprintf(w, "remapped (block,*) -> (cyclic,*): %d rows of %d elements over %d processors\n", rows, stride, n)
+	fmt.Fprintf(w, "  tuned power-of-two radix: %d, schedule: %s\n", r, rep)
 
 	// Verify: processor j's cyclic rows are t = j, j+n, j+2n, ...;
 	// out[j][i] carries the rows that came from processor i, i.e. the
@@ -88,12 +98,13 @@ func main() {
 			for e := 0; e < stride; e++ {
 				got := binary.LittleEndian.Uint32(blk[(pos*stride+e)*4:])
 				if got != data[t*stride+e] {
-					log.Fatalf("processor %d row %d element %d: got %d, want %d",
+					return fmt.Errorf("processor %d row %d element %d: got %d, want %d",
 						j, t, e, got, data[t*stride+e])
 				}
 			}
 		}
 	}
-	fmt.Println("cyclic layout verified on every processor")
-	fmt.Println("ok")
+	fmt.Fprintln(w, "cyclic layout verified on every processor")
+	fmt.Fprintln(w, "ok")
+	return nil
 }

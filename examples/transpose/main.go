@@ -10,8 +10,10 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"bruck"
 )
@@ -22,6 +24,15 @@ const (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run transposes the distributed matrix and byte-checks every element
+// against the serial transpose; the integration test drives it
+// in-process.
+func run(w io.Writer) error {
 	rowsPer := N / n
 	// Global matrix for verification; processor i holds rows
 	// [i*rowsPer, (i+1)*rowsPer).
@@ -54,7 +65,7 @@ func main() {
 	m := bruck.MustNewMachine(n)
 	out, rep, err := m.Index(in, bruck.WithRadix(bruck.OptimalRadix(bruck.SP1, n, rowsPer*rowsPer*8, 1, false)))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Reassemble: processor i now holds out[i][j] = tile from processor
@@ -80,11 +91,12 @@ func main() {
 	for r := 0; r < N; r++ {
 		for c := 0; c < N; c++ {
 			if at[r][c] != a[c][r] {
-				log.Fatalf("transpose wrong at (%d,%d): %g != %g", r, c, at[r][c], a[c][r])
+				return fmt.Errorf("transpose wrong at (%d,%d): %g != %g", r, c, at[r][c], a[c][r])
 			}
 		}
 	}
-	fmt.Printf("transposed a %dx%d matrix across %d processors: %s\n", N, N, n, rep)
-	fmt.Printf("estimated time on SP-1: %.1fus\n", rep.Time(bruck.SP1)*1e6)
-	fmt.Println("ok")
+	fmt.Fprintf(w, "transposed a %dx%d matrix across %d processors: %s\n", N, N, n, rep)
+	fmt.Fprintf(w, "estimated time on SP-1: %.1fus\n", rep.Time(bruck.SP1)*1e6)
+	fmt.Fprintln(w, "ok")
+	return nil
 }

@@ -17,7 +17,7 @@ func TestExamplesRun(t *testing.T) {
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skip("go tool not on PATH")
 	}
-	for _, ex := range []string{"quickstart", "transpose", "fft", "matmul", "remap", "serving"} {
+	for _, ex := range []string{"quickstart", "transpose", "fft", "matmul", "remap", "serving", "allreduce"} {
 		ex := ex
 		t.Run(ex, func(t *testing.T) {
 			t.Parallel()

@@ -1,0 +1,153 @@
+package buffers
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestKernelInt32(t *testing.T) {
+	dst := make([]byte, 12)
+	src := make([]byte, 12)
+	PutInt32s(dst, []int32{5, -3, 7})
+	PutInt32s(src, []int32{2, -4, 9})
+	for _, tc := range []struct {
+		op   ReduceOp
+		want []int32
+	}{
+		{Sum, []int32{7, -7, 16}},
+		{Min, []int32{2, -4, 7}},
+		{Max, []int32{5, -3, 9}},
+	} {
+		d := append([]byte(nil), dst...)
+		fn, err := Kernel(tc.op, Int32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(d, src)
+		got := Int32s(d)
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%v int32: element %d = %d, want %d", tc.op, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestKernelAllTypesRoundTrip(t *testing.T) {
+	// Integer-valued data is exactly representable in every type, so sum
+	// over any type must agree with the integer sum.
+	vals := []int{3, -8, 0, 12, 7, -1}
+	for _, typ := range []DataType{Int32, Int64, Float32, Float64} {
+		sz := typ.Size()
+		dst := make([]byte, len(vals)*sz)
+		src := make([]byte, len(vals)*sz)
+		encode := func(b []byte, v []int) {
+			for i, x := range v {
+				switch typ {
+				case Int32:
+					PutInt32s(b[i*4:], []int32{int32(x)})
+				case Int64:
+					PutInt64s(b[i*8:], []int64{int64(x)})
+				case Float32:
+					PutFloat32s(b[i*4:], []float32{float32(x)})
+				case Float64:
+					PutFloat64s(b[i*8:], []float64{float64(x)})
+				}
+			}
+		}
+		encode(dst, vals)
+		encode(src, vals)
+		fn, err := Kernel(Sum, typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(dst, src)
+		want := make([]byte, len(dst))
+		doubled := make([]int, len(vals))
+		for i, v := range vals {
+			doubled[i] = 2 * v
+		}
+		encode(want, doubled)
+		if !bytes.Equal(dst, want) {
+			t.Errorf("%v sum: got % x, want % x", typ, dst, want)
+		}
+	}
+}
+
+func TestKernelFloatSpecials(t *testing.T) {
+	fn, err := Kernel(Max, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 16)
+	src := make([]byte, 16)
+	PutFloat64s(dst, []float64{math.Inf(-1), 1.5})
+	PutFloat64s(src, []float64{2.25, math.Inf(1)})
+	fn(dst, src)
+	got := Float64s(dst)
+	if got[0] != 2.25 || !math.IsInf(got[1], 1) {
+		t.Errorf("float64 max with infinities: %v", got)
+	}
+}
+
+func TestKernelEmptySlab(t *testing.T) {
+	// Kernels are no-ops on empty slabs (the executor additionally
+	// guards user CombineFuncs from ever seeing one).
+	for _, typ := range []DataType{Int32, Int64, Float32, Float64} {
+		fn, err := Kernel(Sum, typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(nil, nil) // must not panic
+		fn([]byte{}, []byte{})
+	}
+}
+
+func TestKernelUnknown(t *testing.T) {
+	if _, err := Kernel(ReduceOp(99), Int32); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := Kernel(Sum, DataType(99)); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if DataType(99).Size() != 0 {
+		t.Error("unknown type has a size")
+	}
+}
+
+func TestTypedViewsRoundTrip(t *testing.T) {
+	i32 := []int32{1, -2, 1 << 30}
+	b := make([]byte, 12)
+	PutInt32s(b, i32)
+	if got := Int32s(b); got[0] != 1 || got[1] != -2 || got[2] != 1<<30 {
+		t.Errorf("int32 round trip: %v", got)
+	}
+	i64 := []int64{-1 << 40, 7}
+	b = make([]byte, 16)
+	PutInt64s(b, i64)
+	if got := Int64s(b); got[0] != -1<<40 || got[1] != 7 {
+		t.Errorf("int64 round trip: %v", got)
+	}
+	f32 := []float32{1.5, -0.25}
+	b = make([]byte, 8)
+	PutFloat32s(b, f32)
+	if got := Float32s(b); got[0] != 1.5 || got[1] != -0.25 {
+		t.Errorf("float32 round trip: %v", got)
+	}
+	f64 := []float64{math.Pi}
+	b = make([]byte, 8)
+	PutFloat64s(b, f64)
+	if got := Float64s(b); got[0] != math.Pi {
+		t.Errorf("float64 round trip: %v", got)
+	}
+}
+
+func TestReduceStrings(t *testing.T) {
+	if Sum.String() != "sum" || Min.String() != "min" || Max.String() != "max" {
+		t.Error("op strings wrong")
+	}
+	if Int32.String() != "int32" || Float64.String() != "float64" {
+		t.Error("type strings wrong")
+	}
+}

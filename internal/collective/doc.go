@@ -103,6 +103,45 @@
 //     concurrent use from multiple goroutines; the concurrency model
 //     is disjoint groups inside one run, not concurrent Executes.
 //
+// # Reduction plans
+//
+// ReduceScatter and AllReduce (rplan.go) extend the machinery to the
+// classic reduction composition allreduce = reduce-scatter + allgather.
+// The reduce-scatter phase has the index operation's data movement plus
+// an elementwise combine, and the allgather phase is the concatenation,
+// so CompileReduce reuses the compiled Bruck-index rounds (ReduceBruck)
+// and the circulant-concatenation rounds (the AllReduce second phase)
+// verbatim; the ring and recursive-halving schedules combine on receive
+// directly. buffers.CombineFunc is the one new ingredient: the executor
+// applies it where a plain collective would copy.
+//
+// Reduction-plan lifecycle rules, in addition to the plan rules above:
+//
+//   - The kernel is part of the compiled plan: PlanCache keys built-in
+//     kernels by their (op, type) identity, and configurations with an
+//     anonymous user kernel are compiled fresh on every call and never
+//     cached — the cache cannot tell two functions apart. Callers that
+//     reuse a user kernel should hold the Plan themselves.
+//   - Kernel-safety: a CombineFunc must treat dst and src as
+//     non-overlapping equal-length slices, write only dst, and must not
+//     retain either slice (src is pooled transport memory, recycled
+//     immediately after the call). It is never invoked on an empty slab
+//     — zero-length blocks travel as empty messages and skip the
+//     combine, preserving the round structure and the pool's
+//     zero-length fast path.
+//   - Determinism: each compiled plan applies its combines in a fixed
+//     order (the ring in ring order, halving along its binary tree, the
+//     Bruck variant in descending source order at the destination), so
+//     repeated executions of one plan are bit-identical. Different
+//     algorithms associate differently; reductions must be associative
+//     and commutative for the result to be schedule-independent, which
+//     floating-point summation satisfies only up to the last ulp.
+//   - Shapes: reduce plans take an index-shaped input (block (i, j) is
+//     rank i's contribution to chunk j) and a concat-shaped
+//     (reduce-scatter) or index-shaped (allreduce) output. Bind
+//     enforces this, and ExecutePlans runs reduction plans alongside
+//     index, concat and layout plans on disjoint groups.
+//
 // The closed-form complexity functions in cost.go predict C1 and C2 for
 // every algorithm; the tests assert that the schedules executed on the
 // simulator match the closed forms exactly, and that both respect the

@@ -50,12 +50,20 @@ type Plan struct {
 	noPack bool
 	rounds []indexRound
 
-	// Concat plans.
+	// Concat plans — and the concatenation phase of AllReduce plans.
 	calg    ConcatAlgorithm
 	trivial bool // k >= n-1: single all-pairs round
 	n1      int  // (k+1)^(d-1), first block outside the doubling phase
 	dbl     []dblRound
 	last    []lastRound
+
+	// Reduction plans (ReduceScatter / AllReduce). combine is the
+	// kernel the executor applies on receive in place of a plain copy;
+	// ReduceBruck plans reuse rounds above for the index phase, and
+	// AllReduce plans reuse dbl/last/trivial/n1 for the concatenation
+	// phase.
+	ralg    ReduceAlgorithm
+	combine buffers.CombineFunc
 
 	// poolHint is the largest pool buffer any execution acquires. The
 	// bodies make sure each run's first pool acquisition has this size —
@@ -74,6 +82,10 @@ type Plan struct {
 	// c2lb is the layout's data-volume lower bound (package lowerbound),
 	// carried into every Result this plan produces.
 	c2lb int
+	// c1lb is the round-count lower bound, carried the same way. Zero
+	// for ragged layouts, where the dissemination bound need not apply
+	// (a zero row removes dependencies).
+	c1lb int
 }
 
 type planOp int
@@ -81,13 +93,23 @@ type planOp int
 const (
 	opIndex planOp = iota
 	opConcat
+	opReduceScatter
+	opAllReduce
 )
 
 func (o planOp) String() string {
-	if o == opIndex {
+	switch o {
+	case opIndex:
 		return "index"
+	case opConcat:
+		return "concat"
+	case opReduceScatter:
+		return "reduce-scatter"
+	case opAllReduce:
+		return "allreduce"
+	default:
+		return fmt.Sprintf("planOp(%d)", int(o))
 	}
-	return "concat"
 }
 
 // indexRound is one k-port round of a compiled Bruck-family index
@@ -132,12 +154,16 @@ type lastArea struct {
 func (pl *Plan) Op() string { return pl.op.String() }
 
 // Algorithm returns the compiled schedule's algorithm name ("bruck",
-// "direct", "pairwise-xor", "circulant", "ring", ...).
+// "direct", "pairwise-xor", "circulant", "ring", "halving", ...).
 func (pl *Plan) Algorithm() string {
-	if pl.op == opIndex {
+	switch pl.op {
+	case opIndex:
 		return pl.ialg.String()
+	case opReduceScatter, opAllReduce:
+		return pl.ralg.String()
+	default:
+		return pl.calg.String()
 	}
-	return pl.calg.String()
 }
 
 // Group returns the group the plan was compiled for.
@@ -186,6 +212,7 @@ func (pl *Plan) OutLayout() *blocks.Layout { return pl.outLayout }
 func (pl *Plan) result(m *mpsim.Metrics) *Result {
 	res := resultFrom(m)
 	res.C2LowerBound = pl.c2lb
+	res.C1LowerBound = pl.c1lb
 	return res
 }
 
@@ -231,6 +258,7 @@ func CompileIndex(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt IndexOption
 	}
 	pl.finishIndex(n, k)
 	pl.c2lb = lowerbound.IndexVolume(n, blockLen, k)
+	pl.c1lb = lowerbound.IndexRounds(n, k)
 	return pl, nil
 }
 
@@ -258,6 +286,7 @@ func CompileIndexMixed(e *mpsim.Engine, g *mpsim.Group, blockLen int, radices []
 	pl.rounds = compileBruckRounds(n, e.Ports(), blockLen, func(i int) int { return radices[i] }, false)
 	pl.finishIndex(n, e.Ports())
 	pl.c2lb = lowerbound.IndexVolume(n, blockLen, e.Ports())
+	pl.c1lb = lowerbound.IndexRounds(n, e.Ports())
 	return pl, nil
 }
 
@@ -366,53 +395,9 @@ func CompileConcat(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt ConcatOpti
 	}
 	switch opt.Algorithm {
 	case ConcatCirculant:
-		if n == 1 {
-			pl.c1 = 0
-			break
-		}
-		if k >= n-1 {
-			pl.trivial = true
-			pl.c1 = 1
-			pl.c2 = blockLen
-			break
-		}
-		d := intmath.CeilLog(k+1, n)
-		count := 1
-		for round := 0; round < d-1; round++ {
-			pl.dbl = append(pl.dbl, dblRound{base: count, count: count})
-			count *= k + 1
-		}
-		pl.n1 = count
-		part, err := partition.Solve(blockLen, n-pl.n1, pl.n1, k, opt.LastRound)
-		if err != nil {
+		if err := pl.compileCirculant(n, k, blockLen, opt.LastRound); err != nil {
 			return nil, err
 		}
-		if err := part.Validate(); err != nil {
-			return nil, err
-		}
-		for _, rd := range pl.dbl {
-			pl.c2 += rd.count * blockLen
-		}
-		for _, areas := range part.Rounds {
-			offsets, err := assignAreaOffsets(areas, pl.n1)
-			if err != nil {
-				return nil, err
-			}
-			lr := lastRound{areas: make([]lastArea, len(areas))}
-			roundMax := 0
-			for ai, area := range areas {
-				lr.areas[ai] = lastArea{offset: offsets[ai], size: area.Size, runs: area.Runs}
-				if area.Size > pl.poolHint {
-					pl.poolHint = area.Size
-				}
-				if area.Size > roundMax {
-					roundMax = area.Size
-				}
-			}
-			pl.c2 += roundMax
-			pl.last = append(pl.last, lr)
-		}
-		pl.c1 = len(pl.dbl) + len(pl.last)
 	case ConcatFolklore, ConcatRing, ConcatRecursiveDoubling:
 		// The baseline bodies compute their trees and rings on the fly;
 		// there is no per-call schedule solving to amortize. C1 and C2
@@ -434,7 +419,64 @@ func CompileConcat(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt ConcatOpti
 		return nil, fmt.Errorf("collective: unknown concat algorithm %v", opt.Algorithm)
 	}
 	pl.c2lb = lowerbound.ConcatVolume(n, blockLen, k)
+	pl.c1lb = lowerbound.ConcatRounds(n, k)
 	return pl, nil
+}
+
+// compileCirculant fills the circulant-concatenation round structure of
+// pl for group size n at block (or padded slot) size blockLen: the
+// doubling rounds, the solved last-round table partition with its area
+// offsets, or the trivial single all-pairs round when k >= n-1. The
+// schedule's rounds and volume are ADDED to pl.c1/pl.c2 and pl.poolHint
+// is raised to the largest last-round area, so AllReduce plans can
+// stack the concatenation phase on top of a compiled reduce-scatter
+// phase; CompileConcat calls it on zeroed counters.
+func (pl *Plan) compileCirculant(n, k, blockLen int, policy partition.Policy) error {
+	if n == 1 {
+		return nil
+	}
+	if k >= n-1 {
+		pl.trivial = true
+		pl.c1++
+		pl.c2 += blockLen
+		return nil
+	}
+	d := intmath.CeilLog(k+1, n)
+	count := 1
+	for round := 0; round < d-1; round++ {
+		pl.dbl = append(pl.dbl, dblRound{base: count, count: count})
+		pl.c2 += count * blockLen
+		count *= k + 1
+	}
+	pl.n1 = count
+	part, err := partition.Solve(blockLen, n-pl.n1, pl.n1, k, policy)
+	if err != nil {
+		return err
+	}
+	if err := part.Validate(); err != nil {
+		return err
+	}
+	for _, areas := range part.Rounds {
+		offsets, err := assignAreaOffsets(areas, pl.n1)
+		if err != nil {
+			return err
+		}
+		lr := lastRound{areas: make([]lastArea, len(areas))}
+		roundMax := 0
+		for ai, area := range areas {
+			lr.areas[ai] = lastArea{offset: offsets[ai], size: area.Size, runs: area.Runs}
+			if area.Size > pl.poolHint {
+				pl.poolHint = area.Size
+			}
+			if area.Size > roundMax {
+				roundMax = area.Size
+			}
+		}
+		pl.c2 += roundMax
+		pl.last = append(pl.last, lr)
+	}
+	pl.c1 += len(pl.dbl) + len(pl.last)
+	return nil
 }
 
 // checkGroup validates a group against the engine.
@@ -464,17 +506,20 @@ func (pl *Plan) checkBuffers(in, out *buffers.Buffers) error {
 	if in == out {
 		return fmt.Errorf("collective: flat output must not alias the input")
 	}
-	wantInBlocks := n
-	if pl.op == opConcat {
+	wantInBlocks, wantOutBlocks := n, n
+	switch pl.op {
+	case opConcat:
 		wantInBlocks = 1
+	case opReduceScatter:
+		wantOutBlocks = 1
 	}
 	if in.Procs() != n || in.Blocks() != wantInBlocks || in.BlockLen() != pl.blockLen {
 		return fmt.Errorf("collective: %s plan input is %dx%d blocks of %d bytes, want %dx%d of %d",
 			pl.op, in.Procs(), in.Blocks(), in.BlockLen(), n, wantInBlocks, pl.blockLen)
 	}
-	if out.Procs() != n || out.Blocks() != n || out.BlockLen() != pl.blockLen {
+	if out.Procs() != n || out.Blocks() != wantOutBlocks || out.BlockLen() != pl.blockLen {
 		return fmt.Errorf("collective: %s plan output is %dx%d blocks of %d bytes, want %dx%d of %d",
-			pl.op, out.Procs(), out.Blocks(), out.BlockLen(), n, n, pl.blockLen)
+			pl.op, out.Procs(), out.Blocks(), out.BlockLen(), n, wantOutBlocks, pl.blockLen)
 	}
 	return nil
 }
@@ -652,6 +697,10 @@ func (pl *Plan) body(p *mpsim.Proc, in, out *buffers.Buffers) error {
 		case ConcatRecursiveDoubling:
 			err = recursiveDoublingConcatFlatBody(p, pl.group, in.Proc(me), out.Proc(me), pl.blockLen)
 		}
+	case opReduceScatter:
+		err = pl.reduceScatterBody(p, in.Proc(me), out.Proc(me))
+	case opAllReduce:
+		err = pl.allReduceBody(p, in.Proc(me), out.Proc(me))
 	}
 	if err != nil {
 		return fmt.Errorf("group rank %d: %w", me, err)
@@ -883,11 +932,13 @@ type planCacheKey struct {
 	op       planOp
 	ialg     IndexAlgorithm
 	calg     ConcatAlgorithm
+	ralg     ReduceAlgorithm
 	radix    int
 	radices  string
 	noPack   bool
 	policy   partition.Policy
 	blockLen int
+	kernel   string // kernel identity of a reduction plan
 	v        bool
 	layout   uint64
 }

@@ -26,9 +26,17 @@ type Result struct {
 	// pull through its k ports (package lowerbound — Propositions
 	// 2.2/2.4 for uniform layouts, their non-uniform generalization for
 	// ragged ones). Populated by every plan-routed collective (Index,
-	// Concat, their Flat and V variants, RunPlans); zero for the
-	// one-to-all primitives.
+	// Concat, their Flat and V variants, the reductions, RunPlans); zero
+	// for the one-to-all primitives.
 	C2LowerBound int
+	// C1LowerBound is the round-count (dissemination) lower bound
+	// ceil(log_{k+1} n) of the operation (package lowerbound,
+	// Propositions 2.1/2.3 and their reduction counterparts). Populated
+	// by the fixed-size plan-routed collectives and by layout plans on
+	// uniform layouts; zero for ragged layouts — where a zero-count row
+	// can void the dissemination argument — and for the one-to-all
+	// primitives.
+	C1LowerBound int
 }
 
 func resultFrom(m *mpsim.Metrics) *Result {

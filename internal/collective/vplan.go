@@ -95,6 +95,9 @@ func CompileIndexV(e *mpsim.Engine, g *mpsim.Group, l *blocks.Layout, opt IndexO
 		}
 	}
 	pl.c2lb = lowerbound.IndexVVolume(l.CountsMatrix(), k)
+	if l.Uniform() {
+		pl.c1lb = lowerbound.IndexRounds(n, k)
+	}
 	return pl, nil
 }
 
@@ -126,6 +129,9 @@ func CompileIndexVMixed(e *mpsim.Engine, g *mpsim.Group, l *blocks.Layout, radic
 	pl.rounds = compileBruckRounds(n, e.Ports(), slot, func(i int) int { return radices[i] }, false)
 	pl.finishIndex(n, e.Ports())
 	pl.c2lb = lowerbound.IndexVVolume(l.CountsMatrix(), e.Ports())
+	if l.Uniform() {
+		pl.c1lb = lowerbound.IndexRounds(n, e.Ports())
+	}
 	return pl, nil
 }
 
@@ -166,51 +172,14 @@ func CompileConcatV(e *mpsim.Engine, g *mpsim.Group, l *blocks.Layout, opt Conca
 	}
 	switch opt.Algorithm {
 	case ConcatCirculant:
-		if n == 1 {
-			pl.c1 = 0
-			break
-		}
-		if k >= n-1 {
-			pl.trivial = true
-			pl.c1 = 1
-			pl.c2 = slot
-			break
-		}
-		d := intmath.CeilLog(k+1, n)
-		count := 1
-		for round := 0; round < d-1; round++ {
-			pl.dbl = append(pl.dbl, dblRound{base: count, count: count})
-			pl.c2 += count * slot
-			count *= k + 1
-		}
-		pl.n1 = count
-		part, err := partition.Solve(slot, n-pl.n1, pl.n1, k, opt.LastRound)
-		if err != nil {
+		if err := pl.compileCirculant(n, k, slot, opt.LastRound); err != nil {
 			return nil, err
 		}
-		if err := part.Validate(); err != nil {
-			return nil, err
+		if !pl.trivial && n > 1 {
+			// The ragged body accumulates in a pooled padded working region
+			// instead of the output slab, so the hint covers it.
+			pl.poolHint = n * slot
 		}
-		for _, areas := range part.Rounds {
-			offsets, err := assignAreaOffsets(areas, pl.n1)
-			if err != nil {
-				return nil, err
-			}
-			lr := lastRound{areas: make([]lastArea, len(areas))}
-			roundMax := 0
-			for ai, area := range areas {
-				lr.areas[ai] = lastArea{offset: offsets[ai], size: area.Size, runs: area.Runs}
-				if area.Size > roundMax {
-					roundMax = area.Size
-				}
-			}
-			pl.c2 += roundMax
-			pl.last = append(pl.last, lr)
-		}
-		pl.c1 = len(pl.dbl) + len(pl.last)
-		// The ragged body accumulates in a pooled padded working region
-		// instead of the output slab, so the hint covers it.
-		pl.poolHint = n * slot
 	case ConcatRing:
 		pl.c1, pl.c2 = RingConcatCost(n, slot)
 	case ConcatFolklore, ConcatRecursiveDoubling:
@@ -219,6 +188,9 @@ func CompileConcatV(e *mpsim.Engine, g *mpsim.Group, l *blocks.Layout, opt Conca
 		return nil, fmt.Errorf("collective: unknown concat algorithm %v", opt.Algorithm)
 	}
 	pl.c2lb = lowerbound.ConcatVVolume(l.CountsVector(), k)
+	if l.Uniform() {
+		pl.c1lb = lowerbound.ConcatRounds(n, k)
+	}
 	return pl, nil
 }
 

@@ -598,3 +598,54 @@ func TestExecutePlansMixedUniformRagged(t *testing.T) {
 		}
 	}
 }
+
+// TestCandidateRadicesDedupedAndClamped is the table test pinning the
+// auto dispatcher's radix candidate set (shared by the ragged index and
+// the reductions): no duplicates, every radix in [2, n], and the two
+// extremes of the paper's trade-off — the round-minimal clamp of k+1
+// and the volume-minimal n — always present. Duplicates or
+// out-of-range radices would waste compiles and, worse, let an invalid
+// candidate skew (or error out of) an auto verdict at small n.
+func TestCandidateRadicesDedupedAndClamped(t *testing.T) {
+	profiles := []costmodel.Profile{costmodel.SP1, costmodel.HighLatency, costmodel.LowLatency}
+	for _, p := range profiles {
+		for n := 2; n <= 16; n++ {
+			for k := 1; k <= 3 && k <= n-1; k++ {
+				for _, slot := range []int{1, 64, 4096} {
+					got := candidateRadices(p, n, slot, k)
+					if len(got) == 0 {
+						t.Fatalf("n=%d k=%d slot=%d: empty candidate set", n, k, slot)
+					}
+					seen := make(map[int]bool, len(got))
+					for _, r := range got {
+						if r < 2 || r > n {
+							t.Errorf("n=%d k=%d slot=%d: radix %d outside [2, %d]", n, k, slot, r, n)
+						}
+						if seen[r] {
+							t.Errorf("n=%d k=%d slot=%d: duplicate radix %d in %v", n, k, slot, r, got)
+						}
+						seen[r] = true
+					}
+					if !seen[2] {
+						t.Errorf("n=%d k=%d slot=%d: round-minimal radix 2 missing from %v", n, k, slot, got)
+					}
+					if kp := intmath.Min(k+1, n); !seen[kp] {
+						t.Errorf("n=%d k=%d slot=%d: clamped k+1 radix %d missing from %v", n, k, slot, kp, got)
+					}
+					if n > 2 && !seen[n] {
+						t.Errorf("n=%d k=%d slot=%d: volume-minimal radix %d missing from %v", n, k, slot, n, got)
+					}
+					// Every candidate must compile: an invalid radix would
+					// error out of the auto sweep.
+					e := mpsim.MustNew(n, mpsim.Ports(k))
+					g := mpsim.WorldGroup(n)
+					for _, r := range got {
+						if _, err := CompileIndex(e, g, slot, IndexOptions{Radix: r}); err != nil {
+							t.Errorf("n=%d k=%d slot=%d: candidate radix %d does not compile: %v", n, k, slot, r, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}

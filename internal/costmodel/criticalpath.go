@@ -2,6 +2,7 @@ package costmodel
 
 import (
 	"fmt"
+	"sort"
 
 	"bruck/internal/mpsim"
 )
@@ -34,22 +35,33 @@ import (
 // exactly for schedules in which every processor participates in every
 // round with the round-maximal message size.
 //
-// Events must come from a run recorded with mpsim.Record(true); n is
-// the processor count of the engine.
+// Events must come from runs recorded with mpsim.Record(true); n is
+// the processor count of the engine. The stream may arrive in any
+// order: events are grouped by round value before the walk, so streams
+// merged from several programs of one mpsim.RunPrograms pass (for
+// example via mpsim.MergeEvents), or recorded in interleaved
+// per-processor order, are accounted exactly like a round-sorted
+// stream. (Grouping by contiguity instead would split a revisited
+// round number into several batches and mis-sequence the per-processor
+// clocks within it.) Same-numbered rounds of disjoint-group programs
+// may safely share a batch — the accounting couples processors only
+// through the messages between them.
 func CriticalPath(p Profile, n int, events []mpsim.Event) (float64, error) {
 	if n < 1 {
 		return 0, fmt.Errorf("costmodel: CriticalPath with n = %d", n)
 	}
+	sorted := append([]mpsim.Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Round < sorted[j].Round })
 	clock := make([]float64, n)
 	i := 0
-	for i < len(events) {
-		// Events are sorted by round; take one round's slice.
-		round := events[i].Round
+	for i < len(sorted) {
+		// One batch per distinct round value.
+		round := sorted[i].Round
 		j := i
-		for j < len(events) && events[j].Round == round {
+		for j < len(sorted) && sorted[j].Round == round {
 			j++
 		}
-		batch := events[i:j]
+		batch := sorted[i:j]
 		i = j
 
 		start := make([]float64, n)

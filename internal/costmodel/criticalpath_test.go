@@ -2,6 +2,7 @@ package costmodel
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"bruck/internal/mpsim"
@@ -89,6 +90,106 @@ func TestCriticalPathChainsDependencies(t *testing.T) {
 	}
 	if math.Abs(got-8) > 1e-12 {
 		t.Errorf("critical path %g, want 8", got)
+	}
+}
+
+// TestCriticalPathInterleavedPrograms is the regression test for the
+// round-grouping bug: CriticalPath used to batch events by scanning for
+// contiguous equal Round values, so a stream that revisits a round
+// number — any interleaved recording, such as the per-processor append
+// order of a concurrent run, or two programs' streams merged without
+// re-sorting — split one round into several batches and mis-sequenced
+// the per-processor clocks. Two 2-processor ring programs are recorded
+// here in per-processor order: processor 0's rounds 0 and 1 precede
+// processor 1's round 0, so the old contiguity grouping serialized the
+// fully overlapped ring (4 message times instead of 2 for program A).
+func TestCriticalPathInterleavedPrograms(t *testing.T) {
+	const n, size = 4, 100
+	p := Profile{Beta: 10, Tau: 1}
+	perProc := func(a, b int) []mpsim.Event {
+		return []mpsim.Event{
+			// a's events for both rounds, then b's — the raw append order
+			// of two processor goroutines, NOT sorted by round.
+			{Round: 0, Src: a, Dst: b, Size: size},
+			{Round: 1, Src: a, Dst: b, Size: size},
+			{Round: 0, Src: b, Dst: a, Size: size},
+			{Round: 1, Src: b, Dst: a, Size: size},
+		}
+	}
+	// Program A on {0, 1} interleaved with program B on {2, 3}.
+	events := append(perProc(0, 1), perProc(2, 3)...)
+	got, err := CriticalPath(p, n, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each program is a symmetric 2-round ring: exactly two message
+	// times on the critical path.
+	want := 2 * p.MessageTime(size)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("interleaved stream critical path %g, want %g (contiguity grouping serializes the rounds)", got, want)
+	}
+	// A round-sorted copy of the same stream must agree exactly.
+	sorted := append([]mpsim.Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Round < sorted[j].Round })
+	fromSorted, err := CriticalPath(p, n, sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-fromSorted) > 1e-12 {
+		t.Errorf("event order changed the result: %g (raw) vs %g (sorted)", got, fromSorted)
+	}
+}
+
+// TestCriticalPathMergedRunPrograms drives a real two-program
+// RunPrograms pass with recording on, merges the per-program streams
+// with MergeEvents, and checks the merged accounting equals the
+// worst per-program accounting — disjoint-group programs never couple.
+func TestCriticalPathMergedRunPrograms(t *testing.T) {
+	const n = 6
+	e := mpsim.MustNew(n, mpsim.Record(true))
+	ring := func(members []int) func(p *mpsim.Proc) error {
+		return func(p *mpsim.Proc) error {
+			me := -1
+			for i, id := range members {
+				if id == p.Rank() {
+					me = i
+				}
+			}
+			sz := 8 * (len(members) + 1)
+			for q := 0; q < len(members)-1; q++ {
+				succ := members[(me+1)%len(members)]
+				pred := members[(me+len(members)-1)%len(members)]
+				if _, err := p.SendRecv(succ, make([]byte, sz), pred); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	progs := []mpsim.Program{
+		{Members: []int{0, 1, 2, 3}, Body: ring([]int{0, 1, 2, 3})},
+		{Members: []int{4, 5}, Body: ring([]int{4, 5})},
+	}
+	metrics, err := e.RunPrograms(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := CriticalPath(SP1, n, mpsim.MergeEvents(metrics...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, m := range metrics {
+		cp, err := CriticalPath(SP1, n, m.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp > worst {
+			worst = cp
+		}
+	}
+	if math.Abs(merged-worst) > 1e-12 {
+		t.Errorf("merged critical path %g, worst per-program %g; disjoint programs must not couple", merged, worst)
 	}
 }
 

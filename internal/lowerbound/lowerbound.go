@@ -130,6 +130,47 @@ func ConcatVVolume(counts []int, k int) int {
 	return intmath.CeilDiv(worst, k)
 }
 
+// ReduceScatterRounds returns the dissemination bound for the
+// reduce-scatter operation: every output chunk depends on all n inputs,
+// so information from n-1 processors must reach each processor, which
+// takes at least ceil(log_{k+1} n) rounds — the Proposition 2.1/2.3
+// argument applied to the reduction composition.
+func ReduceScatterRounds(n, k int) int {
+	return ConcatRounds(n, k)
+}
+
+// ReduceScatterVolume returns the send-side volume bound for
+// reduce-scatter: processor p's contributions to the n-1 chunks it does
+// not own are pairwise-distinct data (partial sums combine only within
+// a chunk, never across chunks), so at least b(n-1) bytes must leave
+// every processor through its k output ports — the same form as
+// Propositions 2.2/2.4.
+func ReduceScatterVolume(n, b, k int) int {
+	return ConcatVolume(n, b, k)
+}
+
+// AllReduceRounds returns the dissemination bound for allreduce,
+// identical to ReduceScatterRounds: every processor's every output
+// chunk depends on all n inputs.
+func AllReduceRounds(n, k int) int {
+	return ConcatRounds(n, k)
+}
+
+// AllReduceVolume returns a receive-side bound for allreduce: every
+// processor must end with the n*b-byte reduced vector, none of whose
+// chunks it can compute from its own contribution alone, so at least
+// n*b bytes (even fully combined elsewhere) must come in through its k
+// input ports. The bound is tight at n = 2 (one exchange of full
+// vectors); the reduce-scatter + concatenation composition pays about
+// 2*b*(n-1)/k, and no allreduce schedule meeting n*b/k for large n is
+// known, so this is a floor rather than a target.
+func AllReduceVolume(n, b, k int) int {
+	if n <= 1 || b == 0 {
+		return 0
+	}
+	return intmath.CeilDiv(n*b, k)
+}
+
 // OnePortIndexVolumeOrder returns the Theorem 2.9 Omega(b n log2 n)
 // expression for the one-port model when C1 = O(log n): the returned
 // value b*n*log2(n)/2 is a convenient representative of the order class

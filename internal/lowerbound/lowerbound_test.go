@@ -193,3 +193,49 @@ func TestVVolumeZeroLayouts(t *testing.T) {
 		t.Errorf("empty index bound = %d, want 0", got)
 	}
 }
+
+// TestReduceScatterBounds: the reduce-scatter bounds coincide with the
+// index/concat forms (same dissemination and send-side arguments).
+func TestReduceScatterBounds(t *testing.T) {
+	for _, tc := range []struct{ n, b, k, rounds, volume int }{
+		{1, 64, 1, 0, 0},
+		{2, 64, 1, 1, 64},
+		{8, 64, 1, 3, 448},
+		{8, 64, 3, 2, 150}, // ceil(64*7/3)
+		{16, 1, 1, 4, 15},
+	} {
+		if got := ReduceScatterRounds(tc.n, tc.k); got != tc.rounds {
+			t.Errorf("ReduceScatterRounds(%d, %d) = %d, want %d", tc.n, tc.k, got, tc.rounds)
+		}
+		if got := ReduceScatterVolume(tc.n, tc.b, tc.k); got != tc.volume {
+			t.Errorf("ReduceScatterVolume(%d, %d, %d) = %d, want %d", tc.n, tc.b, tc.k, got, tc.volume)
+		}
+	}
+}
+
+// TestAllReduceBounds: the receive-side allreduce volume bound
+// ceil(n*b/k), tight at n = 2, and always at least the reduce-scatter
+// send-side bound.
+func TestAllReduceBounds(t *testing.T) {
+	for _, tc := range []struct{ n, b, k, rounds, volume int }{
+		{1, 64, 1, 0, 0},
+		{2, 64, 1, 1, 128}, // tight: one exchange of full 2b vectors
+		{8, 64, 1, 3, 512},
+		{8, 64, 3, 2, 171}, // ceil(512/3)
+		{4, 0, 1, 2, 0},
+	} {
+		if got := AllReduceRounds(tc.n, tc.k); got != tc.rounds {
+			t.Errorf("AllReduceRounds(%d, %d) = %d, want %d", tc.n, tc.k, got, tc.rounds)
+		}
+		if got := AllReduceVolume(tc.n, tc.b, tc.k); got != tc.volume {
+			t.Errorf("AllReduceVolume(%d, %d, %d) = %d, want %d", tc.n, tc.b, tc.k, got, tc.volume)
+		}
+	}
+	for n := 2; n <= 16; n++ {
+		for k := 1; k <= 3; k++ {
+			if AllReduceVolume(n, 64, k) < ReduceScatterVolume(n, 64, k) {
+				t.Errorf("n=%d k=%d: allreduce volume bound below reduce-scatter's", n, k)
+			}
+		}
+	}
+}
