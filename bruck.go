@@ -69,6 +69,7 @@ type machineConfig struct {
 	validate bool
 	record   bool
 	backend  Backend
+	chaos    ChaosConfig
 }
 
 // Backend names a simulator message-transport implementation. The
@@ -86,10 +87,20 @@ const (
 	// rings, the fast backend for throughput work on machines that fit
 	// the host's cores.
 	BackendSlot = mpsim.BackendSlot
+	// BackendChaos wraps chan or slot with seeded adversarial timing —
+	// per-link latency jitter, cross-link reordering and straggler
+	// processors — for proving schedules byte-correct under timing
+	// perturbation. Configure it with WithChaos.
+	BackendChaos = mpsim.BackendChaos
 )
 
-// ParseBackend converts a command-line string ("chan", "slot") into a
-// Backend.
+// ChaosConfig configures the chaos transport: the wrapped inner
+// backend, the jitter seed and ceiling, and the straggler set. The zero
+// value wraps BackendChan with default jitter. See mpsim.ChaosConfig.
+type ChaosConfig = mpsim.ChaosConfig
+
+// ParseBackend converts a command-line string ("chan", "slot",
+// "chaos") into a Backend.
 func ParseBackend(s string) (Backend, error) { return mpsim.ParseBackend(s) }
 
 // Ports sets the number of communication ports k per processor: in each
@@ -112,10 +123,23 @@ func RecordEvents() MachineOption {
 	return func(c *machineConfig) { c.record = true }
 }
 
-// WithTransport selects the simulator's message transport backend,
-// BackendChan (default) or BackendSlot.
+// WithTransport selects the simulator's message transport backend:
+// BackendChan (default), BackendSlot, or BackendChaos with its zero
+// configuration (use WithChaos to configure it).
 func WithTransport(b Backend) MachineOption {
 	return func(c *machineConfig) { c.backend = b }
+}
+
+// WithChaos selects the chaos transport with the given configuration:
+// the machine runs on cfg.Inner (chan or slot) with seeded adversarial
+// timing injected on every link. Operation results — and their Reports'
+// C1/C2 — are byte-identical to the plain backends'; only wall-clock
+// timing changes.
+func WithChaos(cfg ChaosConfig) MachineOption {
+	return func(c *machineConfig) {
+		c.backend = BackendChaos
+		c.chaos = cfg
+	}
 }
 
 // NewMachine creates a simulated machine with n processors.
@@ -124,8 +148,12 @@ func NewMachine(n int, opts ...MachineOption) (*Machine, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	e, err := mpsim.New(n, mpsim.Ports(cfg.ports), mpsim.Validate(cfg.validate),
-		mpsim.Record(cfg.record), mpsim.WithTransport(cfg.backend))
+	eopts := []mpsim.Option{mpsim.Ports(cfg.ports), mpsim.Validate(cfg.validate),
+		mpsim.Record(cfg.record), mpsim.WithTransport(cfg.backend)}
+	if cfg.backend == BackendChaos {
+		eopts = append(eopts, mpsim.WithChaos(cfg.chaos))
+	}
+	e, err := mpsim.New(n, eopts...)
 	if err != nil {
 		return nil, err
 	}

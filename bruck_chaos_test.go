@@ -1,0 +1,198 @@
+package bruck
+
+// Cross-backend chaos equivalence: the chaos transport perturbs only
+// timing, so every collective — across all five schedule families —
+// must produce byte-identical results and identical (C1, C2) under
+// chaos(chan) and chaos(slot) as on the plain chan backend, for every
+// shape and seed. This is the acceptance test of the chaos wrapper.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"bruck/internal/intmath"
+)
+
+// chaosSweepConfigs returns the chaos configurations the equivalence
+// sweep runs against the chan baseline: both inner backends, distinct
+// seeds, stragglers at rank 0 and the middle rank. MaxDelay is kept
+// small so the full sweep stays fast; the jitter path is identical at
+// any ceiling.
+func chaosSweepConfigs(n int) []ChaosConfig {
+	var stragglers []int
+	if n > 1 {
+		stragglers = []int{0, n / 2}
+	}
+	return []ChaosConfig{
+		{Inner: BackendChan, Seed: 1, MaxDelay: 20 * time.Microsecond, Stragglers: stragglers},
+		{Inner: BackendSlot, Seed: 0xbad5eed, MaxDelay: 20 * time.Microsecond, Stragglers: stragglers},
+	}
+}
+
+// raggedIndexInput builds a deterministic skewed n x n ragged matrix.
+func chaosRaggedInput(n, maxLen int) [][][]byte {
+	in := make([][][]byte, n)
+	for i := range in {
+		in[i] = make([][]byte, n)
+		for j := range in[i] {
+			blk := make([]byte, (i*7+j*3+i*j)%(maxLen+1))
+			for x := range blk {
+				blk[x] = byte(i*131 + j*31 + x*7)
+			}
+			in[i][j] = blk
+		}
+	}
+	return in
+}
+
+// chaosOps enumerates the five schedule families of the sweep. Each
+// returns the operation's output as a block matrix plus its Report,
+// executed on a fresh machine with the given options.
+var chaosOps = []struct {
+	name string
+	run  func(t *testing.T, n, k int, mopts []MachineOption) ([][][]byte, *Report)
+}{
+	{"IndexFlat", func(t *testing.T, n, k int, mopts []MachineOption) ([][][]byte, *Report) {
+		m := MustNewMachine(n, append([]MachineOption{Ports(k)}, mopts...)...)
+		fin := flatIndexInput(t, n, 3)
+		fout := mustIndexBuffers(t, n, 3)
+		rep, err := m.IndexFlat(fin, fout)
+		if err != nil {
+			t.Fatalf("IndexFlat: %v", err)
+		}
+		return fout.ToMatrix(), rep
+	}},
+	{"ConcatFlat", func(t *testing.T, n, k int, mopts []MachineOption) ([][][]byte, *Report) {
+		m := MustNewMachine(n, append([]MachineOption{Ports(k)}, mopts...)...)
+		fin := flatConcatInput(t, n, 3)
+		fout := mustIndexBuffers(t, n, 3)
+		rep, err := m.ConcatFlat(fin, fout)
+		if err != nil {
+			t.Fatalf("ConcatFlat: %v", err)
+		}
+		return fout.ToMatrix(), rep
+	}},
+	{"IndexV", func(t *testing.T, n, k int, mopts []MachineOption) ([][][]byte, *Report) {
+		m := MustNewMachine(n, append([]MachineOption{Ports(k)}, mopts...)...)
+		out, rep, err := m.IndexV(chaosRaggedInput(n, 4))
+		if err != nil {
+			t.Fatalf("IndexV: %v", err)
+		}
+		return out, rep
+	}},
+	{"ConcatV", func(t *testing.T, n, k int, mopts []MachineOption) ([][][]byte, *Report) {
+		m := MustNewMachine(n, append([]MachineOption{Ports(k)}, mopts...)...)
+		in := make([][]byte, n)
+		for i := range in {
+			in[i] = make([]byte, (i*5+3)%7)
+			for x := range in[i] {
+				in[i][x] = byte(i*131 + x*7)
+			}
+		}
+		out, rep, err := m.ConcatV(in)
+		if err != nil {
+			t.Fatalf("ConcatV: %v", err)
+		}
+		return out, rep
+	}},
+	{"AllReduce", func(t *testing.T, n, k int, mopts []MachineOption) ([][][]byte, *Report) {
+		m := MustNewMachine(n, append([]MachineOption{Ports(k)}, mopts...)...)
+		in := make([][][]byte, n)
+		for i := range in {
+			in[i] = make([][]byte, n)
+			for j := range in[i] {
+				blk := make([]byte, 4)
+				for x := range blk {
+					blk[x] = byte(i*131 + j*31 + x*7)
+				}
+				in[i][j] = blk
+			}
+		}
+		out, rep, err := m.AllReduce(in, WithKernel(ReduceSum, Int32))
+		if err != nil {
+			t.Fatalf("AllReduce: %v", err)
+		}
+		return out, rep
+	}},
+}
+
+// TestChaosEquivalenceSweep: every schedule family, n = 1..16,
+// k = 1..3, both chaos inners — byte-identical outputs and identical
+// (C1, C2) against the plain chan baseline.
+func TestChaosEquivalenceSweep(t *testing.T) {
+	for _, op := range chaosOps {
+		op := op
+		t.Run(op.name, func(t *testing.T) {
+			for n := 1; n <= 16; n++ {
+				for _, k := range []int{1, 2, 3} {
+					if k > intmath.Max(1, n-1) {
+						continue
+					}
+					t.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(t *testing.T) {
+						base, baseRep := op.run(t, n, k, nil)
+						for _, cfg := range chaosSweepConfigs(n) {
+							got, gotRep := op.run(t, n, k, []MachineOption{WithChaos(cfg)})
+							if gotRep.C1 != baseRep.C1 || gotRep.C2 != baseRep.C2 {
+								t.Fatalf("chaos(%s): (C1=%d, C2=%d), chan (C1=%d, C2=%d)",
+									cfg.Inner, gotRep.C1, gotRep.C2, baseRep.C1, baseRep.C2)
+							}
+							if len(got) != len(base) {
+								t.Fatalf("chaos(%s): %d procs, chan %d", cfg.Inner, len(got), len(base))
+							}
+							for i := range base {
+								for j := range base[i] {
+									if !bytes.Equal(got[i][j], base[i][j]) {
+										t.Fatalf("chaos(%s): out[%d][%d] = %v, chan %v",
+											cfg.Inner, i, j, got[i][j], base[i][j])
+									}
+								}
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestChaosMachineBasics: the public surface — ParseBackend accepts
+// "chaos", Transport reports it, WithTransport selects the defaults,
+// and a chaos machine's repeated operations stay correct (plan cache
+// and transport reuse under jitter).
+func TestChaosMachineBasics(t *testing.T) {
+	b, err := ParseBackend("chaos")
+	if err != nil || b != BackendChaos {
+		t.Fatalf("ParseBackend(chaos) = %v, %v", b, err)
+	}
+	m := MustNewMachine(6, Ports(2), WithTransport(BackendChaos))
+	if m.Transport() != BackendChaos {
+		t.Fatalf("Transport() = %q", m.Transport())
+	}
+	fin := flatIndexInput(t, 6, 3)
+	want := mustIndexBuffers(t, 6, 3)
+	if _, err := m.IndexFlat(fin, want); err != nil {
+		t.Fatalf("IndexFlat: %v", err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		out := mustIndexBuffers(t, 6, 3)
+		if _, err := m.IndexFlat(fin, out); err != nil {
+			t.Fatalf("IndexFlat rep %d: %v", rep, err)
+		}
+		if !out.Equal(want) {
+			t.Fatalf("rep %d: repeated chaos execution changed the result", rep)
+		}
+	}
+}
+
+// TestChaosMachineRejectsBadConfig: configuration validation surfaces
+// through NewMachine.
+func TestChaosMachineRejectsBadConfig(t *testing.T) {
+	if _, err := NewMachine(4, WithChaos(ChaosConfig{Inner: BackendChaos})); err == nil {
+		t.Error("chaos-in-chaos accepted")
+	}
+	if _, err := NewMachine(4, WithChaos(ChaosConfig{Stragglers: []int{7}})); err == nil {
+		t.Error("out-of-range straggler accepted")
+	}
+}

@@ -6,6 +6,7 @@
 //	alltoall -op index  -n 64 -b 128 -r auto           # tuned radix
 //	alltoall -op index  -n 64 -b 128 -flat             # zero-copy flat-buffer path
 //	alltoall -op index  -n 64 -b 128 -transport slot   # shared-memory slot transport
+//	alltoall -op index  -n 64 -b 128 -transport chaos -chaos-seed 7 -stragglers 0,3
 //	alltoall -op index  -n 64 -b 128 -repeat 100       # plan-reuse study
 //	alltoall -op index  -n 32 -b 256 -ragged 1.2       # skewed-size ragged study
 //	alltoall -op reducescatter -n 16 -b 64 -kernel sum:float32
@@ -52,17 +53,20 @@ import (
 
 // params collects one invocation's configuration.
 type params struct {
-	op        string
-	n         int
-	k         int
-	b         int
-	radix     string
-	alg       string
-	flat      bool
-	transport string
-	repeat    int
-	ragged    float64
-	kernel    string
+	op         string
+	n          int
+	k          int
+	b          int
+	radix      string
+	alg        string
+	flat       bool
+	transport  string
+	chaosInner string
+	chaosSeed  uint64
+	stragglers string
+	repeat     int
+	ragged     float64
+	kernel     string
 }
 
 func main() {
@@ -74,7 +78,10 @@ func main() {
 	flag.StringVar(&p.radix, "r", "", "index radix (2..n), empty for k+1, or 'auto' for model-tuned")
 	flag.StringVar(&p.alg, "alg", "", "algorithm override (index: bruck|direct|xor; concat: circulant|folklore|ring|recdbl; reducescatter/allreduce: ring|halving|bruck|auto)")
 	flag.BoolVar(&p.flat, "flat", false, "run the zero-copy flat-buffer path (IndexFlat/ConcatFlat)")
-	flag.StringVar(&p.transport, "transport", "chan", "simulator transport backend: chan or slot")
+	flag.StringVar(&p.transport, "transport", "chan", "simulator transport backend: chan, slot or chaos")
+	flag.StringVar(&p.chaosInner, "chaos-inner", "chan", "inner backend wrapped by the chaos transport")
+	flag.Uint64Var(&p.chaosSeed, "chaos-seed", 1, "chaos jitter seed")
+	flag.StringVar(&p.stragglers, "stragglers", "", "comma-separated straggler ranks for the chaos transport")
 	flag.IntVar(&p.repeat, "repeat", 1, "run the operation N times and compare compile-per-call vs plan reuse")
 	flag.Float64Var(&p.ragged, "ragged", 0, "run a skewed-size ragged study with Zipf exponent <skew> (block sizes ~ b/rank^skew)")
 	flag.StringVar(&p.kernel, "kernel", "sum:int32", "reduction kernel as op:type (sum|min|max : int32|int64|float32|float64)")
@@ -94,7 +101,17 @@ func run(w io.Writer, p params) error {
 			return err
 		}
 	}
-	e, err := mpsim.New(p.n, mpsim.Ports(p.k), mpsim.Record(true), mpsim.WithTransport(backend))
+	eopts := []mpsim.Option{mpsim.Ports(p.k), mpsim.Record(true), mpsim.WithTransport(backend)}
+	if backend == mpsim.BackendChaos {
+		cfg, err := chaosConfig(p)
+		if err != nil {
+			return err
+		}
+		eopts = append(eopts, mpsim.WithChaos(cfg))
+	} else if p.stragglers != "" {
+		return fmt.Errorf("-stragglers requires -transport chaos")
+	}
+	e, err := mpsim.New(p.n, eopts...)
 	if err != nil {
 		return err
 	}
@@ -215,6 +232,26 @@ func run(w io.Writer, p params) error {
 		fmt.Fprintf(w, "  critical path (SP-1 linear): %v\n", costmodel.Duration(cp))
 	}
 	return nil
+}
+
+// chaosConfig translates the -chaos-* flags into the chaos transport
+// configuration.
+func chaosConfig(p params) (mpsim.ChaosConfig, error) {
+	inner, err := mpsim.ParseBackend(p.chaosInner)
+	if err != nil {
+		return mpsim.ChaosConfig{}, err
+	}
+	cfg := mpsim.ChaosConfig{Inner: inner, Seed: p.chaosSeed}
+	if p.stragglers != "" {
+		for _, f := range strings.Split(p.stragglers, ",") {
+			rank, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return mpsim.ChaosConfig{}, fmt.Errorf("bad straggler rank %q: %v", f, err)
+			}
+			cfg.Stragglers = append(cfg.Stragglers, rank)
+		}
+	}
+	return cfg, nil
 }
 
 func pathName(flat bool) string {

@@ -1,0 +1,163 @@
+// Command trace records and verifies the golden schedule-trace corpus
+// (internal/golden): canonical JSON artifacts of every representative
+// collective schedule.
+//
+//	trace record  [-dir d] [-case substr] [-transport b]
+//	trace verify  [-dir d] [-case substr] [-transport b] [-chaos-seed s] [-chaos-inner b] [-stragglers 0,3] [-perturb]
+//
+// record captures each case live and (re)writes its artifact; verify
+// captures each case live and diffs it against the committed artifact,
+// exiting nonzero on any structural drift. Traces are
+// transport-independent, so verify under -transport chaos proves the
+// committed schedules survive adversarial timing. -perturb is the
+// negative self-test: it structurally perturbs every live schedule and
+// succeeds only if every case then FAILS verification — proving the
+// diff actually detects drift.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"bruck/internal/golden"
+	"bruck/internal/mpsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: trace <record|verify> [flags]")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet("trace "+cmd, flag.ContinueOnError)
+	var (
+		dir        = fs.String("dir", defaultDir(), "golden artifact directory")
+		caseFilter = fs.String("case", "", "only cases whose name contains this substring")
+		transport  = fs.String("transport", "chan", "backend for the live capture: chan, slot or chaos")
+		chaosInner = fs.String("chaos-inner", "chan", "inner backend wrapped by the chaos transport")
+		chaosSeed  = fs.Uint64("chaos-seed", 1, "chaos jitter seed")
+		stragglers = fs.String("stragglers", "", "comma-separated straggler ranks for the chaos transport")
+		perturb    = fs.Bool("perturb", false, "verify only: perturb each live schedule and require verification to fail")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	opts, err := engineOptions(*transport, *chaosInner, *chaosSeed, *stragglers)
+	if err != nil {
+		return err
+	}
+
+	cases := make([]golden.Case, 0, 16)
+	for _, c := range golden.Corpus() {
+		if strings.Contains(c.Name, *caseFilter) {
+			cases = append(cases, c)
+		}
+	}
+	if len(cases) == 0 {
+		return fmt.Errorf("no cases match -case %q", *caseFilter)
+	}
+
+	switch cmd {
+	case "record":
+		for _, c := range cases {
+			s, err := golden.Capture(c, opts...)
+			if err != nil {
+				return err
+			}
+			if err := golden.Write(*dir, c, s); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "recorded %s (%d rounds)\n", golden.Path(*dir, c), s.C1)
+		}
+		return nil
+	case "verify":
+		failed := 0
+		for _, c := range cases {
+			s, err := golden.Capture(c, opts...)
+			if err != nil {
+				return err
+			}
+			if *perturb {
+				golden.Perturb(s)
+			}
+			diffs, err := golden.Verify(*dir, c, s)
+			if err != nil {
+				return err
+			}
+			switch {
+			case *perturb && len(diffs) == 0:
+				failed++
+				fmt.Fprintf(out, "FAIL %s: perturbed schedule passed verification\n", c.Name)
+			case *perturb:
+				fmt.Fprintf(out, "ok   %s: perturbation detected (%d diffs)\n", c.Name, len(diffs))
+			case len(diffs) != 0:
+				failed++
+				fmt.Fprintf(out, "FAIL %s:\n", c.Name)
+				for _, d := range diffs {
+					fmt.Fprintf(out, "  %s\n", d)
+				}
+			default:
+				fmt.Fprintf(out, "ok   %s\n", c.Name)
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d cases failed", failed, len(cases))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q (want record or verify)", cmd)
+	}
+}
+
+// defaultDir locates the committed corpus: golden.Dir is relative to
+// the internal/golden package directory, so from a repo-root working
+// directory the artifacts live under internal/golden. Fall back to the
+// bare golden.Dir when run from that package directory itself.
+func defaultDir() string {
+	repoRel := filepath.Join("internal", "golden", golden.Dir)
+	if _, err := os.Stat(repoRel); err == nil {
+		return repoRel
+	}
+	return golden.Dir
+}
+
+// engineOptions translates the transport flags into engine options for
+// golden.Capture.
+func engineOptions(transport, inner string, seed uint64, stragglers string) ([]mpsim.Option, error) {
+	b, err := mpsim.ParseBackend(transport)
+	if err != nil {
+		return nil, err
+	}
+	if b != mpsim.BackendChaos {
+		if stragglers != "" {
+			return nil, fmt.Errorf("-stragglers requires -transport chaos")
+		}
+		return []mpsim.Option{mpsim.WithTransport(b)}, nil
+	}
+	ib, err := mpsim.ParseBackend(inner)
+	if err != nil {
+		return nil, err
+	}
+	cfg := mpsim.ChaosConfig{Inner: ib, Seed: seed}
+	if stragglers != "" {
+		for _, f := range strings.Split(stragglers, ",") {
+			rank, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("bad straggler rank %q: %w", f, err)
+			}
+			cfg.Stragglers = append(cfg.Stragglers, rank)
+		}
+	}
+	return []mpsim.Option{mpsim.WithChaos(cfg)}, nil
+}

@@ -1,0 +1,239 @@
+package collective
+
+// Tests for the canonical trace export: every plan kind emits a
+// Schedule whose pattern section replays exactly as the recorded event
+// stream, and the trace is transport-independent.
+
+import (
+	"testing"
+
+	"bruck/internal/buffers"
+	"bruck/internal/intmath"
+	"bruck/internal/mpsim"
+	"bruck/internal/trace"
+)
+
+// execIndexPlan compiles and executes one index plan on a recording
+// engine and returns its canonical schedule.
+func execIndexPlan(t *testing.T, n, k, b int, opt IndexOptions, eopts ...mpsim.Option) *trace.Schedule {
+	t.Helper()
+	e := mpsim.MustNew(n, append([]mpsim.Option{mpsim.Ports(k), mpsim.Record(true)}, eopts...)...)
+	pl, err := CompileIndex(e, mpsim.WorldGroup(n), b, opt)
+	if err != nil {
+		t.Fatalf("CompileIndex: %v", err)
+	}
+	in, _ := buffers.FromMatrix(genIndexInput(n, b))
+	out, _ := buffers.New(n, n, b)
+	if _, err := pl.Execute(in, out); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	checkTranspose(t, in.ToMatrix(), out.ToMatrix(), "trace export run")
+	return pl.Schedule(e.Metrics().Events())
+}
+
+// matchPattern verifies that pattern round i, translated to every rank,
+// is exactly the multiset of messages recorded in execution round
+// start+i.
+func matchPattern(t *testing.T, s *trace.Schedule, start int) {
+	t.Helper()
+	type key struct{ src, dst, bytes int }
+	n := s.N
+	for i, pr := range s.Pattern {
+		if start+i >= len(s.Rounds) {
+			t.Fatalf("pattern round %d has no execution round (start %d, %d rounds)", i, start, len(s.Rounds))
+		}
+		rd := s.Rounds[start+i]
+		have := map[key]int{}
+		for _, snd := range rd.Sends {
+			have[key{snd.Src, snd.Dst, snd.Bytes}]++
+		}
+		for me := 0; me < n; me++ {
+			for _, x := range pr.Transfers {
+				k := key{me, intmath.Mod(me+x.Offset, n), x.Bytes}
+				if have[k] == 0 {
+					t.Fatalf("pattern[%d] transfer offset %d %dB: no event p%d->p%d in round %d",
+						i, x.Offset, x.Bytes, k.src, k.dst, rd.Round)
+				}
+				have[k]--
+			}
+		}
+		for k, c := range have {
+			if c != 0 {
+				t.Fatalf("round %d: %d events p%d->p%d %dB not explained by the pattern",
+					rd.Round, c, k.src, k.dst, k.bytes)
+			}
+		}
+	}
+}
+
+// TestScheduleExportIndexBruck: the compiled pattern covers the whole
+// execution, round for round.
+func TestScheduleExportIndexBruck(t *testing.T) {
+	s := execIndexPlan(t, 6, 2, 4, IndexOptions{Radix: 3})
+	if s.Op != "index" || s.Algorithm != "bruck" {
+		t.Fatalf("meta: op %q alg %q", s.Op, s.Algorithm)
+	}
+	if len(s.Rounds) != s.C1 || len(s.Pattern) != s.C1 {
+		t.Fatalf("got %d rounds, %d pattern rounds, c1 = %d", len(s.Rounds), len(s.Pattern), s.C1)
+	}
+	matchPattern(t, s, 0)
+}
+
+// TestScheduleExportFormulaIndex: formula-driven index schedules emit
+// events-only traces.
+func TestScheduleExportFormulaIndex(t *testing.T) {
+	for _, alg := range []IndexAlgorithm{IndexDirect, IndexPairwiseXOR} {
+		s := execIndexPlan(t, 8, 2, 4, IndexOptions{Algorithm: alg})
+		if len(s.Pattern) != 0 {
+			t.Errorf("%v: formula algorithm emitted a pattern", alg)
+		}
+		if len(s.Rounds) != s.C1 {
+			t.Errorf("%v: %d rounds recorded, c1 = %d", alg, len(s.Rounds), s.C1)
+		}
+	}
+}
+
+// execConcatPlan is execIndexPlan for concatenation plans.
+func execConcatPlan(t *testing.T, n, k, b int, opt ConcatOptions) *trace.Schedule {
+	t.Helper()
+	e := mpsim.MustNew(n, mpsim.Ports(k), mpsim.Record(true))
+	pl, err := CompileConcat(e, mpsim.WorldGroup(n), b, opt)
+	if err != nil {
+		t.Fatalf("CompileConcat: %v", err)
+	}
+	in := genIndexInput(n, b)
+	vec := make([][]byte, n)
+	for i := range vec {
+		vec[i] = in[i][0]
+	}
+	fin, _ := buffers.FromVector(vec)
+	fout, _ := buffers.New(n, n, b)
+	if _, err := pl.Execute(fin, fout); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return pl.Schedule(e.Metrics().Events())
+}
+
+// TestScheduleExportCirculant: doubling and last rounds cover the whole
+// execution; last-round transfers carry byte extents.
+func TestScheduleExportCirculant(t *testing.T) {
+	s := execConcatPlan(t, 7, 2, 5, ConcatOptions{})
+	if s.Algorithm != "circulant" {
+		t.Fatalf("algorithm %q", s.Algorithm)
+	}
+	if len(s.Rounds) != s.C1 || len(s.Pattern) != s.C1 {
+		t.Fatalf("got %d rounds, %d pattern rounds, c1 = %d", len(s.Rounds), len(s.Pattern), s.C1)
+	}
+	matchPattern(t, s, 0)
+	sawLast := false
+	for _, pr := range s.Pattern {
+		if pr.Phase == "last" {
+			sawLast = true
+			for _, x := range pr.Transfers {
+				total := 0
+				for _, ext := range x.Extents {
+					total += ext.Len
+				}
+				if total != x.Bytes {
+					t.Errorf("last-round transfer: extents cover %dB, payload is %dB", total, x.Bytes)
+				}
+			}
+		}
+	}
+	if !sawLast {
+		t.Error("no last-phase pattern round for n=7, k=2")
+	}
+}
+
+// TestScheduleExportTrivial: k >= n-1 compiles the single all-pairs
+// round.
+func TestScheduleExportTrivial(t *testing.T) {
+	s := execConcatPlan(t, 4, 3, 6, ConcatOptions{})
+	if len(s.Pattern) != 1 || s.Pattern[0].Phase != "trivial" {
+		t.Fatalf("pattern %+v, want one trivial round", s.Pattern)
+	}
+	matchPattern(t, s, 0)
+}
+
+// TestScheduleExportAllReduce: a Bruck-reduce allreduce exports both
+// phases — index rounds then concatenation rounds — covering the whole
+// execution.
+func TestScheduleExportAllReduce(t *testing.T) {
+	const n, k, b = 6, 2, 8
+	kern, err := buffers.Kernel(buffers.Sum, buffers.Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mpsim.MustNew(n, mpsim.Ports(k), mpsim.Record(true))
+	pl, err := CompileReduce(e, mpsim.WorldGroup(n), AllReduceKind, b, ReduceOptions{
+		Algorithm: ReduceBruck, Kernel: kern, ElemSize: 4, KernelKey: "sum/int32",
+	})
+	if err != nil {
+		t.Fatalf("CompileReduce: %v", err)
+	}
+	in, _ := buffers.FromMatrix(genIndexInput(n, b))
+	out, _ := buffers.New(n, n, b)
+	if _, err := pl.Execute(in, out); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	s := pl.Schedule(e.Metrics().Events())
+	if s.Op != "allreduce" {
+		t.Fatalf("op %q", s.Op)
+	}
+	if len(s.Rounds) != s.C1 || len(s.Pattern) != s.C1 {
+		t.Fatalf("got %d rounds, %d pattern rounds, c1 = %d", len(s.Rounds), len(s.Pattern), s.C1)
+	}
+	matchPattern(t, s, 0)
+}
+
+// TestScheduleExportRingReduce: the ring reduce-scatter is
+// formula-driven — events only.
+func TestScheduleExportRingReduce(t *testing.T) {
+	const n, b = 5, 4
+	kern, err := buffers.Kernel(buffers.Sum, buffers.Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mpsim.MustNew(n, mpsim.Record(true))
+	pl, err := CompileReduce(e, mpsim.WorldGroup(n), ReduceScatterKind, b, ReduceOptions{
+		Kernel: kern, ElemSize: 4, KernelKey: "sum/int32",
+	})
+	if err != nil {
+		t.Fatalf("CompileReduce: %v", err)
+	}
+	in, _ := buffers.FromMatrix(genIndexInput(n, b))
+	out, _ := buffers.New(n, 1, b)
+	if _, err := pl.Execute(in, out); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	s := pl.Schedule(e.Metrics().Events())
+	if len(s.Pattern) != 0 {
+		t.Error("ring reduce-scatter emitted a pattern")
+	}
+	if len(s.Rounds) != n-1 {
+		t.Errorf("%d rounds recorded, want %d", len(s.Rounds), n-1)
+	}
+}
+
+// TestScheduleTransportIndependent is the tentpole claim in miniature:
+// the same plan executed under the chaos transport emits a trace
+// byte-identical to the chan run's.
+func TestScheduleTransportIndependent(t *testing.T) {
+	plain := execIndexPlan(t, 9, 2, 4, IndexOptions{Radix: 3})
+	chaos := execIndexPlan(t, 9, 2, 4, IndexOptions{Radix: 3},
+		mpsim.WithChaos(mpsim.ChaosConfig{Inner: mpsim.BackendSlot, Seed: 11, Stragglers: []int{0, 4}}))
+	if d := trace.Diff(chaos, plain); len(d) != 0 {
+		t.Fatalf("chaos trace diverges from chan trace: %v", d)
+	}
+	pb, err := plain.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := chaos.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pb) != string(cb) {
+		t.Fatal("canonical forms differ across transports")
+	}
+}

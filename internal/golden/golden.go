@@ -1,0 +1,477 @@
+// Package golden maintains the golden schedule-trace corpus: one
+// canonical trace artifact (internal/trace.Schedule) per representative
+// schedule family, committed under testdata/golden/ and verified
+// against live runs by the package tests, the chaos fuzzer and the
+// cmd/trace CLI. A golden mismatch means the schedule's structure —
+// rounds, partners, message sizes, block placement — drifted from what
+// was reviewed and committed; regenerate deliberately with
+// `go test ./internal/golden -update` (or `cmd/trace record`) and
+// review the diff.
+//
+// Every capture also self-verifies the collective's result bytes
+// against an independently computed reference, so a golden run proves
+// byte-correctness and structural stability in one pass — under any
+// transport backend, since traces are transport-independent.
+package golden
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bruck/internal/blocks"
+	"bruck/internal/buffers"
+	"bruck/internal/collective"
+	"bruck/internal/mpsim"
+	"bruck/internal/trace"
+)
+
+// Case describes one golden-trace configuration: a collective
+// operation, schedule family and machine shape small enough to capture
+// in milliseconds but rich enough to exercise the family's structure.
+type Case struct {
+	// Name is the artifact's base name (Name + ".json" under the golden
+	// directory).
+	Name string
+	// Op is "index", "concat", "reduce-scatter" or "allreduce".
+	Op string
+	// Alg selects the schedule family within the operation:
+	// index: "bruck", "mixed", "direct", "xor";
+	// concat: "circulant", "folklore", "ring", "recdbl";
+	// reductions: "ring", "halving", "bruck".
+	Alg string
+	// N, K, B: group size, ports, block size in bytes.
+	N, K, B int
+	// Radix is the Bruck radix (0 selects the default k+1).
+	Radix int
+	// Radices are the mixed-radix subphase radices (Alg "mixed").
+	Radices []int
+	// Ragged captures the layout (V) variant of the operation with a
+	// deterministic skewed layout derived from (N, B).
+	Ragged bool
+}
+
+// Corpus returns the committed golden corpus: one representative case
+// per schedule family across all five collective families (fixed-size
+// index, fixed-size concat, ragged index, ragged concat, reductions).
+func Corpus() []Case {
+	return []Case{
+		// Index family: the paper's Section 3 algorithm at two radices,
+		// the mixed-radix generalization, and both baselines.
+		{Name: "index-bruck-n8-k1-r2", Op: "index", Alg: "bruck", N: 8, K: 1, B: 4, Radix: 2},
+		{Name: "index-bruck-n12-k3", Op: "index", Alg: "bruck", N: 12, K: 3, B: 4},
+		{Name: "index-mixed-n12-k1", Op: "index", Alg: "mixed", N: 12, K: 1, B: 4, Radices: []int{2, 3, 2}},
+		{Name: "index-direct-n8-k2", Op: "index", Alg: "direct", N: 8, K: 2, B: 4},
+		{Name: "index-xor-n8-k2", Op: "index", Alg: "xor", N: 8, K: 2, B: 4},
+		// Concat family: the paper's Section 4 circulant algorithm (with
+		// a byte-granular last round at n=11, k=2) and the baselines.
+		{Name: "concat-circulant-n11-k2", Op: "concat", Alg: "circulant", N: 11, K: 2, B: 5},
+		{Name: "concat-trivial-n5-k4", Op: "concat", Alg: "circulant", N: 5, K: 4, B: 4},
+		{Name: "concat-folklore-n6-k2", Op: "concat", Alg: "folklore", N: 6, K: 2, B: 4},
+		{Name: "concat-ring-n6-k1", Op: "concat", Alg: "ring", N: 6, K: 1, B: 4},
+		{Name: "concat-recdbl-n8-k1", Op: "concat", Alg: "recdbl", N: 8, K: 1, B: 4},
+		// Ragged layouts: skewed IndexV and ConcatV.
+		{Name: "indexv-bruck-n6-k2", Op: "index", Alg: "bruck", N: 6, K: 2, B: 5, Ragged: true},
+		{Name: "concatv-circulant-n7-k2", Op: "concat", Alg: "circulant", N: 7, K: 2, B: 5, Ragged: true},
+		// Reductions: all three reduce-scatter schedules and a composed
+		// allreduce.
+		{Name: "reducescatter-ring-n6-k1", Op: "reduce-scatter", Alg: "ring", N: 6, K: 1, B: 8},
+		{Name: "reducescatter-halving-n8-k1", Op: "reduce-scatter", Alg: "halving", N: 8, K: 1, B: 8},
+		{Name: "reducescatter-bruck-n9-k2-r3", Op: "reduce-scatter", Alg: "bruck", N: 9, K: 2, B: 8, Radix: 3},
+		{Name: "allreduce-bruck-n6-k2", Op: "allreduce", Alg: "bruck", N: 6, K: 2, B: 8},
+	}
+}
+
+// Dir is the committed location of the golden corpus, relative to this
+// package's directory (the working directory of its tests).
+const Dir = "testdata/golden"
+
+// Path returns the artifact path of a case under dir.
+func Path(dir string, c Case) string {
+	return filepath.Join(dir, c.Name+".json")
+}
+
+// Write records the schedule as the case's golden artifact under dir,
+// creating the directory as needed.
+func Write(dir string, c Case, s *trace.Schedule) error {
+	data, err := s.Canonical()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("golden: %w", err)
+	}
+	if err := os.WriteFile(Path(dir, c), data, 0o644); err != nil {
+		return fmt.Errorf("golden: %w", err)
+	}
+	return nil
+}
+
+// Verify diffs a live schedule against the case's committed artifact
+// under dir. It returns the structural differences (nil when the trace
+// matches) or an error when the artifact is missing or unparseable.
+func Verify(dir string, c Case, live *trace.Schedule) ([]string, error) {
+	data, err := os.ReadFile(Path(dir, c))
+	if err != nil {
+		return nil, fmt.Errorf("golden: no artifact for case %s (run with -update or `cmd/trace record`): %w", c.Name, err)
+	}
+	want, err := trace.ParseSchedule(data)
+	if err != nil {
+		return nil, fmt.Errorf("golden: case %s: %w", c.Name, err)
+	}
+	return trace.Diff(live, want), nil
+}
+
+// Perturb structurally mutates a schedule — the drift a verify run must
+// catch. Used by the negative tests and `cmd/trace verify -perturb`.
+func Perturb(s *trace.Schedule) {
+	s.C2++
+	for i := range s.Rounds {
+		if len(s.Rounds[i].Sends) > 0 {
+			s.Rounds[i].Sends[0].Bytes++
+			return
+		}
+	}
+	// A schedule with no messages (n = 1) still drifts via its meta.
+	s.C1++
+}
+
+// Capture compiles the case's plan on a fresh engine (created with the
+// given extra options — e.g. mpsim.WithTransport or mpsim.WithChaos —
+// on top of Ports(c.K) and Record(true)), executes it once on
+// deterministic input, byte-verifies the result against an
+// independently computed reference, and returns the canonical trace of
+// the run.
+func Capture(c Case, opts ...mpsim.Option) (*trace.Schedule, error) {
+	e, err := mpsim.New(c.N, append([]mpsim.Option{mpsim.Ports(c.K), mpsim.Record(true)}, opts...)...)
+	if err != nil {
+		return nil, fmt.Errorf("golden: case %s: %w", c.Name, err)
+	}
+	g := mpsim.WorldGroup(c.N)
+	var (
+		pl   *collective.Plan
+		run  func(pl *collective.Plan) error
+		cerr error
+	)
+	switch c.Op {
+	case "index":
+		pl, run, cerr = c.setupIndex(e, g)
+	case "concat":
+		pl, run, cerr = c.setupConcat(e, g)
+	case "reduce-scatter", "allreduce":
+		pl, run, cerr = c.setupReduce(e, g)
+	default:
+		return nil, fmt.Errorf("golden: case %s: unknown op %q", c.Name, c.Op)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("golden: case %s: %w", c.Name, cerr)
+	}
+	if err := run(pl); err != nil {
+		return nil, fmt.Errorf("golden: case %s: %w", c.Name, err)
+	}
+	return pl.Schedule(e.Metrics().Events()), nil
+}
+
+// fill writes the (proc, block, byte)-identifying pattern the reference
+// checks recompute.
+func fill(blk []byte, i, j int) {
+	for x := range blk {
+		blk[x] = byte(i*131 + j*31 + x*7)
+	}
+}
+
+func (c Case) indexOptions() (collective.IndexOptions, error) {
+	switch c.Alg {
+	case "bruck", "mixed":
+		return collective.IndexOptions{Radix: c.Radix}, nil
+	case "direct":
+		return collective.IndexOptions{Algorithm: collective.IndexDirect}, nil
+	case "xor":
+		return collective.IndexOptions{Algorithm: collective.IndexPairwiseXOR}, nil
+	}
+	return collective.IndexOptions{}, fmt.Errorf("unknown index algorithm %q", c.Alg)
+}
+
+// raggedCounts derives the case's deterministic skewed count table:
+// lengths cycle through 0..B with a (row, col)-dependent stride.
+func (c Case) raggedCounts() [][]int {
+	counts := make([][]int, c.N)
+	for i := range counts {
+		counts[i] = make([]int, c.N)
+		for j := range counts[i] {
+			counts[i][j] = (i*7 + j*3 + i*j) % (c.B + 1)
+		}
+	}
+	return counts
+}
+
+func (c Case) setupIndex(e *mpsim.Engine, g *mpsim.Group) (*collective.Plan, func(*collective.Plan) error, error) {
+	opt, err := c.indexOptions()
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.Ragged {
+		l, err := blocks.Ragged(c.raggedCounts())
+		if err != nil {
+			return nil, nil, err
+		}
+		pl, err := collective.CompileIndexV(e, g, l, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return pl, func(pl *collective.Plan) error {
+			in, err := buffers.NewRagged(l)
+			if err != nil {
+				return err
+			}
+			out, err := buffers.NewRagged(l.Transpose())
+			if err != nil {
+				return err
+			}
+			for i := 0; i < c.N; i++ {
+				for j := 0; j < c.N; j++ {
+					fill(in.Block(i, j), i, j)
+				}
+			}
+			if _, err := pl.ExecuteV(in, out); err != nil {
+				return err
+			}
+			for i := 0; i < c.N; i++ {
+				for j := 0; j < c.N; j++ {
+					if !bytesEqual(out.Block(i, j), in.Block(j, i)) {
+						return fmt.Errorf("indexv result: out.Block(%d,%d) != in.Block(%d,%d)", i, j, j, i)
+					}
+				}
+			}
+			return nil
+		}, nil
+	}
+	var pl *collective.Plan
+	if c.Alg == "mixed" {
+		pl, err = collective.CompileIndexMixed(e, g, c.B, c.Radices)
+	} else {
+		pl, err = collective.CompileIndex(e, g, c.B, opt)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, func(pl *collective.Plan) error {
+		in, err := buffers.New(c.N, c.N, c.B)
+		if err != nil {
+			return err
+		}
+		out, err := buffers.New(c.N, c.N, c.B)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < c.N; i++ {
+			for j := 0; j < c.N; j++ {
+				fill(in.Block(i, j), i, j)
+			}
+		}
+		if _, err := pl.Execute(in, out); err != nil {
+			return err
+		}
+		for i := 0; i < c.N; i++ {
+			for j := 0; j < c.N; j++ {
+				if !bytesEqual(out.Block(i, j), in.Block(j, i)) {
+					return fmt.Errorf("index result: out.Block(%d,%d) != in.Block(%d,%d)", i, j, j, i)
+				}
+			}
+		}
+		return nil
+	}, nil
+}
+
+func (c Case) concatOptions() (collective.ConcatOptions, error) {
+	switch c.Alg {
+	case "circulant":
+		return collective.ConcatOptions{}, nil
+	case "folklore":
+		return collective.ConcatOptions{Algorithm: collective.ConcatFolklore}, nil
+	case "ring":
+		return collective.ConcatOptions{Algorithm: collective.ConcatRing}, nil
+	case "recdbl":
+		return collective.ConcatOptions{Algorithm: collective.ConcatRecursiveDoubling}, nil
+	}
+	return collective.ConcatOptions{}, fmt.Errorf("unknown concat algorithm %q", c.Alg)
+}
+
+func (c Case) setupConcat(e *mpsim.Engine, g *mpsim.Group) (*collective.Plan, func(*collective.Plan) error, error) {
+	opt, err := c.concatOptions()
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.Ragged {
+		counts := make([]int, c.N)
+		for i := range counts {
+			counts[i] = (i*7 + 3) % (c.B + 1)
+		}
+		l, err := blocks.RaggedVector(counts)
+		if err != nil {
+			return nil, nil, err
+		}
+		pl, err := collective.CompileConcatV(e, g, l, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return pl, func(pl *collective.Plan) error {
+			in, err := buffers.NewRagged(l)
+			if err != nil {
+				return err
+			}
+			outL, err := l.ConcatOut()
+			if err != nil {
+				return err
+			}
+			out, err := buffers.NewRagged(outL)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < c.N; i++ {
+				fill(in.Block(i, 0), i, 0)
+			}
+			if _, err := pl.ExecuteV(in, out); err != nil {
+				return err
+			}
+			for i := 0; i < c.N; i++ {
+				for j := 0; j < c.N; j++ {
+					if !bytesEqual(out.Block(i, j), in.Block(j, 0)) {
+						return fmt.Errorf("concatv result: out.Block(%d,%d) != in.Block(%d,0)", i, j, j)
+					}
+				}
+			}
+			return nil
+		}, nil
+	}
+	pl, err := collective.CompileConcat(e, g, c.B, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, func(pl *collective.Plan) error {
+		in, err := buffers.New(c.N, 1, c.B)
+		if err != nil {
+			return err
+		}
+		out, err := buffers.New(c.N, c.N, c.B)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < c.N; i++ {
+			fill(in.Block(i, 0), i, 0)
+		}
+		if _, err := pl.Execute(in, out); err != nil {
+			return err
+		}
+		for i := 0; i < c.N; i++ {
+			for j := 0; j < c.N; j++ {
+				if !bytesEqual(out.Block(i, j), in.Block(j, 0)) {
+					return fmt.Errorf("concat result: out.Block(%d,%d) != in.Block(%d,0)", i, j, j)
+				}
+			}
+		}
+		return nil
+	}, nil
+}
+
+func (c Case) reduceOptions() (collective.ReduceOptions, error) {
+	kern, err := buffers.Kernel(buffers.Sum, buffers.Int32)
+	if err != nil {
+		return collective.ReduceOptions{}, err
+	}
+	opt := collective.ReduceOptions{
+		Kernel: kern, ElemSize: 4, KernelKey: "sum/int32", Radix: c.Radix,
+	}
+	switch c.Alg {
+	case "ring":
+		opt.Algorithm = collective.ReduceRing
+	case "halving":
+		opt.Algorithm = collective.ReduceHalving
+	case "bruck":
+		opt.Algorithm = collective.ReduceBruck
+	default:
+		return collective.ReduceOptions{}, fmt.Errorf("unknown reduce algorithm %q", c.Alg)
+	}
+	return opt, nil
+}
+
+// expectedChunk computes the int32 wrap-around sum of every rank's
+// contribution to chunk j — the reference a reduction capture verifies
+// against.
+func (c Case) expectedChunk(j int) []byte {
+	sums := make([]int32, c.B/4)
+	blk := make([]byte, c.B)
+	for i := 0; i < c.N; i++ {
+		fill(blk, i, j)
+		for e := range sums {
+			sums[e] += int32(binary.LittleEndian.Uint32(blk[e*4:]))
+		}
+	}
+	out := make([]byte, c.B)
+	for e, v := range sums {
+		binary.LittleEndian.PutUint32(out[e*4:], uint32(v))
+	}
+	return out
+}
+
+func (c Case) setupReduce(e *mpsim.Engine, g *mpsim.Group) (*collective.Plan, func(*collective.Plan) error, error) {
+	opt, err := c.reduceOptions()
+	if err != nil {
+		return nil, nil, err
+	}
+	kind := collective.ReduceScatterKind
+	outBlocks := 1
+	if c.Op == "allreduce" {
+		kind = collective.AllReduceKind
+		outBlocks = c.N
+	}
+	pl, err := collective.CompileReduce(e, g, kind, c.B, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, func(pl *collective.Plan) error {
+		in, err := buffers.New(c.N, c.N, c.B)
+		if err != nil {
+			return err
+		}
+		out, err := buffers.New(c.N, outBlocks, c.B)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < c.N; i++ {
+			for j := 0; j < c.N; j++ {
+				fill(in.Block(i, j), i, j)
+			}
+		}
+		if _, err := pl.Execute(in, out); err != nil {
+			return err
+		}
+		for i := 0; i < c.N; i++ {
+			if outBlocks == 1 {
+				if !bytesEqual(out.Block(i, 0), c.expectedChunk(i)) {
+					return fmt.Errorf("reduce-scatter result: rank %d chunk mismatch", i)
+				}
+				continue
+			}
+			for j := 0; j < c.N; j++ {
+				if !bytesEqual(out.Block(i, j), c.expectedChunk(j)) {
+					return fmt.Errorf("allreduce result: rank %d chunk %d mismatch", i, j)
+				}
+			}
+		}
+		return nil
+	}, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,177 @@
+package golden
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"bruck/internal/mpsim"
+	"bruck/internal/trace"
+)
+
+// update regenerates the committed golden artifacts from a live chan
+// run: `go test ./internal/golden -update`. Review the resulting diff —
+// a golden change is a schedule change.
+var update = flag.Bool("update", false, "rewrite the golden trace artifacts from a live run")
+
+// TestGoldenTraces is the corpus gate: every case's live trace must
+// byte-match its committed artifact — on the chan backend and under the
+// chaos transport wrapping both real backends. With -update the chan
+// capture rewrites the artifacts instead.
+func TestGoldenTraces(t *testing.T) {
+	for _, c := range Corpus() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			live, err := Capture(c)
+			if err != nil {
+				t.Fatalf("capture: %v", err)
+			}
+			if *update {
+				if err := Write(Dir, c, live); err != nil {
+					t.Fatalf("update: %v", err)
+				}
+				return
+			}
+			diffs, err := Verify(Dir, c, live)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diffs) != 0 {
+				t.Fatalf("live chan trace drifted from golden:\n  %v", diffs)
+			}
+			for _, inner := range []mpsim.Backend{mpsim.BackendChan, mpsim.BackendSlot} {
+				chaotic, err := Capture(c, mpsim.WithChaos(mpsim.ChaosConfig{
+					Inner: inner, Seed: 1, Stragglers: []int{0},
+				}))
+				if err != nil {
+					t.Fatalf("capture under chaos(%s): %v", inner, err)
+				}
+				diffs, err := Verify(Dir, c, chaotic)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(diffs) != 0 {
+					t.Fatalf("chaos(%s) trace drifted from golden:\n  %v", inner, diffs)
+				}
+			}
+		})
+	}
+}
+
+// TestPerturbedScheduleFailsVerify is the negative control: a
+// structurally perturbed schedule must fail verification against every
+// committed artifact it claims to be.
+func TestPerturbedScheduleFailsVerify(t *testing.T) {
+	if *update {
+		t.Skip("corpus being regenerated")
+	}
+	for _, c := range Corpus() {
+		live, err := Capture(c)
+		if err != nil {
+			t.Fatalf("%s: capture: %v", c.Name, err)
+		}
+		Perturb(live)
+		diffs, err := Verify(Dir, c, live)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if len(diffs) == 0 {
+			t.Errorf("%s: perturbed schedule passed verification", c.Name)
+		}
+	}
+}
+
+// TestCaptureDeterministic: two captures of one case produce
+// byte-identical canonical artifacts (the property that makes goldens
+// possible at all).
+func TestCaptureDeterministic(t *testing.T) {
+	c := Corpus()[0]
+	a, err := Capture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Capture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ab) != string(bb) {
+		t.Fatal("two captures of one case produced different canonical artifacts")
+	}
+}
+
+// fuzzCase clamps raw fuzz inputs into a valid corpus-style case plus a
+// chaos configuration. opSel picks the schedule family among those
+// valid for arbitrary n.
+func fuzzCase(opSel, nRaw, kRaw, radixRaw uint8, seed uint64, stragglerMask uint16) (Case, mpsim.ChaosConfig) {
+	n := 1 + int(nRaw)%12
+	kMax := n - 1 // the engine requires 1 <= k <= n-1
+	if kMax < 1 {
+		kMax = 1
+	}
+	if kMax > 3 {
+		kMax = 3
+	}
+	k := 1 + int(kRaw)%kMax
+	c := Case{N: n, K: k, B: 4}
+	switch opSel % 4 {
+	case 0:
+		c.Op, c.Alg = "index", "bruck"
+		if n > 1 {
+			c.Radix = 2 + int(radixRaw)%(n-1)
+		}
+	case 1:
+		c.Op, c.Alg = "concat", "circulant"
+	case 2:
+		c.Op, c.Alg = "concat", "ring"
+	case 3:
+		c.Op, c.Alg = "reduce-scatter", "bruck"
+		if n > 1 {
+			c.Radix = 2 + int(radixRaw)%(n-1)
+		}
+	}
+	c.Name = fmt.Sprintf("fuzz-%s-%s-n%d-k%d-r%d", c.Op, c.Alg, n, k, c.Radix)
+	cfg := mpsim.ChaosConfig{Seed: seed}
+	if seed%2 == 1 {
+		cfg.Inner = mpsim.BackendSlot
+	}
+	for rank := 0; rank < n && rank < 16; rank++ {
+		if stragglerMask&(1<<rank) != 0 {
+			cfg.Stragglers = append(cfg.Stragglers, rank)
+		}
+	}
+	return c, cfg
+}
+
+// FuzzChaosSchedule drives random (operation, n, k, radix, seed,
+// straggler set) configurations through a plain chan run and a chaos
+// run and asserts the tentpole invariant: both byte-verify against the
+// independent reference (inside Capture) and both emit the identical
+// canonical trace.
+func FuzzChaosSchedule(f *testing.F) {
+	f.Add(uint8(0), uint8(7), uint8(0), uint8(0), uint64(1), uint16(1))
+	f.Add(uint8(1), uint8(10), uint8(1), uint8(2), uint64(42), uint16(5))
+	f.Add(uint8(2), uint8(4), uint8(2), uint8(0), uint64(7), uint16(0))
+	f.Add(uint8(3), uint8(8), uint8(1), uint8(3), uint64(99), uint16(0x102))
+	f.Fuzz(func(t *testing.T, opSel, nRaw, kRaw, radixRaw uint8, seed uint64, stragglerMask uint16) {
+		c, cfg := fuzzCase(opSel, nRaw, kRaw, radixRaw, seed, stragglerMask)
+		plain, err := Capture(c)
+		if err != nil {
+			t.Fatalf("%s: chan capture: %v", c.Name, err)
+		}
+		chaotic, err := Capture(c, mpsim.WithChaos(cfg))
+		if err != nil {
+			t.Fatalf("%s: chaos capture (cfg %+v): %v", c.Name, cfg, err)
+		}
+		if d := trace.Diff(chaotic, plain); len(d) != 0 {
+			t.Fatalf("%s: chaos trace diverges from chan trace (cfg %+v):\n  %v", c.Name, cfg, d)
+		}
+	})
+}

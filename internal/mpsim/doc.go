@@ -40,8 +40,14 @@
 //   - BackendSlot: one lock-free single-writer slot ring per ordered
 //     pair, synchronized with two atomic counters; waiting escalates
 //     spin -> yield -> sleep. The fast backend for throughput work.
+//   - BackendChaos: the adversarial-timing wrapper around chan or slot
+//     (WithChaos selects and configures it). It injects seeded
+//     per-link latency jitter, cross-link reordering of same-round
+//     messages, and straggler processors — perturbing only *when*
+//     messages move, never what moves — so tests can prove schedules
+//     byte-correct under arbitrary timing.
 //
-// Both give a pair two messages of slack — exactly what a round-aligned
+// Both real backends give a pair two messages of slack — exactly what a round-aligned
 // schedule needs, since a sender runs at most one round ahead of the
 // matching receiver per pair — so schedule bugs surface as deadlocks
 // rather than hide in deep buffers. The paper's schedules are
@@ -95,4 +101,26 @@
 // orphaned instances, so they can neither race with later runs nor
 // leak stale messages into them, at the cost of losing the pools' warm
 // steady state on that (already exceptional) path.
+//
+// # Chaos lifecycle rules
+//
+// The chaos transport follows the same lifecycle contract as the real
+// backends, with three additional rules:
+//
+//   - Determinism: the delay of the i-th message on each directed link
+//     is a pure function of (seed, link, i) — there is no shared
+//     generator — so two runs of one schedule with one seed inject
+//     identical delays and report identical ChaosStats, regardless of
+//     goroutine interleaving. Results are always byte-identical to the
+//     wrapped backend's; only Time-like quantities may change.
+//   - Ordering: per-pair FIFO delivery is preserved (receivers match
+//     messages to rounds, so reordering within a pair would be a real
+//     schedule violation, not chaos). Reordering happens across links,
+//     by delaying each link independently.
+//   - Abandonment: Abandon interrupts injected delays in flight as
+//     well as inner-transport waits, so a watchdog fence wakes
+//     processors asleep in a pause exactly like ones blocked in a
+//     mailbox. Drain delegates to the inner transport — the wrapper
+//     itself never holds a message — and a post-deadlock fence
+//     installs a fresh wrapper, resetting ChaosStats.
 package mpsim

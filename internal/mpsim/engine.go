@@ -32,6 +32,7 @@ type Engine struct {
 	record   bool
 	watchdog time.Duration
 	backend  Backend
+	chaos    ChaosConfig // read only when backend == BackendChaos
 
 	// tr carries messages between processors. After a deadlocked run the
 	// engine abandons the instance to the stuck goroutines and installs
@@ -105,10 +106,20 @@ func Watchdog(d time.Duration) Option {
 }
 
 // WithTransport selects the message transport backend, BackendChan
-// (default) or BackendSlot. See the Backend constants for the
-// trade-off.
+// (default), BackendSlot, or BackendChaos with default configuration.
+// See the Backend constants for the trade-off.
 func WithTransport(b Backend) Option {
 	return func(e *Engine) { e.backend = b }
+}
+
+// WithChaos selects the chaos transport with the given configuration:
+// the engine wraps cfg.Inner (chan or slot) and injects seeded latency
+// jitter and straggler delays on every link. See ChaosConfig.
+func WithChaos(cfg ChaosConfig) Option {
+	return func(e *Engine) {
+		e.backend = BackendChaos
+		e.chaos = cfg
+	}
 }
 
 // New creates an engine for n processors. n must be at least 1 and the
@@ -134,7 +145,7 @@ func New(n int, opts ...Option) (*Engine, error) {
 	if e.k < 1 || e.k > maxK {
 		return nil, fmt.Errorf("mpsim: port count k = %d, want 1 <= k <= %d for n = %d", e.k, maxK, n)
 	}
-	tr, err := newTransport(e.backend, n)
+	tr, err := newTransport(e.backend, n, e.chaos)
 	if err != nil {
 		return nil, err
 	}
@@ -161,6 +172,17 @@ func (e *Engine) Ports() int { return e.k }
 
 // Transport returns the backend the engine was created with.
 func (e *Engine) Transport() Backend { return e.backend }
+
+// ChaosStats returns the chaos transport's cumulative injected-delay
+// statistics and true, or a zero value and false when the engine does
+// not use the chaos backend. Only call between runs; a deadlock fence
+// installs a fresh transport and resets the stats.
+func (e *Engine) ChaosStats() (ChaosStats, bool) {
+	if ct, ok := e.tr.(*chaosTransport); ok {
+		return ct.Stats(), true
+	}
+	return ChaosStats{}, false
+}
 
 // Run executes body concurrently on all n processors and waits for every
 // processor to return. It returns the joined errors of all processors,
@@ -350,7 +372,7 @@ func (e *Engine) ProgramsInLastRun() int { return e.lastPrograms }
 // orphaned instances, so no lock is needed anywhere on this path.
 func (e *Engine) fence() {
 	e.tr.Abandon()
-	tr, err := newTransport(e.backend, e.n)
+	tr, err := newTransport(e.backend, e.n, e.chaos)
 	if err != nil {
 		// The backend was validated in New; a failure here is impossible.
 		panic(err)

@@ -29,15 +29,24 @@ const (
 	// briefly, then yield, then sleep, so a deadlocked run burns some
 	// CPU until the watchdog fires.
 	BackendSlot Backend = "slot"
+
+	// BackendChaos is the adversarial-timing transport: it wraps chan or
+	// slot (ChaosConfig.Inner) and injects seeded per-link latency
+	// jitter, cross-link message reordering, and straggler processors.
+	// Payloads, rounds and partners are untouched — only timing changes
+	// — so it is the backend for proving schedules byte-correct under
+	// timing perturbation. Configure it with WithChaos; selecting it via
+	// WithTransport uses the zero ChaosConfig defaults.
+	BackendChaos Backend = "chaos"
 )
 
 // ParseBackend converts a command-line string into a Backend.
 func ParseBackend(s string) (Backend, error) {
 	switch Backend(s) {
-	case BackendChan, BackendSlot:
+	case BackendChan, BackendSlot, BackendChaos:
 		return Backend(s), nil
 	}
-	return "", fmt.Errorf("mpsim: unknown transport %q (want %q or %q)", s, BackendChan, BackendSlot)
+	return "", fmt.Errorf("mpsim: unknown transport %q (want %q, %q or %q)", s, BackendChan, BackendSlot, BackendChaos)
 }
 
 // errAbandoned is returned by transport operations that were fenced out:
@@ -81,13 +90,16 @@ type Transport interface {
 	Abandon()
 }
 
-// newTransport builds the backend for an n-processor engine.
-func newTransport(b Backend, n int) (Transport, error) {
+// newTransport builds the backend for an n-processor engine; chaos is
+// the only backend that reads the config.
+func newTransport(b Backend, n int, chaos ChaosConfig) (Transport, error) {
 	switch b {
 	case BackendChan:
 		return newChanTransport(n), nil
 	case BackendSlot:
 		return newSlotTransport(n), nil
+	case BackendChaos:
+		return newChaosTransport(n, chaos)
 	}
 	return nil, fmt.Errorf("mpsim: unknown transport backend %q", b)
 }

@@ -14,7 +14,11 @@ import (
 	"time"
 )
 
-var backends = []Backend{BackendChan, BackendSlot}
+// backends lists every selectable transport; BackendChaos runs with
+// its default configuration (chan inner, seed 1), so each lifecycle
+// test here — watchdog, deadlock fencing, drain recycling — also
+// exercises the chaos wrapper. chaos_test.go covers the slot inner.
+var backends = []Backend{BackendChan, BackendSlot, BackendChaos}
 
 func forEachBackend(t *testing.T, f func(t *testing.T, b Backend)) {
 	for _, b := range backends {

@@ -1,0 +1,141 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"bruck/internal/trace"
+)
+
+// sample builds a small two-round schedule with both sections populated.
+func sample() *trace.Schedule {
+	return &trace.Schedule{
+		Op:        "index",
+		Algorithm: "bruck",
+		N:         4,
+		K:         1,
+		BlockLen:  8,
+		C1:        2,
+		C2:        32,
+		Rounds: []trace.ScheduleRound{
+			{Round: 0, Sends: []trace.ScheduleSend{
+				{Src: 0, Dst: 1, Bytes: 16}, {Src: 1, Dst: 2, Bytes: 16},
+				{Src: 2, Dst: 3, Bytes: 16}, {Src: 3, Dst: 0, Bytes: 16},
+			}},
+			{Round: 1, Sends: []trace.ScheduleSend{
+				{Src: 0, Dst: 2, Bytes: 16}, {Src: 1, Dst: 3, Bytes: 16},
+				{Src: 2, Dst: 0, Bytes: 16}, {Src: 3, Dst: 1, Bytes: 16},
+			}},
+		},
+		Pattern: []trace.PatternRound{
+			{Phase: "bruck", Transfers: []trace.PatternTransfer{{Offset: 1, Bytes: 16, Blocks: []int{1, 3}}}},
+			{Phase: "bruck", Transfers: []trace.PatternTransfer{{Offset: 2, Bytes: 16, Blocks: []int{2, 3}}}},
+		},
+	}
+}
+
+// TestScheduleRoundTrip: Canonical -> ParseSchedule is lossless and a
+// schedule diffs empty against itself.
+func TestScheduleRoundTrip(t *testing.T) {
+	s := sample()
+	data, err := s.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("canonical form lacks trailing newline")
+	}
+	back, err := trace.ParseSchedule(data)
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	if d := trace.Diff(back, s); len(d) != 0 {
+		t.Errorf("round-tripped schedule diffs: %v", d)
+	}
+	// Canonical form is deterministic: serializing the parse yields the
+	// same bytes.
+	again, err := back.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical (reparsed): %v", err)
+	}
+	if string(again) != string(data) {
+		t.Error("canonical form is not deterministic across a parse round trip")
+	}
+}
+
+// TestParseRejectsUnknownFields: artifacts from a future format
+// revision must fail loudly.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := trace.ParseSchedule([]byte(`{"op":"index","futureField":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := trace.ParseSchedule([]byte(`not json`)); err == nil {
+		t.Error("malformed artifact accepted")
+	}
+}
+
+// TestDiffDetectsDrift perturbs every section of a schedule and checks
+// Diff reports each one.
+func TestDiffDetectsDrift(t *testing.T) {
+	perturbations := []struct {
+		name    string
+		mutate  func(*trace.Schedule)
+		wantSub string
+	}{
+		{"op", func(s *trace.Schedule) { s.Op = "concat" }, "op:"},
+		{"algorithm", func(s *trace.Schedule) { s.Algorithm = "direct" }, "algorithm:"},
+		{"n", func(s *trace.Schedule) { s.N = 5 }, "n:"},
+		{"k", func(s *trace.Schedule) { s.K = 2 }, "k:"},
+		{"blockLen", func(s *trace.Schedule) { s.BlockLen = 16 }, "blockLen:"},
+		{"ragged", func(s *trace.Schedule) { s.Ragged = true }, "ragged:"},
+		{"c1", func(s *trace.Schedule) { s.C1 = 3 }, "c1:"},
+		{"c2", func(s *trace.Schedule) { s.C2 = 64 }, "c2:"},
+		{"round dropped", func(s *trace.Schedule) { s.Rounds = s.Rounds[:1] }, "rounds:"},
+		{"send size", func(s *trace.Schedule) { s.Rounds[1].Sends[2].Bytes = 99 }, "rounds[1].sends[2]"},
+		{"send partner", func(s *trace.Schedule) { s.Rounds[0].Sends[0].Dst = 3 }, "rounds[0].sends[0]"},
+		{"send dropped", func(s *trace.Schedule) { s.Rounds[0].Sends = s.Rounds[0].Sends[:3] }, "rounds[0]:"},
+		{"round renumbered", func(s *trace.Schedule) { s.Rounds[1].Round = 7 }, "rounds[1].round"},
+		{"pattern dropped", func(s *trace.Schedule) { s.Pattern = nil }, "pattern:"},
+		{"pattern phase", func(s *trace.Schedule) { s.Pattern[0].Phase = "last" }, "pattern[0].phase"},
+		{"pattern offset", func(s *trace.Schedule) { s.Pattern[1].Transfers[0].Offset = 3 }, "pattern[1].transfers[0]"},
+		{"pattern blocks", func(s *trace.Schedule) { s.Pattern[0].Transfers[0].Blocks = []int{1} }, "pattern[0].transfers[0].blocks"},
+		{"pattern extents", func(s *trace.Schedule) {
+			s.Pattern[0].Transfers[0].Extents = []trace.Extent{{Block: 1, Off: 0, Len: 4}}
+		}, "pattern[0].transfers[0].extents"},
+	}
+	for _, p := range perturbations {
+		t.Run(p.name, func(t *testing.T) {
+			got := sample()
+			p.mutate(got)
+			d := trace.Diff(got, sample())
+			if len(d) == 0 {
+				t.Fatalf("perturbation %q not detected", p.name)
+			}
+			found := false
+			for _, line := range d {
+				if strings.Contains(line, p.wantSub) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("diff %v does not mention %q", d, p.wantSub)
+			}
+		})
+	}
+}
+
+// TestDiffCapped: a totally divergent schedule reports a bounded number
+// of sites, not one per message.
+func TestDiffCapped(t *testing.T) {
+	got := sample()
+	for i := range got.Rounds {
+		for j := range got.Rounds[i].Sends {
+			got.Rounds[i].Sends[j].Bytes = 1
+		}
+	}
+	got.Op, got.Algorithm, got.N, got.K, got.BlockLen, got.C1, got.C2 = "x", "y", 9, 9, 9, 9, 9
+	if d := trace.Diff(got, sample()); len(d) > 20 {
+		t.Errorf("diff reported %d sites, want <= 20", len(d))
+	}
+}

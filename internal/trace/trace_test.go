@@ -1,4 +1,10 @@
-package trace
+// Package trace_test is an external test package (rather than the usual
+// in-package one) because the cross-validation tests import package
+// collective, which itself imports trace for the canonical schedule
+// model — in-package tests would form an import cycle. Everything the
+// tests touch is exported, so the dot import keeps the test bodies
+// unchanged.
+package trace_test
 
 import (
 	"strings"
@@ -6,6 +12,7 @@ import (
 
 	"bruck/internal/collective"
 	"bruck/internal/mpsim"
+	. "bruck/internal/trace"
 )
 
 // TestFig1Configurations pins the initial and final configurations of
