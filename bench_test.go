@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"testing"
 
+	"bruck/internal/benchsuite"
 	"bruck/internal/buffers"
 	"bruck/internal/circulant"
 	"bruck/internal/collective"
@@ -865,6 +866,38 @@ func BenchmarkAllReduce(b *testing.B) {
 			}
 			b.StopTimer()
 			reportModel(b, rep)
+		})
+	}
+}
+
+// BenchmarkSnapshotSuite runs the curated `bruckctl bench` suite
+// (internal/benchsuite) under the standard testing harness: the exact
+// cases snapshotted into BENCH_<area>.json stay runnable with
+// `go test -bench SnapshotSuite` and comparable against the committed
+// baselines with benchstat-style tooling.
+func BenchmarkSnapshotSuite(b *testing.B) {
+	for _, bn := range benchsuite.Suite() {
+		b.Run(bn.Area+"/"+bn.Name, func(b *testing.B) {
+			op, model, err := bn.Setup()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := op(); err != nil { // warmup, mirrors benchsuite.Measure
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if model != nil {
+				c1, c2 := model()
+				b.ReportMetric(float64(c1), "C1-rounds")
+				b.ReportMetric(float64(c2), "C2-bytes")
+			}
 		})
 	}
 }

@@ -9,7 +9,7 @@ import (
 
 func TestRunBoundsAllOptimal(t *testing.T) {
 	var sb strings.Builder
-	if err := runBounds(&sb, mpsim.BackendChan, 4); err != nil {
+	if err := runBounds(textReporter(&sb), mpsim.BackendChan, 4); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -29,7 +29,7 @@ func TestRunBoundsAllOptimal(t *testing.T) {
 
 func TestRunOptimalitySpecialRange(t *testing.T) {
 	var sb strings.Builder
-	if err := runOptimality(&sb, 4); err != nil {
+	if err := runOptimality(textReporter(&sb), 4); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -52,7 +52,7 @@ func TestRunOptimalitySpecialRange(t *testing.T) {
 func TestRunBaselines(t *testing.T) {
 	for _, backend := range []mpsim.Backend{mpsim.BackendChan, mpsim.BackendSlot} {
 		var sb strings.Builder
-		if err := runBaselines(&sb, backend, 4); err != nil {
+		if err := runBaselines(textReporter(&sb), backend, 4); err != nil {
 			t.Fatal(err)
 		}
 		out := sb.String()

@@ -1,30 +1,27 @@
-// Command figures renders the structural figures and tables of the
-// paper as text: the processor-memory configurations of Figures 1, 2
-// and 3 (index operation), the spanning trees of Figures 7 and 8
-// (concatenation), the concatenation trace of Figure 9, and the
-// table-partitioning example of Table 1.
+// The figures subcommand renders the structural figures and tables of
+// the paper as text (the old cmd/figures): the processor-memory
+// configurations of Figures 1, 2 and 3 (index operation), the spanning
+// trees of Figures 7 and 8 (concatenation), the concatenation trace of
+// Figure 9, and the table-partitioning example of Table 1.
 //
-// Usage:
+//	bruckctl figures -fig 1|2|3|7|8|9 [-n N] [-radix R]
+//	bruckctl figures -fig 9 -transport slot   # verify the trace on the slot backend
+//	bruckctl figures -table 1
+//	bruckctl figures -all
 //
-//	figures -fig 1|2|3|7|8|9 [-n N] [-r R]
-//	figures -fig 9 -transport slot   # verify the trace on the slot backend
-//	figures -table 1
-//	figures -all
-//
-// The -transport flag matches the other commands (alltoall, indexbench,
-// concatbench): figures 2, 3 and 9 depict algorithm executions, and
-// their label traces are cross-checked against a byte-level run of the
-// real schedule on the selected simulator backend before rendering.
+// The -transport flag matches the other subcommands: figures 2, 3 and
+// 9 depict algorithm executions, and their label traces are
+// cross-checked against a byte-level run of the real schedule on the
+// selected simulator backend before rendering.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
-	"os"
 
 	"bruck/internal/buffers"
 	"bruck/internal/circulant"
+	"bruck/internal/cli"
 	"bruck/internal/collective"
 	"bruck/internal/intmath"
 	"bruck/internal/mpsim"
@@ -32,49 +29,82 @@ import (
 	"bruck/internal/trace"
 )
 
-func main() {
-	fig := flag.Int("fig", 0, "figure number to render (1, 2, 3, 7, 8, 9)")
-	table := flag.Int("table", 0, "table number to render (1)")
-	all := flag.Bool("all", false, "render every figure and table")
-	n := flag.Int("n", 5, "number of processors for figures 1-3 and 9")
-	r := flag.Int("r", 2, "radix for figure 3")
-	transport := flag.String("transport", "chan", "simulator transport backend for trace verification: chan or slot")
-	flag.Parse()
-
-	backend, err := mpsim.ParseBackend(*transport)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(2)
-	}
-	if *all {
-		for _, f := range []int{1, 2, 3, 7, 8, 9} {
-			if err := renderFig(os.Stdout, f, *n, *r, backend); err != nil {
-				fatal(err)
-			}
-		}
-		if err := renderTable1(os.Stdout); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	if *table == 1 {
-		if err := renderTable1(os.Stdout); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	if *fig == 0 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err := renderFig(os.Stdout, *fig, *n, *r, backend); err != nil {
-		fatal(err)
-	}
+type figuresParams struct {
+	fig        int
+	table      int
+	all        bool
+	n          int
+	r          int
+	transport  string
+	reportJSON bool
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "figures:", err)
-	os.Exit(1)
+func newFiguresCmd() *command {
+	fs := newFlagSet("figures")
+	var p figuresParams
+	fs.IntVar(&p.fig, cli.FlagFig, 0, "figure number to render (1, 2, 3, 7, 8, 9)")
+	fs.IntVar(&p.table, "table", 0, "table number to render (1)")
+	fs.BoolVar(&p.all, "all", false, "render every figure and table")
+	fs.IntVar(&p.n, cli.FlagN, 5, "number of processors for figures 1-3 and 9")
+	fs.IntVar(&p.r, cli.FlagRadix, 2, "radix for figure 3")
+	fs.IntVar(&p.r, cli.FlagRadixAlias, 2, "alias for -radix")
+	fs.StringVar(&p.transport, cli.FlagTransport, "chan", "simulator transport backend for trace verification: chan or slot")
+	fs.BoolVar(&p.reportJSON, cli.FlagReportJSON, false, "emit the JSON report instead of text")
+	c := &command{name: "figures", summary: "structural figures 1-3/7-9 and Table 1, byte-verified", fs: fs}
+	c.exec = func(args []string, w io.Writer) error {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		return runFiguresStudy(w, p)
+	}
+	return c
+}
+
+func runFiguresStudy(w io.Writer, p figuresParams) error {
+	backend, err := mpsim.ParseBackend(p.transport)
+	if err != nil {
+		return err
+	}
+	rp := newReporter(w, p.reportJSON)
+	figKV := func(fig int) {
+		kv := cli.KV(fmt.Sprintf("figure-%d", fig))
+		kv.Add("n", p.n)
+		if fig == 3 {
+			kv.Add("radix", p.r)
+		}
+		if fig == 2 || fig == 3 || fig == 9 {
+			kv.Add("verified_transport", backend)
+		}
+		rp.add(kv)
+	}
+	switch {
+	case p.all:
+		for _, f := range []int{1, 2, 3, 7, 8, 9} {
+			if err := renderFig(rp.text(), f, p.n, p.r, backend); err != nil {
+				return err
+			}
+			figKV(f)
+		}
+		if err := renderTable1(rp.text()); err != nil {
+			return err
+		}
+		rp.add(cli.KV("table-1"))
+	case p.table == 1:
+		if err := renderTable1(rp.text()); err != nil {
+			return err
+		}
+		rp.add(cli.KV("table-1"))
+	case p.table != 0:
+		return fmt.Errorf("unknown table %d (have 1)", p.table)
+	case p.fig == 0:
+		return fmt.Errorf("pick one of -fig 1|2|3|7|8|9, -table 1 or -all")
+	default:
+		if err := renderFig(rp.text(), p.fig, p.n, p.r, backend); err != nil {
+			return err
+		}
+		figKV(p.fig)
+	}
+	return rp.flush()
 }
 
 func renderFig(w io.Writer, fig, n, r int, backend mpsim.Backend) error {

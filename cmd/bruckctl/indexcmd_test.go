@@ -9,10 +9,16 @@ import (
 	"bruck/internal/sweep"
 )
 
+// textReporter wraps a builder as a text-mode reporter, so the study
+// functions' historic text output can be pinned directly.
+func textReporter(sb *strings.Builder) *reporter {
+	return newReporter(sb, false)
+}
+
 func TestRunFig4(t *testing.T) {
 	h := sweep.NewHarness(costmodel.SP1)
 	var sb strings.Builder
-	if err := runFig4(&sb, h, 16, false); err != nil {
+	if err := runFig4(textReporter(&sb), h, 16, false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -26,7 +32,7 @@ func TestRunFig4(t *testing.T) {
 func TestRunFig4CSV(t *testing.T) {
 	h := sweep.NewHarness(costmodel.SP1)
 	var sb strings.Builder
-	if err := runFig4(&sb, h, 8, true); err != nil {
+	if err := runFig4(textReporter(&sb), h, 8, true); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
@@ -44,7 +50,7 @@ func TestRunFig4CSV(t *testing.T) {
 func TestRunFig5ReportsCrossoverInPaperRange(t *testing.T) {
 	h := sweep.NewHarness(costmodel.SP1)
 	var sb strings.Builder
-	if err := runFig5(&sb, h, 64, false); err != nil {
+	if err := runFig5(textReporter(&sb), h, 64, false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -66,7 +72,7 @@ func TestRunFig5ReportsCrossoverInPaperRange(t *testing.T) {
 func TestRunFig6(t *testing.T) {
 	h := sweep.NewHarness(costmodel.SP1)
 	var sb strings.Builder
-	if err := runFig6(&sb, h, 16, false); err != nil {
+	if err := runFig6(textReporter(&sb), h, 16, false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -79,7 +85,7 @@ func TestRunFig6(t *testing.T) {
 
 func TestRunTune(t *testing.T) {
 	var sb strings.Builder
-	if err := runTune(&sb, 16, 1); err != nil {
+	if err := runTune(textReporter(&sb), 16, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

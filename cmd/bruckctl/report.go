@@ -1,0 +1,48 @@
+package main
+
+import (
+	"io"
+
+	"bruck/internal/cli"
+)
+
+// reporter routes one subcommand invocation's output: the historic
+// free-form text goes to text() (silenced under -report-json), and the
+// same values accumulate as cli tables that flush as one JSON document
+// when -report-json is set. Both forms are fed from the same computed
+// values, so they cannot drift.
+type reporter struct {
+	w      io.Writer
+	json   bool
+	tables []*cli.Table
+}
+
+func newReporter(w io.Writer, json bool) *reporter {
+	return &reporter{w: w, json: json}
+}
+
+// text returns the writer for the historic text output: the real
+// writer normally, a discard sink under -report-json.
+func (r *reporter) text() io.Writer {
+	if r.json {
+		return io.Discard
+	}
+	return r.w
+}
+
+// add queues a table for the JSON report. Cheap no-op collection in
+// text mode is deliberate: paths build their tables unconditionally so
+// both forms come from identical values.
+func (r *reporter) add(t *cli.Table) {
+	r.tables = append(r.tables, t)
+}
+
+// flush emits the queued tables as one JSON document under
+// -report-json; in text mode it does nothing (the text already went to
+// the writer).
+func (r *reporter) flush() error {
+	if !r.json || len(r.tables) == 0 {
+		return nil
+	}
+	return cli.RenderTables(r.w, cli.FormatJSON, r.tables...)
+}

@@ -1,16 +1,17 @@
-// Command alltoall runs a single collective operation on the simulated
-// multiport machine and reports its schedule measures and model times.
+// The run subcommand executes a single collective operation on the
+// simulated multiport machine and reports its schedule measures and
+// model times (the old cmd/alltoall).
 //
-//	alltoall -op index  -n 64 -b 128 -r 8 -k 1
-//	alltoall -op concat -n 17 -b 64 -k 2
-//	alltoall -op index  -n 64 -b 128 -r auto           # tuned radix
-//	alltoall -op index  -n 64 -b 128 -flat             # zero-copy flat-buffer path
-//	alltoall -op index  -n 64 -b 128 -transport slot   # shared-memory slot transport
-//	alltoall -op index  -n 64 -b 128 -transport chaos -chaos-seed 7 -stragglers 0,3
-//	alltoall -op index  -n 64 -b 128 -repeat 100       # plan-reuse study
-//	alltoall -op index  -n 32 -b 256 -ragged 1.2       # skewed-size ragged study
-//	alltoall -op reducescatter -n 16 -b 64 -kernel sum:float32
-//	alltoall -op allreduce -n 16 -b 64 -alg auto       # cost-model reduce dispatch
+//	bruckctl run -op index  -n 64 -b 128 -radix 8 -k 1
+//	bruckctl run -op concat -n 17 -b 64 -k 2
+//	bruckctl run -op index  -n 64 -b 128 -radix auto      # tuned radix
+//	bruckctl run -op index  -n 64 -b 128 -flat            # zero-copy flat-buffer path
+//	bruckctl run -op index  -n 64 -b 128 -transport slot  # shared-memory slot transport
+//	bruckctl run -op index  -n 64 -b 128 -transport chaos -chaos-seed 7 -stragglers 0,3
+//	bruckctl run -op index  -n 64 -b 128 -repeat 100      # plan-reuse study
+//	bruckctl run -op index  -n 32 -b 256 -ragged 1.2      # skewed-size ragged study
+//	bruckctl run -op reducescatter -n 16 -b 64 -kernel sum:float32
+//	bruckctl run -op allreduce -n 16 -b 64 -alg auto      # cost-model reduce dispatch
 //
 // The reduction operations (-op reducescatter / allreduce) combine
 // blocks with the kernel named by -kernel (op:type) where the plain
@@ -34,24 +35,23 @@ package main
 
 import (
 	"bytes"
-	"flag"
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"bruck/internal/blocks"
 	"bruck/internal/buffers"
+	"bruck/internal/cli"
 	"bruck/internal/collective"
 	"bruck/internal/costmodel"
 	"bruck/internal/lowerbound"
 	"bruck/internal/mpsim"
 )
 
-// params collects one invocation's configuration.
+// params collects one run invocation's configuration.
 type params struct {
 	op         string
 	n          int
@@ -67,50 +67,58 @@ type params struct {
 	repeat     int
 	ragged     float64
 	kernel     string
+	reportJSON bool
 }
 
-func main() {
+func newRunCmd() *command {
+	fs := newFlagSet("run")
 	var p params
-	flag.StringVar(&p.op, "op", "index", "operation: index or concat")
-	flag.IntVar(&p.n, "n", 16, "number of processors")
-	flag.IntVar(&p.k, "k", 1, "ports per processor")
-	flag.IntVar(&p.b, "b", 64, "block size in bytes")
-	flag.StringVar(&p.radix, "r", "", "index radix (2..n), empty for k+1, or 'auto' for model-tuned")
-	flag.StringVar(&p.alg, "alg", "", "algorithm override (index: bruck|direct|xor; concat: circulant|folklore|ring|recdbl; reducescatter/allreduce: ring|halving|bruck|auto)")
-	flag.BoolVar(&p.flat, "flat", false, "run the zero-copy flat-buffer path (IndexFlat/ConcatFlat)")
-	flag.StringVar(&p.transport, "transport", "chan", "simulator transport backend: chan, slot or chaos")
-	flag.StringVar(&p.chaosInner, "chaos-inner", "chan", "inner backend wrapped by the chaos transport")
-	flag.Uint64Var(&p.chaosSeed, "chaos-seed", 1, "chaos jitter seed")
-	flag.StringVar(&p.stragglers, "stragglers", "", "comma-separated straggler ranks for the chaos transport")
-	flag.IntVar(&p.repeat, "repeat", 1, "run the operation N times and compare compile-per-call vs plan reuse")
-	flag.Float64Var(&p.ragged, "ragged", 0, "run a skewed-size ragged study with Zipf exponent <skew> (block sizes ~ b/rank^skew)")
-	flag.StringVar(&p.kernel, "kernel", "sum:int32", "reduction kernel as op:type (sum|min|max : int32|int64|float32|float64)")
-	flag.Parse()
-
-	if err := run(os.Stdout, p); err != nil {
-		fmt.Fprintln(os.Stderr, "alltoall:", err)
-		os.Exit(1)
+	fs.StringVar(&p.op, "op", "index", "operation: index, concat, reducescatter or allreduce")
+	fs.IntVar(&p.n, cli.FlagN, 16, "number of processors")
+	fs.IntVar(&p.k, cli.FlagPorts, 1, "ports per processor")
+	fs.IntVar(&p.b, cli.FlagBytes, 64, "block size in bytes")
+	fs.StringVar(&p.radix, cli.FlagRadix, "", "index radix (2..n), empty for k+1, or 'auto' for model-tuned")
+	fs.StringVar(&p.radix, cli.FlagRadixAlias, "", "alias for -radix")
+	fs.StringVar(&p.alg, "alg", "", "algorithm override (index: bruck|direct|xor; concat: circulant|folklore|ring|recdbl; reducescatter/allreduce: ring|halving|bruck|auto)")
+	fs.BoolVar(&p.flat, "flat", false, "run the zero-copy flat-buffer path (IndexFlat/ConcatFlat)")
+	tf := cli.RegisterTransportFlags(fs)
+	fs.IntVar(&p.repeat, "repeat", 1, "run the operation N times and compare compile-per-call vs plan reuse")
+	fs.Float64Var(&p.ragged, "ragged", 0, "run a skewed-size ragged study with Zipf exponent <skew> (block sizes ~ b/rank^skew)")
+	fs.StringVar(&p.kernel, "kernel", "sum:int32", "reduction kernel as op:type (sum|min|max : int32|int64|float32|float64)")
+	fs.BoolVar(&p.reportJSON, cli.FlagReportJSON, false, "emit the JSON report instead of text")
+	c := &command{name: "run", summary: "run one collective and report schedule measures vs bounds", fs: fs}
+	c.exec = func(args []string, w io.Writer) error {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		p.transport, p.chaosInner, p.chaosSeed, p.stragglers = tf.Transport, tf.ChaosInner, tf.ChaosSeed, tf.Stragglers
+		return runOp(w, p)
 	}
+	return c
 }
 
-func run(w io.Writer, p params) error {
-	backend := mpsim.BackendChan
-	if p.transport != "" {
-		var err error
-		if backend, err = mpsim.ParseBackend(p.transport); err != nil {
-			return err
-		}
+func runOp(w io.Writer, p params) error {
+	rp := newReporter(w, p.reportJSON)
+	if err := runOpInto(rp, p); err != nil {
+		return err
 	}
-	eopts := []mpsim.Option{mpsim.Ports(p.k), mpsim.Record(true), mpsim.WithTransport(backend)}
-	if backend == mpsim.BackendChaos {
-		cfg, err := chaosConfig(p)
-		if err != nil {
-			return err
-		}
-		eopts = append(eopts, mpsim.WithChaos(cfg))
-	} else if p.stragglers != "" {
-		return fmt.Errorf("-stragglers requires -transport chaos")
+	return rp.flush()
+}
+
+func runOpInto(rp *reporter, p params) error {
+	w := rp.text()
+	tfl := cli.TransportFlags{Transport: p.transport, ChaosInner: p.chaosInner, ChaosSeed: p.chaosSeed, Stragglers: p.stragglers}
+	if tfl.Transport == "" {
+		tfl.Transport = "chan"
 	}
+	if tfl.ChaosInner == "" {
+		tfl.ChaosInner = "chan"
+	}
+	topts, err := tfl.EngineOptions()
+	if err != nil {
+		return err
+	}
+	eopts := append([]mpsim.Option{mpsim.Ports(p.k), mpsim.Record(true)}, topts...)
 	e, err := mpsim.New(p.n, eopts...)
 	if err != nil {
 		return err
@@ -118,9 +126,14 @@ func run(w io.Writer, p params) error {
 	g := mpsim.WorldGroup(p.n)
 
 	if p.ragged > 0 {
-		return runRagged(w, p, e, g)
+		return runRagged(rp, p, e, g)
 	}
 
+	kv := cli.KV("run")
+	kv.Add("op", p.op)
+	kv.Add("n", p.n)
+	kv.Add("k", p.k)
+	kv.Add("b", p.b)
 	var res *collective.Result
 	switch p.op {
 	case "index":
@@ -140,6 +153,7 @@ func run(w io.Writer, p params) error {
 		case "auto":
 			opt.Radix = collective.OptimalRadix(costmodel.SP1, p.n, p.b, p.k, false)
 			fmt.Fprintf(w, "tuned radix: %d\n", opt.Radix)
+			kv.Add("tuned_radix", opt.Radix)
 		default:
 			r, err := strconv.Atoi(p.radix)
 			if err != nil {
@@ -148,7 +162,7 @@ func run(w io.Writer, p params) error {
 			opt.Radix = r
 		}
 		if p.repeat > 1 {
-			return runIndexRepeat(w, p, e, g, opt)
+			return runIndexRepeat(rp, p, e, g, opt)
 		}
 		if p.flat {
 			fin, ferr := buffers.New(p.n, p.n, p.b)
@@ -176,6 +190,9 @@ func run(w io.Writer, p params) error {
 		fmt.Fprintf(w, "index: n=%d k=%d b=%d alg=%v path=%s transport=%s\n", p.n, p.k, p.b, opt.Algorithm, pathName(p.flat), e.Transport())
 		fmt.Fprintf(w, "  C1 = %d rounds   (lower bound %d)\n", res.C1, lowerbound.IndexRounds(p.n, p.k))
 		fmt.Fprintf(w, "  C2 = %d bytes    (lower bound %d)\n", res.C2, lowerbound.IndexVolume(p.n, p.b, p.k))
+		kv.Add("alg", opt.Algorithm)
+		kv.Add("c1_lower_bound", lowerbound.IndexRounds(p.n, p.k))
+		kv.Add("c2_lower_bound", lowerbound.IndexVolume(p.n, p.b, p.k))
 
 	case "concat":
 		opt := collective.ConcatOptions{}
@@ -192,7 +209,7 @@ func run(w io.Writer, p params) error {
 			return fmt.Errorf("unknown concat algorithm %q", p.alg)
 		}
 		if p.repeat > 1 {
-			return runConcatRepeat(w, p, e, g, opt)
+			return runConcatRepeat(rp, p, e, g, opt)
 		}
 		if p.flat {
 			fin, ferr := buffers.New(p.n, 1, p.b)
@@ -217,9 +234,12 @@ func run(w io.Writer, p params) error {
 		fmt.Fprintf(w, "concat: n=%d k=%d b=%d alg=%v path=%s transport=%s\n", p.n, p.k, p.b, opt.Algorithm, pathName(p.flat), e.Transport())
 		fmt.Fprintf(w, "  C1 = %d rounds   (lower bound %d)\n", res.C1, lowerbound.ConcatRounds(p.n, p.k))
 		fmt.Fprintf(w, "  C2 = %d bytes    (lower bound %d)\n", res.C2, lowerbound.ConcatVolume(p.n, p.b, p.k))
+		kv.Add("alg", opt.Algorithm)
+		kv.Add("c1_lower_bound", lowerbound.ConcatRounds(p.n, p.k))
+		kv.Add("c2_lower_bound", lowerbound.ConcatVolume(p.n, p.b, p.k))
 
 	case "reducescatter", "allreduce":
-		return runReduce(w, p, e, g)
+		return runReduce(rp, p, e, g)
 
 	default:
 		return fmt.Errorf("unknown operation %q", p.op)
@@ -228,30 +248,20 @@ func run(w io.Writer, p params) error {
 	fmt.Fprintf(w, "  total traffic = %d bytes in %d messages\n", res.TotalBytes, res.Messages)
 	fmt.Fprintf(w, "  model time (SP-1 linear):    %v\n", costmodel.Duration(costmodel.SP1.Time(res.C1, res.C2)))
 	fmt.Fprintf(w, "  model time (SP-1 extended):  %v\n", costmodel.Duration(costmodel.SP1Measured.Time(res.C1, res.C2)))
+	kv.Add("path", pathName(p.flat))
+	kv.Add("transport", e.Transport())
+	kv.Add("c1", res.C1)
+	kv.Add("c2", res.C2)
+	kv.Add("total_bytes", res.TotalBytes)
+	kv.Add("messages", res.Messages)
+	kv.Add("model_sp1_linear", costmodel.Duration(costmodel.SP1.Time(res.C1, res.C2)))
+	kv.Add("model_sp1_extended", costmodel.Duration(costmodel.SP1Measured.Time(res.C1, res.C2)))
 	if cp, err := costmodel.CriticalPath(costmodel.SP1, p.n, e.Metrics().Events()); err == nil {
 		fmt.Fprintf(w, "  critical path (SP-1 linear): %v\n", costmodel.Duration(cp))
+		kv.Add("critical_path_sp1", costmodel.Duration(cp))
 	}
+	rp.add(kv)
 	return nil
-}
-
-// chaosConfig translates the -chaos-* flags into the chaos transport
-// configuration.
-func chaosConfig(p params) (mpsim.ChaosConfig, error) {
-	inner, err := mpsim.ParseBackend(p.chaosInner)
-	if err != nil {
-		return mpsim.ChaosConfig{}, err
-	}
-	cfg := mpsim.ChaosConfig{Inner: inner, Seed: p.chaosSeed}
-	if p.stragglers != "" {
-		for _, f := range strings.Split(p.stragglers, ",") {
-			rank, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil {
-				return mpsim.ChaosConfig{}, fmt.Errorf("bad straggler rank %q: %v", f, err)
-			}
-			cfg.Stragglers = append(cfg.Stragglers, rank)
-		}
-	}
-	return cfg, nil
 }
 
 func pathName(flat bool) string {
@@ -265,7 +275,7 @@ func pathName(flat bool) string {
 // same configuration executed p.repeat times compiling on every call,
 // then p.repeat times through one precompiled plan, with a byte-level
 // equivalence check between the two result sets.
-func runIndexRepeat(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group, opt collective.IndexOptions) error {
+func runIndexRepeat(rp *reporter, p params, e *mpsim.Engine, g *mpsim.Group, opt collective.IndexOptions) error {
 	fin, err := buffers.New(p.n, p.n, p.b)
 	if err != nil {
 		return err
@@ -283,9 +293,9 @@ func runIndexRepeat(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group, opt 
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "index plan-reuse study: n=%d k=%d b=%d alg=%v transport=%s repeat=%d\n",
+	fmt.Fprintf(rp.text(), "index plan-reuse study: n=%d k=%d b=%d alg=%v transport=%s repeat=%d\n",
 		p.n, p.k, p.b, opt.Algorithm, e.Transport(), p.repeat)
-	return repeatStudy(w, p.repeat, plan,
+	return repeatStudy(rp, p, fmt.Sprint(opt.Algorithm), e, plan,
 		func() error { _, err := collective.IndexFlat(e, g, fin, perCallOut, opt); return err },
 		func() error { _, err := plan.Execute(fin, planOut); return err },
 		perCallOut, planOut)
@@ -293,7 +303,7 @@ func runIndexRepeat(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group, opt 
 
 // runConcatRepeat is the plan-reuse study for the concatenation, where
 // compile-per-call includes re-solving the last-round table partition.
-func runConcatRepeat(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group, opt collective.ConcatOptions) error {
+func runConcatRepeat(rp *reporter, p params, e *mpsim.Engine, g *mpsim.Group, opt collective.ConcatOptions) error {
 	fin, err := buffers.New(p.n, 1, p.b)
 	if err != nil {
 		return err
@@ -311,9 +321,9 @@ func runConcatRepeat(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group, opt
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "concat plan-reuse study: n=%d k=%d b=%d alg=%v transport=%s repeat=%d\n",
+	fmt.Fprintf(rp.text(), "concat plan-reuse study: n=%d k=%d b=%d alg=%v transport=%s repeat=%d\n",
 		p.n, p.k, p.b, opt.Algorithm, e.Transport(), p.repeat)
-	return repeatStudy(w, p.repeat, plan,
+	return repeatStudy(rp, p, fmt.Sprint(opt.Algorithm), e, plan,
 		func() error { _, err := collective.ConcatFlat(e, g, fin, perCallOut, opt); return err },
 		func() error { _, err := plan.Execute(fin, planOut); return err },
 		perCallOut, planOut)
@@ -321,8 +331,9 @@ func runConcatRepeat(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group, opt
 
 // repeatStudy times the two execution modes, checks byte equivalence,
 // and prints the comparison.
-func repeatStudy(w io.Writer, repeat int, plan *collective.Plan,
+func repeatStudy(rp *reporter, p params, alg string, e *mpsim.Engine, plan *collective.Plan,
 	perCall, planned func() error, perCallOut, planOut *buffers.Buffers) error {
+	w := rp.text()
 	// Warm both paths once so transport pools reach steady state before
 	// the timed loops.
 	if err := perCall(); err != nil {
@@ -333,20 +344,20 @@ func repeatStudy(w io.Writer, repeat int, plan *collective.Plan,
 	}
 
 	start := time.Now()
-	for i := 0; i < repeat; i++ {
+	for i := 0; i < p.repeat; i++ {
 		if err := perCall(); err != nil {
 			return err
 		}
 	}
-	perCallAvg := time.Since(start) / time.Duration(repeat)
+	perCallAvg := time.Since(start) / time.Duration(p.repeat)
 
 	start = time.Now()
-	for i := 0; i < repeat; i++ {
+	for i := 0; i < p.repeat; i++ {
 		if err := planned(); err != nil {
 			return err
 		}
 	}
-	planAvg := time.Since(start) / time.Duration(repeat)
+	planAvg := time.Since(start) / time.Duration(p.repeat)
 
 	if !perCallOut.Equal(planOut) {
 		return fmt.Errorf("plan execution diverged from compile-per-call results")
@@ -358,6 +369,24 @@ func repeatStudy(w io.Writer, repeat int, plan *collective.Plan,
 		fmt.Fprintf(w, "  speedup:          %.2fx\n", float64(perCallAvg)/float64(planAvg))
 	}
 	fmt.Fprintln(w, "  results byte-identical across modes: ok")
+
+	kv := cli.KV("plan-reuse-study")
+	kv.Add("op", p.op)
+	kv.Add("n", p.n)
+	kv.Add("k", p.k)
+	kv.Add("b", p.b)
+	kv.Add("alg", alg)
+	kv.Add("transport", e.Transport())
+	kv.Add("repeat", p.repeat)
+	kv.Add("rounds", plan.Rounds())
+	kv.Add("max_message_bytes", plan.MaxMessageBytes())
+	kv.Add("compile_per_call_ns", perCallAvg.Nanoseconds())
+	kv.Add("plan_reuse_ns", planAvg.Nanoseconds())
+	if planAvg > 0 {
+		kv.Add("speedup", fmt.Sprintf("%.2f", float64(perCallAvg)/float64(planAvg)))
+	}
+	kv.Add("byte_identical", true)
+	rp.add(kv)
 	return nil
 }
 
@@ -404,8 +433,17 @@ type studyEntry struct {
 // the chosen operation runs on the same Zipf-ish layout, each result is
 // verified byte-for-byte against a locally computed reference, and the
 // schedules' measures and model times are tabulated.
-func runRagged(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group) error {
+func runRagged(rp *reporter, p params, e *mpsim.Engine, g *mpsim.Group) error {
+	w := rp.text()
 	cache := collective.NewPlanCache()
+	kv := cli.KV("ragged-study")
+	kv.Add("op", p.op)
+	kv.Add("n", p.n)
+	kv.Add("k", p.k)
+	kv.Add("b", p.b)
+	kv.Add("skew", fmt.Sprintf("%.2f", p.ragged))
+	kv.Add("transport", e.Transport())
+	sched := &cli.Table{Name: "schedules", Columns: []string{"schedule", "c1", "c2", "model_sp1"}}
 	switch p.op {
 	case "index":
 		counts := zipfCounts(p.n, p.b, p.ragged)
@@ -441,6 +479,10 @@ func runRagged(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group) error {
 			p.n, p.k, p.b, p.ragged, e.Transport())
 		fmt.Fprintf(w, "  layout: %d payload bytes, largest block %d, zero-length blocks %d, C2 lower bound %d\n",
 			l.Total(), l.Max(), zeros, lowerbound.IndexVVolume(counts, p.k))
+		kv.Add("payload_bytes", l.Total())
+		kv.Add("largest_block", l.Max())
+		kv.Add("zero_length_blocks", zeros)
+		kv.Add("c2_lower_bound", lowerbound.IndexVVolume(counts, p.k))
 
 		defPlan, defErr := cache.IndexVPlan(e, g, l, collective.IndexOptions{})
 		maxPlan, maxErr := cache.IndexVPlan(e, g, l, collective.IndexOptions{Radix: p.n})
@@ -470,9 +512,15 @@ func runRagged(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group) error {
 			}
 			fmt.Fprintf(w, "  %-12s C1=%4d  C2=%8d  model(SP-1)=%v\n",
 				entry.name, res.C1, res.C2, costmodel.Duration(costmodel.SP1.Time(res.C1, res.C2)))
+			sched.AddRow(entry.name, fmt.Sprint(res.C1), fmt.Sprint(res.C2),
+				fmt.Sprint(costmodel.Duration(costmodel.SP1.Time(res.C1, res.C2))))
 		}
 		fmt.Fprintf(w, "  auto dispatch picked: %s (%d rounds)\n", autoPlan.Algorithm(), autoPlan.Rounds())
 		fmt.Fprintln(w, "  all results byte-identical to the direct reference exchange: ok")
+		kv.Add("auto_pick", autoPlan.Algorithm())
+		kv.Add("byte_identical", true)
+		rp.add(kv)
+		rp.add(sched)
 		return nil
 
 	case "concat":
@@ -503,6 +551,9 @@ func runRagged(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group) error {
 			p.n, p.k, p.b, p.ragged, e.Transport())
 		fmt.Fprintf(w, "  layout: %d payload bytes, largest block %d, C2 lower bound %d\n",
 			l.Total(), l.Max(), lowerbound.ConcatVVolume(counts, p.k))
+		kv.Add("payload_bytes", l.Total())
+		kv.Add("largest_block", l.Max())
+		kv.Add("c2_lower_bound", lowerbound.ConcatVVolume(counts, p.k))
 
 		circ, cerr := cache.ConcatVPlan(e, g, l, collective.ConcatOptions{})
 		ring, rerr := cache.ConcatVPlan(e, g, l, collective.ConcatOptions{Algorithm: collective.ConcatRing})
@@ -528,9 +579,15 @@ func runRagged(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group) error {
 			}
 			fmt.Fprintf(w, "  %-12s C1=%4d  C2=%8d  model(SP-1)=%v\n",
 				en.name, res.C1, res.C2, costmodel.Duration(costmodel.SP1.Time(res.C1, res.C2)))
+			sched.AddRow(en.name, fmt.Sprint(res.C1), fmt.Sprint(res.C2),
+				fmt.Sprint(costmodel.Duration(costmodel.SP1.Time(res.C1, res.C2))))
 		}
 		fmt.Fprintf(w, "  auto dispatch picked: %s (%d rounds)\n", auto.Algorithm(), auto.Rounds())
 		fmt.Fprintln(w, "  all results byte-identical to the reference concatenation: ok")
+		kv.Add("auto_pick", auto.Algorithm())
+		kv.Add("byte_identical", true)
+		rp.add(kv)
+		rp.add(sched)
 		return nil
 
 	default:
@@ -601,7 +658,8 @@ func fillElements(data []byte, typ buffers.DataType, seed int) {
 // runReduce runs a reduction collective, verifies it against the
 // locally computed serial reduce, and reports the schedule against the
 // reduction lower bounds.
-func runReduce(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group) error {
+func runReduce(rp *reporter, p params, e *mpsim.Engine, g *mpsim.Group) error {
+	w := rp.text()
 	rop, rtyp, err := parseKernel(p.kernel)
 	if err != nil {
 		return err
@@ -710,5 +768,25 @@ func runReduce(w io.Writer, p params, e *mpsim.Engine, g *mpsim.Group) error {
 	fmt.Fprintf(w, "  model time (SP-1 linear):    %v\n", costmodel.Duration(costmodel.SP1.Time(res.C1, res.C2)))
 	fmt.Fprintf(w, "  model time (SP-1 extended):  %v\n", costmodel.Duration(costmodel.SP1Measured.Time(res.C1, res.C2)))
 	fmt.Fprintln(w, "  result byte-identical to the serial reference reduce: ok")
+
+	kv := cli.KV("reduce")
+	kv.Add("op", p.op)
+	kv.Add("n", p.n)
+	kv.Add("k", p.k)
+	kv.Add("b", p.b)
+	kv.Add("alg", plan.Algorithm())
+	if auto {
+		kv.Add("auto_pick", plan.Algorithm())
+	}
+	kv.Add("kernel", p.kernel)
+	kv.Add("transport", e.Transport())
+	kv.Add("c1", res.C1)
+	kv.Add("c1_lower_bound", c1lb)
+	kv.Add("c2", res.C2)
+	kv.Add("c2_lower_bound", c2lb)
+	kv.Add("total_bytes", res.TotalBytes)
+	kv.Add("messages", res.Messages)
+	kv.Add("verified_serial_reference", true)
+	rp.add(kv)
 	return nil
 }

@@ -7,7 +7,7 @@ import (
 
 func TestRunIndexDefault(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, params{op: "index", n: 8, k: 1, b: 16}); err != nil {
+	if err := runOp(&sb, params{op: "index", n: 8, k: 1, b: 16}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -20,7 +20,7 @@ func TestRunIndexDefault(t *testing.T) {
 
 func TestRunIndexAutoRadix(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, params{op: "index", n: 16, k: 1, b: 4096, radix: "auto"}); err != nil {
+	if err := runOp(&sb, params{op: "index", n: 16, k: 1, b: 4096, radix: "auto"}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "tuned radix:") {
@@ -30,7 +30,7 @@ func TestRunIndexAutoRadix(t *testing.T) {
 
 func TestRunConcatOptimal(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, params{op: "concat", n: 17, k: 2, b: 64}); err != nil {
+	if err := runOp(&sb, params{op: "concat", n: 17, k: 2, b: 64}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -51,7 +51,7 @@ func TestRunAlgorithmVariants(t *testing.T) {
 		{op: "concat", n: 8, k: 1, b: 8, alg: "recdbl"},
 	} {
 		var sb strings.Builder
-		if err := run(&sb, p); err != nil {
+		if err := runOp(&sb, p); err != nil {
 			t.Errorf("%+v: %v", p, err)
 		}
 	}
@@ -59,22 +59,22 @@ func TestRunAlgorithmVariants(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, params{op: "nonsense", n: 4, k: 1, b: 8}); err == nil {
+	if err := runOp(&sb, params{op: "nonsense", n: 4, k: 1, b: 8}); err == nil {
 		t.Error("unknown op accepted")
 	}
-	if err := run(&sb, params{op: "index", n: 4, k: 1, b: 8, alg: "nonsense"}); err == nil {
+	if err := runOp(&sb, params{op: "index", n: 4, k: 1, b: 8, alg: "nonsense"}); err == nil {
 		t.Error("unknown index alg accepted")
 	}
-	if err := run(&sb, params{op: "concat", n: 4, k: 1, b: 8, alg: "nonsense"}); err == nil {
+	if err := runOp(&sb, params{op: "concat", n: 4, k: 1, b: 8, alg: "nonsense"}); err == nil {
 		t.Error("unknown concat alg accepted")
 	}
-	if err := run(&sb, params{op: "index", n: 4, k: 1, b: 8, radix: "xyz"}); err == nil {
+	if err := runOp(&sb, params{op: "index", n: 4, k: 1, b: 8, radix: "xyz"}); err == nil {
 		t.Error("bad radix accepted")
 	}
-	if err := run(&sb, params{op: "index", n: 0, k: 1, b: 8}); err == nil {
+	if err := runOp(&sb, params{op: "index", n: 0, k: 1, b: 8}); err == nil {
 		t.Error("n=0 accepted")
 	}
-	if err := run(&sb, params{op: "index", n: 4, k: 1, b: 8, transport: "pigeon"}); err == nil {
+	if err := runOp(&sb, params{op: "index", n: 4, k: 1, b: 8, transport: "pigeon"}); err == nil {
 		t.Error("unknown transport accepted")
 	}
 }
@@ -86,7 +86,7 @@ func TestRunSlotTransport(t *testing.T) {
 		{op: "concat", n: 9, k: 2, b: 16, transport: "slot"},
 	} {
 		var sb strings.Builder
-		if err := run(&sb, p); err != nil {
+		if err := runOp(&sb, p); err != nil {
 			t.Fatalf("%+v: %v", p, err)
 		}
 		if !strings.Contains(sb.String(), "transport=slot") {
@@ -106,7 +106,7 @@ func TestRunRepeatMode(t *testing.T) {
 		{op: "concat", n: 17, k: 2, b: 12, repeat: 3, transport: "slot"},
 	} {
 		var sb strings.Builder
-		if err := run(&sb, p); err != nil {
+		if err := runOp(&sb, p); err != nil {
 			t.Fatalf("%+v: %v", p, err)
 		}
 		out := sb.String()
@@ -132,7 +132,7 @@ func TestRunRaggedStudy(t *testing.T) {
 		{op: "concat", n: 8, k: 3, b: 24, ragged: 0.7, transport: "slot"},
 	} {
 		var sb strings.Builder
-		if err := run(&sb, p); err != nil {
+		if err := runOp(&sb, p); err != nil {
 			t.Fatalf("%+v: %v", p, err)
 		}
 		out := sb.String()
@@ -151,7 +151,7 @@ func TestRunRaggedStudy(t *testing.T) {
 // blocks and the study must still verify.
 func TestRunRaggedHeavySkewZeroBlocks(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, params{op: "index", n: 16, k: 1, b: 8, ragged: 3.0}); err != nil {
+	if err := runOp(&sb, params{op: "index", n: 16, k: 1, b: 8, ragged: 3.0}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -175,7 +175,7 @@ func TestRunReduceOps(t *testing.T) {
 		{op: "allreduce", n: 12, k: 2, b: 24, alg: "auto", kernel: "sum:int32", transport: "slot"},
 	} {
 		var sb strings.Builder
-		if err := run(&sb, p); err != nil {
+		if err := runOp(&sb, p); err != nil {
 			t.Fatalf("%+v: %v", p, err)
 		}
 		out := sb.String()
@@ -186,7 +186,7 @@ func TestRunReduceOps(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	if err := run(&sb, params{op: "allreduce", n: 8, k: 1, b: 16, alg: "auto", kernel: "sum:int32"}); err != nil {
+	if err := runOp(&sb, params{op: "allreduce", n: 8, k: 1, b: 16, alg: "auto", kernel: "sum:int32"}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "auto dispatch picked:") {
@@ -197,19 +197,19 @@ func TestRunReduceOps(t *testing.T) {
 // TestRunReduceErrors: kernel and algorithm parse failures.
 func TestRunReduceErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, params{op: "reducescatter", n: 4, k: 1, b: 16, kernel: "nonsense"}); err == nil {
+	if err := runOp(&sb, params{op: "reducescatter", n: 4, k: 1, b: 16, kernel: "nonsense"}); err == nil {
 		t.Error("bad kernel accepted")
 	}
-	if err := run(&sb, params{op: "reducescatter", n: 4, k: 1, b: 16, kernel: "sum:int13"}); err == nil {
+	if err := runOp(&sb, params{op: "reducescatter", n: 4, k: 1, b: 16, kernel: "sum:int13"}); err == nil {
 		t.Error("bad element type accepted")
 	}
-	if err := run(&sb, params{op: "allreduce", n: 4, k: 1, b: 16, kernel: "sum:int32", alg: "nonsense"}); err == nil {
+	if err := runOp(&sb, params{op: "allreduce", n: 4, k: 1, b: 16, kernel: "sum:int32", alg: "nonsense"}); err == nil {
 		t.Error("bad reduce algorithm accepted")
 	}
-	if err := run(&sb, params{op: "reducescatter", n: 6, k: 1, b: 16, kernel: "sum:int32", alg: "halving"}); err == nil {
+	if err := runOp(&sb, params{op: "reducescatter", n: 6, k: 1, b: 16, kernel: "sum:int32", alg: "halving"}); err == nil {
 		t.Error("halving on non-power-of-two accepted")
 	}
-	if err := run(&sb, params{op: "reducescatter", n: 4, k: 1, b: 10, kernel: "sum:int64"}); err == nil {
+	if err := runOp(&sb, params{op: "reducescatter", n: 4, k: 1, b: 10, kernel: "sum:int64"}); err == nil {
 		t.Error("block size not divisible by element size accepted")
 	}
 }

@@ -1,0 +1,162 @@
+// The trace subcommand records and verifies the golden schedule-trace
+// corpus (internal/golden): canonical JSON artifacts of every
+// representative collective schedule (the old cmd/trace).
+//
+//	bruckctl trace record  [-dir d] [-case substr] [-transport b]
+//	bruckctl trace verify  [-dir d] [-case substr] [-transport b] [-chaos-seed s] [-chaos-inner b] [-stragglers 0,3] [-perturb]
+//
+// record captures each case live and (re)writes its artifact; verify
+// captures each case live and diffs it against the committed artifact,
+// exiting nonzero on any structural drift. Traces are
+// transport-independent, so verify under -transport chaos proves the
+// committed schedules survive adversarial timing. -perturb is the
+// negative self-test: it structurally perturbs every live schedule and
+// succeeds only if every case then FAILS verification — proving the
+// diff actually detects drift.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bruck/internal/cli"
+	"bruck/internal/golden"
+)
+
+func newTraceCmd() *command {
+	// The flag set registered here is the verify set (the superset);
+	// traceRun builds its own identical set per mode so the positional
+	// mode word can precede the flags.
+	fs := newFlagSet("trace")
+	registerTraceFlags(fs)
+	c := &command{name: "trace", summary: "record/verify the golden schedule corpus", fs: fs}
+	c.exec = func(args []string, w io.Writer) error {
+		return traceRun(args, w)
+	}
+	return c
+}
+
+// traceFlags is one trace invocation's configuration.
+type traceFlags struct {
+	dir        *string
+	caseFilter *string
+	tf         *cli.TransportFlags
+	perturb    *bool
+	reportJSON *bool
+}
+
+func registerTraceFlags(fs *flag.FlagSet) traceFlags {
+	var f traceFlags
+	f.dir = fs.String("dir", defaultTraceDir(), "golden artifact directory")
+	f.caseFilter = fs.String(cli.FlagCase, "", "only cases whose name contains this substring")
+	f.tf = cli.RegisterTransportFlags(fs)
+	f.perturb = fs.Bool("perturb", false, "verify only: perturb each live schedule and require verification to fail")
+	f.reportJSON = fs.Bool(cli.FlagReportJSON, false, "emit the JSON report instead of text")
+	return f
+}
+
+func traceRun(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: bruckctl trace <record|verify> [flags]")
+	}
+	mode := args[0]
+	fs := newFlagSet("trace " + mode)
+	f := registerTraceFlags(fs)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	opts, err := f.tf.EngineOptions()
+	if err != nil {
+		return err
+	}
+	rp := newReporter(out, *f.reportJSON)
+	w := rp.text()
+
+	cases := make([]golden.Case, 0, 16)
+	for _, c := range golden.Corpus() {
+		if strings.Contains(c.Name, *f.caseFilter) {
+			cases = append(cases, c)
+		}
+	}
+	if len(cases) == 0 {
+		return fmt.Errorf("no cases match -case %q", *f.caseFilter)
+	}
+
+	report := &cli.Table{Name: "trace-" + mode, Columns: []string{"case", "status", "detail"}}
+	switch mode {
+	case "record":
+		for _, c := range cases {
+			s, err := golden.Capture(c, opts...)
+			if err != nil {
+				return err
+			}
+			if err := golden.Write(*f.dir, c, s); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "recorded %s (%d rounds)\n", golden.Path(*f.dir, c), s.C1)
+			report.AddRow(c.Name, "recorded", fmt.Sprintf("%d rounds", s.C1))
+		}
+		rp.add(report)
+		return rp.flush()
+	case "verify":
+		failed := 0
+		for _, c := range cases {
+			s, err := golden.Capture(c, opts...)
+			if err != nil {
+				return err
+			}
+			if *f.perturb {
+				golden.Perturb(s)
+			}
+			diffs, err := golden.Verify(*f.dir, c, s)
+			if err != nil {
+				return err
+			}
+			switch {
+			case *f.perturb && len(diffs) == 0:
+				failed++
+				fmt.Fprintf(w, "FAIL %s: perturbed schedule passed verification\n", c.Name)
+				report.AddRow(c.Name, "FAIL", "perturbed schedule passed verification")
+			case *f.perturb:
+				fmt.Fprintf(w, "ok   %s: perturbation detected (%d diffs)\n", c.Name, len(diffs))
+				report.AddRow(c.Name, "ok", fmt.Sprintf("perturbation detected (%d diffs)", len(diffs)))
+			case len(diffs) != 0:
+				failed++
+				fmt.Fprintf(w, "FAIL %s:\n", c.Name)
+				for _, d := range diffs {
+					fmt.Fprintf(w, "  %s\n", d)
+				}
+				report.AddRow(c.Name, "FAIL", strings.Join(diffs, "; "))
+			default:
+				fmt.Fprintf(w, "ok   %s\n", c.Name)
+				report.AddRow(c.Name, "ok", "")
+			}
+		}
+		rp.add(report)
+		if err := rp.flush(); err != nil {
+			return err
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d cases failed", failed, len(cases))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown trace mode %q (want record or verify)", mode)
+	}
+}
+
+// defaultTraceDir locates the committed corpus: golden.Dir is relative
+// to the internal/golden package directory, so from a repo-root working
+// directory the artifacts live under internal/golden. Fall back to the
+// bare golden.Dir when run from that package directory itself.
+func defaultTraceDir() string {
+	repoRel := filepath.Join("internal", "golden", golden.Dir)
+	if _, err := os.Stat(repoRel); err == nil {
+		return repoRel
+	}
+	return golden.Dir
+}

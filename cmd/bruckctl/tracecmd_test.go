@@ -12,7 +12,7 @@ import (
 func TestRecordVerifyRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"record", "-dir", dir}, &out); err != nil {
+	if err := traceRun([]string{"record", "-dir", dir}, &out); err != nil {
 		t.Fatalf("record: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "recorded") {
@@ -25,7 +25,7 @@ func TestRecordVerifyRoundTrip(t *testing.T) {
 		{"verify", "-dir", dir, "-transport", "chaos", "-chaos-inner", "slot", "-chaos-seed", "7", "-stragglers", "0,2"},
 	} {
 		out.Reset()
-		if err := run(args, &out); err != nil {
+		if err := traceRun(args, &out); err != nil {
 			t.Errorf("%v: %v\n%s", args, err, out.String())
 		}
 		if strings.Contains(out.String(), "FAIL") {
@@ -35,7 +35,7 @@ func TestRecordVerifyRoundTrip(t *testing.T) {
 
 	// The negative self-test: perturbed schedules must all fail.
 	out.Reset()
-	if err := run([]string{"verify", "-dir", dir, "-perturb"}, &out); err != nil {
+	if err := traceRun([]string{"verify", "-dir", dir, "-perturb"}, &out); err != nil {
 		t.Errorf("verify -perturb: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "perturbation detected") {
@@ -51,7 +51,7 @@ func TestVerifyFailsOnDrift(t *testing.T) {
 	// Record only the bruck index cases, then doctor one artifact by
 	// re-recording a different case over it is complex; instead verify
 	// against an empty dir and expect a hard error.
-	if err := run([]string{"verify", "-dir", dir}, &out); err == nil {
+	if err := traceRun([]string{"verify", "-dir", dir}, &out); err == nil {
 		t.Error("verify against an empty golden dir succeeded")
 	}
 }
@@ -67,8 +67,8 @@ func TestBadFlags(t *testing.T) {
 		{"verify", "-transport", "chaos", "-chaos-inner", "chaos"},
 		{"verify", "-case", "no-such-case-name"},
 	} {
-		if err := run(args, &out); err == nil {
-			t.Errorf("run(%v) succeeded, want error", args)
+		if err := traceRun(args, &out); err == nil {
+			t.Errorf("traceRun(%v) succeeded, want error", args)
 		}
 	}
 }

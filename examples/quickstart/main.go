@@ -5,12 +5,23 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"bruck"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes both collectives, their flat-buffer twin and the
+// byte-level verifications, writing the narrative to w; the in-process
+// test drives it directly.
+func run(w io.Writer) error {
 	const n = 8
 	m := bruck.MustNewMachine(n) // one-port model
 
@@ -26,14 +37,14 @@ func main() {
 	}
 	out, rep, err := m.Index(in, bruck.WithRadix(2))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("index with r=2 (round-optimal):", rep)
-	fmt.Printf("  processor 3 now holds: %s %s ... %s\n", out[3][0], out[3][1], out[3][n-1])
+	fmt.Fprintln(w, "index with r=2 (round-optimal):", rep)
+	fmt.Fprintf(w, "  processor 3 now holds: %s %s ... %s\n", out[3][0], out[3][1], out[3][n-1])
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if !bytes.Equal(out[i][j], in[j][i]) {
-				log.Fatalf("verification failed at out[%d][%d]", i, j)
+				return fmt.Errorf("verification failed at out[%d][%d]", i, j)
 			}
 		}
 	}
@@ -41,10 +52,10 @@ func main() {
 	// The same operation tuned for volume instead of rounds:
 	_, repN, err := m.Index(in, bruck.WithRadix(n))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("index with r=n (volume-optimal):", repN)
-	fmt.Printf("  model times on the SP-1 profile: r=2 %.1fus, r=n %.1fus\n",
+	fmt.Fprintln(w, "index with r=n (volume-optimal):", repN)
+	fmt.Fprintf(w, "  model times on the SP-1 profile: r=2 %.1fus, r=n %.1fus\n",
 		rep.Time(bruck.SP1)*1e6, repN.Time(bruck.SP1)*1e6)
 
 	// --- Concatenation (all-to-all broadcast) -------------------------
@@ -54,14 +65,14 @@ func main() {
 	}
 	all, crep, err := m.Concat(blocksIn)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("concatenation (circulant):", crep)
-	fmt.Printf("  processor 5 now holds: %s %s ... %s\n", all[5][0], all[5][1], all[5][n-1])
+	fmt.Fprintln(w, "concatenation (circulant):", crep)
+	fmt.Fprintf(w, "  processor 5 now holds: %s %s ... %s\n", all[5][0], all[5][1], all[5][n-1])
 	for i := range all {
 		for j := range all[i] {
 			if !bytes.Equal(all[i][j], blocksIn[j]) {
-				log.Fatalf("verification failed at all[%d][%d]", i, j)
+				return fmt.Errorf("verification failed at all[%d][%d]", i, j)
 			}
 		}
 	}
@@ -71,11 +82,11 @@ func main() {
 	// no per-block allocations, results read through in-place views.
 	fin, err := bruck.NewIndexBuffers(n, len(in[0][0]))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fout, err := bruck.NewIndexBuffers(n, len(in[0][0]))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -84,15 +95,16 @@ func main() {
 	}
 	frep, err := m.IndexFlat(fin, fout, bruck.WithRadix(2))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("index with r=2 (flat zero-copy):", frep)
+	fmt.Fprintln(w, "index with r=2 (flat zero-copy):", frep)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if !bytes.Equal(fout.Block(i, j), out[i][j]) {
-				log.Fatalf("flat/legacy mismatch at out[%d][%d]", i, j)
+				return fmt.Errorf("flat/legacy mismatch at out[%d][%d]", i, j)
 			}
 		}
 	}
-	fmt.Println("ok")
+	fmt.Fprintln(w, "ok")
+	return nil
 }

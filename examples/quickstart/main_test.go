@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunInProcess executes the example's full pipeline in-process —
+// including its byte-level self-verification — so example rot fails
+// the ordinary test run, not just the go-run integration test.
+func TestRunInProcess(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("ok\n")) {
+		t.Errorf("example did not self-verify:\n%s", out.String())
+	}
+}

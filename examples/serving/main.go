@@ -20,7 +20,9 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"bruck"
@@ -38,6 +40,14 @@ const (
 var raggedCounts = []int{96, 0, 8, 40}
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run drives the whole serving loop — compile, waves, verification —
+// writing the report to w; the in-process test drives it directly.
+func run(w io.Writer) error {
 	m := bruck.MustNewMachine(tenants * perGroup)
 
 	plans := make([]*bruck.Plan, tenants)
@@ -51,44 +61,44 @@ func main() {
 		}
 		g, err := m.NewGroup(ids)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var plan *bruck.Plan
 		if tenant < 2 {
 			plan, err = m.CompileIndex(blockLen, bruck.OnGroup(g), bruck.WithRadix(2))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if uniIns[tenant], err = bruck.NewIndexBuffers(perGroup, blockLen); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if uniOuts[tenant], err = bruck.NewIndexBuffers(perGroup, blockLen); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := plan.Bind(uniIns[tenant], uniOuts[tenant]); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		} else {
 			layout, lerr := bruck.NewConcatLayout(raggedCounts)
 			if lerr != nil {
-				log.Fatal(lerr)
+				return lerr
 			}
 			plan, err = m.CompileConcatV(layout, bruck.OnGroup(g), bruck.WithAuto(bruck.SP1))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if ragIn, err = bruck.NewRaggedBuffers(layout); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if ragOut, err = bruck.NewRaggedBuffers(plan.OutLayout()); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := plan.BindV(ragIn, ragOut); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 		plans[tenant] = plan
-		fmt.Printf("tenant %d: %s plan (%s) on processors %v, %d rounds\n",
+		fmt.Fprintf(w, "tenant %d: %s plan (%s) on processors %v, %d rounds\n",
 			tenant, plan.Op(), plan.Algorithm(), ids, plan.Rounds())
 	}
 
@@ -110,27 +120,28 @@ func main() {
 		var err error
 		reports, err = m.RunPlans(plans)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for tenant := 0; tenant < 2; tenant++ {
 			if err := verifyIndex(uniIns[tenant], uniOuts[tenant]); err != nil {
-				log.Fatalf("wave %d tenant %d: %v", wave, tenant, err)
+				return fmt.Errorf("wave %d tenant %d: %w", wave, tenant, err)
 			}
 		}
 		if err := verifyConcatV(ragIn, ragOut); err != nil {
-			log.Fatalf("wave %d tenant 2: %v", wave, err)
+			return fmt.Errorf("wave %d tenant 2: %w", wave, err)
 		}
 	}
 	elapsed := time.Since(start)
 
 	for tenant, rep := range reports {
-		fmt.Printf("tenant %d steady-state schedule: %v (C2 lower bound %d)\n",
+		fmt.Fprintf(w, "tenant %d steady-state schedule: %v (C2 lower bound %d)\n",
 			tenant, rep, rep.C2LowerBound)
 	}
-	fmt.Printf("served %d waves x %d tenants in %v (%.0f collectives/s, simulator wall-clock)\n",
+	fmt.Fprintf(w, "served %d waves x %d tenants in %v (%.0f collectives/s, simulator wall-clock)\n",
 		waves, tenants, elapsed.Round(time.Millisecond),
 		float64(waves*tenants)/elapsed.Seconds())
-	fmt.Println("ok")
+	fmt.Fprintln(w, "ok")
+	return nil
 }
 
 // verifyIndex checks the index permutation out[i][j] = in[j][i].

@@ -1,0 +1,179 @@
+// Package benchsnap defines the perf-trajectory snapshot format
+// written by `bruckctl bench` and diffed by `bruckctl compare`.
+//
+// A Snapshot is one benchmark area (e.g. "collectives", "reduce")
+// captured as a list of cases, each with the measured ns/op, B/op and
+// allocs/op plus the analytic cost-model counts C1 (rounds) and C2
+// (bytes) of Bruck et al. The encoding mirrors internal/trace: a
+// canonical indented-JSON byte form so committed BENCH_<area>.json
+// files diff cleanly under git, and a strict parser
+// (DisallowUnknownFields) so schema drift fails loudly instead of
+// silently reading zeroes.
+//
+// Compare gates the trajectory: timing metrics regress only beyond a
+// fractional threshold (CI timing is noisy), while C1/C2 are
+// deterministic model outputs and regress on any increase.
+package benchsnap
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Schema identifies the snapshot format; bump on incompatible change.
+const Schema = "bruck-bench/v1"
+
+// Case is one benchmark measurement plus its cost-model counts.
+type Case struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	C1          int     `json:"c1"`
+	C2          int     `json:"c2"`
+}
+
+// Snapshot is one benchmark area's captured suite.
+type Snapshot struct {
+	Schema string `json:"schema"`
+	Area   string `json:"area"`
+	Cases  []Case `json:"cases"`
+}
+
+// New returns an empty snapshot for area with the current schema.
+func New(area string) *Snapshot {
+	return &Snapshot{Schema: Schema, Area: area, Cases: []Case{}}
+}
+
+// Filename is the committed artifact name for an area.
+func Filename(area string) string {
+	return "BENCH_" + area + ".json"
+}
+
+// Case looks up a case by name; ok is false when absent.
+func (s *Snapshot) Case(name string) (Case, bool) {
+	for _, c := range s.Cases {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// Canonical returns the canonical byte encoding: cases sorted by name,
+// two-space indented JSON, trailing newline. Two snapshots with the
+// same content always produce identical bytes.
+func (s *Snapshot) Canonical() ([]byte, error) {
+	cp := *s
+	cp.Cases = append([]Case(nil), s.Cases...)
+	sort.Slice(cp.Cases, func(i, j int) bool { return cp.Cases[i].Name < cp.Cases[j].Name })
+	if cp.Cases == nil {
+		cp.Cases = []Case{}
+	}
+	data, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("benchsnap: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Parse decodes a snapshot, rejecting unknown fields, wrong schema
+// tags, duplicate case names and trailing garbage.
+func Parse(data []byte) (*Snapshot, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("benchsnap: decode: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("benchsnap: trailing data after snapshot")
+	}
+	if s.Schema != Schema {
+		return nil, fmt.Errorf("benchsnap: schema %q, want %q", s.Schema, Schema)
+	}
+	if s.Area == "" {
+		return nil, fmt.Errorf("benchsnap: missing area")
+	}
+	seen := make(map[string]bool, len(s.Cases))
+	for _, c := range s.Cases {
+		if c.Name == "" {
+			return nil, fmt.Errorf("benchsnap: case with empty name")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("benchsnap: duplicate case %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return &s, nil
+}
+
+// Thresholds are the fractional regression allowances for the noisy,
+// measured metrics. 0.25 means "new may exceed old by up to 25%".
+// C1/C2 take no threshold: they are deterministic, so any increase is
+// a regression.
+type Thresholds struct {
+	Ns     float64
+	Bytes  float64
+	Allocs float64
+}
+
+// DefaultThresholds suit a shared-runner CI: timing is very noisy,
+// allocation counts are nearly deterministic.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Ns: 0.25, Bytes: 0.10, Allocs: 0.10}
+}
+
+// Regression is one metric of one case that got worse beyond its
+// threshold.
+type Regression struct {
+	Case      string
+	Metric    string
+	Old, New  float64
+	Threshold float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.6g -> %.6g (allowed +%.0f%%)",
+		r.Case, r.Metric, r.Old, r.New, r.Threshold*100)
+}
+
+// Compare diffs new against old and returns every regression. A case
+// present in old but missing from new is a regression (lost coverage);
+// cases only in new are fine (new coverage). Snapshot areas must
+// match.
+func Compare(old, new *Snapshot, th Thresholds) ([]Regression, error) {
+	if old.Area != new.Area {
+		return nil, fmt.Errorf("benchsnap: comparing area %q against %q", old.Area, new.Area)
+	}
+	var regs []Regression
+	exceeds := func(o, n, frac float64) bool {
+		return n > o*(1+frac)
+	}
+	for _, oc := range old.Cases {
+		nc, ok := new.Case(oc.Name)
+		if !ok {
+			regs = append(regs, Regression{Case: oc.Name, Metric: "missing", Old: 1, New: 0})
+			continue
+		}
+		if exceeds(oc.NsPerOp, nc.NsPerOp, th.Ns) {
+			regs = append(regs, Regression{oc.Name, "ns/op", oc.NsPerOp, nc.NsPerOp, th.Ns})
+		}
+		if exceeds(oc.BytesPerOp, nc.BytesPerOp, th.Bytes) {
+			regs = append(regs, Regression{oc.Name, "B/op", oc.BytesPerOp, nc.BytesPerOp, th.Bytes})
+		}
+		if exceeds(oc.AllocsPerOp, nc.AllocsPerOp, th.Allocs) {
+			regs = append(regs, Regression{oc.Name, "allocs/op", oc.AllocsPerOp, nc.AllocsPerOp, th.Allocs})
+		}
+		if nc.C1 > oc.C1 {
+			regs = append(regs, Regression{oc.Name, "C1", float64(oc.C1), float64(nc.C1), 0})
+		}
+		if nc.C2 > oc.C2 {
+			regs = append(regs, Regression{oc.Name, "C2", float64(oc.C2), float64(nc.C2), 0})
+		}
+	}
+	return regs, nil
+}

@@ -1,0 +1,163 @@
+package benchsnap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Snapshot {
+	s := New("collectives")
+	s.Cases = []Case{
+		{Name: "index/flat/chan", Iters: 100, NsPerOp: 1000, BytesPerOp: 64, AllocsPerOp: 2, C1: 4, C2: 960},
+		{Name: "concat/flat/chan", Iters: 100, NsPerOp: 2000, BytesPerOp: 128, AllocsPerOp: 3, C1: 4, C2: 1920},
+	}
+	return s
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	s := sample()
+	data, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Fatal("canonical form not newline-terminated")
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Area != "collectives" || len(got.Cases) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Cases are sorted by name in canonical form.
+	if got.Cases[0].Name != "concat/flat/chan" {
+		t.Fatalf("canonical sort: first case %q", got.Cases[0].Name)
+	}
+	// Canonical encoding is stable regardless of input order.
+	s2 := sample()
+	s2.Cases[0], s2.Cases[1] = s2.Cases[1], s2.Cases[0]
+	data2, err := s2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("canonical bytes depend on case order")
+	}
+}
+
+func TestCanonicalEmptyCases(t *testing.T) {
+	data, err := New("x").Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "null") {
+		t.Fatalf("empty cases encode as null:\n%s", data)
+	}
+	if _, err := Parse(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	good, _ := sample().Canonical()
+	cases := map[string][]byte{
+		"unknown field": []byte(`{"schema":"bruck-bench/v1","area":"a","cases":[],"extra":1}`),
+		"wrong schema":  []byte(`{"schema":"bruck-bench/v2","area":"a","cases":[]}`),
+		"missing area":  []byte(`{"schema":"bruck-bench/v1","cases":[]}`),
+		"empty name":    []byte(`{"schema":"bruck-bench/v1","area":"a","cases":[{"name":"","iters":1,"ns_per_op":1,"bytes_per_op":1,"allocs_per_op":1,"c1":1,"c2":1}]}`),
+		"trailing":      append(append([]byte{}, good...), []byte("{}")...),
+		"not json":      []byte("nope"),
+	}
+	for name, data := range cases {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	dup := New("a")
+	dup.Cases = []Case{{Name: "x", Iters: 1}, {Name: "x", Iters: 2}}
+	data, err := dup.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(data); err == nil {
+		t.Error("duplicate case accepted")
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	regs, err := Compare(sample(), sample(), DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("identical snapshots regressed: %v", regs)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	old, new := sample(), sample()
+	new.Cases[0].NsPerOp = old.Cases[0].NsPerOp * 2 // well past 25%
+	regs, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("regs=%v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "ns/op") {
+		t.Fatalf("String(): %q", regs[0].String())
+	}
+}
+
+func TestCompareWithinThresholdOK(t *testing.T) {
+	old, new := sample(), sample()
+	new.Cases[0].NsPerOp = old.Cases[0].NsPerOp * 1.2 // inside 25%
+	regs, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", regs)
+	}
+}
+
+func TestCompareC1Deterministic(t *testing.T) {
+	old, new := sample(), sample()
+	new.Cases[1].C1++ // any C1 increase regresses, no threshold
+	regs, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "C1" {
+		t.Fatalf("regs=%v", regs)
+	}
+}
+
+func TestCompareMissingCase(t *testing.T) {
+	old, new := sample(), sample()
+	new.Cases = new.Cases[:1]
+	regs, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("regs=%v", regs)
+	}
+	// Extra cases in new are fine.
+	regs, err = Compare(new, old, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("new coverage flagged: %v", regs)
+	}
+}
+
+func TestCompareAreaMismatch(t *testing.T) {
+	if _, err := Compare(New("a"), New("b"), DefaultThresholds()); err == nil {
+		t.Fatal("area mismatch accepted")
+	}
+}

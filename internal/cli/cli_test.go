@@ -1,0 +1,211 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"bruck/internal/mpsim"
+)
+
+func TestPickFormat(t *testing.T) {
+	cases := []struct {
+		csv, js bool
+		want    Format
+		wantErr bool
+	}{
+		{false, false, FormatTable, false},
+		{true, false, FormatCSV, false},
+		{false, true, FormatJSON, false},
+		{true, true, FormatTable, true},
+	}
+	for _, c := range cases {
+		got, err := PickFormat(c.csv, c.js)
+		if (err != nil) != c.wantErr {
+			t.Fatalf("PickFormat(%v,%v): err=%v, wantErr=%v", c.csv, c.js, err, c.wantErr)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("PickFormat(%v,%v)=%v, want %v", c.csv, c.js, got, c.want)
+		}
+	}
+}
+
+func TestTableRenderText(t *testing.T) {
+	tb := &Table{Name: "demo", Columns: []string{"bytes", "cost"}}
+	tb.AddRow("1", "10")
+	tb.AddRow("1024", "7")
+	var sb strings.Builder
+	if err := tb.Render(&sb, FormatTable); err != nil {
+		t.Fatal(err)
+	}
+	want := "bytes  cost\n" +
+		"    1    10\n" +
+		" 1024     7\n"
+	if sb.String() != want {
+		t.Fatalf("text render:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := &Table{Name: "demo", Columns: []string{"bytes", "r=2"}}
+	tb.AddRow("8", "a,b")
+	var sb strings.Builder
+	if err := tb.Render(&sb, FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	want := "bytes,r=2\n8,a;b\n"
+	if sb.String() != want {
+		t.Fatalf("csv render: %q, want %q", sb.String(), want)
+	}
+}
+
+func TestTableRenderJSONRoundTrip(t *testing.T) {
+	tb := KV("summary")
+	tb.Add("n", 16)
+	tb.Add("C1", 4)
+	var sb strings.Builder
+	if err := tb.Render(&sb, FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	var got []Table
+	dec := json.NewDecoder(strings.NewReader(sb.String()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&got); err != nil {
+		t.Fatalf("decode JSON render: %v", err)
+	}
+	if len(got) != 1 || got[0].Name != "summary" {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got[0].Rows[0][0] != "n" || got[0].Rows[0][1] != "16" {
+		t.Fatalf("row drift: %+v", got[0].Rows)
+	}
+	if !strings.HasSuffix(sb.String(), "\n") {
+		t.Fatal("JSON output not newline-terminated")
+	}
+}
+
+func TestRenderTablesEmptyRowsIsArray(t *testing.T) {
+	tb := &Table{Name: "empty", Columns: []string{"a"}}
+	var sb strings.Builder
+	if err := RenderTables(&sb, FormatJSON, tb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "null") {
+		t.Fatalf("empty rows rendered as null:\n%s", sb.String())
+	}
+}
+
+func TestTableValidateRowShape(t *testing.T) {
+	tb := &Table{Name: "bad", Columns: []string{"a", "b"}}
+	tb.AddRow("only-one")
+	if err := tb.Render(io.Discard, FormatTable); err == nil {
+		t.Fatal("mismatched row width accepted")
+	}
+}
+
+func TestRenderTablesMultipleText(t *testing.T) {
+	t1 := &Table{Name: "one", Columns: []string{"x"}, Rows: [][]string{{"1"}}}
+	t2 := &Table{Name: "two", Columns: []string{"y"}, Rows: [][]string{{"2"}}}
+	var sb strings.Builder
+	if err := RenderTables(&sb, FormatTable, t1, t2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "one:\n") || !strings.Contains(out, "\ntwo:\n") {
+		t.Fatalf("table group headers missing:\n%s", out)
+	}
+}
+
+func TestTransportFlagsEngineOptions(t *testing.T) {
+	mk := func(args ...string) (*TransportFlags, error) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		tf := RegisterTransportFlags(fs)
+		return tf, fs.Parse(args)
+	}
+
+	tf, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts, err := tf.EngineOptions(); err != nil || len(opts) != 1 {
+		t.Fatalf("default chan: opts=%v err=%v", opts, err)
+	}
+
+	tf, err = mk("-transport", "slot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tf.Backend()
+	if err != nil || b != mpsim.BackendSlot {
+		t.Fatalf("slot backend: %v %v", b, err)
+	}
+
+	tf, err = mk("-transport", "chaos", "-chaos-inner", "slot", "-chaos-seed", "7", "-stragglers", "0, 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts, err := tf.EngineOptions(); err != nil || len(opts) != 1 {
+		t.Fatalf("chaos opts: %v %v", opts, err)
+	}
+
+	tf, err = mk("-stragglers", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf.EngineOptions(); err == nil {
+		t.Fatal("-stragglers without chaos accepted")
+	}
+
+	tf, err = mk("-transport", "bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf.EngineOptions(); err == nil {
+		t.Fatal("bogus transport accepted")
+	}
+
+	tf, err = mk("-transport", "chaos", "-chaos-inner", "bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf.EngineOptions(); err == nil {
+		t.Fatal("bogus chaos inner accepted")
+	}
+}
+
+func TestParseStragglers(t *testing.T) {
+	ranks, err := ParseStragglers("0, 3,12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 3 || ranks[0] != 0 || ranks[1] != 3 || ranks[2] != 12 {
+		t.Fatalf("ranks=%v", ranks)
+	}
+	if r, err := ParseStragglers(""); err != nil || r != nil {
+		t.Fatalf("empty: %v %v", r, err)
+	}
+	if _, err := ParseStragglers("0,x"); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+}
+
+func TestRadixFlagAlias(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	r := RadixFlag(fs, 0, "radix")
+	if err := fs.Parse([]string{"-r", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if *r != 4 {
+		t.Fatalf("-r alias: got %d, want 4", *r)
+	}
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	r2 := RadixFlag(fs2, 0, "radix")
+	if err := fs2.Parse([]string{"-radix", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if *r2 != 8 {
+		t.Fatalf("-radix: got %d, want 8", *r2)
+	}
+}

@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bruck/internal/mpsim"
+)
+
+// Canonical flag names shared by the bruckctl subcommands. The old
+// free-standing tools drifted (-r vs -radix, two incompatible -fig
+// vocabularies); every subcommand now registers these exact names, and
+// a table test in cmd/bruckctl pins the set per subcommand.
+const (
+	FlagN          = "n"           // number of processors
+	FlagBytes      = "b"           // block size in bytes
+	FlagPorts      = "k"           // ports per processor
+	FlagRadix      = "radix"       // algorithm radix (alias: -r)
+	FlagRadixAlias = "r"           // short alias for -radix
+	FlagFig        = "fig"         // paper figure/table selector
+	FlagCase       = "case"        // substring case filter
+	FlagCSV        = "csv"         // emit CSV instead of the text table
+	FlagReportJSON = "report-json" // emit the JSON report form
+	FlagTransport  = "transport"   // engine backend: chan, slot or chaos
+	FlagChaosInner = "chaos-inner" // inner backend wrapped by chaos
+	FlagChaosSeed  = "chaos-seed"  // chaos jitter seed
+	FlagStragglers = "stragglers"  // comma-separated straggler ranks
+)
+
+// TransportFlags is the canonical -transport/-chaos-* flag block. Every
+// subcommand that constructs a simulated machine registers it, so the
+// chaos vocabulary cannot drift between tools again.
+type TransportFlags struct {
+	Transport  string
+	ChaosInner string
+	ChaosSeed  uint64
+	Stragglers string
+}
+
+// RegisterTransportFlags registers the canonical transport flag block
+// on fs and returns the bound value struct.
+func RegisterTransportFlags(fs *flag.FlagSet) *TransportFlags {
+	tf := &TransportFlags{}
+	fs.StringVar(&tf.Transport, FlagTransport, "chan", "engine backend: chan, slot or chaos")
+	fs.StringVar(&tf.ChaosInner, FlagChaosInner, "chan", "inner backend wrapped by the chaos transport")
+	fs.Uint64Var(&tf.ChaosSeed, FlagChaosSeed, 1, "chaos jitter seed")
+	fs.StringVar(&tf.Stragglers, FlagStragglers, "", "comma-separated straggler ranks for the chaos transport")
+	return tf
+}
+
+// Backend parses the -transport value alone (no chaos wiring), for
+// paths that only need the backend identity.
+func (tf *TransportFlags) Backend() (mpsim.Backend, error) {
+	return mpsim.ParseBackend(tf.Transport)
+}
+
+// EngineOptions translates the flag block into engine options:
+// WithTransport for plain backends, WithChaos (inner backend, seed,
+// stragglers) when -transport chaos. -stragglers without chaos is an
+// error rather than a silent no-op.
+func (tf *TransportFlags) EngineOptions() ([]mpsim.Option, error) {
+	b, err := tf.Backend()
+	if err != nil {
+		return nil, err
+	}
+	if b != mpsim.BackendChaos {
+		if tf.Stragglers != "" {
+			return nil, fmt.Errorf("-%s requires -%s chaos", FlagStragglers, FlagTransport)
+		}
+		return []mpsim.Option{mpsim.WithTransport(b)}, nil
+	}
+	inner, err := mpsim.ParseBackend(tf.ChaosInner)
+	if err != nil {
+		return nil, err
+	}
+	cfg := mpsim.ChaosConfig{Inner: inner, Seed: tf.ChaosSeed}
+	cfg.Stragglers, err = ParseStragglers(tf.Stragglers)
+	if err != nil {
+		return nil, err
+	}
+	return []mpsim.Option{mpsim.WithChaos(cfg)}, nil
+}
+
+// ParseStragglers parses the comma-separated rank list of -stragglers.
+// An empty string yields a nil slice.
+func ParseStragglers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ranks []int
+	for _, f := range strings.Split(s, ",") {
+		rank, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad straggler rank %q: %w", f, err)
+		}
+		ranks = append(ranks, rank)
+	}
+	return ranks, nil
+}
+
+// RadixFlag registers the canonical -radix flag together with its -r
+// alias on fs; both write the same value. def is the default.
+func RadixFlag(fs *flag.FlagSet, def int, usage string) *int {
+	r := fs.Int(FlagRadix, def, usage)
+	fs.IntVar(r, FlagRadixAlias, def, usage+" (alias for -"+FlagRadix+")")
+	return r
+}

@@ -422,11 +422,9 @@ func IndexBoundsTable(tr mpsim.Backend, ns, ks []int, b int) ([]BoundsRow, error
 	return rows, nil
 }
 
-// RenderBounds formats a bounds table.
-func RenderBounds(rows []BoundsRow) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-14s %5s %3s %5s %8s %8s %8s %8s %6s %6s\n",
-		"operation", "n", "k", "b", "C1", "C1-LB", "C2", "C2-LB", "C1opt", "C2opt")
+// sortedBounds returns the rows in the presentation order shared by
+// the text and machine-readable renderings: by n, then k, stable.
+func sortedBounds(rows []BoundsRow) []BoundsRow {
 	sorted := append([]BoundsRow(nil), rows...)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		if sorted[i].N != sorted[j].N {
@@ -434,7 +432,15 @@ func RenderBounds(rows []BoundsRow) string {
 		}
 		return sorted[i].K < sorted[j].K
 	})
-	for _, r := range sorted {
+	return sorted
+}
+
+// RenderBounds formats a bounds table.
+func RenderBounds(rows []BoundsRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %5s %3s %5s %8s %8s %8s %8s %6s %6s\n",
+		"operation", "n", "k", "b", "C1", "C1-LB", "C2", "C2-LB", "C1opt", "C2opt")
+	for _, r := range sortedBounds(rows) {
 		fmt.Fprintf(&sb, "%-14s %5d %3d %5d %8d %8d %8d %8d %6v %6v\n",
 			r.Op, r.N, r.K, r.B, r.C1, r.C1LB, r.C2, r.C2LB, r.C1Optimal, r.C2Optimal)
 	}

@@ -1,0 +1,52 @@
+package sweep
+
+import (
+	"fmt"
+
+	"bruck/internal/cli"
+)
+
+// SeriesReport converts aligned series into the machine-readable table
+// form: the x-axis first, then one model-seconds column per series,
+// mirroring the CSV layout. Positions missing from a ragged series
+// render as empty cells.
+func SeriesReport(name string, series []Series, xAxis string) *cli.Table {
+	t := &cli.Table{Name: name, Columns: []string{xAxis}}
+	for _, s := range series {
+		t.Columns = append(t.Columns, s.Name)
+	}
+	if len(series) == 0 {
+		return t
+	}
+	for i := range series[0].Points {
+		x := series[0].Points[i].BlockLen
+		if xAxis == "radix" {
+			x = series[0].Points[i].R
+		}
+		row := []string{fmt.Sprint(x)}
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.9g", s.Points[i].Seconds))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// BoundsReport converts achieved-vs-lower-bound rows into the
+// machine-readable table form, in the same sorted order RenderBounds
+// prints them.
+func BoundsReport(name string, rows []BoundsRow) *cli.Table {
+	t := &cli.Table{Name: name, Columns: []string{
+		"operation", "n", "k", "b", "c1", "c1_lb", "c2", "c2_lb", "c1_optimal", "c2_optimal",
+	}}
+	for _, r := range sortedBounds(rows) {
+		t.AddRow(r.Op, fmt.Sprint(r.N), fmt.Sprint(r.K), fmt.Sprint(r.B),
+			fmt.Sprint(r.C1), fmt.Sprint(r.C1LB), fmt.Sprint(r.C2), fmt.Sprint(r.C2LB),
+			fmt.Sprint(r.C1Optimal), fmt.Sprint(r.C2Optimal))
+	}
+	return t
+}
