@@ -20,6 +20,7 @@ func TestCanonicalFlagVocabulary(t *testing.T) {
 		"figures": {"all", "fig", "n", "r", "radix", "report-json", "table", "transport"},
 		"trace": {"case", "chaos-inner", "chaos-seed", "dir", "perturb", "report-json",
 			"stragglers", "transport"},
+		"vet":     {"case", "dir", "perturb", "report-json"},
 		"bench":   {"area", "case", "out", "report-json", "short"},
 		"compare": {"alloc-threshold", "bytes-threshold", "ns-threshold", "report-json", "selftest"},
 	}

@@ -7,6 +7,7 @@
 //	bruckctl concat  -bounds | -optimality | -baselines   # Sections 2/4 concat tables
 //	bruckctl figures -fig 1|2|3|7|8|9 | -table 1 | -all   # structural figures, byte-verified
 //	bruckctl trace   record|verify [-perturb]             # golden schedule corpus
+//	bruckctl vet     [-perturb]                           # static plan/artifact verification
 //	bruckctl bench   [-short] [-out dir]                  # perf snapshot -> BENCH_<area>.json
 //	bruckctl compare old.json new.json                    # regression gate between snapshots
 //
@@ -48,6 +49,7 @@ func newCommands() []*command {
 		newConcatCmd(),
 		newFiguresCmd(),
 		newTraceCmd(),
+		newVetCmd(),
 		newBenchCmd(),
 		newCompareCmd(),
 	}

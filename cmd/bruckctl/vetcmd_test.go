@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// vetGoldenDir locates the committed corpus from this package's
+// directory (tests run with the package dir as working directory).
+const vetGoldenDir = "../../internal/golden/testdata/golden"
+
+// TestVetGoldenCorpus: the committed corpus must pass static
+// verification, and -perturb must turn every pass into a rejection.
+func TestVetGoldenCorpus(t *testing.T) {
+	var out bytes.Buffer
+	if err := vetRun(vetGoldenDir, "", false, false, &out); err != nil {
+		t.Fatalf("vet: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("vet reported failures:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := vetRun(vetGoldenDir, "", true, false, &out); err != nil {
+		t.Errorf("vet -perturb: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "perturbation detected") {
+		t.Errorf("vet -perturb did not report detections:\n%s", out.String())
+	}
+}
+
+// TestVetReportJSON: the JSON report parses and covers every case.
+func TestVetReportJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := vetRun(vetGoldenDir, "index-bruck", false, true, &out); err != nil {
+		t.Fatalf("vet -report-json: %v\n%s", err, out.String())
+	}
+	var tables []struct {
+		Name string     `json:"name"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &tables); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if len(tables) != 1 || tables[0].Name != "vet" {
+		t.Fatalf("report shape: %+v", tables)
+	}
+	for _, row := range tables[0].Rows {
+		if row[1] != "ok" {
+			t.Errorf("case %s status %q, want ok", row[0], row[1])
+		}
+	}
+}
+
+// TestVetBadInputs covers the error paths.
+func TestVetBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := vetRun(vetGoldenDir, "no-such-case", false, false, &out); err == nil {
+		t.Error("vet with an unmatched -case filter succeeded")
+	}
+	if err := vetRun(t.TempDir(), "", false, false, &out); err == nil {
+		t.Error("vet against an empty artifact dir succeeded")
+	}
+}

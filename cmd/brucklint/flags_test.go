@@ -1,0 +1,88 @@
+package main
+
+// Pins the registered analyzer list and the flag vocabulary, the same
+// convention as cmd/bruckctl's flags_test.go: adding, renaming or
+// removing an analyzer or a flag must show up as an explicit test diff
+// here, not as a silent behavior change of the CI gate.
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRegisteredAnalyzers(t *testing.T) {
+	want := []string{"bufown", "detrand", "kernelsafe", "planlife"}
+	var got []string
+	for _, a := range registry {
+		got = append(got, a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+		if _, ok := selftests[a.Name]; !ok {
+			t.Errorf("analyzer %s has no selftest case", a.Name)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("registered analyzers = %v, want %v", got, want)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("registry not alphabetical: %v", got)
+	}
+	for name := range selftests {
+		found := false
+		for _, a := range registry {
+			if a.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("selftest case %s has no registered analyzer", name)
+		}
+	}
+}
+
+func TestFlagVocabulary(t *testing.T) {
+	want := map[string]bool{
+		"list":      true,
+		"selftest":  true,
+		"analyzers": true,
+	}
+	fs, _ := newFlagSet(io.Discard)
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		got[f.Name] = true
+		if f.Usage == "" {
+			t.Errorf("flag -%s has no usage text", f.Name)
+		}
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("flag vocabulary = %v, want %v", got, want)
+	}
+}
+
+func TestListMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, errb.String())
+	}
+	for _, a := range registry {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing %s:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("-analyzers nosuch exited %d, want 2", code)
+	}
+}

@@ -1,0 +1,207 @@
+// Command brucklint runs the repo's invariant analyzers (bufown,
+// detrand, kernelsafe, planlife — see internal/analysis) over module
+// packages and reports findings in file:line:col form.
+//
+// Usage:
+//
+//	brucklint [-list] [-selftest] [-analyzers a,b] [packages]
+//
+// Packages are directories or "dir/..." patterns relative to the
+// working directory; the default is "./..." from the module root.
+// Findings exit 1, a clean run exits 0, and load or usage errors exit
+// 2. Intentional violations are suppressed in source with a
+// "//lint:allow <analyzer> <reason>" comment on or directly above the
+// offending line.
+//
+// brucklint is a standalone driver rather than a `go vet -vettool`
+// plugin: the vettool protocol feeds analyzers gc export data, which
+// needs the build cache of a full `go build`, while this driver
+// type-checks the module from source (internal/analysis/load.go) and so
+// also works on a cold checkout — and, via -selftest, on injected
+// sources that never touch the filesystem.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"bruck/internal/analysis"
+	"bruck/internal/analysis/bufown"
+	"bruck/internal/analysis/detrand"
+	"bruck/internal/analysis/kernelsafe"
+	"bruck/internal/analysis/planlife"
+)
+
+// registry is the pinned analyzer set, alphabetical by name; the
+// table test in registry_test.go holds the list stable.
+var registry = []*analysis.Analyzer{
+	bufown.Analyzer,
+	detrand.Analyzer,
+	kernelsafe.Analyzer,
+	planlife.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options holds the parsed flag values; newFlagSet declares the full
+// flag vocabulary, which flags_test.go pins.
+type options struct {
+	list     bool
+	selftest bool
+	only     string
+}
+
+func newFlagSet(stderr io.Writer) (*flag.FlagSet, *options) {
+	opts := &options{}
+	fs := flag.NewFlagSet("brucklint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.BoolVar(&opts.list, "list", false, "list registered analyzers and exit")
+	fs.BoolVar(&opts.selftest, "selftest", false, "inject a known violation per analyzer and verify each fires")
+	fs.StringVar(&opts.only, "analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: brucklint [-list] [-selftest] [-analyzers a,b] [packages]\n")
+		fs.PrintDefaults()
+	}
+	return fs, opts
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs, opts := newFlagSet(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if opts.list {
+		for _, a := range registry {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	selected, err := selectAnalyzers(opts.only)
+	if err != nil {
+		fmt.Fprintf(stderr, "brucklint: %v\n", err)
+		return 2
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "brucklint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "brucklint: %v\n", err)
+		return 2
+	}
+	if opts.selftest {
+		return runSelftest(loader, selected, stdout, stderr)
+	}
+	dirs, err := resolvePatterns(root, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "brucklint: %v\n", err)
+		return 2
+	}
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "brucklint: %v\n", err)
+			return 2
+		}
+		diags, err := analysis.Run(pkg, selected)
+		if err != nil {
+			fmt.Fprintf(stderr, "brucklint: %s: %v\n", pkg.Path, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		}
+		findings += len(diags)
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "brucklint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -analyzers flag against the registry.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return registry, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range registry {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// resolvePatterns expands package arguments into package directories.
+// "dir/..." walks dir; a plain argument names one directory; no
+// arguments means everything under the module root.
+func resolvePatterns(root string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(ds ...string) {
+		for _, d := range ds {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	for _, arg := range args {
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			base := rest
+			if base == "." || base == "" {
+				base = root
+			}
+			sub, err := analysis.PackageDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			add(sub...)
+			continue
+		}
+		add(arg)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

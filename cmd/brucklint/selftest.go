@@ -1,0 +1,127 @@
+package main
+
+// The -selftest mode: feed each analyzer an in-memory source holding
+// one known violation of its invariant and require the analyzer to
+// fire. A silent analyzer here means refactoring has hollowed out its
+// detection (renamed method, moved type, broken matcher) while CI kept
+// passing green — exactly the failure mode a lint gate cannot detect
+// about itself from clean runs alone.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bruck/internal/analysis"
+)
+
+// selftests maps analyzer name -> (synthetic package path, sources).
+// The package path matters: the analyzers match types structurally by
+// package suffix, so the planlife case lives in a package whose path
+// ends in "collective".
+var selftests = map[string]struct {
+	path  string
+	files map[string]string
+}{
+	"bufown": {
+		path: "brucklint/selftest/bufown",
+		files: map[string]string{
+			"a.go": `package selftest
+
+import "bruck/internal/mpsim"
+
+func leakBuf(p *mpsim.Proc) []byte {
+	b := p.AcquireBuf(8)
+	return b
+}
+`,
+		},
+	},
+	"detrand": {
+		path: "brucklint/selftest/detrand",
+		files: map[string]string{
+			"a.go": `package selftest
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}
+`,
+		},
+	},
+	"kernelsafe": {
+		path: "brucklint/selftest/kernelsafe",
+		files: map[string]string{
+			"a.go": `package selftest
+
+import "bruck/internal/buffers"
+
+var sink []byte
+
+func kernel() buffers.CombineFunc {
+	return func(dst, src []byte) {
+		sink = src
+		_ = dst
+	}
+}
+`,
+		},
+	},
+	"planlife": {
+		path: "brucklint/selftest/collective",
+		files: map[string]string{
+			"a.go": `package collective
+
+type Plan struct{ c1 int }
+
+func retune(pl *Plan) {
+	pl.c1 = 2
+}
+
+var _ = retune
+`,
+		},
+	},
+}
+
+// runSelftest exercises every selected analyzer against its injected
+// violation. Exit 0 means each analyzer fired; any silent analyzer (or
+// a missing selftest case) exits 1.
+func runSelftest(loader *analysis.Loader, selected []*analysis.Analyzer, stdout, stderr io.Writer) int {
+	failed := 0
+	for _, a := range selected {
+		tc, ok := selftests[a.Name]
+		if !ok {
+			fmt.Fprintf(stderr, "brucklint: selftest: no injected violation for analyzer %s\n", a.Name)
+			failed++
+			continue
+		}
+		pkg, err := loader.CheckSource(tc.path, tc.files)
+		if err != nil {
+			fmt.Fprintf(stderr, "brucklint: selftest: %s: %v\n", a.Name, err)
+			failed++
+			continue
+		}
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			fmt.Fprintf(stderr, "brucklint: selftest: %s: %v\n", a.Name, err)
+			failed++
+			continue
+		}
+		if len(diags) == 0 {
+			fmt.Fprintf(stderr, "brucklint: selftest: %s did not fire on its injected violation\n", a.Name)
+			failed++
+			continue
+		}
+		msgs := make([]string, len(diags))
+		for i, d := range diags {
+			msgs[i] = d.Message
+		}
+		fmt.Fprintf(stdout, "selftest %-12s ok (%d finding(s): %s)\n", a.Name, len(diags), strings.Join(msgs, "; "))
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

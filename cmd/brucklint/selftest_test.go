@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSelftest runs the injected-violation mode: every registered
+// analyzer must fire on its known-bad source.
+func TestSelftest(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-selftest"}, &out, &errb); code != 0 {
+		t.Fatalf("-selftest exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	for _, a := range registry {
+		if !strings.Contains(out.String(), "selftest "+a.Name) {
+			t.Errorf("selftest output missing analyzer %s:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+// TestFindingsExitOne points the driver at a fixture package holding
+// deliberate violations and requires exit code 1 with findings on
+// stdout.
+func TestFindingsExitOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-analyzers", "bufown", "../../internal/analysis/bufown/testdata/src/a"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("fixture run exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "bufown") {
+		t.Errorf("findings output missing analyzer name:\n%s", out.String())
+	}
+}

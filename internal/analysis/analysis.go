@@ -1,0 +1,160 @@
+// Package analysis is the repo's static-analysis framework: a
+// stdlib-only reimplementation of the golang.org/x/tools/go/analysis
+// Analyzer/Pass shape, plus a module-aware package loader and the
+// //lint:allow suppression directive.
+//
+// The container this repo builds in has no module proxy access, so the
+// x/tools analysis framework (and its go/packages loader and
+// unitchecker vettool protocol) cannot be vendored or fetched. The
+// invariants the analyzers enforce need only go/ast and go/types, both
+// in the standard library, so the framework is rebuilt here with the
+// same surface: an Analyzer owns a Run function over a Pass carrying
+// the type-checked syntax of one package, and diagnostics are reported
+// through the Pass. cmd/brucklint is the multichecker driver; package
+// analysistest runs analyzers over testdata fixtures with the familiar
+// `// want "re"` expectation comments.
+//
+// Suppression: a finding is dropped when the line it is reported on, or
+// the line immediately above it, carries a comment of the form
+//
+//	//lint:allow <analyzer> [reason...]
+//
+// naming the reporting analyzer. The directive is deliberately
+// per-site: every allowed finding is a documented, reviewed exception
+// (the reason text is required by convention, not enforced).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker: a name (the identifier
+// used by -analyzers filters and //lint:allow directives), a short doc
+// string, and the Run function applied to each package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding: a position and a message, stamped with
+// the analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to a loaded package and returns their
+// findings, sorted by position, with //lint:allow-suppressed findings
+// removed.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allowed := allowDirectives(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diags {
+			if allowed.allows(a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// allowKey identifies one (file, line) site an analyzer is allowed on.
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+type allowSet map[allowKey]bool
+
+// AllowPrefix is the comment form of the suppression directive.
+const AllowPrefix = "//lint:allow "
+
+// allowDirectives scans a package's comments for //lint:allow
+// directives. A directive covers its own line and the line below it
+// (so it can sit inline after the flagged statement or on its own line
+// immediately above).
+func allowDirectives(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, strings.TrimSuffix(AllowPrefix, " ")) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, strings.TrimSuffix(AllowPrefix, " "))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					set[allowKey{pos.Filename, pos.Line, name}] = true
+					set[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s allowSet) allows(name string, pos token.Position) bool {
+	return s[allowKey{pos.Filename, pos.Line, name}]
+}

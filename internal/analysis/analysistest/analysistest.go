@@ -1,0 +1,146 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its findings against `// want "re"` expectation comments, the
+// golang.org/x/tools/go/analysis/analysistest convention rebuilt on
+// the repo's stdlib-only analysis framework.
+//
+// A fixture package lives under <analyzer>/testdata/src/<name>/ and is
+// an ordinary Go package; module-local imports (bruck/internal/...)
+// resolve against the enclosing module. Every line that must produce a
+// finding carries a trailing `// want "re"` comment whose regexp must
+// match the finding's message; multiple `"re"` strings on one comment
+// expect multiple findings on that line. Findings without a matching
+// want, and wants without a matching finding, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"bruck/internal/analysis"
+)
+
+// TestData returns the caller's testdata directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run analyzes each fixture package testdata/src/<pkg> with a and
+// diffs findings against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := moduleRoot(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range pkgs {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(testdata, "src", name)
+			pkg, err := loader.Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, pkg, diags)
+		})
+	}
+}
+
+// wantRe extracts the quoted expectation regexps of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// check diffs findings against want comments, both keyed by
+// (file, line).
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := cutWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing expected finding at %s matching %q", key, w.raw)
+			}
+		}
+	}
+}
+
+// cutWant returns the tail of a `// want ...` comment.
+func cutWant(text string) (string, bool) {
+	const marker = "// want "
+	for i := 0; i+len(marker) <= len(text); i++ {
+		if text[i:i+len(marker)] == marker {
+			return text[i+len(marker):], true
+		}
+	}
+	return "", false
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysistest: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,112 @@
+package analysis
+
+// Small AST/type helpers shared by the analyzers.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// InspectStack walks the AST in depth-first order, calling f with each
+// node and the stack of its ancestors (outermost first, not including
+// n itself). Returning false prunes the subtree.
+func InspectStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := f(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// CalleeFunc resolves the function or method a call invokes, or nil
+// (builtins, indirect calls through variables, conversions).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsBuiltin reports whether a call invokes the named builtin.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// PkgSuffix reports whether a package's import path is suffix or ends
+// in "/"+suffix — the analyzers match packages structurally (a type
+// named Proc in a package ending "mpsim") so fixtures and the real
+// tree both qualify.
+func PkgSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// NamedOf unwraps pointers and returns the named type of t, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamedType reports whether t (possibly behind a pointer) is the
+// named type name from a package whose path ends in pkgSuffix.
+func IsNamedType(t types.Type, pkgSuffix, name string) bool {
+	n := NamedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && PkgSuffix(obj.Pkg(), pkgSuffix)
+}
+
+// FuncDecls iterates the function declarations (with bodies) of a
+// pass's files.
+func FuncDecls(files []*ast.File, f func(decl *ast.FuncDecl)) {
+	for _, file := range files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				f(fd)
+			}
+		}
+	}
+}
+
+// UsesObject reports whether the subtree mentions obj.
+func UsesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

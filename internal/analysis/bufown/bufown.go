@@ -1,0 +1,322 @@
+// Package bufown implements the buffer-ownership analyzer for the
+// mpsim pooled-buffer rules (internal/mpsim doc.go, "Buffer
+// ownership"): a buffer obtained from Proc.AcquireBuf belongs to the
+// acquiring processor's pool and must be handed back with
+// Proc.ReleaseBuf (or handed off to the transport) before the SPMD body
+// returns. The analyzer tracks, per function, every variable bound
+// directly to an AcquireBuf result and reports:
+//
+//   - double release: ReleaseBuf on a variable already released in the
+//     same statement list, with no intervening reacquisition;
+//   - use after release: any later mention of a released variable in
+//     the same statement list (a released buffer belongs to the pool
+//     and may be handed to another round at any time);
+//   - leaked acquisition: an acquired buffer that is never released
+//     (directly or via defer) and never escapes the function — the
+//     pool loses it and the steady state degrades to allocation;
+//   - pool escape via return: returning an acquired buffer hands pooled
+//     transport memory to a caller the pool knows nothing about.
+//
+// The analysis is intra-procedural and deliberately conservative: a
+// buffer that escapes — appended to a send list, stored in a struct,
+// passed to a call other than ReleaseBuf/copy/len/cap — is assumed
+// handed off and exempt from the leak check. Statement lists are
+// scanned independently (no cross-branch merging), so conditional
+// releases never produce false double-release reports.
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bruck/internal/analysis"
+)
+
+// Analyzer is the bufown analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufown",
+	Doc:  "flags AcquireBuf/ReleaseBuf misuse: use-after-release, double release, leaked or escaping pool buffers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.FuncDecls(pass.Files, func(decl *ast.FuncDecl) {
+		checkFunc(pass, decl)
+	})
+	return nil
+}
+
+// procCall reports whether call invokes the named method on an
+// mpsim.Proc (or a structurally equivalent fixture Proc).
+func procCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Name() != name || !analysis.PkgSuffix(fn.Pkg(), "mpsim") {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && analysis.IsNamedType(sig.Recv().Type(), "mpsim", "Proc")
+}
+
+// acquired maps each tracked variable to its acquisition site.
+type acquired map[types.Object]token.Pos
+
+// checkFunc analyzes one function body.
+func checkFunc(pass *analysis.Pass, decl *ast.FuncDecl) {
+	bufs := acquired{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !procCall(pass.Info, call, "AcquireBuf") {
+			return true
+		}
+		id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if obj := pass.Info.ObjectOf(id); obj != nil {
+			bufs[obj] = call.Pos()
+		}
+		return true
+	})
+	if len(bufs) == 0 {
+		return
+	}
+	scanList(pass, decl.Body.List, bufs)
+	for obj, pos := range bufs {
+		summarize(pass, decl, obj, pos)
+	}
+}
+
+// scanList runs the linear release/use analysis over one statement
+// list, recursing into nested lists with fresh state.
+func scanList(pass *analysis.Pass, list []ast.Stmt, bufs acquired) {
+	released := map[types.Object]bool{}
+	for _, stmt := range list {
+		if obj := releaseStmtTarget(pass.Info, stmt, bufs); obj != nil {
+			if released[obj] {
+				pass.Reportf(stmt.Pos(), "double release of %s: already released in this block", obj.Name())
+			}
+			released[obj] = true
+			continue
+		}
+		// A reassignment revives the name with a fresh buffer.
+		if obj := reassignTarget(pass.Info, stmt, bufs); obj != nil {
+			released[obj] = false
+		}
+		for obj := range released {
+			if released[obj] && analysis.UsesObject(pass.Info, stmt, obj) {
+				pass.Reportf(stmt.Pos(), "use of %s after ReleaseBuf: a released buffer belongs to the pool", obj.Name())
+			}
+		}
+		for _, nested := range nestedLists(stmt) {
+			scanList(pass, nested, bufs)
+		}
+	}
+}
+
+// releaseStmtTarget returns the tracked variable a statement releases,
+// when the statement is exactly p.ReleaseBuf(x). Deferred releases are
+// run at function exit and do not change the linear state.
+func releaseStmtTarget(info *types.Info, stmt ast.Stmt, bufs acquired) types.Object {
+	expr, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(expr.X).(*ast.CallExpr)
+	if !ok || !procCall(info, call, "ReleaseBuf") || len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.ObjectOf(id)
+	if _, tracked := bufs[obj]; !tracked {
+		return nil
+	}
+	return obj
+}
+
+// reassignTarget returns the tracked variable a statement rebinds
+// (x = ... / x := ...), or nil.
+func reassignTarget(info *types.Info, stmt ast.Stmt, bufs acquired) types.Object {
+	assign, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return nil
+	}
+	for _, lhs := range assign.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				if _, tracked := bufs[obj]; tracked {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// nestedLists returns the statement lists directly nested in stmt.
+func nestedLists(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, nestedLists(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedLists(s.Stmt)...)
+	}
+	return out
+}
+
+// summarize runs the whole-function leak/escape classification of one
+// acquired buffer.
+func summarize(pass *analysis.Pass, decl *ast.FuncDecl, obj types.Object, acquiredAt token.Pos) {
+	var (
+		releasedSomewhere bool
+		escapes           bool
+	)
+	analysis.InspectStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.ObjectOf(id) != obj {
+			return true
+		}
+		switch classifyUse(pass.Info, id, stack, obj) {
+		case useRelease:
+			releasedSomewhere = true
+		case useReturn:
+			pass.Reportf(id.Pos(), "acquired buffer %s escapes via return; pooled transport memory must not outlive the SPMD body", obj.Name())
+			escapes = true
+		case useEscape:
+			escapes = true
+		}
+		return true
+	})
+	if !releasedSomewhere && !escapes {
+		pass.Reportf(acquiredAt, "acquired buffer %s is never released and never escapes; the pool leaks it (release it or hand it off)", obj.Name())
+	}
+}
+
+type useKind int
+
+const (
+	useSafe useKind = iota
+	useRelease
+	useEscape
+	useReturn
+)
+
+// classifyUse decides what one mention of a tracked buffer does. The
+// ident may sit under index/slice expressions; the classification looks
+// at the maximal derived expression's context.
+func classifyUse(info *types.Info, id *ast.Ident, stack []ast.Node, obj types.Object) useKind {
+	// Climb through x[i], x[i:j], (x) to the maximal derived expression.
+	top := ast.Expr(id)
+	i := len(stack) - 1
+	for ; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.IndexExpr:
+			if parent.X == top {
+				// x[i] is a byte, not an alias; anything done with it is safe.
+				return useSafe
+			}
+			return useSafe // x used as an index
+		case *ast.SliceExpr:
+			if parent.X != top {
+				return useSafe // x used as a bound
+			}
+			top = parent
+		case *ast.ParenExpr:
+			top = parent
+		default:
+			goto classified
+		}
+	}
+classified:
+	if i < 0 {
+		return useSafe
+	}
+	switch parent := stack[i].(type) {
+	case *ast.CallExpr:
+		for _, arg := range parent.Args {
+			if arg == top {
+				return classifyCallArg(info, parent)
+			}
+		}
+		return useSafe // callee position or nested elsewhere
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if lhs == top {
+				return useSafe // writing into (or rebinding) the buffer
+			}
+		}
+		// Appearing on the RHS aliases the buffer into another name or
+		// location; treat as a handoff.
+		for li, rhs := range parent.Rhs {
+			if rhs == top && li < len(parent.Lhs) {
+				if lid, ok := ast.Unparen(parent.Lhs[li]).(*ast.Ident); ok && info.ObjectOf(lid) == obj {
+					return useSafe // x = x[:n] style self-reslice
+				}
+			}
+		}
+		return useEscape
+	case *ast.ReturnStmt:
+		return useReturn
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		return useEscape
+	case *ast.RangeStmt:
+		if parent.X == top {
+			return useSafe
+		}
+		return useEscape
+	case *ast.BinaryExpr, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.ExprStmt, *ast.IncDecStmt, *ast.UnaryExpr, *ast.StarExpr, *ast.SelectorExpr:
+		return useSafe
+	default:
+		// Unknown context: assume a handoff so the leak check stays
+		// quiet rather than noisy.
+		return useEscape
+	}
+}
+
+// classifyCallArg decides what passing the buffer to a call does.
+func classifyCallArg(info *types.Info, call *ast.CallExpr) useKind {
+	if procCall(info, call, "ReleaseBuf") {
+		return useRelease
+	}
+	if analysis.IsBuiltin(info, call, "copy") || analysis.IsBuiltin(info, call, "len") || analysis.IsBuiltin(info, call, "cap") {
+		return useSafe
+	}
+	// Any other callee may retain or hand off the buffer (ExchangeInto,
+	// Send construction helpers, ...): treat as a handoff.
+	return useEscape
+}

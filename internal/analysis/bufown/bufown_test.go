@@ -1,0 +1,12 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"bruck/internal/analysis/analysistest"
+	"bruck/internal/analysis/bufown"
+)
+
+func TestBufown(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), bufown.Analyzer, "a")
+}

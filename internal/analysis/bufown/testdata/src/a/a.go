@@ -1,0 +1,78 @@
+// Package a exercises the bufown analyzer: AcquireBuf/ReleaseBuf
+// misuse and the cases that must stay quiet.
+package a
+
+import "bruck/internal/mpsim"
+
+func doubleRelease(p *mpsim.Proc) {
+	b := p.AcquireBuf(8)
+	p.ReleaseBuf(b)
+	p.ReleaseBuf(b) // want "double release of b"
+}
+
+func useAfterRelease(p *mpsim.Proc) {
+	b := p.AcquireBuf(8)
+	b[0] = 1
+	p.ReleaseBuf(b)
+	b[0] = 2 // want "use of b after ReleaseBuf"
+}
+
+func returnEscape(p *mpsim.Proc) []byte {
+	b := p.AcquireBuf(8)
+	return b // want "escapes via return"
+}
+
+func returnSliceEscape(p *mpsim.Proc) []byte {
+	b := p.AcquireBuf(8)
+	return b[:4] // want "escapes via return"
+}
+
+func leak(p *mpsim.Proc) {
+	b := p.AcquireBuf(8) // want "never released and never escapes"
+	b[0] = 1
+}
+
+// --- negative cases: none of these may report ---
+
+func deferredRelease(p *mpsim.Proc) {
+	b := p.AcquireBuf(8)
+	defer p.ReleaseBuf(b)
+	b[0] = 1
+}
+
+func copyOut(p *mpsim.Proc, dst []byte) {
+	b := p.AcquireBuf(8)
+	copy(dst, b)
+	p.ReleaseBuf(b)
+}
+
+func conditionalRelease(p *mpsim.Proc, keep bool) {
+	b := p.AcquireBuf(8)
+	if keep {
+		b[0] = 1
+		p.ReleaseBuf(b)
+	} else {
+		p.ReleaseBuf(b)
+	}
+}
+
+func reacquire(p *mpsim.Proc) {
+	b := p.AcquireBuf(8)
+	p.ReleaseBuf(b)
+	b = p.AcquireBuf(16)
+	b[0] = 1
+	p.ReleaseBuf(b)
+}
+
+func handoff(p *mpsim.Proc) error {
+	b := p.AcquireBuf(8)
+	sends := []mpsim.Send{{To: (p.Rank() + 1) % p.N(), Data: b}}
+	return p.ExchangeInto(sends, []int{(p.Rank() + p.N() - 1) % p.N()}, [][]byte{b})
+}
+
+func lenCapOnly(p *mpsim.Proc) int {
+	b := p.AcquireBuf(8)
+	n := len(b) + cap(b)
+	p.ReleaseBuf(b)
+	return n
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"bruck/internal/analysis/analysistest"
+	"bruck/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detrand.Analyzer, "a")
+}

@@ -1,0 +1,94 @@
+// Package a exercises the detrand analyzer: wall-clock, global-rand
+// and map-order nondeterminism, plus the patterns that must stay quiet.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now is wall-clock nondeterminism"
+}
+
+func allowedWallClock() time.Time {
+	//lint:allow detrand latency measurement for reporting only
+	return time.Now()
+}
+
+func globalSource(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want "rand.Shuffle draws from the global math/rand source"
+	return rand.Intn(n)                // want "rand.Intn draws from the global math/rand source"
+}
+
+func localSource(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func mapToSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is randomized"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapToSortedSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapToPrinter(m map[string]int) {
+	for k, v := range m { // want "map iteration order is randomized"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func mapToString(m map[string]int) string {
+	s := ""
+	for k := range m { // want "map iteration order is randomized"
+		s += k
+	}
+	return s
+}
+
+func mapReduction(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mapEvict(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+		break
+	}
+}
+
+// Sprintf is pure; the strings land in a sorted slice, so the loop is
+// order-insensitive.
+func mapToSortedMessages(m map[string]int) []string {
+	var msgs []string
+	for k, v := range m {
+		msgs = append(msgs, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(msgs)
+	return msgs
+}
+
+func mapLocalAppend(m map[string][]int) {
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		_ = local
+	}
+}

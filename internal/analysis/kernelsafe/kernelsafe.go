@@ -1,0 +1,278 @@
+// Package kernelsafe implements the reduction-kernel analyzer for the
+// CombineFunc contract (internal/buffers reduce.go): a kernel combines
+// src into dst elementwise, writing only dst, and must not retain
+// either slice — src is a pooled transport buffer recycled after the
+// call — nor allocate, since kernels run on the executor's hot path for
+// every slab of every round.
+//
+// Kernel bodies are discovered by their CombineFunc context: a function
+// literal returned from a function whose result type is CombineFunc,
+// assigned to a CombineFunc-typed variable or field, or passed to a
+// CombineFunc-typed parameter. Inside a kernel body the analyzer flags:
+//
+//   - writes to src (index or slice assignment through the src param);
+//   - allocation: make, new, append, and slice/map composite literals;
+//   - retention: dst or src (or a reslice of either) assigned to a
+//     variable declared outside the kernel body, stored through an
+//     outer selector/index, sent on a channel, captured in a composite
+//     literal, or used from a go/defer statement.
+//
+// Passing a reslice directly to a synchronous call (the
+// binary.LittleEndian decode/encode idiom) is allowed: the executor's
+// contract is with the kernel, and the stdlib encoders do not retain
+// their arguments.
+package kernelsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bruck/internal/analysis"
+)
+
+// Analyzer is the kernelsafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "kernelsafe",
+	Doc:  "flags CombineFunc kernels that write src, allocate, or retain their buffer arguments",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if isKernelContext(pass.Info, lit, stack) {
+				checkKernel(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCombineFunc reports whether t is the CombineFunc named type of a
+// package whose path ends in "buffers".
+func isCombineFunc(t types.Type) bool {
+	return analysis.IsNamedType(t, "buffers", "CombineFunc")
+}
+
+// isKernelContext reports whether a function literal occupies a
+// CombineFunc-typed position.
+func isKernelContext(info *types.Info, lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.ReturnStmt:
+		// Returned from a function whose (sole matching) result type is
+		// CombineFunc.
+		for i := len(stack) - 2; i >= 0; i-- {
+			var ft *ast.FuncType
+			switch f := stack[i].(type) {
+			case *ast.FuncDecl:
+				ft = f.Type
+			case *ast.FuncLit:
+				ft = f.Type
+			default:
+				continue
+			}
+			if ft.Results == nil {
+				return false
+			}
+			for ri, res := range parent.Results {
+				if res != ast.Expr(lit) {
+					continue
+				}
+				if tv, ok := info.Types[ft.Results.List[min(ri, len(ft.Results.List)-1)].Type]; ok {
+					return isCombineFunc(tv.Type)
+				}
+			}
+			return false
+		}
+		return false
+	case *ast.AssignStmt:
+		for i, rhs := range parent.Rhs {
+			if rhs == ast.Expr(lit) && i < len(parent.Lhs) {
+				if tv, ok := info.Types[parent.Lhs[i]]; ok {
+					return isCombineFunc(tv.Type)
+				}
+				if id, ok := parent.Lhs[i].(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						return isCombineFunc(obj.Type())
+					}
+				}
+			}
+		}
+		return false
+	case *ast.ValueSpec:
+		for i, v := range parent.Values {
+			if v == ast.Expr(lit) && i < len(parent.Names) {
+				if obj := info.ObjectOf(parent.Names[i]); obj != nil {
+					return isCombineFunc(obj.Type())
+				}
+			}
+		}
+		return false
+	case *ast.KeyValueExpr:
+		// Struct field of CombineFunc type (e.g. Options{Kernel: func...}).
+		if parent.Value != ast.Expr(lit) {
+			return false
+		}
+		if id, ok := parent.Key.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				return isCombineFunc(obj.Type())
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		// Passed to a CombineFunc-typed parameter.
+		fn := analysis.CalleeFunc(info, parent)
+		if fn == nil {
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return false
+		}
+		for i, arg := range parent.Args {
+			if arg == ast.Expr(lit) && i < sig.Params().Len() {
+				return isCombineFunc(sig.Params().At(i).Type())
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// checkKernel enforces the CombineFunc contract on one kernel body.
+func checkKernel(pass *analysis.Pass, lit *ast.FuncLit) {
+	params := lit.Type.Params.List
+	var dstObj, srcObj types.Object
+	var names []*ast.Ident
+	for _, p := range params {
+		names = append(names, p.Names...)
+	}
+	if len(names) == 2 {
+		dstObj = pass.Info.ObjectOf(names[0])
+		srcObj = pass.Info.ObjectOf(names[1])
+	}
+	if dstObj == nil || srcObj == nil {
+		return
+	}
+	analysis.InspectStack(lit.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, b := range []string{"make", "new", "append"} {
+				if analysis.IsBuiltin(pass.Info, n, b) {
+					pass.Reportf(n.Pos(), "kernel allocates via %s; CombineFunc runs on the executor hot path and must not allocate", b)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[ast.Expr(n)]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "kernel allocates a composite literal; CombineFunc must not allocate")
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, lit, n, dstObj, srcObj)
+		case *ast.SendStmt:
+			if usesEither(pass, n.Value, dstObj, srcObj) {
+				pass.Reportf(n.Pos(), "kernel sends a buffer argument on a channel; dst and src must not be retained")
+			}
+		case *ast.GoStmt:
+			if usesEither(pass, n.Call, dstObj, srcObj) {
+				pass.Reportf(n.Pos(), "kernel captures a buffer argument in a goroutine; dst and src must not outlive the call")
+			}
+		case *ast.DeferStmt:
+			if usesEither(pass, n.Call, dstObj, srcObj) {
+				pass.Reportf(n.Pos(), "kernel captures a buffer argument in a defer; dst and src must not outlive the body")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesEither(pass, res, dstObj, srcObj) {
+					pass.Reportf(n.Pos(), "kernel returns a buffer argument; dst and src must not be retained")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags writes through src and retention of either buffer
+// in an assignment.
+func checkAssign(pass *analysis.Pass, lit *ast.FuncLit, assign *ast.AssignStmt, dstObj, srcObj types.Object) {
+	for _, lhs := range assign.Lhs {
+		// src[i] = x / src[i:j]... mutates the caller's bytes; a bare
+		// `src = ...` merely rebinds the local name.
+		if _, bare := ast.Unparen(lhs).(*ast.Ident); !bare && rootObj(pass.Info, lhs) == srcObj {
+			pass.Reportf(lhs.Pos(), "kernel writes to src; a CombineFunc writes only dst")
+		}
+	}
+	for i, rhs := range assign.Rhs {
+		if !aliasesEither(pass.Info, rhs, dstObj, srcObj) {
+			continue
+		}
+		if i < len(assign.Lhs) {
+			if target := assignTargetObj(pass.Info, assign.Lhs[i]); target != nil && declaredOutside(target, lit) {
+				pass.Reportf(rhs.Pos(), "kernel retains a buffer argument in %s (declared outside the kernel); src is recycled after the call", target.Name())
+			}
+		}
+	}
+}
+
+// rootObj follows index/slice/selector chains to the base object of an
+// lvalue.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// aliasesEither reports whether e is dst/src or a reslice of one —
+// an expression that shares the underlying array. Element reads
+// (src[i]) are values, not aliases.
+func aliasesEither(info *types.Info, e ast.Expr, dstObj, srcObj types.Object) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(x)
+		return obj == dstObj || obj == srcObj
+	case *ast.SliceExpr:
+		return aliasesEither(info, x.X, dstObj, srcObj)
+	}
+	return false
+}
+
+// assignTargetObj returns the object an assignment LHS stores into: the
+// ident itself, or the root of a selector/index chain (storing a buffer
+// into any field or element of an outer object retains it).
+func assignTargetObj(info *types.Info, lhs ast.Expr) types.Object {
+	return rootObj(info, lhs)
+}
+
+// usesEither reports whether the subtree mentions dst or src.
+func usesEither(pass *analysis.Pass, n ast.Node, dstObj, srcObj types.Object) bool {
+	return analysis.UsesObject(pass.Info, n, dstObj) || analysis.UsesObject(pass.Info, n, srcObj)
+}
+
+// declaredOutside reports whether obj is declared outside the kernel
+// literal's body.
+func declaredOutside(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}

@@ -1,0 +1,12 @@
+package kernelsafe_test
+
+import (
+	"testing"
+
+	"bruck/internal/analysis/analysistest"
+	"bruck/internal/analysis/kernelsafe"
+)
+
+func TestKernelsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), kernelsafe.Analyzer, "a")
+}

@@ -1,0 +1,99 @@
+// Package a exercises the kernelsafe analyzer: CombineFunc kernels
+// that violate the contract, and the built-in kernel idiom that must
+// stay quiet.
+package a
+
+import (
+	"encoding/binary"
+
+	"bruck/internal/buffers"
+)
+
+var retained []byte
+
+func writesSrc() buffers.CombineFunc {
+	return func(dst, src []byte) {
+		for i := range src {
+			src[i] = dst[i] // want "kernel writes to src"
+		}
+	}
+}
+
+func allocates() buffers.CombineFunc {
+	return func(dst, src []byte) {
+		tmp := make([]byte, len(src)) // want "kernel allocates via make"
+		copy(tmp, src)
+		for i := range dst {
+			dst[i] += tmp[i]
+		}
+	}
+}
+
+func appends() buffers.CombineFunc {
+	return func(dst, src []byte) {
+		// append copies the bytes, so this is allocation, not retention.
+		retained = append(retained, src...) // want "kernel allocates via append"
+		_ = dst
+	}
+}
+
+func retainsSlice() buffers.CombineFunc {
+	return func(dst, src []byte) {
+		retained = src[:4] // want "kernel retains a buffer argument in retained"
+		_ = dst
+	}
+}
+
+var sink chan []byte
+
+func sendsOnChannel() buffers.CombineFunc {
+	return func(dst, src []byte) {
+		sink <- src // want "kernel sends a buffer argument on a channel"
+		_ = dst
+	}
+}
+
+func goroutineCapture() buffers.CombineFunc {
+	return func(dst, src []byte) {
+		go copyAll(dst, src) // want "kernel captures a buffer argument in a goroutine"
+	}
+}
+
+func copyAll(dst, src []byte) { copy(dst, src) }
+
+// Assignment to a CombineFunc variable is a kernel position too.
+var assigned buffers.CombineFunc = func(dst, src []byte) {
+	retained = dst // want "kernel retains a buffer argument in retained"
+	_ = src
+}
+
+// --- negative cases: none of these may report ---
+
+// The built-in kernel idiom: reslices passed straight to synchronous
+// encode/decode calls, locals only.
+func sum32() buffers.CombineFunc {
+	return func(dst, src []byte) {
+		for i := 0; i+4 <= len(dst); i += 4 {
+			a := binary.LittleEndian.Uint32(dst[i:])
+			b := binary.LittleEndian.Uint32(src[i:])
+			binary.LittleEndian.PutUint32(dst[i:], a+b)
+		}
+	}
+}
+
+// Element reads are values, not aliases; locals inside the kernel are
+// transient.
+func xor() buffers.CombineFunc {
+	return func(dst, src []byte) {
+		for i := range dst {
+			v := src[i]
+			dst[i] ^= v
+		}
+	}
+}
+
+// A func literal that is not in a CombineFunc position is out of scope
+// even with the same signature.
+var plain = func(dst, src []byte) {
+	retained = src
+}

@@ -1,0 +1,278 @@
+package analysis
+
+// Package loading without go/packages: module-local import paths are
+// resolved against the module root and type-checked from source
+// recursively; everything else (the standard library) is delegated to
+// the stdlib source importer. The repo has no external dependencies,
+// so the two resolvers cover every import. Loaded packages are
+// memoized per import path, so one Loader amortizes the standard
+// library across all packages of a run.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (or a synthetic path for
+	// in-memory sources).
+	Path string
+	// Dir is the package directory, empty for in-memory sources.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader loads and type-checks packages of one module. Module-local
+// packages are always loaded with full type information and memoized as
+// whole Packages, so a package reached first as a dependency and later
+// as an analysis target is one identity, not two.
+type Loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.ImporterFrom
+	local   map[string]*Package
+	stdPkgs map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module directory modRoot
+// (the directory holding go.mod).
+func NewLoader(modRoot string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", modRoot)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer lacks ImporterFrom")
+	}
+	return &Loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     std,
+		local:   map[string]*Package{},
+		stdPkgs: map[string]*types.Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// ModRoot returns the loader's module root directory.
+func (l *Loader) ModRoot() string { return l.modRoot }
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths resolve
+// against the module root, everything else goes to the stdlib source
+// importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		pkg, err := l.loadLocal(path, filepath.Join(l.modRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if p, ok := l.stdPkgs[path]; ok {
+		return p, nil
+	}
+	p, err := l.std.ImportFrom(path, dir, mode)
+	if err == nil {
+		l.stdPkgs[path] = p
+	}
+	return p, err
+}
+
+// Load loads and type-checks the package in dir (non-test files only),
+// with full type information for analysis.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	return l.loadLocal(l.importPath(abs), abs)
+}
+
+// loadLocal loads a module-local (or fixture) package with full type
+// information, memoized per import path.
+func (l *Loader) loadLocal(path, dir string) (*Package, error) {
+	if pkg, ok := l.local[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	pkg, err := l.checkDir(path, dir, newInfo())
+	delete(l.loading, path)
+	if err != nil {
+		return nil, err
+	}
+	l.local[path] = pkg
+	return pkg, nil
+}
+
+// CheckSource type-checks a package given directly as file name ->
+// source text, under a synthetic import path. Used by the brucklint
+// self-test to analyze injected violations without touching the
+// filesystem.
+func (l *Loader) CheckSource(path string, files map[string]string) (*Package, error) {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parsed []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, files[name], parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := newInfo()
+	tpkg, err := l.check(path, parsed, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: l.fset, Files: parsed, Types: tpkg, Info: info}, nil
+}
+
+// importPath derives the import path of a directory: module-relative
+// when the directory is under the module root, the base name otherwise.
+func (l *Loader) importPath(abs string) string {
+	if rel, err := filepath.Rel(l.modRoot, abs); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		if rel == "." {
+			return l.modPath
+		}
+		return l.modPath + "/" + filepath.ToSlash(rel)
+	}
+	return filepath.Base(abs)
+}
+
+// checkDir parses and type-checks the non-test Go files of dir. When
+// info is nil (a dependency load) only the types.Package is needed.
+func (l *Loader) checkDir(path, dir string, info *types.Info) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	tpkg, err := l.check(path, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// check runs the type checker over parsed files, collecting every
+// error rather than stopping at the first.
+func (l *Loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var errs []string
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error: func(err error) {
+			if len(errs) < 10 {
+				errs = append(errs, err.Error())
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in %s:\n  %s", path, strings.Join(errs, "\n  "))
+	}
+	return tpkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// PackageDirs enumerates the module's analyzable package directories
+// under root: every directory holding at least one non-test Go file,
+// skipping hidden directories and testdata trees (analyzer fixtures
+// contain deliberate violations).
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,312 @@
+// Package planlife implements the plan-lifecycle analyzer for the
+// compiled-plan contract (internal/collective plan.go): a Plan is
+// immutable after compilation — it may be shared by a PlanCache across
+// goroutines and repeated executions — and belongs to the engine it was
+// compiled for. The analyzer enforces three rules:
+//
+//   - mutation after compile: an assignment to a Plan field outside the
+//     compile pipeline (Compile*/compile*/finish* functions), outside
+//     the buffer-binding methods (Bind/BindV, which attach buffers by
+//     design), and not on a plan constructed locally in the same
+//     function;
+//
+//   - engine mismatch: a plan compiled against one engine variable and
+//     passed to ExecutePlans with a different engine variable in the
+//     same function. (The runtime rejects this too; the analyzer moves
+//     the error to compile time where the function makes it obvious.)
+//
+//   - cache-key completeness: a function that takes an Options struct
+//     and builds a planCacheKey must read every Options field somewhere
+//     in its body — a field that never flows into the key (or into the
+//     logic deriving it) makes two distinct configurations collide in
+//     the cache. Intentional omissions carry //lint:allow planlife with
+//     the reason.
+package planlife
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"bruck/internal/analysis"
+)
+
+// Analyzer is the planlife analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "planlife",
+	Doc:  "flags plan mutation after compile, engine mismatch at ExecutePlans, and incomplete plan cache keys",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.FuncDecls(pass.Files, func(decl *ast.FuncDecl) {
+		if !exemptFunc(decl.Name.Name) {
+			checkMutations(pass, decl)
+		}
+		checkEngines(pass, decl)
+		checkCacheKey(pass, decl)
+	})
+	return nil
+}
+
+// exemptFunc reports whether a function is part of the compile
+// pipeline, where plan fields are legitimately written.
+func exemptFunc(name string) bool {
+	for _, prefix := range []string{"Compile", "compile", "finish"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return name == "Bind" || name == "BindV"
+}
+
+func isPlan(t types.Type) bool {
+	return analysis.IsNamedType(t, "collective", "Plan")
+}
+
+func isEngine(t types.Type) bool {
+	return analysis.IsNamedType(t, "mpsim", "Engine")
+}
+
+// checkMutations flags assignments to Plan fields on plans that were
+// not constructed in this function.
+func checkMutations(pass *analysis.Pass, decl *ast.FuncDecl) {
+	local := locallyConstructed(pass, decl)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			tv, ok := pass.Info.Types[sel.X]
+			if !ok || !isPlan(tv.Type) {
+				continue
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && local[pass.Info.ObjectOf(id)] {
+				continue
+			}
+			pass.Reportf(lhs.Pos(), "assignment to plan field %s outside the compile pipeline; compiled plans are immutable and may be shared by the cache", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// locallyConstructed returns the set of variables bound to a Plan
+// constructed in this function (&Plan{...}, Plan{...}, new(Plan)):
+// a plan under construction is not yet shared and may be written.
+func locallyConstructed(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	local := map[types.Object]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if i >= len(assign.Lhs) || !freshPlan(pass.Info, rhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); ok {
+				if obj := pass.Info.ObjectOf(id); obj != nil {
+					local[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return local
+}
+
+// freshPlan reports whether e constructs a new Plan value.
+func freshPlan(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		return freshPlan(info, x.X)
+	case *ast.CompositeLit:
+		tv, ok := info.Types[ast.Expr(x)]
+		return ok && isPlan(tv.Type)
+	case *ast.CallExpr:
+		if !analysis.IsBuiltin(info, x, "new") || len(x.Args) != 1 {
+			return false
+		}
+		tv, ok := info.Types[x.Args[0]]
+		return ok && isPlan(tv.Type)
+	}
+	return false
+}
+
+// checkEngines flags plans compiled against one engine variable and
+// executed via ExecutePlans with another.
+func checkEngines(pass *analysis.Pass, decl *ast.FuncDecl) {
+	// planEngine maps each plan variable to the engine variable its
+	// compile call received.
+	planEngine := map[types.Object]types.Object{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		eng := engineArg(pass, call)
+		if eng == nil {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.ObjectOf(id)
+			if obj != nil && isPlan(obj.Type()) {
+				planEngine[obj] = eng
+			}
+		}
+		return true
+	})
+	if len(planEngine) == 0 {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.Info, call)
+		if fn == nil || fn.Name() != "ExecutePlans" || !analysis.PkgSuffix(fn.Pkg(), "collective") || len(call.Args) < 2 {
+			return true
+		}
+		execEng := identObj(pass.Info, call.Args[0])
+		if execEng == nil || !isEngine(execEng.Type()) {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.ObjectOf(id)
+				if eng, tracked := planEngine[obj]; tracked && eng != execEng {
+					pass.Reportf(id.Pos(), "plan %s was compiled for engine %s but is executed on %s; a plan belongs to the engine it was compiled for", obj.Name(), eng.Name(), execEng.Name())
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// engineArg returns the engine variable a compile-like call receives:
+// the call must return a plan (first result *Plan) and take exactly one
+// engine-typed ident argument.
+func engineArg(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 || !isPlan(sig.Results().At(0).Type()) {
+		return nil
+	}
+	var eng types.Object
+	for _, arg := range call.Args {
+		obj := identObj(pass.Info, arg)
+		if obj == nil || !isEngine(obj.Type()) {
+			continue
+		}
+		if eng != nil {
+			return nil // ambiguous
+		}
+		eng = obj
+	}
+	return eng
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// checkCacheKey flags planCacheKey construction that ignores fields of
+// the function's Options parameter.
+func checkCacheKey(pass *analysis.Pass, decl *ast.FuncDecl) {
+	if decl.Type.Params == nil {
+		return
+	}
+	// Find the Options-typed parameter, if any.
+	var optObj types.Object
+	var optStruct *types.Struct
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			named := analysis.NamedOf(obj.Type())
+			if named == nil || !strings.HasSuffix(named.Obj().Name(), "Options") || !analysis.PkgSuffix(named.Obj().Pkg(), "collective") {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			optObj, optStruct = obj, st
+		}
+	}
+	if optObj == nil {
+		return
+	}
+	// Find a planCacheKey composite literal.
+	var keyLit *ast.CompositeLit
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.Info.Types[ast.Expr(lit)]; ok && analysis.IsNamedType(tv.Type, "collective", "planCacheKey") {
+			keyLit = lit
+			return false
+		}
+		return true
+	})
+	if keyLit == nil {
+		return
+	}
+	// Every Options field must be read somewhere in the function.
+	used := map[string]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.Info.ObjectOf(id) == optObj {
+			used[sel.Sel.Name] = true
+		}
+		return true
+	})
+	var missing []string
+	for i := 0; i < optStruct.NumFields(); i++ {
+		if name := optStruct.Field(i).Name(); !used[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(keyLit.Pos(), "cache key ignores %s field(s) %s; configurations differing only there would collide in the plan cache",
+		analysis.NamedOf(optObj.Type()).Obj().Name(), strings.Join(missing, ", "))
+}

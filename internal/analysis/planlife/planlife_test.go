@@ -1,0 +1,12 @@
+package planlife_test
+
+import (
+	"testing"
+
+	"bruck/internal/analysis/analysistest"
+	"bruck/internal/analysis/planlife"
+)
+
+func TestPlanlife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), planlife.Analyzer, "collective")
+}

@@ -1,0 +1,78 @@
+// Package collective is a structural fixture for the planlife
+// analyzer: it mirrors the real package's shapes (a Plan type, a
+// planCacheKey, Options structs, ExecutePlans) so the analyzer's
+// suffix-based type matching applies without importing unexported
+// internals.
+package collective
+
+import "bruck/internal/mpsim"
+
+type Plan struct {
+	c1, c2 int
+	engine *mpsim.Engine
+}
+
+type planCacheKey struct {
+	alg, radix int
+}
+
+type FakeOptions struct {
+	Algorithm int
+	Radix     int
+}
+
+// CompileFake is compile-pipeline by name: field writes are fine here.
+func CompileFake(e *mpsim.Engine, opt FakeOptions) *Plan {
+	pl := &Plan{engine: e}
+	pl.c1 = opt.Algorithm + opt.Radix
+	return pl
+}
+
+// finishFake is compile-pipeline by prefix.
+func (pl *Plan) finishFake() {
+	pl.c2 = pl.c1 * 2
+}
+
+func retune(pl *Plan) {
+	pl.c2 = 0 // want "assignment to plan field c2"
+}
+
+func buildLocal(e *mpsim.Engine) *Plan {
+	pl := &Plan{engine: e}
+	pl.c1 = 1 // locally constructed: not yet shared
+	return pl
+}
+
+func ExecutePlans(e *mpsim.Engine, plans []*Plan) error {
+	_ = e
+	_ = plans
+	return nil
+}
+
+func wrongEngine(e1, e2 *mpsim.Engine, opt FakeOptions) error {
+	pl := CompileFake(e1, opt)
+	return ExecutePlans(e2, []*Plan{pl}) // want "compiled for engine e1 but is executed on e2"
+}
+
+func rightEngine(e *mpsim.Engine, opt FakeOptions) error {
+	pl := CompileFake(e, opt)
+	return ExecutePlans(e, []*Plan{pl})
+}
+
+func partialKey(opt FakeOptions) planCacheKey {
+	return planCacheKey{alg: opt.Algorithm} // want "cache key ignores FakeOptions"
+}
+
+func fullKey(opt FakeOptions) planCacheKey {
+	return planCacheKey{alg: opt.Algorithm, radix: opt.Radix}
+}
+
+// derivedKey reads every field even though only a derivation enters the
+// literal; that is complete.
+func derivedKey(opt FakeOptions) planCacheKey {
+	radix := opt.Radix
+	if opt.Algorithm == 0 {
+		radix = 0
+	}
+	return planCacheKey{alg: opt.Algorithm, radix: radix}
+}

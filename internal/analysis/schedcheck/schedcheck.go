@@ -1,0 +1,294 @@
+// Package schedcheck statically verifies canonical schedule traces
+// (trace.Schedule): it proves a recorded schedule well-formed from the
+// artifact alone, without running the engine. The checks are the
+// machine-checkable core of the paper's schedule contract:
+//
+//   - round structure: strictly increasing round numbers, sends in
+//     canonical (src, dst) order, ranks in range, no self-sends;
+//   - k-port feasibility: at most K sends per source and K receives
+//     per destination in every round, and at most one message per
+//     (src, dst) pair per round — which makes per-pair FIFO delivery
+//     trivially feasible with the transports' two-slot channels;
+//   - complexity accounting: C1 must equal the number of rounds and C2
+//     must equal the sum over rounds of the largest message (the
+//     paper's round and data-volume measures, recomputed from the
+//     messages rather than trusted from the header);
+//   - byte conservation: per-processor send/receive totals must meet
+//     the operation's information-theoretic minimums (an index
+//     processor must move (n-1)·b bytes in and out, a concatenation
+//     processor must receive everyone else's block, ...);
+//   - pattern consistency: where the compiled rank-0 Pattern is
+//     present, every round of the recorded execution must be exactly
+//     that pattern translated to all N ranks, and each transfer's
+//     declared blocks/extents must account for its byte count.
+//
+// Verify returns a capped list of human-readable violations; an empty
+// list is a proof of well-formedness at this structural level.
+package schedcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"bruck/internal/trace"
+)
+
+// maxViolations bounds a report; a malformed schedule tends to violate
+// everywhere, and the first sites identify the break.
+const maxViolations = 20
+
+// Verify statically checks a canonical schedule artifact and returns
+// all violations found (capped), or nil.
+func Verify(s *trace.Schedule) []string {
+	var v []string
+	add := func(format string, args ...any) {
+		if len(v) < maxViolations {
+			v = append(v, fmt.Sprintf(format, args...))
+		}
+	}
+	if !checkMeta(s, add) {
+		return v
+	}
+	checkRounds(s, add)
+	checkAccounting(s, add)
+	checkConservation(s, add)
+	checkPattern(s, add)
+	return v
+}
+
+// checkMeta validates the header; the remaining checks assume it.
+func checkMeta(s *trace.Schedule, add func(string, ...any)) bool {
+	ok := true
+	switch s.Op {
+	case "index", "concat", "reduce-scatter", "allreduce":
+	default:
+		add("op: unknown operation %q", s.Op)
+		ok = false
+	}
+	if s.N < 1 {
+		add("n: group size %d, want >= 1", s.N)
+		ok = false
+	}
+	if s.K < 1 {
+		add("k: port count %d, want >= 1", s.K)
+		ok = false
+	}
+	if s.BlockLen < 0 {
+		add("blockLen: %d, want >= 0", s.BlockLen)
+		ok = false
+	}
+	if s.C1 < 0 || s.C2 < 0 {
+		add("c1/c2: negative complexity (%d, %d)", s.C1, s.C2)
+		ok = false
+	}
+	return ok
+}
+
+// checkRounds validates round and send structure and k-port
+// feasibility.
+func checkRounds(s *trace.Schedule, add func(string, ...any)) {
+	prevRound := -1
+	for i, rd := range s.Rounds {
+		if rd.Round <= prevRound {
+			add("rounds[%d]: round number %d not increasing (previous %d)", i, rd.Round, prevRound)
+		}
+		prevRound = rd.Round
+		if len(rd.Sends) == 0 {
+			add("rounds[%d]: empty round", i)
+		}
+		sendsBy := map[int]int{}
+		recvsBy := map[int]int{}
+		for j, snd := range rd.Sends {
+			if snd.Src < 0 || snd.Src >= s.N || snd.Dst < 0 || snd.Dst >= s.N {
+				add("rounds[%d].sends[%d]: p%d->p%d outside group of %d", i, j, snd.Src, snd.Dst, s.N)
+				continue
+			}
+			if snd.Src == snd.Dst {
+				add("rounds[%d].sends[%d]: self-send at p%d", i, j, snd.Src)
+			}
+			if snd.Bytes < 0 {
+				add("rounds[%d].sends[%d]: negative size %d", i, j, snd.Bytes)
+			}
+			if j > 0 {
+				prev := rd.Sends[j-1]
+				if snd.Src < prev.Src || (snd.Src == prev.Src && snd.Dst <= prev.Dst) {
+					add("rounds[%d].sends[%d]: not in canonical (src, dst) order (p%d->p%d after p%d->p%d)",
+						i, j, snd.Src, snd.Dst, prev.Src, prev.Dst)
+				}
+			}
+			sendsBy[snd.Src]++
+			recvsBy[snd.Dst]++
+		}
+		// Strict (src, dst) order already implies at most one message per
+		// pair per round — the FIFO two-slot feasibility condition — so
+		// only the port counts remain.
+		for p := 0; p < s.N; p++ {
+			if sendsBy[p] > s.K {
+				add("rounds[%d]: p%d sends %d messages, k-port limit is %d", i, p, sendsBy[p], s.K)
+			}
+			if recvsBy[p] > s.K {
+				add("rounds[%d]: p%d receives %d messages, k-port limit is %d", i, p, recvsBy[p], s.K)
+			}
+		}
+	}
+}
+
+// checkAccounting recomputes C1 and C2 from the messages.
+func checkAccounting(s *trace.Schedule, add func(string, ...any)) {
+	if len(s.Rounds) != s.C1 {
+		add("c1: header says %d rounds, trace has %d", s.C1, len(s.Rounds))
+	}
+	c2 := 0
+	for _, rd := range s.Rounds {
+		roundMax := 0
+		for _, snd := range rd.Sends {
+			if snd.Bytes > roundMax {
+				roundMax = snd.Bytes
+			}
+		}
+		c2 += roundMax
+	}
+	if c2 != s.C2 {
+		add("c2: header says %d, sum of per-round maxima is %d", s.C2, c2)
+	}
+}
+
+// checkConservation verifies per-processor byte totals against the
+// operation's minimums. For ragged (layout) schedules block sizes vary
+// per rank, so only the uniform-block operations are bounded.
+func checkConservation(s *trace.Schedule, add func(string, ...any)) {
+	if s.Ragged || s.N == 1 || s.BlockLen == 0 {
+		return
+	}
+	sent := make([]int, s.N)
+	recvd := make([]int, s.N)
+	for _, rd := range s.Rounds {
+		for _, snd := range rd.Sends {
+			if snd.Src < 0 || snd.Src >= s.N || snd.Dst < 0 || snd.Dst >= s.N {
+				return // already reported by checkRounds
+			}
+			sent[snd.Src] += snd.Bytes
+			recvd[snd.Dst] += snd.Bytes
+		}
+	}
+	n, b := s.N, s.BlockLen
+	var minSend, minRecv int
+	switch s.Op {
+	case "index":
+		// Each processor owes a distinct block to each of the n-1 others
+		// and is owed one by each.
+		minSend, minRecv = (n-1)*b, (n-1)*b
+	case "concat":
+		// Each processor's block must leave at least once, and everyone
+		// must collect the other n-1 blocks.
+		minSend, minRecv = b, (n-1)*b
+	case "reduce-scatter":
+		// Each processor originates n-1 foreign partials (combinable with
+		// received partials of the same output, never below b each) and
+		// must receive at least the remote contribution to its own block.
+		minSend, minRecv = (n-1)*b, b
+	case "allreduce":
+		// Reduce-scatter followed by concatenation of the reduced blocks.
+		minSend, minRecv = n*b, n*b
+	}
+	for p := 0; p < n; p++ {
+		if sent[p] < minSend {
+			add("conservation: p%d sends %d bytes, %s over %d blocks of %d requires >= %d", p, sent[p], s.Op, n, b, minSend)
+		}
+		if recvd[p] < minRecv {
+			add("conservation: p%d receives %d bytes, %s over %d blocks of %d requires >= %d", p, recvd[p], s.Op, n, b, minRecv)
+		}
+	}
+}
+
+// checkPattern verifies the recorded rounds are the compiled rank-0
+// pattern translated to every rank, and that each transfer's block or
+// extent list accounts for its bytes.
+func checkPattern(s *trace.Schedule, add func(string, ...any)) {
+	if len(s.Pattern) == 0 {
+		return
+	}
+	if len(s.Pattern) != len(s.Rounds) {
+		add("pattern: %d pattern rounds for %d recorded rounds", len(s.Pattern), len(s.Rounds))
+		return
+	}
+	for i, pr := range s.Pattern {
+		if pr.Phase == "" {
+			add("pattern[%d]: missing phase", i)
+		}
+		for j, t := range pr.Transfers {
+			if t.Offset <= 0 || t.Offset >= s.N {
+				add("pattern[%d].transfers[%d]: offset %d outside (0, %d)", i, j, t.Offset, s.N)
+			}
+			if len(t.Blocks) > 0 {
+				if got := len(t.Blocks) * s.BlockLen; got != t.Bytes {
+					add("pattern[%d].transfers[%d]: %d blocks of %d account for %d bytes, transfer says %d",
+						i, j, len(t.Blocks), s.BlockLen, got, t.Bytes)
+				}
+				for bi := 1; bi < len(t.Blocks); bi++ {
+					if t.Blocks[bi] <= t.Blocks[bi-1] {
+						add("pattern[%d].transfers[%d]: blocks not ascending: %v", i, j, t.Blocks)
+						break
+					}
+				}
+			}
+			if len(t.Extents) > 0 {
+				total := 0
+				for _, e := range t.Extents {
+					if e.Len <= 0 || e.Off < 0 || e.Off+e.Len > s.BlockLen {
+						add("pattern[%d].transfers[%d]: extent [%d, %d) outside block of %d",
+							i, j, e.Off, e.Off+e.Len, s.BlockLen)
+					}
+					total += e.Len
+				}
+				if total != t.Bytes {
+					add("pattern[%d].transfers[%d]: extents account for %d bytes, transfer says %d", i, j, total, t.Bytes)
+				}
+			}
+		}
+		matchRound(s, i, pr, add)
+	}
+}
+
+// matchRound checks one recorded round against one pattern round: every
+// rank must execute every transfer, and nothing else.
+func matchRound(s *trace.Schedule, i int, pr trace.PatternRound, add func(string, ...any)) {
+	rd := s.Rounds[i]
+	if want := len(pr.Transfers) * s.N; len(rd.Sends) != want {
+		add("pattern[%d]: %d transfers over %d ranks predict %d sends, round has %d",
+			i, len(pr.Transfers), s.N, want, len(rd.Sends))
+		return
+	}
+	// Multiset of (offset, bytes) the pattern predicts per rank.
+	type shape struct{ offset, bytes int }
+	want := map[shape]int{}
+	for _, t := range pr.Transfers {
+		want[shape{t.Offset, t.Bytes}] += s.N
+	}
+	for j, snd := range rd.Sends {
+		sh := shape{((snd.Dst-snd.Src)%s.N + s.N) % s.N, snd.Bytes}
+		if want[sh] == 0 {
+			add("pattern[%d].sends[%d]: p%d->p%d %dB matches no pattern transfer (offset %d)",
+				i, j, snd.Src, snd.Dst, snd.Bytes, sh.offset)
+			continue
+		}
+		want[sh]--
+	}
+	// Report leftovers in deterministic (offset, bytes) order — the
+	// verifier's own output is diffed in tests.
+	var leftover []shape
+	for sh, c := range want {
+		if c > 0 {
+			leftover = append(leftover, sh)
+		}
+	}
+	sort.Slice(leftover, func(a, b int) bool {
+		if leftover[a].offset != leftover[b].offset {
+			return leftover[a].offset < leftover[b].offset
+		}
+		return leftover[a].bytes < leftover[b].bytes
+	})
+	for _, sh := range leftover {
+		add("pattern[%d]: %d missing send(s) of offset %d, %dB", i, want[sh], sh.offset, sh.bytes)
+	}
+}

@@ -83,6 +83,7 @@ func Measure(bn Bench, opt Options) (benchsnap.Case, error) {
 	for iters < minIters || elapsed < opt.MinTime {
 		runtime.ReadMemStats(&ms)
 		beforeMallocs, beforeBytes := ms.Mallocs, ms.TotalAlloc
+		//lint:allow detrand ns/op is measured wall-clock by design; the snapshot gate compares allocs, not time
 		start := time.Now()
 		for i := 0; i < batch; i++ {
 			if err := op(); err != nil {

@@ -10,7 +10,9 @@ package buffers
 // blocks.
 //
 // Kernel-safety rules (see also package collective's plan lifecycle
-// documentation):
+// documentation; statically enforced on the built-in kernels and any
+// in-repo CombineFunc literal by the kernelsafe analyzer,
+// internal/analysis/kernelsafe, run via cmd/brucklint):
 //
 //   - A CombineFunc must treat dst and src as non-overlapping slices of
 //     equal length, write only dst, and must not retain either slice —

@@ -69,7 +69,10 @@
 // evaluating the linear cost model over the compiled candidates'
 // exact (C1, C2); verdicts are memoized in the cache.
 //
-// Plan lifecycle rules:
+// Plan lifecycle rules (immutability, engine affinity and cache-key
+// completeness are statically enforced by the planlife analyzer,
+// internal/analysis/planlife, run via cmd/brucklint; compiled tables
+// are proved well-formed by Plan.Check, run via `bruckctl vet`):
 //
 //   - A Plan is immutable after compilation and bound to the engine
 //     and group it was compiled for; executing it on another engine is

@@ -265,6 +265,7 @@ func gatherBody(p *mpsim.Proc, g *mpsim.Group, root int, myBlock []byte, blockLe
 	if n == 1 {
 		buf := p.AcquireBuf(blockLen)
 		copy(buf, myBlock)
+		//lint:allow bufown gatherBody's contract hands the pool buffer to the caller, which releases it (see doc comment)
 		return buf, nil
 	}
 	d := intmath.CeilLog(k+1, n)

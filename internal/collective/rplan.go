@@ -411,6 +411,7 @@ func reduceKey(e *mpsim.Engine, g *mpsim.Group, kind ReduceKind, blockLen int, o
 	if kind == ReduceScatterKind {
 		policy = 0
 	}
+	//lint:allow planlife Kernel is a func (not comparable) represented by KernelKey; ElemSize only validates block sizes. Empty KernelKey never caches (see ReducePlan).
 	return planCacheKey{
 		e: e, g: g, op: op, ralg: opt.Algorithm, radix: radix,
 		policy: policy, blockLen: blockLen, kernel: opt.KernelKey,

@@ -173,6 +173,36 @@ func Capture(c Case, opts ...mpsim.Option) (*trace.Schedule, error) {
 	return pl.Schedule(e.Metrics().Events()), nil
 }
 
+// Compile compiles the case's plan on a fresh engine without executing
+// it — the entry point for static verification (Plan.Check and
+// `bruckctl vet`), which proves the compiled tables well-formed from
+// their structure alone.
+func Compile(c Case) (*collective.Plan, error) {
+	e, err := mpsim.New(c.N, mpsim.Ports(c.K))
+	if err != nil {
+		return nil, fmt.Errorf("golden: case %s: %w", c.Name, err)
+	}
+	g := mpsim.WorldGroup(c.N)
+	var (
+		pl   *collective.Plan
+		cerr error
+	)
+	switch c.Op {
+	case "index":
+		pl, _, cerr = c.setupIndex(e, g)
+	case "concat":
+		pl, _, cerr = c.setupConcat(e, g)
+	case "reduce-scatter", "allreduce":
+		pl, _, cerr = c.setupReduce(e, g)
+	default:
+		return nil, fmt.Errorf("golden: case %s: unknown op %q", c.Name, c.Op)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("golden: case %s: %w", c.Name, cerr)
+	}
+	return pl, nil
+}
+
 // fill writes the (proc, block, byte)-identifying pattern the reference
 // checks recompute.
 func fill(blk []byte, i, j int) {

@@ -69,7 +69,10 @@
 // instead transfers buffer ownership to the caller. Proc.AcquireBuf
 // and Proc.ReleaseBuf expose the same pools to algorithm bodies for
 // round scratch space. Each pool is owned by one processor goroutine;
-// the engine goroutine touches pools only between runs.
+// the engine goroutine touches pools only between runs. The
+// acquire/release contract — one release per acquire, no use after
+// release, no escape — is statically enforced by the bufown analyzer
+// (internal/analysis/bufown, run via cmd/brucklint).
 //
 // # Partitioned runs
 //

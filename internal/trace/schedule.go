@@ -34,7 +34,11 @@ import (
 
 // Schedule is the canonical trace of one collective schedule, the unit
 // the golden tooling records and verifies. Field order is the canonical
-// JSON order.
+// JSON order. Committed artifacts are statically verified by
+// internal/analysis/schedcheck (run via `bruckctl vet`), and the
+// determinism of the code paths that produce them — no wall-clock, no
+// global randomness, no map-order leaks — by the detrand analyzer
+// (internal/analysis/detrand, run via cmd/brucklint).
 type Schedule struct {
 	// Op is the collective operation: "index", "concat",
 	// "reduce-scatter" or "allreduce".
