@@ -119,6 +119,49 @@ func BenchmarkIndex(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexPipelined measures segment pipelining at a
+// bandwidth-bound 64 KiB block size on both transports: the monolithic
+// schedule against the same schedule split into 4 segments (pipelined
+// rounds overlap segment transfers and use the owned-payload exchange,
+// halving the per-message copies). The committed BENCH_pipeline.json
+// snapshot (`bruckctl bench -area pipeline`) tracks the same shapes.
+func BenchmarkIndexPipelined(b *testing.B) {
+	const n, size, r = 16, 64 << 10, 2
+	for _, backend := range []Backend{BackendChan, BackendSlot} {
+		for _, tc := range []struct {
+			name string
+			segs int
+		}{{"mono", 0}, {"s4", 4}} {
+			b.Run(tc.name+"-"+string(backend), func(b *testing.B) {
+				m := MustNewMachine(n, WithTransport(backend))
+				plan, err := m.CompileIndex(size, WithRadix(r), WithSegments(tc.segs))
+				if err != nil {
+					b.Fatal(err)
+				}
+				fin, err := buffers.FromMatrix(benchIndexInput(n, size))
+				if err != nil {
+					b.Fatal(err)
+				}
+				fout, err := NewIndexBuffers(n, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var rep *Report
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err = plan.Execute(fin, fout)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				reportModel(b, rep)
+			})
+		}
+	}
+}
+
 // BenchmarkConcat compares the legacy block-matrix concatenation API
 // with the flat zero-copy API on identical schedules (see
 // BenchmarkIndex).
@@ -867,6 +910,50 @@ func BenchmarkAllReduce(b *testing.B) {
 			b.StopTimer()
 			reportModel(b, rep)
 		})
+	}
+}
+
+// BenchmarkAllReducePipelined is the allreduce counterpart of
+// BenchmarkIndexPipelined: the ReduceBruck reduce-scatter phase runs
+// monolithic vs 4-segment pipelined at 64 KiB blocks; the concat phase
+// is identical in both arms.
+func BenchmarkAllReducePipelined(b *testing.B) {
+	const n, size = 16, 64 << 10
+	for _, backend := range []Backend{BackendChan, BackendSlot} {
+		for _, tc := range []struct {
+			name string
+			segs int
+		}{{"mono", 0}, {"s4", 4}} {
+			b.Run(tc.name+"-"+string(backend), func(b *testing.B) {
+				m := MustNewMachine(n, WithTransport(backend))
+				plan, err := m.CompileReduce(AllReduceKind, size,
+					WithKernel(ReduceSum, Float32), WithReduceAlgorithm(ReduceBruck),
+					WithRadix(2), WithSegments(tc.segs))
+				if err != nil {
+					b.Fatal(err)
+				}
+				in, err := NewIndexBuffers(n, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fillReduceInput(in, Float32, 5)
+				out, err := NewIndexBuffers(n, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var rep *Report
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err = plan.Execute(in, out)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				reportModel(b, rep)
+			})
+		}
 	}
 }
 

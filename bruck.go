@@ -34,6 +34,7 @@ package bruck
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"bruck/internal/blocks"
 	"bruck/internal/buffers"
@@ -59,6 +60,11 @@ type Machine struct {
 	engine *mpsim.Engine
 	world  *Group
 	plans  *collective.PlanCache
+	// inflight marks a pending asynchronous operation (IndexAsync and
+	// friends): a second Async call before the first Handle's Wait is
+	// rejected. Blocking calls are not guarded — the Machine's
+	// no-concurrent-use contract already covers them.
+	inflight atomic.Bool
 }
 
 // MachineOption configures NewMachine.
@@ -306,6 +312,30 @@ func WithoutPacking() CollectiveOption {
 	return func(c *callConfig) { c.indexOpt.NoPack = true }
 }
 
+// AutoSegments, passed to WithSegments, lets the SP-1 cost model pick
+// the pipeline segment count per configuration.
+const AutoSegments = collective.AutoSegments
+
+// WithSegments pipelines the Bruck index schedule — and the ReduceBruck
+// reduce-scatter phase of the reductions — over s segments: each block
+// splits into s byte spans that stream through the round structure one
+// merged round apart, so round r of segment i overlaps round r+1 of
+// segment i-1 and the schedule drains in rounds + s - 1 merged rounds.
+// Pipelining trades extra rounds for smaller per-round messages and an
+// ownership-transfer execution path with half the copies per message,
+// which wins on bandwidth-bound configurations (large blocks); the
+// crossover against the monolithic schedule is where `bruckctl run
+// -crossover-segments` and the cost model (SegmentedIndexCost) point.
+//
+// s = 0 or 1 runs the monolithic schedule; AutoSegments picks by cost
+// model. Only the packed uniform Bruck schedules pipeline — baselines,
+// the noPack ablation, mixed-radix, layout (V) plans and the circulant
+// concatenation always run monolithic, and the compiler clamps s to the
+// block size and the round count.
+func WithSegments(s int) CollectiveOption {
+	return func(c *callConfig) { c.indexOpt.Segments = s }
+}
+
 // WithConcatAlgorithm selects the concatenation schedule
 // (ConcatCirculant, ConcatFolklore, ConcatRing,
 // ConcatRecursiveDoubling).
@@ -521,6 +551,110 @@ func (m *Machine) ConcatFlat(in, out *Buffers, opts ...CollectiveOption) (*Repor
 	return m.plans.ConcatFlat(m.engine, cfg.group, in, out, cfg.concatOpt)
 }
 
+// Handle is the completion handle of a non-blocking collective
+// (IndexAsync, ConcatAsync, AllReduceAsync). Exactly one operation may
+// be in flight per Machine; the operation owns its input and output
+// buffers until Wait (or a true Test) — touching them earlier, or
+// starting any other operation on the Machine, races with the running
+// schedule. Execution errors — including the engine's deadlock-watchdog
+// fencing, identical to the blocking path's — surface on Wait.
+type Handle struct {
+	done chan struct{}
+	rep  *Report
+	err  error
+}
+
+// Wait blocks until the operation completes and returns its Report and
+// error. Wait is idempotent: every call returns the same pair, and the
+// first return re-licenses the Machine (and the buffers) for the next
+// operation.
+func (h *Handle) Wait() (*Report, error) {
+	<-h.done
+	return h.rep, h.err
+}
+
+// Test reports whether the operation has completed, without blocking.
+// A true return has Wait's full effect: the result is ready and the
+// Machine is free.
+func (h *Handle) Test() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Report returns the completed operation's Report, or nil while it is
+// still running (or if it failed — use Wait for the error).
+func (h *Handle) Report() *Report {
+	if !h.Test() {
+		return nil
+	}
+	return h.rep
+}
+
+// async resolves a plan synchronously (the plan cache is confined to
+// the caller's goroutine), then executes it on a background goroutine
+// and returns immediately. planErr short-circuits: resolution failures
+// are synchronous, execution failures surface on Wait.
+func (m *Machine) async(pl *Plan, planErr error, in, out *Buffers) (*Handle, error) {
+	if planErr != nil {
+		return nil, planErr
+	}
+	if !m.inflight.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("bruck: an asynchronous operation is already in flight (Wait on its Handle first)")
+	}
+	h := &Handle{done: make(chan struct{})}
+	go func() {
+		h.rep, h.err = pl.Execute(in, out)
+		m.inflight.Store(false)
+		close(h.done)
+	}()
+	return h, nil
+}
+
+// IndexAsync is the non-blocking IndexFlat: it compiles (or fetches)
+// the plan synchronously, starts the exchange on a background
+// goroutine, and returns a Handle immediately, so the caller can
+// overlap independent computation with the communication — the overlap
+// the paper's C1*beta start-up term prices. in and out follow
+// IndexFlat's contract and belong to the operation until Wait.
+func (m *Machine) IndexAsync(in, out *Buffers, opts ...CollectiveOption) (*Handle, error) {
+	cfg := m.call(opts)
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("bruck: nil flat buffer")
+	}
+	if cfg.radices != nil {
+		pl, err := m.plans.IndexMixedPlan(m.engine, cfg.group, in.BlockLen(), cfg.radices)
+		return m.async(pl, err, in, out)
+	}
+	pl, err := m.plans.IndexPlan(m.engine, cfg.group, in.BlockLen(), cfg.indexOpt)
+	return m.async(pl, err, in, out)
+}
+
+// ConcatAsync is the non-blocking ConcatFlat; in is concat-shaped and
+// out index-shaped, as there.
+func (m *Machine) ConcatAsync(in, out *Buffers, opts ...CollectiveOption) (*Handle, error) {
+	cfg := m.call(opts)
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("bruck: nil flat buffer")
+	}
+	pl, err := m.plans.ConcatPlan(m.engine, cfg.group, in.BlockLen(), cfg.concatOpt)
+	return m.async(pl, err, in, out)
+}
+
+// AllReduceAsync is the non-blocking AllReduceFlat; in and out are both
+// index-shaped, as there.
+func (m *Machine) AllReduceAsync(in, out *Buffers, opts ...CollectiveOption) (*Handle, error) {
+	cfg := m.call(opts)
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("bruck: nil flat buffer")
+	}
+	pl, err := m.reducePlan(cfg, AllReduceKind, in.BlockLen())
+	return m.async(pl, err, in, out)
+}
+
 // Layout describes the block-size structure of a ragged collective: a
 // table of per-(src, dst) byte counts for IndexV (MPI_Alltoallv's
 // counts) or per-source counts for ConcatV (MPI_Allgatherv's). Uniform
@@ -733,6 +867,7 @@ func (c callConfig) reduceOptions() (collective.ReduceOptions, error) {
 		Algorithm: c.reduceAlg,
 		Radix:     c.indexOpt.Radix,
 		LastRound: c.concatOpt.LastRound,
+		Segments:  c.indexOpt.Segments,
 	}
 	switch {
 	case c.combine != nil:

@@ -10,6 +10,8 @@
 //	bruckctl run -op index  -n 64 -b 128 -transport chaos -chaos-seed 7 -stragglers 0,3
 //	bruckctl run -op index  -n 64 -b 128 -repeat 100      # plan-reuse study
 //	bruckctl run -op index  -n 32 -b 256 -ragged 1.2      # skewed-size ragged study
+//	bruckctl run -op index  -n 16 -b 65536 -segments 4    # segment-pipelined schedule
+//	bruckctl run -op index  -n 16 -k 1 -crossover-segments # segmented-vs-monolithic sweep
 //	bruckctl run -op reducescatter -n 16 -b 64 -kernel sum:float32
 //	bruckctl run -op allreduce -n 16 -b 64 -alg auto      # cost-model reduce dispatch
 //
@@ -49,6 +51,7 @@ import (
 	"bruck/internal/costmodel"
 	"bruck/internal/lowerbound"
 	"bruck/internal/mpsim"
+	"bruck/internal/sweep"
 )
 
 // params collects one run invocation's configuration.
@@ -67,6 +70,8 @@ type params struct {
 	repeat     int
 	ragged     float64
 	kernel     string
+	segments   string
+	crossover  bool
 	reportJSON bool
 }
 
@@ -85,6 +90,8 @@ func newRunCmd() *command {
 	fs.IntVar(&p.repeat, "repeat", 1, "run the operation N times and compare compile-per-call vs plan reuse")
 	fs.Float64Var(&p.ragged, "ragged", 0, "run a skewed-size ragged study with Zipf exponent <skew> (block sizes ~ b/rank^skew)")
 	fs.StringVar(&p.kernel, "kernel", "sum:int32", "reduction kernel as op:type (sum|min|max : int32|int64|float32|float64)")
+	fs.StringVar(&p.segments, "segments", "", "pipeline the packed Bruck schedule over <s> segments (2..), 'auto' for the model-tuned count, empty for monolithic")
+	fs.BoolVar(&p.crossover, "crossover-segments", false, "sweep block sizes and report where the segmented index schedule overtakes the monolithic one")
 	fs.BoolVar(&p.reportJSON, cli.FlagReportJSON, false, "emit the JSON report instead of text")
 	c := &command{name: "run", summary: "run one collective and report schedule measures vs bounds", fs: fs}
 	c.exec = func(args []string, w io.Writer) error {
@@ -107,6 +114,9 @@ func runOp(w io.Writer, p params) error {
 
 func runOpInto(rp *reporter, p params) error {
 	w := rp.text()
+	if p.crossover {
+		return runSegmentCrossover(rp, p)
+	}
 	tfl := cli.TransportFlags{Transport: p.transport, ChaosInner: p.chaosInner, ChaosSeed: p.chaosSeed, Stragglers: p.stragglers}
 	if tfl.Transport == "" {
 		tfl.Transport = "chan"
@@ -161,6 +171,11 @@ func runOpInto(rp *reporter, p params) error {
 			}
 			opt.Radix = r
 		}
+		seg, err := parseSegments(p.segments)
+		if err != nil {
+			return err
+		}
+		opt.Segments = seg
 		if p.repeat > 1 {
 			return runIndexRepeat(rp, p, e, g, opt)
 		}
@@ -188,6 +203,10 @@ func runOpInto(rp *reporter, p params) error {
 			return err
 		}
 		fmt.Fprintf(w, "index: n=%d k=%d b=%d alg=%v path=%s transport=%s\n", p.n, p.k, p.b, opt.Algorithm, pathName(p.flat), e.Transport())
+		if p.segments != "" {
+			fmt.Fprintf(w, "  segments requested: %s\n", p.segments)
+			kv.Add("segments", p.segments)
+		}
 		fmt.Fprintf(w, "  C1 = %d rounds   (lower bound %d)\n", res.C1, lowerbound.IndexRounds(p.n, p.k))
 		fmt.Fprintf(w, "  C2 = %d bytes    (lower bound %d)\n", res.C2, lowerbound.IndexVolume(p.n, p.b, p.k))
 		kv.Add("alg", opt.Algorithm)
@@ -597,6 +616,142 @@ func runRagged(rp *reporter, p params, e *mpsim.Engine, g *mpsim.Group) error {
 	}
 }
 
+// parseSegments parses the -segments flag: empty means monolithic,
+// "auto" defers to the plan compiler's cost-model pick, and a literal
+// count pipelines over that many segments (the compiler clamps it to
+// the block size and the round count).
+func parseSegments(s string) (int, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "auto":
+		return collective.AutoSegments, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("bad segments %q: want a count >= 1 or 'auto'", s)
+	}
+	return v, nil
+}
+
+// runSegmentCrossover is the bandwidth-vs-latency crossover study:
+// pipelining trades S-1 extra merged rounds (latency) for smaller
+// per-round messages (bandwidth), so the segmented index schedule loses
+// on small blocks and overtakes the monolithic one past some block
+// size. The study sweeps block sizes through the sweep harness's
+// measured round structure, tabulates both model times, and reports the
+// crossover block size.
+func runSegmentCrossover(rp *reporter, p params) error {
+	w := rp.text()
+	if p.op != "index" {
+		return fmt.Errorf("-crossover-segments studies the index collective, got -op %s", p.op)
+	}
+	r := p.k + 1
+	switch p.radix {
+	case "":
+	case "auto":
+		return fmt.Errorf("-crossover-segments needs a fixed radix: 'auto' would change the round structure per block size")
+	default:
+		v, err := strconv.Atoi(p.radix)
+		if err != nil {
+			return fmt.Errorf("bad radix %q: %v", p.radix, err)
+		}
+		r = v
+	}
+	autoSeg := p.segments == "" || p.segments == "auto"
+	fixed := 0
+	if !autoSeg {
+		v, err := strconv.Atoi(p.segments)
+		if err != nil || v < 2 {
+			return fmt.Errorf("bad segments %q: the crossover study wants a count >= 2 or 'auto'", p.segments)
+		}
+		fixed = v
+	}
+	h := sweep.NewHarness(costmodel.SP1)
+	tr := p.transport
+	switch tr {
+	case "", "chan":
+		tr = "chan"
+	case "slot":
+		h.Backend = mpsim.BackendSlot
+	default:
+		return fmt.Errorf("-crossover-segments supports the chan and slot transports, got %q", p.transport)
+	}
+
+	maxB := 64 << 10
+	if p.b > maxB {
+		maxB = p.b
+	}
+	segName := "segmented(auto)"
+	if !autoSeg {
+		segName = fmt.Sprintf("segmented(s=%d)", fixed)
+	}
+	mono := sweep.Series{Name: "monolithic"}
+	seg := sweep.Series{Name: segName}
+	st := &cli.Table{Name: "segment-crossover", Columns: []string{
+		"b", "segments", "mono_c1", "mono_c2", "seg_c1", "seg_c2", "speedup",
+	}}
+	crossover := -1
+	// Start at b = 2: a 1-byte block cannot be split, so both schedules
+	// are identical there and would register a vacuous crossover.
+	for b := 2; b <= maxB; b *= 2 {
+		mp, err := h.SegmentedPoint(p.n, r, p.k, b, 1)
+		if err != nil {
+			return err
+		}
+		s := fixed
+		if autoSeg {
+			s = collective.OptimalSegments(costmodel.SP1, p.n, b, r, p.k)
+		}
+		sp, err := h.SegmentedPoint(p.n, r, p.k, b, s)
+		if err != nil {
+			return err
+		}
+		// Under auto the model falls back to s = 1 while pipelining
+		// loses, so "first size with s > 1 and a strict win" marks the
+		// crossover; the fixed arm uses the series comparison below.
+		if autoSeg && crossover < 0 && s > 1 && sp.Seconds < mp.Seconds {
+			crossover = b
+		}
+		mono.Points = append(mono.Points, mp)
+		seg.Points = append(seg.Points, sp)
+		speedup := math.Inf(1)
+		if sp.Seconds > 0 {
+			speedup = mp.Seconds / sp.Seconds
+		}
+		st.AddRow(fmt.Sprint(b), fmt.Sprint(s), fmt.Sprint(mp.C1), fmt.Sprint(mp.C2),
+			fmt.Sprint(sp.C1), fmt.Sprint(sp.C2), fmt.Sprintf("%.3f", speedup))
+	}
+	if !autoSeg {
+		x, err := sweep.Crossover(mono, seg)
+		if err != nil {
+			return err
+		}
+		crossover = x
+	}
+
+	fmt.Fprintf(w, "segment crossover study: n=%d k=%d r=%d segments=%s transport=%s (SP-1 linear model)\n",
+		p.n, p.k, r, segName, tr)
+	fmt.Fprint(w, sweep.RenderSeries([]sweep.Series{mono, seg}))
+	if crossover >= 0 {
+		fmt.Fprintf(w, "crossover: segmented schedule wins from b = %d bytes\n", crossover)
+	} else {
+		fmt.Fprintf(w, "crossover: segmented schedule never overtakes the monolithic one up to b = %d\n", maxB)
+	}
+
+	kv := cli.KV("segment-crossover")
+	kv.Add("n", p.n)
+	kv.Add("k", p.k)
+	kv.Add("radix", r)
+	kv.Add("segments", segName)
+	kv.Add("max_b", maxB)
+	kv.Add("crossover_b", crossover)
+	rp.add(kv)
+	rp.add(st)
+	rp.add(sweep.SeriesReport("segment-model-times", []sweep.Series{mono, seg}, "b"))
+	return nil
+}
+
 // fillPatternBytes writes the deterministic study pattern into a slab.
 func fillPatternBytes(data []byte) {
 	for i := range data {
@@ -699,6 +854,11 @@ func runReduce(rp *reporter, p params, e *mpsim.Engine, g *mpsim.Group) error {
 	default:
 		return fmt.Errorf("unknown reduce algorithm %q", p.alg)
 	}
+	seg, err := parseSegments(p.segments)
+	if err != nil {
+		return err
+	}
+	opt.Segments = seg
 
 	cache := collective.NewPlanCache()
 	var plan *collective.Plan

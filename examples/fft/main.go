@@ -13,7 +13,15 @@
 //  4. transpose       — index operation (communication),
 //  5. local n-point FFTs over the original column index.
 //
-// The result is verified against a direct O(L^2) DFT.
+// Both transposes go through the non-blocking IndexAsync front door,
+// and the local work that does not depend on the exchanged data runs
+// while the network works — the twiddle table (a pure function of
+// indices) overlaps transpose 1, and the direct-DFT reference spectrum
+// (a pure function of the input) overlaps transpose 2. That is the
+// overlap the paper's C1*beta start-up term prices: communication time
+// hidden behind computation instead of added to it.
+//
+// The result is verified against the direct O(L^2) DFT.
 package main
 
 import (
@@ -28,7 +36,10 @@ import (
 	"bruck"
 )
 
-const n = 8 // processors; transform length is n*n = 64
+const (
+	n            = 8  // processors; transform length is n*n = 64
+	complexBytes = 16 // wire size of one complex128
+)
 
 func main() {
 	if err := run(os.Stdout); err != nil {
@@ -53,7 +64,20 @@ func run(w io.Writer) error {
 	m := bruck.MustNewMachine(n)
 
 	// Step 1: transpose, so processor c holds y_c[r] = x[r*n + c].
-	local, rep1, err := transpose(m, local)
+	// Submitted asynchronously; the twiddle table is computed while the
+	// exchange runs.
+	wait1, err := transposeAsync(m, local)
+	if err != nil {
+		return err
+	}
+	twiddle := make([][]complex128, n) // twiddle[c][u] = e^{-2pi i u c / L}
+	for c := 0; c < n; c++ {
+		twiddle[c] = make([]complex128, n)
+		for u := 0; u < n; u++ {
+			twiddle[c][u] = cmplx.Exp(complex(0, -2*math.Pi*float64(u*c)/float64(L)))
+		}
+	}
+	local, rep1, err := wait1()
 	if err != nil {
 		return err
 	}
@@ -67,12 +91,24 @@ func run(w io.Writer) error {
 	// Step 3: twiddle Z[u][c] = Y[u][c] * e^{-2pi i u c / L}.
 	for c := 0; c < n; c++ {
 		for u := 0; u < n; u++ {
-			local[c][u] *= cmplx.Exp(complex(0, -2*math.Pi*float64(u*c)/float64(L)))
+			local[c][u] *= twiddle[c][u]
 		}
 	}
 
-	// Step 4: transpose, so processor u holds Z[u][c] over c.
-	local, rep2, err := transpose(m, local)
+	// Step 4: transpose, so processor u holds Z[u][c] over c. The
+	// direct-DFT reference spectrum depends only on x, so it overlaps
+	// this exchange.
+	wait2, err := transposeAsync(m, local)
+	if err != nil {
+		return err
+	}
+	want := make([]complex128, L)
+	for k := 0; k < L; k++ {
+		for t := 0; t < L; t++ {
+			want[k] += x[t] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*t)/float64(L)))
+		}
+	}
+	local, rep2, err := wait2()
 	if err != nil {
 		return err
 	}
@@ -90,21 +126,16 @@ func run(w io.Writer) error {
 		}
 	}
 
-	// Verify against the direct DFT.
 	worst := 0.0
 	for k := 0; k < L; k++ {
-		var want complex128
-		for t := 0; t < L; t++ {
-			want += x[t] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*t)/float64(L)))
-		}
-		if d := cmplx.Abs(got[k] - want); d > worst {
+		if d := cmplx.Abs(got[k] - want[k]); d > worst {
 			worst = d
 		}
 	}
 	if worst > 1e-8 {
 		return fmt.Errorf("FFT mismatch: worst coefficient error %g", worst)
 	}
-	fmt.Fprintf(w, "distributed %d-point FFT on %d processors\n", L, n)
+	fmt.Fprintf(w, "distributed %d-point FFT on %d processors (async transposes)\n", L, n)
 	fmt.Fprintf(w, "  transpose 1: %s\n", rep1)
 	fmt.Fprintf(w, "  transpose 2: %s\n", rep2)
 	fmt.Fprintf(w, "  worst coefficient error vs direct DFT: %.2e\n", worst)
@@ -112,29 +143,43 @@ func run(w io.Writer) error {
 	return nil
 }
 
-// transpose exchanges local[i][j] across processors via the index
-// operation: afterwards processor i holds the old local[j][i] at
-// position j.
-func transpose(m *bruck.Machine, local [][]complex128) ([][]complex128, *bruck.Report, error) {
-	in := make([][][]byte, n)
-	for i := 0; i < n; i++ {
-		in[i] = make([][]byte, n)
-		for j := 0; j < n; j++ {
-			in[i][j] = encodeComplex(local[i][j])
-		}
-	}
-	out, rep, err := m.Index(in, bruck.WithRadix(2))
+// transposeAsync submits the index-operation transpose without
+// blocking and returns a wait function that finishes the exchange and
+// decodes the result, so the caller can overlap independent local work
+// between submit and wait. The flat buffers belong to the running
+// operation until the wait function returns.
+func transposeAsync(m *bruck.Machine, local [][]complex128) (func() ([][]complex128, *bruck.Report, error), error) {
+	in, err := bruck.NewIndexBuffers(n, complexBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	res := make([][]complex128, n)
 	for i := 0; i < n; i++ {
-		res[i] = make([]complex128, n)
 		for j := 0; j < n; j++ {
-			res[i][j] = decodeComplex(out[i][j])
+			putComplex(in.Block(i, j), local[i][j])
 		}
 	}
-	return res, rep, nil
+	out, err := bruck.NewIndexBuffers(n, complexBytes)
+	if err != nil {
+		return nil, err
+	}
+	h, err := m.IndexAsync(in, out, bruck.WithRadix(2))
+	if err != nil {
+		return nil, err
+	}
+	return func() ([][]complex128, *bruck.Report, error) {
+		rep, err := h.Wait()
+		if err != nil {
+			return nil, nil, err
+		}
+		res := make([][]complex128, n)
+		for i := 0; i < n; i++ {
+			res[i] = make([]complex128, n)
+			for j := 0; j < n; j++ {
+				res[i][j] = getComplex(out.Block(i, j))
+			}
+		}
+		return res, rep, nil
+	}, nil
 }
 
 // fft is an in-place radix-2 Cooley-Tukey FFT; len(a) must be a power
@@ -170,14 +215,12 @@ func fft(a []complex128) {
 	}
 }
 
-func encodeComplex(v complex128) []byte {
-	buf := make([]byte, 16)
+func putComplex(buf []byte, v complex128) {
 	binary.LittleEndian.PutUint64(buf, math.Float64bits(real(v)))
 	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(v)))
-	return buf
 }
 
-func decodeComplex(buf []byte) complex128 {
+func getComplex(buf []byte) complex128 {
 	return complex(
 		math.Float64frombits(binary.LittleEndian.Uint64(buf)),
 		math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),

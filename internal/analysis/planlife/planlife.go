@@ -21,6 +21,23 @@
 //     logic deriving it) makes two distinct configurations collide in
 //     the cache. Intentional omissions carry //lint:allow planlife with
 //     the reason.
+//
+// It also enforces the async Handle ownership contract of the Machine
+// front door (IndexAsync/ConcatAsync/AllReduceAsync in the root bruck
+// package): the returned Handle is the only way to observe completion,
+// the Report and execution errors, and exactly one operation may be in
+// flight per Machine. Two rules:
+//
+//   - discarded handle: an Async submission whose Handle lands in the
+//     blank identifier can never be Waited — errors vanish and the
+//     point where the buffers return to the caller is unknowable;
+//
+//   - resubmission before Wait: a second Async call on the same Machine
+//     variable, in the same block, with no intervening Wait/Test/Report
+//     on any Handle, is the "already in flight" runtime rejection moved
+//     to compile time. Tracking is per-block in statement order and
+//     does not descend into nested blocks, so exclusive branches never
+//     interfere.
 package planlife
 
 import (
@@ -35,7 +52,7 @@ import (
 // Analyzer is the planlife analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "planlife",
-	Doc:  "flags plan mutation after compile, engine mismatch at ExecutePlans, and incomplete plan cache keys",
+	Doc:  "flags plan mutation after compile, engine mismatch at ExecutePlans, incomplete plan cache keys, and async Handle misuse",
 	Run:  run,
 }
 
@@ -46,6 +63,7 @@ func run(pass *analysis.Pass) error {
 		}
 		checkEngines(pass, decl)
 		checkCacheKey(pass, decl)
+		checkHandles(pass, decl)
 	})
 	return nil
 }
@@ -238,6 +256,127 @@ func identObj(info *types.Info, e ast.Expr) types.Object {
 		return nil
 	}
 	return info.ObjectOf(id)
+}
+
+// asyncMethods are the Machine submissions returning a completion
+// Handle.
+var asyncMethods = map[string]bool{
+	"IndexAsync":     true,
+	"ConcatAsync":    true,
+	"AllReduceAsync": true,
+}
+
+func isMachine(t types.Type) bool {
+	return analysis.IsNamedType(t, "bruck", "Machine")
+}
+
+func isHandle(t types.Type) bool {
+	return analysis.IsNamedType(t, "bruck", "Handle")
+}
+
+// asyncMachine returns the Machine variable an async submission call
+// runs on, or nil when the call is not an Async method on an
+// identifiable Machine variable.
+func asyncMachine(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !asyncMethods[sel.Sel.Name] {
+		return nil
+	}
+	obj := identObj(pass.Info, sel.X)
+	if obj == nil || !isMachine(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// consumesHandle reports whether the statement calls Wait, Test or
+// Report on some Handle, anywhere inside it (including nested blocks
+// and function literals — clearing the in-flight state is the
+// conservative direction).
+func consumesHandle(pass *analysis.Pass, stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Wait", "Test", "Report":
+		default:
+			return true
+		}
+		if tv, ok := pass.Info.Types[sel.X]; ok && isHandle(tv.Type) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// topLevelAsyncCalls collects the async submission calls of one
+// statement without descending into nested blocks or function literals
+// (those have their own per-block tracking and their own execution
+// order).
+func topLevelAsyncCalls(pass *analysis.Pass, stmt ast.Stmt, f func(call *ast.CallExpr, mach types.Object)) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if mach := asyncMachine(pass, call); mach != nil {
+				f(call, mach)
+			}
+		}
+		return true
+	})
+}
+
+// checkHandles enforces the async Handle ownership contract: no
+// blank-discarded handles, and no second submission on a machine whose
+// previous handle has not been consumed.
+func checkHandles(pass *analysis.Pass, decl *ast.FuncDecl) {
+	// Discarded handles, anywhere in the function: the submission's
+	// first result assigned to the blank identifier.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || asyncMachine(pass, call) == nil {
+			return true
+		}
+		if id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident); ok && id.Name == "_" {
+			sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			pass.Reportf(assign.Lhs[0].Pos(), "the %s Handle is discarded; completion, the Report and execution errors are unobservable and the buffers' release point is unknowable — Wait on it", sel.Sel.Name)
+		}
+		return true
+	})
+	// Resubmission before Wait: per-block, in statement order.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		pending := map[types.Object]bool{}
+		for _, stmt := range block.List {
+			if consumesHandle(pass, stmt) {
+				pending = map[types.Object]bool{}
+			}
+			topLevelAsyncCalls(pass, stmt, func(call *ast.CallExpr, mach types.Object) {
+				if pending[mach] {
+					pass.Reportf(call.Pos(), "second asynchronous operation on %s before the previous Handle's Wait/Test; one operation may be in flight per Machine and the runtime rejects this submission", mach.Name())
+				}
+				pending[mach] = true
+			})
+		}
+		return true
+	})
 }
 
 // checkCacheKey flags planCacheKey construction that ignores fields of

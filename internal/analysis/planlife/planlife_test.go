@@ -8,5 +8,5 @@ import (
 )
 
 func TestPlanlife(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), planlife.Analyzer, "collective")
+	analysistest.Run(t, analysistest.TestData(t), planlife.Analyzer, "collective", "bruck")
 }

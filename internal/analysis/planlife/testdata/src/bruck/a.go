@@ -1,0 +1,97 @@
+// Package bruck is a structural fixture for the planlife analyzer's
+// async-handle rules: it mirrors the real root package's shapes — a
+// Machine whose Async submissions return a completion Handle with
+// Wait/Test/Report — so the analyzer's suffix-based type matching
+// applies without importing the real package.
+package bruck
+
+type Report struct{ C1, C2 int }
+
+type Buffers struct{}
+
+type Handle struct{ done chan struct{} }
+
+func (h *Handle) Wait() (*Report, error) { <-h.done; return nil, nil }
+
+func (h *Handle) Test() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (h *Handle) Report() *Report { return nil }
+
+type Machine struct{}
+
+func (m *Machine) IndexAsync(in, out *Buffers) (*Handle, error)     { return &Handle{}, nil }
+func (m *Machine) ConcatAsync(in, out *Buffers) (*Handle, error)    { return &Handle{}, nil }
+func (m *Machine) AllReduceAsync(in, out *Buffers) (*Handle, error) { return &Handle{}, nil }
+
+func work() {}
+
+// okOverlap submits, overlaps independent work, and waits: the intended
+// use.
+func okOverlap(m *Machine, in, out *Buffers) error {
+	h, err := m.IndexAsync(in, out)
+	if err != nil {
+		return err
+	}
+	work()
+	_, err = h.Wait()
+	return err
+}
+
+// discard loses the only means of observing completion and errors.
+func discard(m *Machine, in, out *Buffers) {
+	_, _ = m.IndexAsync(in, out) // want "Handle is discarded"
+}
+
+// doubleSubmit starts a second operation while one is in flight; the
+// runtime would reject it.
+func doubleSubmit(m *Machine, in, out, in2, out2 *Buffers) {
+	h1, _ := m.IndexAsync(in, out)
+	h2, _ := m.ConcatAsync(in2, out2) // want "second asynchronous operation on m"
+	_, _ = h1.Wait()
+	_, _ = h2.Wait()
+}
+
+// sequential waits between submissions: one in flight at a time.
+func sequential(m *Machine, in, out *Buffers) {
+	h1, _ := m.IndexAsync(in, out)
+	_, _ = h1.Wait()
+	h2, _ := m.AllReduceAsync(in, out)
+	_, _ = h2.Wait()
+}
+
+// twoMachines may each have one operation in flight.
+func twoMachines(a, b *Machine, in, out *Buffers) {
+	h1, _ := a.IndexAsync(in, out)
+	h2, _ := b.IndexAsync(in, out)
+	_, _ = h1.Wait()
+	_, _ = h2.Wait()
+}
+
+// branches submit on exclusive paths; per-block tracking keeps them
+// apart.
+func branches(m *Machine, big bool, in, out *Buffers) {
+	if big {
+		h, _ := m.IndexAsync(in, out)
+		_, _ = h.Wait()
+	} else {
+		h, _ := m.ConcatAsync(in, out)
+		_, _ = h.Wait()
+	}
+}
+
+// polled consumes the first handle via Test before resubmitting.
+func polled(m *Machine, in, out *Buffers) {
+	h, _ := m.IndexAsync(in, out)
+	for !h.Test() {
+		work()
+	}
+	h2, _ := m.IndexAsync(in, out)
+	_, _ = h2.Wait()
+}

@@ -81,7 +81,21 @@ func checkMeta(s *trace.Schedule, add func(string, ...any)) bool {
 		add("c1/c2: negative complexity (%d, %d)", s.C1, s.C2)
 		ok = false
 	}
+	if s.Segments < 0 {
+		add("segments: %d, want >= 0", s.Segments)
+		ok = false
+	}
 	return ok
+}
+
+// lanes returns the schedule's merged-round multiplexing factor: a
+// segment-pipelined schedule runs up to Segments compiled rounds — each
+// individually within the k-port budget — in one recorded round.
+func lanes(s *trace.Schedule) int {
+	if s.Segments > 1 {
+		return s.Segments
+	}
+	return 1
 }
 
 // checkRounds validates round and send structure and k-port
@@ -121,13 +135,16 @@ func checkRounds(s *trace.Schedule, add func(string, ...any)) {
 		}
 		// Strict (src, dst) order already implies at most one message per
 		// pair per round — the FIFO two-slot feasibility condition — so
-		// only the port counts remain.
+		// only the port counts remain. A pipelined schedule's recorded
+		// round multiplexes up to Segments compiled rounds, each within
+		// the k-port budget, so its limit widens by that factor.
+		budget := s.K * lanes(s)
 		for p := 0; p < s.N; p++ {
-			if sendsBy[p] > s.K {
-				add("rounds[%d]: p%d sends %d messages, k-port limit is %d", i, p, sendsBy[p], s.K)
+			if sendsBy[p] > budget {
+				add("rounds[%d]: p%d sends %d messages, k-port limit is %d", i, p, sendsBy[p], budget)
 			}
-			if recvsBy[p] > s.K {
-				add("rounds[%d]: p%d receives %d messages, k-port limit is %d", i, p, recvsBy[p], s.K)
+			if recvsBy[p] > budget {
+				add("rounds[%d]: p%d receives %d messages, k-port limit is %d", i, p, recvsBy[p], budget)
 			}
 		}
 	}
@@ -221,9 +238,9 @@ func checkPattern(s *trace.Schedule, add func(string, ...any)) {
 				add("pattern[%d].transfers[%d]: offset %d outside (0, %d)", i, j, t.Offset, s.N)
 			}
 			if len(t.Blocks) > 0 {
-				if got := len(t.Blocks) * s.BlockLen; got != t.Bytes {
+				if !blocksAccount(s, len(t.Blocks), t.Bytes) {
 					add("pattern[%d].transfers[%d]: %d blocks of %d account for %d bytes, transfer says %d",
-						i, j, len(t.Blocks), s.BlockLen, got, t.Bytes)
+						i, j, len(t.Blocks), s.BlockLen, len(t.Blocks)*s.BlockLen, t.Bytes)
 				}
 				for bi := 1; bi < len(t.Blocks); bi++ {
 					if t.Blocks[bi] <= t.Blocks[bi-1] {
@@ -248,6 +265,28 @@ func checkPattern(s *trace.Schedule, add func(string, ...any)) {
 		}
 		matchRound(s, i, pr, add)
 	}
+}
+
+// blocksAccount reports whether a pattern transfer's byte count is
+// accounted for by its block list. A monolithic transfer carries whole
+// blocks. On a segmented schedule a pipelined round's transfer carries
+// one segment span per block, and the spans split BlockLen into
+// Segments near-equal lengths — floor or ceiling of BlockLen/Segments —
+// so the transfer must be the block count times one of those two
+// lengths; whole blocks stay valid too, because only the Bruck phase
+// pipelines and an allreduce schedule's concat rounds remain monolithic.
+func blocksAccount(s *trace.Schedule, blocks, bytes int) bool {
+	if blocks*s.BlockLen == bytes {
+		return true
+	}
+	if s.Segments <= 1 {
+		return false
+	}
+	q := s.BlockLen / s.Segments
+	if blocks*q == bytes {
+		return true
+	}
+	return s.BlockLen%s.Segments > 0 && blocks*(q+1) == bytes
 }
 
 // matchRound checks one recorded round against one pattern round: every

@@ -185,6 +185,7 @@ func Suite() []Bench {
 	var s []Bench
 	s = append(s, collectivesSuite()...)
 	s = append(s, reduceSuite()...)
+	s = append(s, pipelineSuite()...)
 	return s
 }
 
@@ -478,6 +479,86 @@ func collectivesSuite() []Bench {
 			}, nil
 	}})
 
+	return s
+}
+
+// pipelineSuite measures segment pipelining against the monolithic
+// schedules it is supposed to beat: plan-reused index and allreduce at
+// a bandwidth-bound 64 KiB block size, monolithic vs 4 segments, on
+// both plain transports. The pipelined arms also use the owned-payload
+// exchange, so the ns/op gap is the headline number `bruckctl bench
+// -area pipeline` snapshots and the compare gate tracks.
+func pipelineSuite() []Bench {
+	const (
+		area      = "pipeline"
+		pipeN     = 16
+		pipeSize  = 64 << 10
+		pipeSegs  = 4
+		pipeRadix = 2
+	)
+	var s []Bench
+	for _, backend := range []mpsim.Backend{mpsim.BackendChan, mpsim.BackendSlot} {
+		backend := backend
+		for _, arm := range []struct {
+			name string
+			segs int
+		}{{"mono", 0}, {"s4", pipeSegs}} {
+			arm := arm
+			s = append(s, Bench{area, "index/" + arm.name + "/" + string(backend), func() (func() error, func() (int, int), error) {
+				e := mpsim.MustNew(pipeN, mpsim.WithTransport(backend))
+				g := mpsim.WorldGroup(pipeN)
+				opt := collective.IndexOptions{Radix: pipeRadix, Segments: arm.segs}
+				pl, err := collective.CompileIndex(e, g, pipeSize, opt)
+				if err != nil {
+					return nil, nil, err
+				}
+				fin, err := buffers.FromMatrix(indexInput(pipeN, pipeSize))
+				if err != nil {
+					return nil, nil, err
+				}
+				fout, err := buffers.New(pipeN, pipeN, pipeSize)
+				if err != nil {
+					return nil, nil, err
+				}
+				var res *collective.Result
+				return func() error {
+					var err error
+					res, err = pl.Execute(fin, fout)
+					return err
+				}, modelOf(&res), nil
+			}})
+			s = append(s, Bench{area, "allreduce/" + arm.name + "/" + string(backend), func() (func() error, func() (int, int), error) {
+				e := mpsim.MustNew(pipeN, mpsim.WithTransport(backend))
+				g := mpsim.WorldGroup(pipeN)
+				kernel, err := buffers.Kernel(buffers.Sum, buffers.Float32)
+				if err != nil {
+					return nil, nil, err
+				}
+				opt := collective.ReduceOptions{
+					Kernel: kernel, ElemSize: buffers.Float32.Size(), KernelKey: "sum/float32",
+					Algorithm: collective.ReduceBruck, Radix: pipeRadix, Segments: arm.segs,
+				}
+				pl, err := collective.CompileReduce(e, g, collective.AllReduceKind, pipeSize, opt)
+				if err != nil {
+					return nil, nil, err
+				}
+				in, err := buffers.FromMatrix(indexInput(pipeN, pipeSize))
+				if err != nil {
+					return nil, nil, err
+				}
+				out, err := buffers.New(pipeN, pipeN, pipeSize)
+				if err != nil {
+					return nil, nil, err
+				}
+				var res *collective.Result
+				return func() error {
+					var err error
+					res, err = pl.Execute(in, out)
+					return err
+				}, modelOf(&res), nil
+			}})
+		}
+	}
 	return s
 }
 

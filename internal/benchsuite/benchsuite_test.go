@@ -8,7 +8,7 @@ import (
 
 func TestSuiteShape(t *testing.T) {
 	areas := Areas()
-	if len(areas) != 2 || areas[0] != "collectives" || areas[1] != "reduce" {
+	if len(areas) != 3 || areas[0] != "collectives" || areas[1] != "pipeline" || areas[2] != "reduce" {
 		t.Fatalf("areas=%v", areas)
 	}
 	seen := map[string]bool{}
@@ -26,6 +26,9 @@ func TestSuiteShape(t *testing.T) {
 	}
 	if got := len(ByArea("reduce")); got < 5 {
 		t.Fatalf("reduce suite has %d cases, want >= 5", got)
+	}
+	if got := len(ByArea("pipeline")); got < 6 {
+		t.Fatalf("pipeline suite has %d cases, want >= 6", got)
 	}
 	if len(ByArea("nope")) != 0 {
 		t.Fatal("unknown area returned cases")

@@ -1,0 +1,45 @@
+// Segment spans: the byte subdivision the pipelined (segmented)
+// collective plans stream blocks through. A schedule that moves
+// blockLen-byte blocks in R rounds can instead move S segments of each
+// block through the same round structure, overlapping segment s's round
+// r with segment s-1's round r+1; SplitSpans is the one canonical
+// partition every layer (plan compiler, cost model, checker, trace
+// tooling) derives the segment extents from, so they can never drift
+// apart.
+package buffers
+
+// Span is one contiguous byte range [Off, Off+Len) of a block.
+type Span struct {
+	Off int
+	Len int
+}
+
+// SplitSpans partitions [0, blockLen) into s contiguous spans as evenly
+// as possible: every span gets blockLen/s bytes and the first
+// blockLen%s spans one extra byte, so lengths differ by at most one and
+// larger spans come first. s is clamped to [1, max(1, blockLen)] — a
+// block cannot be cut finer than its bytes, and a zero-length block
+// yields the single empty span.
+func SplitSpans(blockLen, s int) []Span {
+	if s < 1 {
+		s = 1
+	}
+	if blockLen >= 1 && s > blockLen {
+		s = blockLen
+	}
+	if blockLen <= 0 {
+		return []Span{{Off: 0, Len: 0}}
+	}
+	q, rem := blockLen/s, blockLen%s
+	spans := make([]Span, s)
+	off := 0
+	for i := range spans {
+		l := q
+		if i < rem {
+			l++
+		}
+		spans[i] = Span{Off: off, Len: l}
+		off += l
+	}
+	return spans
+}

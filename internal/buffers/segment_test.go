@@ -1,0 +1,89 @@
+package buffers
+
+import "testing"
+
+// TestSplitSpans checks the exact partition on hand-picked shapes.
+func TestSplitSpans(t *testing.T) {
+	cases := []struct {
+		blockLen, s int
+		want        []Span
+	}{
+		{8, 1, []Span{{0, 8}}},
+		{8, 2, []Span{{0, 4}, {4, 4}}},
+		{7, 3, []Span{{0, 3}, {3, 2}, {5, 2}}}, // b % s != 0: larger spans first
+		{3, 7, []Span{{0, 1}, {1, 1}, {2, 1}}}, // s > b clamps to b spans
+		{5, 0, []Span{{0, 5}}},                 // s < 1 clamps to monolithic
+		{0, 4, []Span{{0, 0}}},                 // empty block: one empty span
+		{6, 4, []Span{{0, 2}, {2, 2}, {4, 1}, {5, 1}}},
+	}
+	for _, c := range cases {
+		got := SplitSpans(c.blockLen, c.s)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitSpans(%d, %d) = %v, want %v", c.blockLen, c.s, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitSpans(%d, %d)[%d] = %v, want %v", c.blockLen, c.s, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// FuzzSplitSpans proves the partition invariants for arbitrary shapes:
+// spans tile [0, blockLen) contiguously, lengths differ by at most one
+// with the larger spans first, and the clamps hold.
+func FuzzSplitSpans(f *testing.F) {
+	f.Add(8, 2)
+	f.Add(7, 3)
+	f.Add(1, 100)
+	f.Add(0, 0)
+	f.Add(65536, 7)
+	f.Fuzz(func(t *testing.T, blockLen, s int) {
+		if blockLen < 0 || blockLen > 1<<20 || s < -4 || s > 1<<20 {
+			t.Skip()
+		}
+		spans := SplitSpans(blockLen, s)
+		if blockLen <= 0 {
+			if len(spans) != 1 || spans[0] != (Span{0, 0}) {
+				t.Fatalf("SplitSpans(%d, %d) = %v, want one empty span", blockLen, s, spans)
+			}
+			return
+		}
+		wantN := s
+		if wantN < 1 {
+			wantN = 1
+		}
+		if wantN > blockLen {
+			wantN = blockLen
+		}
+		if len(spans) != wantN {
+			t.Fatalf("SplitSpans(%d, %d): %d spans, want %d", blockLen, s, len(spans), wantN)
+		}
+		off, minLen, maxLen := 0, blockLen, 0
+		for i, sp := range spans {
+			if sp.Off != off {
+				t.Fatalf("span %d: offset %d, want %d (gap or overlap)", i, sp.Off, off)
+			}
+			if sp.Len < 1 {
+				t.Fatalf("span %d: empty (%v)", i, sp)
+			}
+			if i > 0 && sp.Len > spans[i-1].Len {
+				t.Fatalf("span %d longer than its predecessor: %v", i, spans)
+			}
+			if sp.Len < minLen {
+				minLen = sp.Len
+			}
+			if sp.Len > maxLen {
+				maxLen = sp.Len
+			}
+			off += sp.Len
+		}
+		if off != blockLen {
+			t.Fatalf("spans cover %d bytes, want %d", off, blockLen)
+		}
+		if maxLen-minLen > 1 {
+			t.Fatalf("span lengths differ by %d, want at most 1: %v", maxLen-minLen, spans)
+		}
+	})
+}

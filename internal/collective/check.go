@@ -27,6 +27,7 @@ package collective
 import (
 	"fmt"
 
+	"bruck/internal/costmodel"
 	"bruck/internal/intmath"
 )
 
@@ -97,9 +98,15 @@ func (pl *Plan) Check() []string {
 	case opReduceScatter, opAllReduce:
 		// Reduction round tables reuse the index machinery; their replay
 		// semantics differ (combine instead of overwrite), so they get the
-		// structural checks but not the transpose simulation.
+		// structural checks but not the transpose simulation. A pipelined
+		// reduce-scatter phase gets the segment-table checks but not the
+		// merged-round accounting: an allreduce plan's totals include the
+		// concatenation phase.
 		if len(pl.rounds) > 0 {
 			pl.checkIndexRoundShape(n, k, add)
+			if pl.segments > 1 {
+				pl.checkSegmentSpans(add)
+			}
 		}
 		if pl.op == opAllReduce && (len(pl.dbl) > 0 || len(pl.last) > 0 || pl.trivial) {
 			pl.checkCirculantShape(n, k, add)
@@ -143,9 +150,20 @@ func (pl *Plan) checkIndexRoundShape(n, k int, add func(string, ...any)) {
 }
 
 // checkIndexRounds adds the index plan's complexity accounting on top
-// of the structural shape.
+// of the structural shape: monolithic plans must match the round-table
+// recomputation, pipelined plans the merged-round one.
 func (pl *Plan) checkIndexRounds(n, k int, add func(string, ...any)) {
 	pl.checkIndexRoundShape(n, k, add)
+	if pl.segments > 1 {
+		pl.checkSegmentSpans(add)
+		if c1 := costmodel.PipelinedC1(len(pl.rounds), pl.segments); pl.c1 != c1 {
+			add("c1=%d but the pipeline drains in %d merged rounds", pl.c1, c1)
+		}
+		if c2 := pipelinedC2(pl.rounds, pl.segSpans); pl.c2 != c2 {
+			add("c2=%d but the merged-round maxima sum to %d", pl.c2, c2)
+		}
+		return
+	}
 	if len(pl.rounds) != pl.c1 {
 		add("c1=%d but the round table has %d rounds", pl.c1, len(pl.rounds))
 	}
@@ -161,6 +179,34 @@ func (pl *Plan) checkIndexRounds(n, k int, add func(string, ...any)) {
 	}
 	if c2 != pl.c2 {
 		add("c2=%d but the round maxima sum to %d", pl.c2, c2)
+	}
+}
+
+// checkSegmentSpans verifies a pipelined plan's segment tables: the
+// spans tile the block contiguously, and the segment count stays within
+// the schedule's minimum partner-offset gap, which is what guarantees a
+// merged round never addresses one partner twice (the k-port model's
+// distinctness rule, lifted to merged rounds).
+func (pl *Plan) checkSegmentSpans(add func(string, ...any)) {
+	s := pl.segments
+	if len(pl.segSpans) != s {
+		add("segments=%d but the plan carries %d spans", s, len(pl.segSpans))
+		return
+	}
+	off := 0
+	for i, sp := range pl.segSpans {
+		if sp.Off != off || sp.Len < 1 {
+			add("segment span %d covers [%d, %d), want contiguous nonzero span from %d",
+				i, sp.Off, sp.Off+sp.Len, off)
+			return
+		}
+		off += sp.Len
+	}
+	if off != pl.blockLen {
+		add("segment spans tile %d bytes of a %d-byte block", off, pl.blockLen)
+	}
+	if gap := minOffsetGap(pl.rounds); s > gap {
+		add("segments=%d exceeds the schedule's minimum offset gap %d (a merged round would address one partner twice)", s, gap)
 	}
 }
 

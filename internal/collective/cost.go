@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"bruck/internal/buffers"
 	"bruck/internal/costmodel"
 	"bruck/internal/intmath"
 	"bruck/internal/partition"
@@ -158,6 +159,67 @@ func RecursiveDoublingConcatCost(n, b int) (c1, c2 int) {
 		return 0, 0
 	}
 	return intmath.CeilLog(2, n), (n - 1) * b
+}
+
+// SegmentedIndexCost returns the closed-form (C1, C2) of the radix-r
+// Bruck index algorithm pipelined over s segments: each b-byte block is
+// split into s spans (SplitSpans) and span i streams through the round
+// structure starting at merged round i, so C1 = rounds + s - 1 and C2
+// sums, over merged rounds, the largest message among the segments live
+// in that round. The clamps mirror the plan compiler (finishSegments):
+// fewer than two rounds, b < 2, or s <= 1 degenerate to IndexCost, and
+// s is capped at the block size and the round count. The result equals
+// the compiled pipelined plan's measures exactly, which the tests
+// assert.
+func SegmentedIndexCost(n, b, r, k, s int) (c1, c2 int) {
+	sched := IndexSchedule(n, r, k)
+	rounds := len(sched)
+	if s > b {
+		s = b
+	}
+	if s > rounds {
+		s = rounds
+	}
+	if s <= 1 || rounds < 2 || b < 2 {
+		return IndexCost(n, b, r, k)
+	}
+	spans := buffers.SplitSpans(b, s)
+	c1 = costmodel.PipelinedC1(rounds, s)
+	for t := 0; t < c1; t++ {
+		lo, hi := t-rounds+1, t
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > s-1 {
+			hi = s - 1
+		}
+		stepMax := 0
+		for seg := lo; seg <= hi; seg++ {
+			if m := sched[t-seg] * spans[seg].Len; m > stepMax {
+				stepMax = m
+			}
+		}
+		c2 += stepMax
+	}
+	return c1, c2
+}
+
+// OptimalSegments returns the segment count s >= 1 minimizing the
+// linear-model time of the pipelined radix-r Bruck index algorithm for
+// the given machine profile, block size and port count. It searches the
+// power-of-two candidates {1, 2, 4, 8, 16}; larger counts only stretch
+// the pipeline (C1 grows linearly in s while the per-round saving has
+// already flattened). Returning 1 means the monolithic schedule wins.
+func OptimalSegments(p costmodel.Profile, n, b, r, k int) int {
+	best, bestTime := 1, 0.0
+	for _, s := range []int{1, 2, 4, 8, 16} {
+		c1, c2 := SegmentedIndexCost(n, b, r, k, s)
+		t := p.Time(c1, c2)
+		if s == 1 || t < bestTime {
+			best, bestTime = s, t
+		}
+	}
+	return best
 }
 
 // OptimalRadix returns the radix r in [2, n] minimizing the

@@ -47,6 +47,53 @@
 // block size) so repeated configurations — the public Machine API
 // routes everything through a cache — compile exactly once.
 //
+// # Pipelined (segmented) plans
+//
+// IndexOptions.Segments and ReduceOptions.Segments pipeline the packed
+// uniform Bruck schedules (the radix-r index and the ReduceBruck
+// reduce-scatter phase): every block is split into S spans
+// (buffers.SplitSpans) and span i streams through the round structure
+// one merged round behind span i-1, so the schedule runs rounds + S - 1
+// merged rounds (costmodel.PipelinedC1) while each merged round moves
+// only a span-sized fraction of every message. The trade is the paper's
+// C1/C2 tension in miniature: S - 1 extra start-ups buy an up-to-S-fold
+// cut in the bandwidth term, so pipelining loses on latency-bound small
+// blocks and wins on bandwidth-bound large ones — `bruckctl run
+// -crossover-segments` tabulates the crossover. Within one merged round
+// the live segments' sends share the engine's k ports as lanes of one
+// ExchangeOwned call, and the executor's payload slabs come from the
+// engine pool, so the segmented steady state allocates like the
+// monolithic one.
+//
+// Segmented-plan rules:
+//
+//   - Segments = 0 (or 1) is the monolithic schedule; AutoSegments
+//     defers to the cost model (OptimalSegments) at compile time.
+//   - The compiler clamps the requested count to the block size and the
+//     schedule's round count, and quietly falls back to monolithic
+//     where pipelining does not apply: non-Bruck algorithms, unpacked
+//     tables, single-round schedules, blocks under two bytes, and every
+//     V/layout plan. The option is inert there, never an error, so
+//     callers can set it unconditionally.
+//   - Segmentation never changes bytes: a segmented plan's output is
+//     byte-identical to the monolithic plan's, only the round structure
+//     and the Report's (C1, C2) differ (SegmentedIndexCost is the
+//     closed form; Plan.Check proves the segment spans tile each
+//     block).
+//   - Segments is part of the plan cache key like every other option.
+//
+// # Asynchronous execution (the bruck.Machine front door)
+//
+// The root package's IndexAsync, ConcatAsync and AllReduceAsync wrap
+// these plans in a non-blocking submission: the plan resolves (or
+// compiles) synchronously, the execution runs on a background
+// goroutine, and the returned bruck.Handle is the only view of the
+// running operation. The handle rules — one operation in flight per
+// Machine, the operation owns its input and output buffers until Wait
+// (or a true Test), execution errors including watchdog fencing surface
+// on Wait — are documented on bruck.Handle and statically enforced by
+// the planlife analyzer (discarded handles, resubmission before Wait).
+//
 // # Ragged layouts
 //
 // IndexV and ConcatV (vplan.go) generalize both operations to

@@ -51,7 +51,22 @@ type IndexOptions struct {
 	// travels in its own round. This exists only as an ablation of the
 	// packing design decision; it multiplies C1 and never helps.
 	NoPack bool
+	// Segments pipelines the schedule: each block is split into this
+	// many byte spans and the spans stream through the round structure
+	// one merged round apart, trading C1 = rounds + Segments - 1 merged
+	// rounds for per-segment message sizes. 0 and 1 run the monolithic
+	// schedule; AutoSegments lets the SP-1 cost model pick. Only the
+	// packed uniform Bruck schedule pipelines — the baselines, noPack
+	// ablation, mixed-radix and layout (V) plans clamp to monolithic —
+	// and the compiler further clamps to the block size.
+	Segments int
 }
+
+// AutoSegments requests cost-model segment selection: CompileIndex
+// (and CompileReduce for the Bruck reduce-scatter phase) picks the
+// segment count minimizing the SP-1 linear-model time over candidate
+// pipelines; see OptimalSegments for explicit per-profile tuning.
+const AutoSegments = -1
 
 // Index performs all-to-all personalized communication among the group
 // g on engine e. in[i][j] is data block B[i, j] (the j-th block of the

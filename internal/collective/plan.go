@@ -50,6 +50,16 @@ type Plan struct {
 	noPack bool
 	rounds []indexRound
 
+	// Segment-pipelined plans. segments > 1 means every block is split
+	// into that many byte spans (segSpans, the SplitSpans partition of
+	// blockLen) and the compiled rounds replay as a pipeline: merged
+	// step t carries segment s's round t-s for every live segment, so
+	// the schedule drains in len(rounds)+segments-1 merged rounds.
+	// segments == 0 is the monolithic replay. Only packed uniform
+	// Bruck round tables pipeline; everything else stays monolithic.
+	segments int
+	segSpans []buffers.Span
+
 	// Concat plans — and the concatenation phase of AllReduce plans.
 	calg    ConcatAlgorithm
 	trivial bool // k >= n-1: single all-pairs round
@@ -175,8 +185,14 @@ func (pl *Plan) Group() *mpsim.Group { return pl.group }
 func (pl *Plan) BlockLen() int { return pl.blockLen }
 
 // Rounds returns the number of communication rounds (the paper's C1)
-// the compiled schedule executes.
+// the compiled schedule executes. For a segment-pipelined plan this is
+// the merged-round count rounds + segments - 1.
 func (pl *Plan) Rounds() int { return pl.c1 }
+
+// Segments returns the segment count of a pipelined plan, or 0 for a
+// monolithic one. (1 never occurs: a one-segment request compiles to
+// the monolithic schedule.)
+func (pl *Plan) Segments() int { return pl.segments }
 
 // MaxMessageBytes returns the largest pooled buffer an execution
 // acquires — the pre-sizing hint handed to the processor-local pools.
@@ -257,14 +273,28 @@ func CompileIndex(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt IndexOption
 		return nil, fmt.Errorf("collective: unknown index algorithm %v", opt.Algorithm)
 	}
 	pl.finishIndex(n, k)
+	s := opt.Segments
+	if s == AutoSegments {
+		s = OptimalSegments(costmodel.SP1, n, blockLen, r, k)
+	}
+	pl.finishSegments(s)
 	pl.c2lb = lowerbound.IndexVolume(n, blockLen, k)
 	pl.c1lb = lowerbound.IndexRounds(n, k)
+	if pl.segments > 1 {
+		// A pipelined schedule multiplexes up to `segments` compiled
+		// rounds per port in one merged round, so the one-round-per-port
+		// volume bound scales down by the segment count:
+		// (n-1)*b <= segments * k * sum of per-step maxima.
+		pl.c2lb = intmath.CeilDiv(pl.c2lb, pl.segments)
+	}
 	return pl, nil
 }
 
 // CompileIndexMixed compiles the mixed-radix index schedule: subphase i
 // uses radices[i]. The compiled plan executes the exact schedule
-// IndexMixedFlat would.
+// IndexMixedFlat would. Mixed-radix plans are always monolithic: the
+// segment pipeline (IndexOptions.Segments) applies to the uniform
+// schedule only.
 func CompileIndexMixed(e *mpsim.Engine, g *mpsim.Group, blockLen int, radices []int) (*Plan, error) {
 	n := g.Size()
 	if err := checkGroup(e, g); err != nil {
@@ -317,6 +347,88 @@ func (pl *Plan) finishIndex(n, k int) {
 		pl.c2 = pl.c1 * pl.blockLen
 		pl.poolHint = pl.blockLen // transport payloads only
 	}
+}
+
+// finishSegments installs the segment dimension on a compiled index
+// plan: s > 1 splits every block into the SplitSpans partition and
+// replaces the monolithic round count and volume that finishIndex
+// derived with the pipelined measures — C1 = rounds + s - 1 merged
+// rounds, C2 = the sum over merged rounds of the largest in-flight
+// message. The request is clamped to what the schedule can pipeline:
+// at most one span per block byte, and at most minOffsetGap rounds in
+// flight so no merged round addresses one partner twice. Requests that
+// clamp to 1 — including every non-Bruck, noPack, mixed-radix or
+// sub-2-round schedule — leave the plan monolithic.
+func (pl *Plan) finishSegments(s int) {
+	if s <= 1 || pl.ialg != IndexBruck || pl.noPack || len(pl.rounds) < 2 || pl.blockLen < 2 {
+		return
+	}
+	if s > pl.blockLen {
+		s = pl.blockLen
+	}
+	if gap := minOffsetGap(pl.rounds); s > gap {
+		s = gap
+	}
+	if s <= 1 {
+		return
+	}
+	pl.segments = s
+	pl.segSpans = buffers.SplitSpans(pl.blockLen, s)
+	pl.c1 = costmodel.PipelinedC1(len(pl.rounds), s)
+	pl.c2 = pipelinedC2(pl.rounds, pl.segSpans)
+}
+
+// minOffsetGap returns the largest window size w such that any w
+// consecutive rounds of the table have pairwise distinct partner
+// offsets — the number of rounds a pipeline may hold in flight in one
+// merged round without addressing a partner twice. For the Bruck
+// tables the offsets z*weight are globally distinct across the whole
+// table (z*weight stays below the subphase's next weight), so this
+// returns len(rounds); it is computed rather than assumed as a
+// defensive clamp.
+func minOffsetGap(rounds []indexRound) int {
+	gap := len(rounds)
+	for i := range rounds {
+		for j := i + 1; j < len(rounds) && j-i < gap; j++ {
+			for _, xi := range rounds[i].xfers {
+				for _, xj := range rounds[j].xfers {
+					if xi.offset == xj.offset && j-i < gap {
+						gap = j - i
+					}
+				}
+			}
+		}
+	}
+	return gap
+}
+
+// pipelinedC2 walks the merged rounds of a pipelined replay and sums
+// the largest in-flight message of each: merged round t carries, for
+// every live segment seg, the transfers of compiled round t-seg at
+// segment seg's span length. The executor's payload sizes match this
+// walk exactly, so the measured C2 equals it.
+func pipelinedC2(rounds []indexRound, spans []buffers.Span) int {
+	R, s := len(rounds), len(spans)
+	c2 := 0
+	for t := 0; t < R+s-1; t++ {
+		lo, hi := t-R+1, t
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > s-1 {
+			hi = s - 1
+		}
+		stepMax := 0
+		for seg := lo; seg <= hi; seg++ {
+			for _, x := range rounds[t-seg].xfers {
+				if b := len(x.blocks) * spans[seg].Len; b > stepMax {
+					stepMax = b
+				}
+			}
+		}
+		c2 += stepMax
+	}
+	return c2
 }
 
 // compileBruckRounds builds the k-port round structure of the
@@ -742,6 +854,9 @@ func (pl *Plan) bruckBody(p *mpsim.Proc, in, out []byte) error {
 // the block size) and the layout body (bl is the padded slot size of
 // the two-phase packing).
 func (pl *Plan) replayBruckRounds(p *mpsim.Proc, work []byte, bl int) error {
+	if pl.segments > 1 {
+		return pl.replayBruckRoundsPipelined(p, work, bl)
+	}
 	g := pl.group
 	n := g.Size()
 	me := g.Rank(p.Rank())
@@ -793,6 +908,84 @@ func (pl *Plan) replayBruckRounds(p *mpsim.Proc, work []byte, bl int) error {
 		}
 		if err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// replayBruckRoundsPipelined is the segment-pipelined Phase 2 replay:
+// merged round t moves, for every live segment seg (those with
+// 0 <= t-seg < len(rounds)), the transfers of compiled round t-seg
+// restricted to segment seg's byte span of each block. Payloads travel
+// by ownership transfer in both directions (Proc.ExchangeOwned): the
+// packed send buffer is handed to the transport without the monolithic
+// path's extra engine copy, and the received buffer is unpacked and
+// recycled here — two copies per message instead of four, which is
+// where the pipelined path's large-block throughput win comes from.
+//
+// Within one merged round all partner offsets are distinct
+// (finishSegments clamps the segment count to minOffsetGap), every
+// rank runs the same merged-round count, and all packs precede the
+// exchange while all unpacks follow it — so a round's send and receive
+// of the same working blocks keep the monolithic path's
+// pack-before-unpack order, and distinct segments touch disjoint byte
+// spans. On error the in-flight payloads stay with the transport; the
+// engine's post-run drain recovers them into the pools.
+func (pl *Plan) replayBruckRoundsPipelined(p *mpsim.Proc, work []byte, bl int) error {
+	g := pl.group
+	n := g.Size()
+	me := g.Rank(p.Rank())
+	s := pl.segments
+	R := len(pl.rounds)
+
+	maxX := 0
+	for _, rd := range pl.rounds {
+		if len(rd.xfers) > maxX {
+			maxX = len(rd.xfers)
+		}
+	}
+	sends := make([]mpsim.Send, 0, s*maxX)
+	froms := make([]int, 0, s*maxX)
+	out := make([][]byte, s*maxX)
+
+	for t := 0; t < R+s-1; t++ {
+		lo, hi := t-R+1, t
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > s-1 {
+			hi = s - 1
+		}
+		sends, froms = sends[:0], froms[:0]
+		for seg := lo; seg <= hi; seg++ {
+			sp := pl.segSpans[seg]
+			for _, x := range pl.rounds[t-seg].xfers {
+				payload := p.AcquireBuf(len(x.blocks) * sp.Len)
+				off := 0
+				for _, j := range x.blocks {
+					copy(payload[off:off+sp.Len], work[j*bl+sp.Off:])
+					off += sp.Len
+				}
+				sends = append(sends, mpsim.Send{To: g.ID(intmath.Mod(me+x.offset, n)), Data: payload})
+				froms = append(froms, g.ID(intmath.Mod(me-x.offset, n)))
+			}
+		}
+		if err := p.ExchangeOwned(sends, froms, out[:len(froms)], hi-lo+1); err != nil {
+			return err
+		}
+		i := 0
+		for seg := lo; seg <= hi; seg++ {
+			sp := pl.segSpans[seg]
+			for _, x := range pl.rounds[t-seg].xfers {
+				payload := out[i]
+				i++
+				off := 0
+				for _, j := range x.blocks {
+					copy(work[j*bl+sp.Off:j*bl+sp.Off+sp.Len], payload[off:off+sp.Len])
+					off += sp.Len
+				}
+				p.ReleaseBuf(payload)
+			}
 		}
 	}
 	return nil
@@ -936,11 +1129,24 @@ type planCacheKey struct {
 	radix    int
 	radices  string
 	noPack   bool
+	segments int // normalized: 0 for monolithic, AutoSegments kept as-is
 	policy   partition.Policy
 	blockLen int
 	kernel   string // kernel identity of a reduction plan
 	v        bool
 	layout   uint64
+}
+
+// normSegments canonicalizes a segment request for cache keying: 0 and
+// 1 both compile to the monolithic schedule, so they share one entry.
+// AutoSegments stays distinct — its resolution depends only on the
+// keyed (n, blockLen, radix, k) configuration, so caching under the
+// sentinel is consistent.
+func normSegments(s int) int {
+	if s == 1 {
+		return 0
+	}
+	return s
 }
 
 // maxCachedPlans bounds a PlanCache. Schedules are cheap to recompile
@@ -983,7 +1189,8 @@ func (c *PlanCache) insert(key planCacheKey, pl *Plan) {
 func (c *PlanCache) IndexPlan(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt IndexOptions) (*Plan, error) {
 	key := planCacheKey{
 		e: e, g: g, op: opIndex, ialg: opt.Algorithm,
-		radix: opt.Radix, noPack: opt.NoPack, blockLen: blockLen,
+		radix: opt.Radix, noPack: opt.NoPack,
+		segments: normSegments(opt.Segments), blockLen: blockLen,
 	}
 	if pl, ok := c.plans[key]; ok {
 		return pl, nil
@@ -1042,7 +1249,8 @@ func (c *PlanCache) IndexVPlan(e *mpsim.Engine, g *mpsim.Group, l *blocks.Layout
 	key := planCacheKey{
 		e: e, g: g, op: opIndex, ialg: opt.Algorithm,
 		radix: opt.Radix, noPack: opt.NoPack,
-		v: true, layout: l.Digest(),
+		segments: normSegments(opt.Segments),
+		v:        true, layout: l.Digest(),
 	}
 	return c.vPlan(key, l, func() (*Plan, error) { return CompileIndexV(e, g, l, opt) })
 }

@@ -114,6 +114,13 @@ type ReduceOptions struct {
 	// LastRound is the circulant concatenation's special-range policy
 	// for the AllReduce concatenation phase.
 	LastRound partition.Policy
+	// Segments pipelines the ReduceBruck reduce-scatter phase exactly as
+	// IndexOptions.Segments pipelines the index schedule: the blocks
+	// split into this many byte spans streaming one merged round apart.
+	// 0 and 1 run the monolithic schedule; AutoSegments lets the SP-1
+	// cost model pick. Ignored by the ring and halving schedules and by
+	// the concatenation phase of AllReduce, which always run monolithic.
+	Segments int
 }
 
 // checkReduce validates the common reduction compile parameters.
@@ -190,6 +197,11 @@ func CompileReduce(e *mpsim.Engine, g *mpsim.Group, kind ReduceKind, blockLen in
 		pl.rounds = compileBruckRounds(n, k, blockLen, func(int) int { return r }, false)
 		pl.ialg = IndexBruck // reuse the index replay and tally machinery
 		pl.finishIndex(n, k)
+		s := opt.Segments
+		if s == AutoSegments {
+			s = OptimalSegments(costmodel.SP1, n, blockLen, r, k)
+		}
+		pl.finishSegments(s)
 	default:
 		return nil, fmt.Errorf("collective: unknown reduce algorithm %v", opt.Algorithm)
 	}
@@ -202,6 +214,13 @@ func CompileReduce(e *mpsim.Engine, g *mpsim.Group, kind ReduceKind, blockLen in
 	} else {
 		pl.c2lb = lowerbound.ReduceScatterVolume(n, blockLen, k)
 		pl.c1lb = lowerbound.ReduceScatterRounds(n, k)
+	}
+	if pl.segments > 1 {
+		// A merged pipelined round multiplexes up to segments compiled
+		// rounds over the ports, so the per-round-maximum C2 measure can
+		// dip below the monolithic volume bound by up to that factor; see
+		// the matching scaling in CompileIndex.
+		pl.c2lb = intmath.CeilDiv(pl.c2lb, pl.segments)
 	}
 	return pl, nil
 }
@@ -407,6 +426,10 @@ func reduceKey(e *mpsim.Engine, g *mpsim.Group, kind ReduceKind, blockLen int, o
 	if opt.Algorithm != ReduceBruck {
 		radix = 0
 	}
+	segments := opt.Segments
+	if opt.Algorithm != ReduceBruck {
+		segments = 0
+	}
 	policy := opt.LastRound
 	if kind == ReduceScatterKind {
 		policy = 0
@@ -415,6 +438,7 @@ func reduceKey(e *mpsim.Engine, g *mpsim.Group, kind ReduceKind, blockLen int, o
 	return planCacheKey{
 		e: e, g: g, op: op, ralg: opt.Algorithm, radix: radix,
 		policy: policy, blockLen: blockLen, kernel: opt.KernelKey,
+		segments: normSegments(segments),
 	}
 }
 
@@ -451,9 +475,9 @@ func (c *PlanCache) ReducePlan(e *mpsim.Engine, g *mpsim.Group, kind ReduceKind,
 func (c *PlanCache) AutoReducePlan(e *mpsim.Engine, g *mpsim.Group, kind ReduceKind, blockLen int, opt ReduceOptions, p costmodel.Profile) (*Plan, error) {
 	n := g.Size()
 	verdict := reduceKey(e, g, kind, blockLen, opt)
-	// The dispatcher overrides the caller's algorithm and radix, so the
-	// verdict key normalizes them away entirely.
-	verdict.ralg, verdict.radix = 0, 0
+	// The dispatcher overrides the caller's algorithm, radix and segment
+	// count, so the verdict key normalizes them away entirely.
+	verdict.ralg, verdict.radix, verdict.segments = 0, 0, 0
 	verdict.radices = fmt.Sprintf("auto:%g:%g", p.Beta, p.Tau)
 	cacheable := opt.KernelKey != ""
 	if cacheable {
@@ -483,7 +507,14 @@ func (c *PlanCache) AutoReducePlan(e *mpsim.Engine, g *mpsim.Group, kind ReduceK
 			return nil, err
 		}
 	}
+	// The candidates are all monolithic (Segments is forced to 0): a
+	// pipelined plan's merged-round C2 measure can dip below the volume
+	// bound by multiplexing ports, so comparing it against monolithic
+	// candidates under T = C1*Beta + C2*Tau would over-reward it. The
+	// segment axis has its own cost-model dispatch — WithSegments
+	// (AutoSegments) resolves through OptimalSegments at compile time.
 	bruck.Algorithm = ReduceBruck
+	bruck.Segments = 0
 	for _, r := range candidateRadices(p, n, blockLen, e.Ports()) {
 		bruck.Radix = r
 		if err := consider(bruck); err != nil {

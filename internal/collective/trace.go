@@ -31,6 +31,7 @@ func (pl *Plan) Schedule(events []mpsim.Event) *trace.Schedule {
 		K:         pl.engine.Ports(),
 		BlockLen:  pl.blockLen,
 		Ragged:    pl.layout != nil,
+		Segments:  pl.segments,
 		C1:        pl.c1,
 		C2:        pl.c2,
 		Rounds:    GroupEvents(events),
@@ -62,17 +63,46 @@ func (pl *Plan) pattern() []trace.PatternRound {
 	var out []trace.PatternRound
 
 	// Bruck-family index rounds (index plans, mixed radix, layout index
-	// plans, and the reduce-scatter phase of ReduceBruck).
-	for _, rd := range pl.rounds {
-		pr := trace.PatternRound{Phase: "bruck"}
-		for _, x := range rd.xfers {
-			pr.Transfers = append(pr.Transfers, trace.PatternTransfer{
-				Offset: x.offset,
-				Bytes:  x.bytes,
-				Blocks: append([]int(nil), x.blocks...),
-			})
+	// plans, and the reduce-scatter phase of ReduceBruck). A pipelined
+	// plan exports one pattern round per merged round: segment seg runs
+	// compiled round t-seg in merged round t, so each entry multiplexes
+	// every live segment's transfers at that segment's span length —
+	// exactly the sends the executor issues.
+	if pl.segments > 1 {
+		R, segs := len(pl.rounds), pl.segments
+		for t := 0; t < R+segs-1; t++ {
+			pr := trace.PatternRound{Phase: "bruck"}
+			lo, hi := t-R+1, t
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > segs-1 {
+				hi = segs - 1
+			}
+			for seg := lo; seg <= hi; seg++ {
+				sp := pl.segSpans[seg]
+				for _, x := range pl.rounds[t-seg].xfers {
+					pr.Transfers = append(pr.Transfers, trace.PatternTransfer{
+						Offset: x.offset,
+						Bytes:  len(x.blocks) * sp.Len,
+						Blocks: append([]int(nil), x.blocks...),
+					})
+				}
+			}
+			out = append(out, pr)
 		}
-		out = append(out, pr)
+	} else {
+		for _, rd := range pl.rounds {
+			pr := trace.PatternRound{Phase: "bruck"}
+			for _, x := range rd.xfers {
+				pr.Transfers = append(pr.Transfers, trace.PatternTransfer{
+					Offset: x.offset,
+					Bytes:  x.bytes,
+					Blocks: append([]int(nil), x.blocks...),
+				})
+			}
+			out = append(out, pr)
+		}
 	}
 
 	// Circulant concatenation rounds (concat plans and the allgather

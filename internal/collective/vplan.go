@@ -43,7 +43,9 @@ import (
 // of bytes group rank i holds for rank j. On a uniform layout the
 // compiled rounds are byte-identical to CompileIndex's at the same
 // block size, so uniform IndexV executions match IndexFlat exactly in
-// both results and Reports.
+// both results and Reports. Layout plans always run monolithic:
+// opt.Segments is ignored (the ragged replay packs true extents per
+// block, which the span-splitting pipeline does not model).
 func CompileIndexV(e *mpsim.Engine, g *mpsim.Group, l *blocks.Layout, opt IndexOptions) (*Plan, error) {
 	n := g.Size()
 	if err := checkGroup(e, g); err != nil {

@@ -61,6 +61,21 @@ func (p Profile) MessageTime(m int) float64 {
 	return p.Beta + float64(m)*p.Tau
 }
 
+// PipelinedC1 returns the round count of an R-round schedule pipelined
+// over s segments: the segments stream through the round structure one
+// step apart (segment i starts at step i and finishes at step i+R-1),
+// so the whole pipeline drains in R + s - 1 merged rounds. s < 1 and
+// R < 1 degenerate to the monolithic count.
+func PipelinedC1(rounds, s int) int {
+	if s < 1 {
+		s = 1
+	}
+	if rounds < 1 {
+		return rounds
+	}
+	return rounds + s - 1
+}
+
 // Duration converts a model time in seconds to a time.Duration for
 // display.
 func Duration(seconds float64) time.Duration {

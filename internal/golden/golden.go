@@ -50,6 +50,10 @@ type Case struct {
 	// Ragged captures the layout (V) variant of the operation with a
 	// deterministic skewed layout derived from (N, B).
 	Ragged bool
+	// Segments pipelines a packed Bruck schedule (index, or the
+	// reduce-scatter phase of a reduction) into that many block spans;
+	// 0 is monolithic.
+	Segments int
 }
 
 // Corpus returns the committed golden corpus: one representative case
@@ -64,6 +68,10 @@ func Corpus() []Case {
 		{Name: "index-mixed-n12-k1", Op: "index", Alg: "mixed", N: 12, K: 1, B: 4, Radices: []int{2, 3, 2}},
 		{Name: "index-direct-n8-k2", Op: "index", Alg: "direct", N: 8, K: 2, B: 4},
 		{Name: "index-xor-n8-k2", Op: "index", Alg: "xor", N: 8, K: 2, B: 4},
+		// Segment-pipelined index: even spans, and uneven spans (B % S
+		// != 0) on a deeper schedule.
+		{Name: "index-bruck-n8-k1-r2-s2", Op: "index", Alg: "bruck", N: 8, K: 1, B: 8, Radix: 2, Segments: 2},
+		{Name: "index-bruck-n12-k1-r2-s3", Op: "index", Alg: "bruck", N: 12, K: 1, B: 7, Radix: 2, Segments: 3},
 		// Concat family: the paper's Section 4 circulant algorithm (with
 		// a byte-granular last round at n=11, k=2) and the baselines.
 		{Name: "concat-circulant-n11-k2", Op: "concat", Alg: "circulant", N: 11, K: 2, B: 5},
@@ -80,6 +88,8 @@ func Corpus() []Case {
 		{Name: "reducescatter-halving-n8-k1", Op: "reduce-scatter", Alg: "halving", N: 8, K: 1, B: 8},
 		{Name: "reducescatter-bruck-n9-k2-r3", Op: "reduce-scatter", Alg: "bruck", N: 9, K: 2, B: 8, Radix: 3},
 		{Name: "allreduce-bruck-n6-k2", Op: "allreduce", Alg: "bruck", N: 6, K: 2, B: 8},
+		// Segment-pipelined reduce-scatter phase inside an allreduce.
+		{Name: "allreduce-bruck-n8-k1-r2-s2", Op: "allreduce", Alg: "bruck", N: 8, K: 1, B: 8, Radix: 2, Segments: 2},
 	}
 }
 
@@ -214,7 +224,7 @@ func fill(blk []byte, i, j int) {
 func (c Case) indexOptions() (collective.IndexOptions, error) {
 	switch c.Alg {
 	case "bruck", "mixed":
-		return collective.IndexOptions{Radix: c.Radix}, nil
+		return collective.IndexOptions{Radix: c.Radix, Segments: c.Segments}, nil
 	case "direct":
 		return collective.IndexOptions{Algorithm: collective.IndexDirect}, nil
 	case "xor":
@@ -412,6 +422,7 @@ func (c Case) reduceOptions() (collective.ReduceOptions, error) {
 	}
 	opt := collective.ReduceOptions{
 		Kernel: kern, ElemSize: 4, KernelKey: "sum/int32", Radix: c.Radix,
+		Segments: c.Segments,
 	}
 	switch c.Alg {
 	case "ring":

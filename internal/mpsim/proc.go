@@ -41,10 +41,14 @@ func (p *Proc) Ports() int { return p.engine.k }
 // will participate in.
 func (p *Proc) Round() int { return int(p.round.Load()) }
 
-// Send describes one outgoing message of a communication round.
+// Send describes one outgoing message of a communication round. On the
+// copying paths (Exchange, ExchangeInto) the engine copies Data and the
+// caller may reuse it; on the ownership-transfer path (ExchangeOwned)
+// Data itself travels through the transport and the caller must not
+// touch it after the call.
 type Send struct {
 	To   int    // destination processor rank
-	Data []byte // payload; copied by the engine, caller may reuse it
+	Data []byte // payload
 }
 
 // SendRecv performs one communication round in which this processor
@@ -71,7 +75,7 @@ func (p *Proc) SendRecv(dst int, data []byte, src int) ([]byte, error) {
 // address the same partner twice in one round.
 func (p *Proc) Exchange(sends []Send, from []int) ([][]byte, error) {
 	recvd := make([][]byte, len(from))
-	if err := p.exchange(sends, from, nil, recvd); err != nil {
+	if err := p.exchange(sends, from, nil, recvd, false, 1); err != nil {
 		return nil, err
 	}
 	return recvd, nil
@@ -88,19 +92,49 @@ func (p *Proc) ExchangeInto(sends []Send, from []int, into [][]byte) error {
 	if len(into) != len(from) {
 		return fmt.Errorf("mpsim: p%d: ExchangeInto with %d receive buffers for %d sources", p.rank, len(into), len(from))
 	}
-	return p.exchange(sends, from, into, nil)
+	return p.exchange(sends, from, into, nil, false, 1)
+}
+
+// ExchangeOwned is the pipelined round primitive: one communication
+// round that moves payloads by ownership transfer in both directions
+// and may multiplex up to lanes logical rounds over the ports.
+//
+// Each sends[i].Data must be memory obtained from this processor's
+// AcquireBuf; it is handed to the transport as the message payload —
+// no copy — and must not be touched by the caller afterwards (the
+// receiver recycles it into its own pool). Each received payload is
+// returned in out by ownership transfer; the caller unpacks it and
+// returns it via ReleaseBuf. out must have one slot per source.
+//
+// lanes widens the validator's port budget to lanes*k sends and
+// receives: a segment-pipelined schedule runs up to lanes compiled
+// rounds — each individually within the k-port budget — in one merged
+// round. Partner distinctness and the self-communication ban still
+// hold per merged round; the plan compiler guarantees distinctness by
+// clamping the segment count to the schedule's minimum partner-offset
+// gap. The round counter advances exactly once, like every exchange.
+func (p *Proc) ExchangeOwned(sends []Send, from []int, out [][]byte, lanes int) error {
+	if len(out) != len(from) {
+		return fmt.Errorf("mpsim: p%d: ExchangeOwned with %d receive slots for %d sources", p.rank, len(out), len(from))
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	return p.exchange(sends, from, nil, out, true, lanes)
 }
 
 // exchange is the shared round implementation. Exactly one of into and
 // out is non-nil: into receives by copy into caller-owned buffers (the
 // transport buffer returns to the pool), out receives by ownership
-// transfer of the transport buffer.
-func (p *Proc) exchange(sends []Send, from []int, into [][]byte, out [][]byte) error {
+// transfer of the transport buffer. owned marks sends whose Data is
+// already pool memory travelling by ownership transfer; lanes is the
+// validator's port-budget multiplier (1 for plain rounds).
+func (p *Proc) exchange(sends []Send, from []int, into [][]byte, out [][]byte, owned bool, lanes int) error {
 	e := p.engine
 	round := int(p.round.Add(1) - 1)
 
 	if e.validate {
-		if err := p.validateRound(round, sends, from); err != nil {
+		if err := p.validateRound(round, sends, from, lanes); err != nil {
 			return err
 		}
 	}
@@ -109,8 +143,11 @@ func (p *Proc) exchange(sends []Send, from []int, into [][]byte, out [][]byte) e
 		if s.To < 0 || s.To >= e.n {
 			return fmt.Errorf("mpsim: p%d round %d: send to out-of-range rank %d", p.rank, round, s.To)
 		}
-		payload := p.AcquireBuf(len(s.Data))
-		copy(payload, s.Data)
+		payload := s.Data
+		if !owned {
+			payload = p.AcquireBuf(len(s.Data))
+			copy(payload, s.Data)
+		}
 		p.metrics.recordSend(p.rank, s.To, round, len(payload))
 		if err := p.tr.Send(p.rank, s.To, message{round: round, gen: p.gen, data: payload}); err != nil {
 			return fmt.Errorf("mpsim: p%d round %d: send to p%d: %w", p.rank, round, s.To, err)
@@ -179,17 +216,20 @@ func (p *Proc) Skip() { p.round.Add(1) }
 // SkipN advances the round counter by rounds.
 func (p *Proc) SkipN(rounds int) { p.round.Add(int64(rounds)) }
 
-// validateRound enforces the k-port model for one round: at most k sends
-// and at most k receives, distinct partners, and no self-communication.
-// Duplicate detection is a quadratic scan rather than a map: k is small
-// in practice and the scan keeps the validated hot path allocation-free.
-func (p *Proc) validateRound(round int, sends []Send, from []int) error {
+// validateRound enforces the k-port model for one round: at most
+// lanes*k sends and lanes*k receives (lanes is 1 except for merged
+// pipelined rounds, which multiplex that many compiled rounds over the
+// ports), distinct partners, and no self-communication. Duplicate
+// detection is a quadratic scan rather than a map: k is small in
+// practice and the scan keeps the validated hot path allocation-free.
+func (p *Proc) validateRound(round int, sends []Send, from []int, lanes int) error {
 	e := p.engine
-	if len(sends) > e.k {
-		return fmt.Errorf("mpsim: p%d round %d: %d sends exceeds k = %d ports", p.rank, round, len(sends), e.k)
+	budget := lanes * e.k
+	if len(sends) > budget {
+		return fmt.Errorf("mpsim: p%d round %d: %d sends exceeds k = %d ports (%d lanes)", p.rank, round, len(sends), e.k, lanes)
 	}
-	if len(from) > e.k {
-		return fmt.Errorf("mpsim: p%d round %d: %d receives exceeds k = %d ports", p.rank, round, len(from), e.k)
+	if len(from) > budget {
+		return fmt.Errorf("mpsim: p%d round %d: %d receives exceeds k = %d ports (%d lanes)", p.rank, round, len(from), e.k, lanes)
 	}
 	for i, s := range sends {
 		if s.To == p.rank {

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"bruck/internal/buffers"
 	"bruck/internal/collective"
 	"bruck/internal/costmodel"
 	"bruck/internal/intmath"
@@ -116,6 +117,55 @@ func (h *Harness) point(n, r, k, b int) (Point, error) {
 		c2 += blocks * b
 	}
 	c1 := len(sched)
+	return Point{
+		N: n, K: k, R: r, BlockLen: b,
+		C1: c1, C2: c2,
+		Seconds: h.Profile.Time(c1, c2),
+	}, nil
+}
+
+// SegmentedPoint evaluates one segment-pipelined configuration at block
+// size b split into s spans: the spans stream through the measured
+// round structure one merged round apart, so C1 = rounds + s - 1 and C2
+// sums the per-merged-round maxima (a merged round multiplexes up to s
+// compiled rounds over the ports). The segment count clamps exactly as
+// the plan compiler does — to the block size and the round count — and
+// a request that clamps to 1 degenerates to the monolithic point, so
+// this is the same prediction collective.SegmentedIndexCost makes, but
+// built from the harness's measured unit schedules.
+func (h *Harness) SegmentedPoint(n, r, k, b, s int) (Point, error) {
+	sched, err := h.schedule(n, r, k)
+	if err != nil {
+		return Point{}, err
+	}
+	if s > b {
+		s = b
+	}
+	if s > len(sched) {
+		s = len(sched)
+	}
+	if s <= 1 || len(sched) < 2 || b < 2 {
+		return h.point(n, r, k, b)
+	}
+	spans := buffers.SplitSpans(b, s)
+	c1 := len(sched) + s - 1
+	c2 := 0
+	for t := 0; t < c1; t++ {
+		lo, hi := t-len(sched)+1, t
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > s-1 {
+			hi = s - 1
+		}
+		stepMax := 0
+		for seg := lo; seg <= hi; seg++ {
+			if m := sched[t-seg] * spans[seg].Len; m > stepMax {
+				stepMax = m
+			}
+		}
+		c2 += stepMax
+	}
 	return Point{
 		N: n, K: k, R: r, BlockLen: b,
 		C1: c1, C2: c2,

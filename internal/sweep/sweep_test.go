@@ -283,3 +283,31 @@ func TestAllocsPlannedColumn(t *testing.T) {
 		t.Errorf("concat alloc ordering violated: legacy %.0f, flat %.0f, planned %.0f", clegacy, cflat, cplanned)
 	}
 }
+
+// TestSegmentedPointMatchesClosedForm: the harness's pipelined point,
+// built from measured unit schedules, must agree exactly with the
+// closed-form collective.SegmentedIndexCost at every clamp edge —
+// degenerate s, s past the block size, s past the round count — so the
+// crossover study predicts precisely what the plan compiler builds.
+func TestSegmentedPointMatchesClosedForm(t *testing.T) {
+	h := NewHarness(costmodel.SP1)
+	for _, tc := range []struct{ n, r, k int }{{8, 2, 1}, {12, 2, 1}, {9, 3, 2}, {16, 4, 3}} {
+		for _, b := range []int{1, 2, 7, 64, 4096} {
+			for _, s := range []int{1, 2, 4, 7, 100} {
+				pt, err := h.SegmentedPoint(tc.n, tc.r, tc.k, b, s)
+				if err != nil {
+					t.Fatalf("n=%d r=%d k=%d b=%d s=%d: %v", tc.n, tc.r, tc.k, b, s, err)
+				}
+				c1, c2 := collective.SegmentedIndexCost(tc.n, b, tc.r, tc.k, s)
+				if pt.C1 != c1 || pt.C2 != c2 {
+					t.Errorf("n=%d r=%d k=%d b=%d s=%d: SegmentedPoint (C1=%d, C2=%d), closed form (%d, %d)",
+						tc.n, tc.r, tc.k, b, s, pt.C1, pt.C2, c1, c2)
+				}
+				if want := h.Profile.Time(c1, c2); pt.Seconds != want {
+					t.Errorf("n=%d r=%d k=%d b=%d s=%d: Seconds = %g, want %g",
+						tc.n, tc.r, tc.k, b, s, pt.Seconds, want)
+				}
+			}
+		}
+	}
+}

@@ -55,6 +55,12 @@ type Schedule struct {
 	BlockLen int `json:"blockLen"`
 	// Ragged marks a layout (IndexV/ConcatV) plan.
 	Ragged bool `json:"ragged,omitempty"`
+	// Segments is the pipeline segment count of a segment-pipelined
+	// plan: each block splits into this many byte spans streaming
+	// through the round structure one merged round apart, so a round may
+	// multiplex up to Segments compiled rounds over the ports. 0 (and,
+	// equivalently, 1) is a monolithic schedule.
+	Segments int `json:"segments,omitempty"`
 	// C1 and C2 are the schedule's round count and data volume as
 	// compiled — the paper's two complexity measures.
 	C1 int `json:"c1"`
@@ -168,6 +174,9 @@ func Diff(got, want *Schedule) []string {
 	}
 	if got.Ragged != want.Ragged {
 		add("ragged: got %v, want %v", got.Ragged, want.Ragged)
+	}
+	if got.Segments != want.Segments {
+		add("segments: got %d, want %d", got.Segments, want.Segments)
 	}
 	if got.C1 != want.C1 {
 		add("c1: got %d, want %d", got.C1, want.C1)
