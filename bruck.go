@@ -60,6 +60,11 @@ type Machine struct {
 	engine *mpsim.Engine
 	world  *Group
 	plans  *collective.PlanCache
+	// topo is the machine's two-level topology (WithTopology), nil on a
+	// flat machine. It tags every simulated message with its link class,
+	// licenses Hierarchical() schedules, and turns WithAuto into the
+	// flat-vs-hierarchical dispatch.
+	topo *costmodel.Topology
 	// inflight marks a pending asynchronous operation (IndexAsync and
 	// friends): a second Async call before the first Handle's Wait is
 	// rejected. Blocking calls are not guarded — the Machine's
@@ -76,6 +81,7 @@ type machineConfig struct {
 	record   bool
 	backend  Backend
 	chaos    ChaosConfig
+	topo     *costmodel.Topology
 }
 
 // Backend names a simulator message-transport implementation. The
@@ -159,11 +165,20 @@ func NewMachine(n int, opts ...MachineOption) (*Machine, error) {
 	if cfg.backend == BackendChaos {
 		eopts = append(eopts, mpsim.WithChaos(cfg.chaos))
 	}
+	if cfg.topo != nil {
+		if err := cfg.topo.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.topo.N() != n {
+			return nil, fmt.Errorf("bruck: topology covers %d processors, machine has %d", cfg.topo.N(), n)
+		}
+		eopts = append(eopts, mpsim.WithTopology(cfg.topo.GroupAssignment()))
+	}
 	e, err := mpsim.New(n, eopts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{engine: e, world: mpsim.WorldGroup(n), plans: collective.NewPlanCache()}, nil
+	return &Machine{engine: e, world: mpsim.WorldGroup(n), plans: collective.NewPlanCache(), topo: cfg.topo}, nil
 }
 
 // CriticalPathTime evaluates the most recent operation's schedule under
@@ -188,6 +203,30 @@ func (m *Machine) CriticalPathTime(p Profile) (float64, error) {
 	return costmodel.CriticalPath(p, m.engine.N(), events)
 }
 
+// CriticalPathTopoTime is CriticalPathTime under the machine's
+// topology: each message is priced by its own link's profile — the
+// pair override if one exists, otherwise the link class — so a
+// hierarchical schedule's intra phases run on the fast clock. It
+// requires a machine created with WithTopology and RecordEvents and at
+// least one completed operation.
+func (m *Machine) CriticalPathTopoTime() (float64, error) {
+	if m.topo == nil {
+		return 0, fmt.Errorf("bruck: CriticalPathTopoTime requires a machine created with WithTopology")
+	}
+	metrics := m.engine.Metrics()
+	if metrics == nil {
+		if m.engine.ProgramsInLastRun() > 1 {
+			return 0, fmt.Errorf("bruck: CriticalPathTopoTime is unavailable after RunPlans (per-plan schedules; use the returned Reports)")
+		}
+		return 0, fmt.Errorf("bruck: CriticalPathTopoTime before any operation")
+	}
+	events := metrics.Events()
+	if events == nil {
+		return 0, fmt.Errorf("bruck: CriticalPathTopoTime requires a machine created with RecordEvents")
+	}
+	return costmodel.CriticalPathTopo(m.topo, m.engine.N(), events)
+}
+
 // N returns the number of processors.
 func (m *Machine) N() int { return m.engine.N() }
 
@@ -196,6 +235,9 @@ func (m *Machine) Ports() int { return m.engine.Ports() }
 
 // Transport returns the machine's transport backend.
 func (m *Machine) Transport() Backend { return m.engine.Transport() }
+
+// Topology returns the machine's topology, nil for a flat machine.
+func (m *Machine) Topology() *Topology { return m.topo }
 
 // Group names an ordered subset of processors, like an MPI group; all
 // collective operations accept one via OnGroup. Group ranks are the
@@ -222,6 +264,44 @@ type Profile = costmodel.Profile
 // SP1 is the 64-node IBM SP-1 profile measured in Section 3.5 of the
 // paper (start-up ~29us, ~8.5 Mbytes/s point-to-point bandwidth).
 var SP1 = costmodel.SP1
+
+// Topology describes a two-level machine: named groups of processors
+// ("nodes", "racks") with a fast intra-group profile, a slower
+// inter-group profile, and optional per-pair overrides. Attach one to
+// a machine with WithTopology.
+type Topology = costmodel.Topology
+
+// NewTopology builds a validated two-level topology: groups[i]
+// consecutive processors form group i, intra prices links inside a
+// group and inter prices links between groups.
+func NewTopology(groups []int, intra, inter Profile) (*Topology, error) {
+	return costmodel.NewTopology(groups, intra, inter)
+}
+
+// ParseTopology parses the command-line topology syntax
+// "<groups>x<size>[:beta,tau/beta,tau]" or
+// "<size1>,<size2>,...[:beta,tau/beta,tau]"; without explicit
+// profiles the intra profile defaults to SP1 and the inter profile to
+// SP1 scaled by DefaultInterRatio.
+func ParseTopology(s string) (*Topology, error) { return costmodel.ParseTopology(s) }
+
+// ScaledProfile returns p with both parameters scaled by f — the
+// quick way to build an "inter links are f times slower" profile.
+func ScaledProfile(p Profile, f float64) Profile { return costmodel.Scaled(p, f) }
+
+// DefaultInterRatio is the inter/intra cost ratio ParseTopology
+// assumes when the spec names no profiles.
+const DefaultInterRatio = costmodel.DefaultInterRatio
+
+// WithTopology attaches a two-level topology to the machine. The
+// topology must cover exactly the machine's n processors. Every
+// simulated message is then tagged with its link class — Reports on
+// hierarchical plans split C1/C2 per level (Report.Intra/Inter) — and
+// the machine accepts Hierarchical() schedules; WithAuto on the
+// fixed-size operations becomes the flat-vs-hierarchical dispatch.
+func WithTopology(t *Topology) MachineOption {
+	return func(c *machineConfig) { c.topo = t }
+}
 
 // Common algorithm identifiers, re-exported from the implementation
 // package for use with the option setters.
@@ -275,6 +355,8 @@ type callConfig struct {
 	kernelSet bool
 	combine   CombineFunc
 	auto      *Profile
+	hier      bool
+	hierOpt   collective.HierOptions
 }
 
 // OnGroup restricts the operation to an ordered subset of processors;
@@ -363,8 +445,37 @@ func WithLastRoundPolicy(p partition.Policy) CollectiveOption {
 // WithRadix/WithIndexAlgorithm/WithConcatAlgorithm/WithReduceAlgorithm
 // on those operations and is ignored by the fixed-size index and
 // concatenation (tune those with OptimalRadix).
+// On a machine created with WithTopology (nontrivial), WithAuto
+// additionally governs the fixed-size Index, Concat and AllReduce: the
+// dispatch compiles flat and hierarchical candidates, prices each with
+// the topology's per-class profiles (flat schedules pay the
+// inter-group profile on every round; hierarchical ones pay each
+// phase's class), and runs the winner. The verdict is memoized under
+// the topology's digest, so repeated auto calls cost one cache lookup.
 func WithAuto(p Profile) CollectiveOption {
 	return func(c *callConfig) { prof := p; c.auto = &prof }
+}
+
+// Hierarchical selects the two-level schedule for the fixed-size
+// Index, Concat and AllReduce on a machine created with WithTopology:
+// concurrent intra-group phases, an inter-group phase over the group
+// leaders, and redistribution fan phases, compiled as one Plan whose
+// Report splits C1/C2 per link class (Report.Intra/Inter). The
+// reductions support AllReduce only; the ragged (V) operations, the
+// one-to-all primitives and mixed-radix calls ignore it.
+func Hierarchical() CollectiveOption {
+	return func(c *callConfig) { c.hier = true }
+}
+
+// WithHierRadices sets the per-level Bruck radices of a hierarchical
+// index schedule: intra for the in-group all-to-alls, inter for the
+// leader exchange. 0 picks the round-minimal k+1 at that level.
+// Ignored by flat schedules and by the hierarchical concatenation and
+// allreduce, which have no radix axis.
+func WithHierRadices(intra, inter int) CollectiveOption {
+	return func(c *callConfig) {
+		c.hierOpt = collective.HierOptions{IntraRadix: intra, InterRadix: inter}
+	}
 }
 
 // Reduction kernels: a reduction collective combines blocks where a
@@ -467,6 +578,47 @@ func (m *Machine) call(opts []CollectiveOption) callConfig {
 	return cfg
 }
 
+// topoRouted reports whether a fixed-size call bypasses the flat
+// compilers: Hierarchical() forces the two-level schedule, and
+// WithAuto on a machine with a nontrivial topology runs the
+// flat-vs-hierarchical dispatch.
+func (m *Machine) topoRouted(cfg callConfig) bool {
+	return cfg.hier || (cfg.auto != nil && m.topo != nil && !m.topo.Trivial())
+}
+
+// errNoTopology guards the forced-hierarchical paths.
+func (m *Machine) hierTopo() (*Topology, error) {
+	if m.topo == nil {
+		return nil, fmt.Errorf("bruck: Hierarchical requires a machine created with WithTopology")
+	}
+	return m.topo, nil
+}
+
+// topoIndexPlan resolves a topology-routed index plan: the forced
+// hierarchical schedule, or the auto dispatcher's winner.
+func (m *Machine) topoIndexPlan(cfg callConfig, blockLen int) (*Plan, error) {
+	if cfg.hier {
+		topo, err := m.hierTopo()
+		if err != nil {
+			return nil, err
+		}
+		return m.plans.HierIndexPlan(m.engine, cfg.group, blockLen, topo, cfg.hierOpt)
+	}
+	return m.plans.AutoHierIndexPlan(m.engine, cfg.group, blockLen, m.topo)
+}
+
+// topoConcatPlan is topoIndexPlan for the concatenation.
+func (m *Machine) topoConcatPlan(cfg callConfig, blockLen int) (*Plan, error) {
+	if cfg.hier {
+		topo, err := m.hierTopo()
+		if err != nil {
+			return nil, err
+		}
+		return m.plans.HierConcatPlan(m.engine, cfg.group, blockLen, topo, cfg.hierOpt)
+	}
+	return m.plans.AutoHierConcatPlan(m.engine, cfg.group, blockLen, m.topo, cfg.concatOpt.LastRound)
+}
+
 // Index performs all-to-all personalized communication
 // (MPI_Alltoall): in[i][j] is block B[i,j], the block processor i holds
 // for processor j; the result satisfies out[i][j] = in[j][i]. All
@@ -478,10 +630,37 @@ func (m *Machine) call(opts []CollectiveOption) callConfig {
 // use IndexFlat.
 func (m *Machine) Index(in [][][]byte, opts ...CollectiveOption) ([][][]byte, *Report, error) {
 	cfg := m.call(opts)
+	if m.topoRouted(cfg) {
+		return m.sliceRun(in, func(blockLen int) (*Plan, error) { return m.topoIndexPlan(cfg, blockLen) }, cfg)
+	}
 	if cfg.radices != nil {
 		return m.plans.IndexMixed(m.engine, cfg.group, in, cfg.radices)
 	}
 	return m.plans.Index(m.engine, cfg.group, in, cfg.indexOpt)
+}
+
+// sliceRun adapts a topology-routed plan to the legacy-slice matrix
+// shape: copy in, execute, copy out — the same adaptation Index and
+// AllReduce perform for flat plans inside the plan cache.
+func (m *Machine) sliceRun(in [][][]byte, plan func(blockLen int) (*Plan, error), cfg callConfig) ([][][]byte, *Report, error) {
+	fin, err := buffers.FromMatrix(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := plan(fin.BlockLen())
+	if err != nil {
+		return nil, nil, err
+	}
+	n := cfg.group.Size()
+	fout, err := buffers.New(n, n, fin.BlockLen())
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := pl.Execute(fin, fout)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fout.ToMatrix(), res, nil
 }
 
 // Concat performs all-to-all broadcast (MPI_Allgather): in[i] is block
@@ -492,6 +671,26 @@ func (m *Machine) Index(in [][][]byte, opts ...CollectiveOption) ([][][]byte, *R
 // callers should use ConcatFlat.
 func (m *Machine) Concat(in [][]byte, opts ...CollectiveOption) ([][][]byte, *Report, error) {
 	cfg := m.call(opts)
+	if m.topoRouted(cfg) {
+		fin, err := buffers.FromVector(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		pl, err := m.topoConcatPlan(cfg, fin.BlockLen())
+		if err != nil {
+			return nil, nil, err
+		}
+		n := cfg.group.Size()
+		fout, err := buffers.New(n, n, fin.BlockLen())
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := pl.Execute(fin, fout)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fout.ToMatrix(), res, nil
+	}
 	return m.plans.Concat(m.engine, cfg.group, in, cfg.concatOpt)
 }
 
@@ -534,6 +733,16 @@ func NewConcatBuffers(n, blockLen int) (*Buffers, error) {
 // allocations.
 func (m *Machine) IndexFlat(in, out *Buffers, opts ...CollectiveOption) (*Report, error) {
 	cfg := m.call(opts)
+	if m.topoRouted(cfg) {
+		if in == nil || out == nil {
+			return nil, fmt.Errorf("bruck: nil flat buffer")
+		}
+		pl, err := m.topoIndexPlan(cfg, in.BlockLen())
+		if err != nil {
+			return nil, err
+		}
+		return pl.Execute(in, out)
+	}
 	if cfg.radices != nil {
 		return m.plans.IndexMixedFlat(m.engine, cfg.group, in, out, cfg.radices)
 	}
@@ -548,6 +757,16 @@ func (m *Machine) IndexFlat(in, out *Buffers, opts ...CollectiveOption) (*Report
 // allocates nothing on a reused Machine.
 func (m *Machine) ConcatFlat(in, out *Buffers, opts ...CollectiveOption) (*Report, error) {
 	cfg := m.call(opts)
+	if m.topoRouted(cfg) {
+		if in == nil || out == nil {
+			return nil, fmt.Errorf("bruck: nil flat buffer")
+		}
+		pl, err := m.topoConcatPlan(cfg, in.BlockLen())
+		if err != nil {
+			return nil, err
+		}
+		return pl.Execute(in, out)
+	}
 	return m.plans.ConcatFlat(m.engine, cfg.group, in, out, cfg.concatOpt)
 }
 
@@ -625,6 +844,10 @@ func (m *Machine) IndexAsync(in, out *Buffers, opts ...CollectiveOption) (*Handl
 	if in == nil || out == nil {
 		return nil, fmt.Errorf("bruck: nil flat buffer")
 	}
+	if m.topoRouted(cfg) {
+		pl, err := m.topoIndexPlan(cfg, in.BlockLen())
+		return m.async(pl, err, in, out)
+	}
 	if cfg.radices != nil {
 		pl, err := m.plans.IndexMixedPlan(m.engine, cfg.group, in.BlockLen(), cfg.radices)
 		return m.async(pl, err, in, out)
@@ -639,6 +862,10 @@ func (m *Machine) ConcatAsync(in, out *Buffers, opts ...CollectiveOption) (*Hand
 	cfg := m.call(opts)
 	if in == nil || out == nil {
 		return nil, fmt.Errorf("bruck: nil flat buffer")
+	}
+	if m.topoRouted(cfg) {
+		pl, err := m.topoConcatPlan(cfg, in.BlockLen())
+		return m.async(pl, err, in, out)
 	}
 	pl, err := m.plans.ConcatPlan(m.engine, cfg.group, in.BlockLen(), cfg.concatOpt)
 	return m.async(pl, err, in, out)
@@ -831,6 +1058,9 @@ type Plan = collective.Plan
 // that compiles through the same cache and executes once.
 func (m *Machine) CompileIndex(blockLen int, opts ...CollectiveOption) (*Plan, error) {
 	cfg := m.call(opts)
+	if m.topoRouted(cfg) {
+		return m.topoIndexPlan(cfg, blockLen)
+	}
 	if cfg.radices != nil {
 		return m.plans.IndexMixedPlan(m.engine, cfg.group, blockLen, cfg.radices)
 	}
@@ -845,6 +1075,9 @@ func (m *Machine) CompileIndex(blockLen int, opts ...CollectiveOption) (*Plan, e
 // (NewIndexBuffers).
 func (m *Machine) CompileConcat(blockLen int, opts ...CollectiveOption) (*Plan, error) {
 	cfg := m.call(opts)
+	if m.topoRouted(cfg) {
+		return m.topoConcatPlan(cfg, blockLen)
+	}
 	return m.plans.ConcatPlan(m.engine, cfg.group, blockLen, cfg.concatOpt)
 }
 
@@ -892,7 +1125,17 @@ func (m *Machine) reducePlan(cfg callConfig, kind ReduceKind, blockLen int) (*Pl
 	if err != nil {
 		return nil, err
 	}
+	if cfg.hier {
+		topo, err := m.hierTopo()
+		if err != nil {
+			return nil, err
+		}
+		return m.plans.HierReducePlan(m.engine, cfg.group, kind, blockLen, topo, opt)
+	}
 	if cfg.auto != nil {
+		if m.topo != nil && !m.topo.Trivial() {
+			return m.plans.AutoHierReducePlan(m.engine, cfg.group, kind, blockLen, m.topo, opt)
+		}
 		return m.plans.AutoReducePlan(m.engine, cfg.group, kind, blockLen, opt, *cfg.auto)
 	}
 	return m.plans.ReducePlan(m.engine, cfg.group, kind, blockLen, opt)

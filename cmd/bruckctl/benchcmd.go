@@ -41,7 +41,7 @@ func newBenchCmd() *command {
 	fs := newFlagSet("bench")
 	var p benchParams
 	fs.BoolVar(&p.short, "short", false, "CI smoke settings: fewer iterations, no time floor")
-	fs.StringVar(&p.area, "area", "", "only this snapshot area (collectives, reduce, pipeline)")
+	fs.StringVar(&p.area, "area", "", "only this snapshot area (collectives, hier, reduce, pipeline)")
 	fs.StringVar(&p.caseFilter, cli.FlagCase, "", "only cases whose name contains this substring")
 	fs.StringVar(&p.out, "out", ".", "directory the BENCH_<area>.json snapshots are written to")
 	fs.BoolVar(&p.reportJSON, cli.FlagReportJSON, false, "emit the JSON report instead of text")

@@ -25,8 +25,8 @@ func TestBenchWritesSchemaValidSnapshots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ents) != 3 {
-		t.Fatalf("wrote %d files, want 3 (collectives, reduce, pipeline)", len(ents))
+	if len(ents) != 4 {
+		t.Fatalf("wrote %d files, want 4 (collectives, hier, reduce, pipeline)", len(ents))
 	}
 	for _, e := range ents {
 		data, err := os.ReadFile(filepath.Join(dir, e.Name()))

@@ -13,9 +13,9 @@ import (
 // must update this table deliberately.
 func TestCanonicalFlagVocabulary(t *testing.T) {
 	want := map[string][]string{
-		"run": {"alg", "b", "chaos-inner", "chaos-seed", "crossover-segments", "flat", "k",
-			"kernel", "n", "op", "r", "radix", "ragged", "repeat", "report-json", "segments",
-			"stragglers", "transport"},
+		"run": {"alg", "b", "chaos-inner", "chaos-seed", "crossover-segments", "crossover-topology",
+			"flat", "k", "kernel", "n", "op", "r", "radix", "ragged", "repeat", "report-json",
+			"segments", "stragglers", "topology", "transport"},
 		"index":   {"allocs", "csv", "fig", "k", "n", "report-json", "transport", "tune"},
 		"concat":  {"allocs", "b", "baselines", "bounds", "optimality", "report-json", "transport"},
 		"figures": {"all", "fig", "n", "r", "radix", "report-json", "table", "transport"},

@@ -72,6 +72,8 @@ type params struct {
 	kernel     string
 	segments   string
 	crossover  bool
+	topology   string
+	topoCross  bool
 	reportJSON bool
 }
 
@@ -92,6 +94,8 @@ func newRunCmd() *command {
 	fs.StringVar(&p.kernel, "kernel", "sum:int32", "reduction kernel as op:type (sum|min|max : int32|int64|float32|float64)")
 	fs.StringVar(&p.segments, "segments", "", "pipeline the packed Bruck schedule over <s> segments (2..), 'auto' for the model-tuned count, empty for monolithic")
 	fs.BoolVar(&p.crossover, "crossover-segments", false, "sweep block sizes and report where the segmented index schedule overtakes the monolithic one")
+	fs.StringVar(&p.topology, "topology", "", "two-level topology spec <groups>x<size>[:beta,tau/beta,tau] — run the hierarchical schedule on it (the spec defines the machine size; -n is ignored)")
+	fs.BoolVar(&p.topoCross, "crossover-topology", false, "sweep (n, b, inter/intra ratio) and tabulate flat vs hierarchical modeled times")
 	fs.BoolVar(&p.reportJSON, cli.FlagReportJSON, false, "emit the JSON report instead of text")
 	c := &command{name: "run", summary: "run one collective and report schedule measures vs bounds", fs: fs}
 	c.exec = func(args []string, w io.Writer) error {
@@ -116,6 +120,12 @@ func runOpInto(rp *reporter, p params) error {
 	w := rp.text()
 	if p.crossover {
 		return runSegmentCrossover(rp, p)
+	}
+	if p.topoCross {
+		return runTopoCrossover(rp, p)
+	}
+	if p.topology != "" {
+		return runTopology(rp, p)
 	}
 	tfl := cli.TransportFlags{Transport: p.transport, ChaosInner: p.chaosInner, ChaosSeed: p.chaosSeed, Stragglers: p.stragglers}
 	if tfl.Transport == "" {

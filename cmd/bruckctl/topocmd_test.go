@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunTopology: the -topology path executes and verifies the
+// hierarchical schedule of each supported operation and prints the
+// per-phase and per-level breakdown.
+func TestRunTopology(t *testing.T) {
+	for _, p := range []params{
+		{op: "index", k: 1, b: 16, topology: "4x4"},
+		{op: "index", k: 2, b: 8, topology: "3,3,3"},
+		{op: "concat", k: 1, b: 8, topology: "4,4,3"},
+		{op: "allreduce", k: 1, b: 16, topology: "4x4", kernel: "sum:int32"},
+	} {
+		var sb strings.Builder
+		if err := runOp(&sb, p); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		out := sb.String()
+		for _, want := range []string{
+			"hierarchical " + p.op + ":", "phases", "intra:", "inter:",
+			"model time hier", "winner:", "critical path",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%+v: output lacks %q:\n%s", p, want, out)
+			}
+		}
+	}
+}
+
+// TestRunTopologyCustomProfiles: an explicit per-class profile pair in
+// the spec reaches the run.
+func TestRunTopologyCustomProfiles(t *testing.T) {
+	var sb strings.Builder
+	p := params{op: "concat", k: 1, b: 4, topology: "2x4:29e-6,0.117e-6/29e-5,0.117e-5"}
+	if err := runOp(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hierarchical concat: n=8") {
+		t.Errorf("spec should size the machine at 8:\n%s", sb.String())
+	}
+}
+
+// TestRunTopologyTransports: the hierarchical run works on every
+// transport, including chaos with stragglers.
+func TestRunTopologyTransports(t *testing.T) {
+	for _, p := range []params{
+		{op: "index", k: 1, b: 8, topology: "4x2", transport: "slot"},
+		{op: "index", k: 1, b: 8, topology: "4x2", transport: "chaos", chaosSeed: 7, stragglers: "2,3"},
+	} {
+		var sb strings.Builder
+		if err := runOp(&sb, p); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if !strings.Contains(sb.String(), "transport="+p.transport) {
+			t.Errorf("%+v: output lacks transport line:\n%s", p, sb.String())
+		}
+	}
+}
+
+// TestRunTopologyJSON: -report-json emits the topology-run section and
+// one phase row per compiled phase.
+func TestRunTopologyJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := runOp(&sb, params{op: "index", k: 1, b: 8, topology: "4x4", reportJSON: true}); err != nil {
+		t.Fatal(err)
+	}
+	var sections []struct {
+		Name string     `json:"name"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &sections); err != nil {
+		t.Fatalf("-report-json output is not JSON: %v\n%s", err, sb.String())
+	}
+	got := map[string]int{}
+	for _, s := range sections {
+		got[s.Name] = len(s.Rows)
+	}
+	if got["topology-run"] == 0 {
+		t.Errorf("missing topology-run section: %v", got)
+	}
+	if got["topology-phases"] < 3 {
+		t.Errorf("expected at least 3 phase rows, got %d", got["topology-phases"])
+	}
+}
+
+// TestRunTopologyErrors: malformed specs and unsupported operations.
+func TestRunTopologyErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := runOp(&sb, params{op: "index", k: 1, b: 8, topology: "nonsense"}); err == nil {
+		t.Error("bad topology spec accepted")
+	}
+	if err := runOp(&sb, params{op: "reducescatter", k: 1, b: 8, topology: "4x4", kernel: "sum:int32"}); err == nil {
+		t.Error("-topology with reducescatter accepted")
+	}
+	if err := runOp(&sb, params{op: "allreduce", k: 1, b: 8, topology: "4x4", kernel: "nonsense"}); err == nil {
+		t.Error("bad kernel accepted")
+	}
+	if err := runOp(&sb, params{op: "allreduce", k: 1, b: 8, topoCross: true, kernel: "sum:int32"}); err == nil {
+		t.Error("-crossover-topology with allreduce accepted")
+	}
+}
+
+// TestRunTopoCrossover: the sweep renders the study table and one
+// summary line per (n, ratio) pair, and the JSON mode carries both
+// sections.
+func TestRunTopoCrossover(t *testing.T) {
+	var sb strings.Builder
+	if err := runOp(&sb, params{op: "index", k: 1, topoCross: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"topology crossover study", "winner", "ratio=10", "n=16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	// The headline claim of the study: at a 10:1 ratio and n=16 the
+	// hierarchical schedule wins the latency-bound end of the sweep.
+	hierWon := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " 16 ") && strings.Contains(line, "    10 ") &&
+			strings.HasSuffix(strings.TrimRight(line, " "), "hier") {
+			hierWon = true
+		}
+	}
+	if !hierWon {
+		t.Errorf("no hierarchical win at n=16 ratio=10:\n%s", out)
+	}
+
+	var jb strings.Builder
+	if err := runOp(&jb, params{op: "concat", k: 1, topoCross: true, reportJSON: true}); err != nil {
+		t.Fatal(err)
+	}
+	var sections []struct {
+		Name string     `json:"name"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(jb.String()), &sections); err != nil {
+		t.Fatalf("-report-json output is not JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, s := range sections {
+		names[s.Name] = true
+	}
+	if !names["topology-crossover"] || !names["topology-crossover-summary"] {
+		t.Errorf("missing crossover sections, got %v", names)
+	}
+}

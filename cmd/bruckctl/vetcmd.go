@@ -128,12 +128,18 @@ func vetCase(dir string, c golden.Case, perturb bool) ([]string, error) {
 	return violations, nil
 }
 
-// vetPerturb injects the structural drift the verifier must catch. The
-// shared golden.Perturb bump can coincidentally keep C2 consistent
-// (when the bumped send was the unique round maximum), so vet drops a
-// send instead — breaking the pattern count on populated schedules —
-// and falls back to the meta bump for message-free ones.
+// vetPerturb injects the structural drift the verifier must catch. A
+// hierarchical artifact is perturbed across the level dimension — an
+// inter-group transfer displaced into an intra phase, which the
+// link-class discipline must reject. For flat artifacts the shared
+// golden.Perturb bump can coincidentally keep C2 consistent (when the
+// bumped send was the unique round maximum), so vet drops a send
+// instead — breaking the pattern count on populated schedules — and
+// falls back to the meta bump for message-free ones.
 func vetPerturb(s *trace.Schedule) {
+	if golden.PerturbPhase(s) {
+		return
+	}
 	for i := range s.Rounds {
 		if len(s.Rounds[i].Sends) > 0 {
 			s.Rounds[i].Sends = s.Rounds[i].Sends[:len(s.Rounds[i].Sends)-1]

@@ -20,7 +20,12 @@
 //   - pattern consistency: where the compiled rank-0 Pattern is
 //     present, every round of the recorded execution must be exactly
 //     that pattern translated to all N ranks, and each transfer's
-//     declared blocks/extents must account for its byte count.
+//     declared blocks/extents must account for its byte count;
+//   - level discipline: a hierarchical schedule's phase table must
+//     tile the rounds exactly, its per-phase C1/C2 must sum to the
+//     header totals, and every message must respect its phase's link
+//     class — intra-phase messages stay inside one node group,
+//     inter-phase messages cross groups.
 //
 // Verify returns a capped list of human-readable violations; an empty
 // list is a proof of well-formedness at this structural level.
@@ -53,6 +58,7 @@ func Verify(s *trace.Schedule) []string {
 	checkAccounting(s, add)
 	checkConservation(s, add)
 	checkPattern(s, add)
+	checkPhases(s, add)
 	return v
 }
 
@@ -287,6 +293,99 @@ func blocksAccount(s *trace.Schedule, blocks, bytes int) bool {
 		return true
 	}
 	return s.BlockLen%s.Segments > 0 && blocks*(q+1) == bytes
+}
+
+// checkPhases verifies the level dimension of a hierarchical schedule:
+// the group table must cover the machine, the phase table must tile
+// the rounds in order with per-phase complexity summing to the header
+// totals, and every recorded message must move over its phase's link
+// class. Rounds are matched to phases by position — a trace records
+// one execution from round zero, so position i is compiled round i.
+func checkPhases(s *trace.Schedule, add func(string, ...any)) {
+	if len(s.Phases) == 0 {
+		if s.Topology != "" || len(s.Groups) > 0 {
+			add("phases: topology meta (%q, groups %v) without a phase table", s.Topology, s.Groups)
+		}
+		return
+	}
+	if len(s.Groups) == 0 {
+		add("phases: phase table without a group table")
+		return
+	}
+	sum := 0
+	for i, gs := range s.Groups {
+		if gs < 1 {
+			add("groups[%d]: non-positive group size %d", i, gs)
+			return
+		}
+		sum += gs
+	}
+	if sum != s.N {
+		add("groups: sizes %v sum to %d, n is %d", s.Groups, sum, s.N)
+		return
+	}
+	groupOf := make([]int, s.N)
+	for a, p := 0, 0; a < len(s.Groups); a++ {
+		for q := 0; q < s.Groups[a]; q++ {
+			groupOf[p] = a
+			p++
+		}
+	}
+
+	next, c1, c2 := 0, 0, 0
+	for i, ph := range s.Phases {
+		if ph.Class != "intra" && ph.Class != "inter" {
+			add("phases[%d] (%s): unknown link class %q", i, ph.Name, ph.Class)
+		}
+		if ph.First != next {
+			add("phases[%d] (%s): starts at round %d, want %d — phases must tile the schedule", i, ph.Name, ph.First, next)
+		}
+		if ph.Rounds < 1 {
+			add("phases[%d] (%s): empty phase", i, ph.Name)
+		}
+		if ph.C1 != ph.Rounds {
+			add("phases[%d] (%s): c1 %d disagrees with its %d rounds", i, ph.Name, ph.C1, ph.Rounds)
+		}
+		next = ph.First + ph.Rounds
+		c1 += ph.C1
+		c2 += ph.C2
+	}
+	if next != s.C1 {
+		add("phases: tile %d rounds, schedule has %d", next, s.C1)
+	}
+	if c2 != s.C2 {
+		add("phases: per-phase c2 sums to %d, header says %d", c2, s.C2)
+	}
+	if len(s.Rounds) != s.C1 {
+		return // round-count drift already reported by checkAccounting
+	}
+	for _, ph := range s.Phases {
+		phc2 := 0
+		for r := ph.First; r >= 0 && r < ph.First+ph.Rounds && r < len(s.Rounds); r++ {
+			roundMax := 0
+			for _, snd := range s.Rounds[r].Sends {
+				if snd.Bytes > roundMax {
+					roundMax = snd.Bytes
+				}
+				if snd.Src < 0 || snd.Src >= s.N || snd.Dst < 0 || snd.Dst >= s.N {
+					continue // out-of-range already reported by checkRounds
+				}
+				same := groupOf[snd.Src] == groupOf[snd.Dst]
+				if ph.Class == "intra" && !same {
+					add("phases: round %d (%s, intra) sends p%d->p%d across groups %d and %d",
+						r, ph.Name, snd.Src, snd.Dst, groupOf[snd.Src], groupOf[snd.Dst])
+				}
+				if ph.Class == "inter" && same {
+					add("phases: round %d (%s, inter) sends p%d->p%d inside group %d",
+						r, ph.Name, snd.Src, snd.Dst, groupOf[snd.Src])
+				}
+			}
+			phc2 += roundMax
+		}
+		if phc2 != ph.C2 {
+			add("phases: %s declares c2=%d, its rounds' maxima sum to %d", ph.Name, ph.C2, phc2)
+		}
+	}
 }
 
 // matchRound checks one recorded round against one pattern round: every

@@ -160,3 +160,87 @@ func TestPerturbedArtifactsRejected(t *testing.T) {
 		})
 	}
 }
+
+// TestHierarchicalLevelDiscipline perturbs a hierarchical artifact
+// across the level dimension and asserts the verifier names the
+// link-class break, not just a byte-accounting side effect.
+func TestHierarchicalLevelDiscipline(t *testing.T) {
+	base := golden.Case{Name: "hier-index-4x4"}
+	cases := []struct {
+		name    string
+		mutate  func(s *trace.Schedule)
+		wantSub string
+	}{
+		{
+			name: "inter transfer displaced into an intra phase",
+			mutate: func(s *trace.Schedule) {
+				if !golden.PerturbPhase(s) {
+					t.Fatal("PerturbPhase found nothing to displace")
+				}
+			},
+			wantSub: "intra) sends",
+		},
+		{
+			name: "intra-group send inside an inter phase",
+			mutate: func(s *trace.Schedule) {
+				for _, ph := range s.Phases {
+					if ph.Class != "inter" {
+						continue
+					}
+					s.Rounds[ph.First].Sends[0].Dst = s.Rounds[ph.First].Sends[0].Src + 1
+					return
+				}
+				t.Fatal("no inter phase in artifact")
+			},
+			wantSub: "inter) sends",
+		},
+		{
+			name: "phase tiling gap",
+			mutate: func(s *trace.Schedule) {
+				s.Phases[1].First++
+			},
+			wantSub: "tile",
+		},
+		{
+			name: "phase c2 drift",
+			mutate: func(s *trace.Schedule) {
+				s.Phases[0].C2++
+			},
+			wantSub: "c2",
+		},
+		{
+			name: "group table mismatch",
+			mutate: func(s *trace.Schedule) {
+				s.Groups[0]++
+			},
+			wantSub: "groups",
+		},
+		{
+			name: "topology meta without phases",
+			mutate: func(s *trace.Schedule) {
+				s.Phases = nil
+			},
+			wantSub: "without a phase table",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := loadGolden(t, base)
+			tc.mutate(s)
+			v := schedcheck.Verify(s)
+			if len(v) == 0 {
+				t.Fatalf("Verify accepted the perturbed hierarchical artifact")
+			}
+			found := false
+			for _, msg := range v {
+				if strings.Contains(msg, tc.wantSub) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no violation mentions %q; got:\n  %s", tc.wantSub, strings.Join(v, "\n  "))
+			}
+		})
+	}
+}

@@ -186,6 +186,7 @@ func Suite() []Bench {
 	s = append(s, collectivesSuite()...)
 	s = append(s, reduceSuite()...)
 	s = append(s, pipelineSuite()...)
+	s = append(s, hierSuite()...)
 	return s
 }
 
@@ -558,6 +559,153 @@ func pipelineSuite() []Bench {
 				}, modelOf(&res), nil
 			}})
 		}
+	}
+	return s
+}
+
+// hierSuite pits the two-level hierarchical compositions against their
+// flat counterparts on a 4x4 topology whose inter-group links are ten
+// times slower than the intra ones (the paper's Section 2 cost model,
+// per link class). Both arms run plan-reused on the channel transport
+// with the engine tagging messages by link class, so the snapshot's
+// C1/C2 counts carry each schedule's round/volume trade and the
+// wall-clock numbers track the simulator cost of the extra phases.
+func hierSuite() []Bench {
+	const area = "hier"
+	topoOf := func() (*costmodel.Topology, error) {
+		intra := costmodel.SP1
+		return costmodel.NewTopology([]int{4, 4, 4, 4}, intra, costmodel.Scaled(intra, costmodel.DefaultInterRatio))
+	}
+	engineOf := func(topo *costmodel.Topology) (*mpsim.Engine, *mpsim.Group, error) {
+		e, err := mpsim.New(suiteN, mpsim.WithTopology(topo.GroupAssignment()))
+		if err != nil {
+			return nil, nil, err
+		}
+		return e, mpsim.WorldGroup(suiteN), nil
+	}
+	indexSetup := func(hier bool) (func() error, func() (int, int), error) {
+		topo, err := topoOf()
+		if err != nil {
+			return nil, nil, err
+		}
+		e, g, err := engineOf(topo)
+		if err != nil {
+			return nil, nil, err
+		}
+		var pl *collective.Plan
+		if hier {
+			pl, err = collective.CompileHierarchicalIndex(e, g, suiteSize, topo, collective.HierOptions{})
+		} else {
+			pl, err = collective.CompileIndex(e, g, suiteSize, collective.IndexOptions{Radix: 2})
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		fin, err := buffers.FromMatrix(indexInput(suiteN, suiteSize))
+		if err != nil {
+			return nil, nil, err
+		}
+		fout, err := buffers.New(suiteN, suiteN, suiteSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		var res *collective.Result
+		return func() error {
+			var err error
+			res, err = pl.Execute(fin, fout)
+			return err
+		}, modelOf(&res), nil
+	}
+	concatSetup := func(hier bool) (func() error, func() (int, int), error) {
+		topo, err := topoOf()
+		if err != nil {
+			return nil, nil, err
+		}
+		e, g, err := engineOf(topo)
+		if err != nil {
+			return nil, nil, err
+		}
+		var pl *collective.Plan
+		if hier {
+			pl, err = collective.CompileHierarchicalConcat(e, g, suiteSize, topo, collective.HierOptions{})
+		} else {
+			pl, err = collective.CompileConcat(e, g, suiteSize, collective.ConcatOptions{})
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		fin, err := buffers.FromVector(concatInput(suiteN, suiteSize))
+		if err != nil {
+			return nil, nil, err
+		}
+		fout, err := buffers.New(suiteN, suiteN, suiteSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		var res *collective.Result
+		return func() error {
+			var err error
+			res, err = pl.Execute(fin, fout)
+			return err
+		}, modelOf(&res), nil
+	}
+	reduceSetup := func(hier bool) (func() error, func() (int, int), error) {
+		topo, err := topoOf()
+		if err != nil {
+			return nil, nil, err
+		}
+		e, g, err := engineOf(topo)
+		if err != nil {
+			return nil, nil, err
+		}
+		kernel, err := buffers.Kernel(buffers.Sum, buffers.Float32)
+		if err != nil {
+			return nil, nil, err
+		}
+		opt := collective.ReduceOptions{
+			Kernel: kernel, ElemSize: buffers.Float32.Size(), KernelKey: "sum/float32",
+		}
+		var pl *collective.Plan
+		if hier {
+			pl, err = collective.CompileHierarchicalReduce(e, g, collective.AllReduceKind, suiteSize, topo, opt)
+		} else {
+			opt.Algorithm = collective.ReduceBruck
+			opt.Radix = 2
+			pl, err = collective.CompileReduce(e, g, collective.AllReduceKind, suiteSize, opt)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		in, err := buffers.FromMatrix(indexInput(suiteN, suiteSize))
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err := buffers.New(suiteN, suiteN, suiteSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		var res *collective.Result
+		return func() error {
+			var err error
+			res, err = pl.Execute(in, out)
+			return err
+		}, modelOf(&res), nil
+	}
+	var s []Bench
+	for _, arm := range []struct {
+		name string
+		hier bool
+	}{{"flat-10to1", false}, {"hier-10to1", true}} {
+		arm := arm
+		s = append(s, Bench{area, "index/" + arm.name + "/chan", func() (func() error, func() (int, int), error) {
+			return indexSetup(arm.hier)
+		}})
+		s = append(s, Bench{area, "concat/" + arm.name + "/chan", func() (func() error, func() (int, int), error) {
+			return concatSetup(arm.hier)
+		}})
+		s = append(s, Bench{area, "allreduce/" + arm.name + "/chan", func() (func() error, func() (int, int), error) {
+			return reduceSetup(arm.hier)
+		}})
 	}
 	return s
 }

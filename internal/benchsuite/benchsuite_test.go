@@ -8,7 +8,8 @@ import (
 
 func TestSuiteShape(t *testing.T) {
 	areas := Areas()
-	if len(areas) != 3 || areas[0] != "collectives" || areas[1] != "pipeline" || areas[2] != "reduce" {
+	if len(areas) != 4 || areas[0] != "collectives" || areas[1] != "hier" ||
+		areas[2] != "pipeline" || areas[3] != "reduce" {
 		t.Fatalf("areas=%v", areas)
 	}
 	seen := map[string]bool{}
@@ -29,6 +30,9 @@ func TestSuiteShape(t *testing.T) {
 	}
 	if got := len(ByArea("pipeline")); got < 6 {
 		t.Fatalf("pipeline suite has %d cases, want >= 6", got)
+	}
+	if got := len(ByArea("hier")); got != 6 {
+		t.Fatalf("hier suite has %d cases, want 6 (flat and hier arms of 3 ops)", got)
 	}
 	if len(ByArea("nope")) != 0 {
 		t.Fatal("unknown area returned cases")

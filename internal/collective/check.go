@@ -64,6 +64,14 @@ func (pl *Plan) Check() []string {
 	if pl.c2 < pl.c2lb {
 		add("c2=%d below the paper's lower bound %d", pl.c2, pl.c2lb)
 	}
+	if pl.hier != nil {
+		// Hierarchical plans verify structurally: the contiguous group
+		// tiling, the phase table against its closed forms, and every
+		// flat sub-plan recursively (which runs the per-level transpose
+		// and fill simulations).
+		pl.checkHier(n, k, add)
+		return v
+	}
 	switch pl.op {
 	case opIndex:
 		if pl.ialg == IndexBruck {

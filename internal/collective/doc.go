@@ -192,6 +192,65 @@
 //     enforces this, and ExecutePlans runs reduction plans alongside
 //     index, concat and layout plans on disjoint groups.
 //
+// # Hierarchical plans
+//
+// CompileHierarchicalIndex, CompileHierarchicalConcat and
+// CompileHierarchicalReduce (hier.go) compile the two-level schedule
+// for a machine partitioned into node-groups (costmodel.Topology): the
+// paper's flat schedules run concurrently inside each group, one
+// leader-level schedule crosses groups, and gather/scatter fan phases
+// funnel remote data through the leaders. The result is one ordinary
+// Plan — byte-identical output to the flat operation — whose round
+// structure is a strictly ordered sequence of phases, each moving data
+// over exactly one link class. That single-class-per-phase discipline
+// is the load-bearing invariant: it makes the per-class (C1, C2) split
+// an exact compile-time fact (Result.Intra/Result.Inter, each carrying
+// its own lower bounds), lets Plan.TimeTopo price each phase at its
+// class profile, and gives trace.Schedule a phase table that
+// schedcheck can verify statically (phases tile the rounds, per-phase
+// C2 sums to the header, intra phases never cross groups, inter
+// phases never stay inside one).
+//
+// Hierarchical-plan lifecycle rules, in addition to the plan rules
+// above:
+//
+//   - The topology is part of the compiled plan: it must cover exactly
+//     the group (Topology.N() == group size), groups occupy contiguous
+//     runs of group ranks, and each group's first rank is its leader.
+//     Treat a Topology as immutable once a plan is compiled from it —
+//     the plan holds it by reference, like plans hold their layouts.
+//   - PlanCache keys hierarchical plans by the topology's 64-bit
+//     digest plus the per-level radices (HierOptions), confirming
+//     every digest hit with Topology.Equal; a colliding digest
+//     compiles a fresh uncached plan, never serves the wrong schedule.
+//     Names do not participate: differently named but
+//     parameter-identical topologies share cache entries.
+//   - The flat-vs-hierarchical auto dispatch (autohier.go,
+//     bruck.WithAuto on a topology machine) prices flat candidates at
+//     Topology.FlatTime — every round pays the slowest class — and
+//     hierarchical candidates phase by phase, memoizing the winning
+//     plan under the same digest-keyed scheme. A memoized flat verdict
+//     is served without an Equal check (a flat plan is correct on any
+//     topology of the group's size); trivial topologies (one group, or
+//     all singleton groups) always dispatch flat.
+//   - Reductions are AllReduceKind only: the composition reduces each
+//     group onto its leader, reduces across leaders, and broadcasts
+//     back out, yielding the full vector everywhere. A hierarchical
+//     reduce-scatter would need a different redistribution phase, so
+//     CompileHierarchicalReduce rejects ReduceScatterKind. The fixed
+//     fold order matches the flat schedules byte-for-byte only for
+//     exact commutative kernels (the integer kernels); floating-point
+//     kernels may round differently.
+//   - Segments has no hierarchical axis: HierOptions carries the
+//     per-level radices only, and the pipelining option does not apply
+//     to two-level schedules.
+//   - Execution follows the ordinary plan rules (engine affinity,
+//     explicit buffers, fencing survival). The compilers do not
+//     require it, but an engine created with mpsim.WithTopology (the
+//     group-assignment form bruck.WithTopology arranges) tags every
+//     recorded event with its link class, so measured per-class
+//     metrics can be checked against the compiled phase table.
+//
 // The closed-form complexity functions in cost.go predict C1 and C2 for
 // every algorithm; the tests assert that the schedules executed on the
 // simulator match the closed forms exactly, and that both respect the

@@ -75,6 +75,13 @@ type Plan struct {
 	ralg    ReduceAlgorithm
 	combine buffers.CombineFunc
 
+	// Hierarchical (two-level) plans. Non-nil hier marks a schedule
+	// compiled by CompileHierarchicalIndex/Concat/Reduce: the flat round
+	// tables above are unused and the phase structure lives in hier (see
+	// hier.go). op, group, blockLen and the c1/c2/bound fields keep their
+	// meanings.
+	hier *hierPlan
+
 	// poolHint is the largest pool buffer any execution acquires. The
 	// bodies make sure each run's first pool acquisition has this size —
 	// the Bruck working region is exactly hint-sized, and the circulant
@@ -164,8 +171,12 @@ type lastArea struct {
 func (pl *Plan) Op() string { return pl.op.String() }
 
 // Algorithm returns the compiled schedule's algorithm name ("bruck",
-// "direct", "pairwise-xor", "circulant", "ring", "halving", ...).
+// "direct", "pairwise-xor", "circulant", "ring", "halving",
+// "hierarchical", ...).
 func (pl *Plan) Algorithm() string {
+	if pl.hier != nil {
+		return "hierarchical"
+	}
 	switch pl.op {
 	case opIndex:
 		return pl.ialg.String()
@@ -229,6 +240,21 @@ func (pl *Plan) result(m *mpsim.Metrics) *Result {
 	res := resultFrom(m)
 	res.C2LowerBound = pl.c2lb
 	res.C1LowerBound = pl.c1lb
+	if h := pl.hier; h != nil {
+		intra := &LevelStats{C1LowerBound: h.intraC1LB, C2LowerBound: h.intraC2LB}
+		inter := &LevelStats{C1LowerBound: h.interC1LB, C2LowerBound: h.interC2LB}
+		if m.ClassRoundSizes(mpsim.ClassIntra) != nil {
+			// The engine tags link classes: report the measured split.
+			intra.C1, intra.C2 = m.ClassRounds(mpsim.ClassIntra), m.ClassVolume(mpsim.ClassIntra)
+			inter.C1, inter.C2 = m.ClassRounds(mpsim.ClassInter), m.ClassVolume(mpsim.ClassInter)
+		} else {
+			// Flat engine: fall back to the compiled per-phase split,
+			// which the phase-ordered schedule realizes exactly.
+			intra.C1, intra.C2 = pl.PredictedClassC1(mpsim.ClassIntra), pl.PredictedClassC2(mpsim.ClassIntra)
+			inter.C1, inter.C2 = pl.PredictedClassC1(mpsim.ClassInter), pl.PredictedClassC2(mpsim.ClassInter)
+		}
+		res.Intra, res.Inter = intra, inter
+	}
 	return res
 }
 
@@ -531,7 +557,12 @@ func CompileConcat(e *mpsim.Engine, g *mpsim.Group, blockLen int, opt ConcatOpti
 		return nil, fmt.Errorf("collective: unknown concat algorithm %v", opt.Algorithm)
 	}
 	pl.c2lb = lowerbound.ConcatVolume(n, blockLen, k)
-	pl.c1lb = lowerbound.ConcatRounds(n, k)
+	if blockLen > 0 {
+		// The dissemination bound assumes there is data to disseminate;
+		// a zero-byte concatenation compiles without its last rounds and
+		// legitimately finishes in fewer.
+		pl.c1lb = lowerbound.ConcatRounds(n, k)
+	}
 	return pl, nil
 }
 
@@ -785,6 +816,12 @@ func ExecutePlans(e *mpsim.Engine, plans []*Plan) ([]*Result, error) {
 func (pl *Plan) body(p *mpsim.Proc, in, out *buffers.Buffers) error {
 	me := pl.group.Rank(p.Rank())
 	if me < 0 {
+		return nil
+	}
+	if pl.hier != nil {
+		if err := pl.hierBody(p, in.Proc(me), out.Proc(me)); err != nil {
+			return fmt.Errorf("group rank %d: %w", me, err)
+		}
 		return nil
 	}
 	var err error
@@ -1119,6 +1156,8 @@ func (pl *Plan) replayCirculantRounds(p *mpsim.Proc, acc []byte, bl int) error {
 // layout with Equal, and a mismatching hit — an astronomically unlikely
 // digest collision — compiles a fresh uncached plan rather than ever
 // serving the wrong schedule.
+// Hierarchical plans key by the topology's digest the same way (topo;
+// zero for flat plans), confirmed by Topology.Equal on a hit.
 type planCacheKey struct {
 	e        *mpsim.Engine
 	g        *mpsim.Group
@@ -1135,6 +1174,7 @@ type planCacheKey struct {
 	kernel   string // kernel identity of a reduction plan
 	v        bool
 	layout   uint64
+	topo     uint64 // topology digest of a hierarchical plan
 }
 
 // normSegments canonicalizes a segment request for cache keying: 0 and

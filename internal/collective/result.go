@@ -37,6 +37,29 @@ type Result struct {
 	// can void the dissemination argument — and for the one-to-all
 	// primitives.
 	C1LowerBound int
+	// Intra and Inter split the run's C1/C2 by link class for
+	// hierarchical plans, with the per-level Section 2 bounds (package
+	// lowerbound's Hier* functions) alongside. On an engine with a
+	// topology the split is measured; without one it is the compiled
+	// per-phase split, which the simulator reproduces exactly. Nil for
+	// flat plans.
+	Intra, Inter *LevelStats
+}
+
+// LevelStats is one link class's share of a hierarchical execution.
+type LevelStats struct {
+	// C1 is the number of rounds in which a message crossed this link
+	// class; C2 the class's data volume (sum over rounds of the class's
+	// largest message).
+	C1, C2 int
+	// C1LowerBound and C2LowerBound are the per-level Section 2 bounds
+	// for leader-routed two-level schedules (package lowerbound).
+	C1LowerBound, C2LowerBound int
+}
+
+// LevelTime prices one level's share under a link-class profile.
+func (l *LevelStats) LevelTime(p costmodel.Profile) float64 {
+	return p.Time(l.C1, l.C2)
 }
 
 func resultFrom(m *mpsim.Metrics) *Result {
@@ -53,6 +76,17 @@ func resultFrom(m *mpsim.Metrics) *Result {
 // given machine profile.
 func (r *Result) Time(p costmodel.Profile) float64 {
 	return p.Time(r.C1, r.C2)
+}
+
+// TimeTopo returns the linear-model estimate under a two-level
+// topology: a hierarchical result (Intra/Inter populated) prices each
+// level at its class profile, a flat result pays the topology's
+// FlatTime — every round priced by the slowest class it can touch.
+func (r *Result) TimeTopo(t *costmodel.Topology) float64 {
+	if r.Intra != nil && r.Inter != nil {
+		return t.LevelTime(r.Intra.C1, r.Intra.C2, r.Inter.C1, r.Inter.C2)
+	}
+	return t.FlatTime(r.C1, r.C2)
 }
 
 // String renders the headline measures.

@@ -7,6 +7,7 @@ package collective
 // snapshots and verifies these artifacts.
 
 import (
+	"bruck/internal/costmodel"
 	"bruck/internal/intmath"
 	"bruck/internal/mpsim"
 	"bruck/internal/trace"
@@ -35,6 +36,24 @@ func (pl *Plan) Schedule(events []mpsim.Event) *trace.Schedule {
 		C1:        pl.c1,
 		C2:        pl.c2,
 		Rounds:    GroupEvents(events),
+	}
+	if h := pl.hier; h != nil {
+		// Hierarchical schedules export their phase table in place of a
+		// Pattern: the leader-routed phases are not translation
+		// invariant, so there is no single rank-0 view to compile.
+		s.Topology = h.topo.Spec()
+		s.Groups = append([]int(nil), h.sizes...)
+		for _, ph := range pl.Phases() {
+			s.Phases = append(s.Phases, trace.SchedulePhase{
+				Name:   ph.Name,
+				Class:  costmodel.LinkClass(ph.Class).String(),
+				First:  ph.First,
+				Rounds: ph.Rounds,
+				C1:     ph.Rounds,
+				C2:     ph.C2,
+			})
+		}
+		return s
 	}
 	s.Pattern = pl.pattern()
 	return s

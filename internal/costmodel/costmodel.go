@@ -11,6 +11,17 @@
 // T = g1*C1*ts + g2*C2*tc + g3 to account for OS background load,
 // memory-copy time and congestion on the real SP-1; the Extended type
 // reproduces it.
+//
+// The scalar model assumes every link costs the same — the paper's
+// fully connected uniform machine. Topology generalizes it to
+// two-level clustered machines: named node-groups with one (beta,
+// tau) profile per link class (intra-group vs inter-group) and an
+// optional per-pair override table, under which a round is priced by
+// the slowest link it crosses (Topology.EventTime,
+// Topology.LevelTime) and the per-processor-clock accounting prices
+// each message by its own link (CriticalPathTopo). A Topology with
+// one group — or with Intra == Inter — degenerates exactly to the
+// scalar model.
 package costmodel
 
 import (

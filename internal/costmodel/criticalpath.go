@@ -47,6 +47,63 @@ import (
 // may safely share a batch — the accounting couples processors only
 // through the messages between them.
 func CriticalPath(p Profile, n int, events []mpsim.Event) (float64, error) {
+	return criticalPath(n, events, func(src, dst, size int) float64 {
+		return p.MessageTime(size)
+	})
+}
+
+// CriticalPathTopo is CriticalPath under a two-level topology: each
+// message is priced by the profile of the link it crosses
+// (Topology.LinkProfile — intra, inter, or the pair's override), so a
+// hierarchical schedule's intra-group rounds cost intra-group time
+// even when the machine's inter-group links are an order of magnitude
+// slower. On a single-group topology it equals CriticalPath under the
+// Intra profile.
+func CriticalPathTopo(t *Topology, n int, events []mpsim.Event) (float64, error) {
+	if t == nil {
+		return 0, fmt.Errorf("costmodel: CriticalPathTopo with nil topology")
+	}
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if t.N() != n {
+		return 0, fmt.Errorf("costmodel: topology covers %d processors, machine has %d", t.N(), n)
+	}
+	return criticalPath(n, events, func(src, dst, size int) float64 {
+		return t.LinkProfile(src, dst).MessageTime(size)
+	})
+}
+
+// EventTime prices a recorded schedule under the topology with the
+// paper's round-synchronous accounting generalized per link: every
+// round costs the maximum over its messages of the message's
+// link-profile cost beta_c + m*tau_c — the round is priced by the
+// slowest link it crosses. For a flat profile (Intra == Inter, no
+// overrides) this equals Profile.Time(C1, C2) of the recorded
+// schedule.
+func (t *Topology) EventTime(events []mpsim.Event) float64 {
+	sorted := append([]mpsim.Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Round < sorted[j].Round })
+	total := 0.0
+	i := 0
+	for i < len(sorted) {
+		round := sorted[i].Round
+		cost := 0.0
+		for i < len(sorted) && sorted[i].Round == round {
+			ev := sorted[i]
+			if c := t.LinkProfile(ev.Src, ev.Dst).MessageTime(ev.Size); c > cost {
+				cost = c
+			}
+			i++
+		}
+		total += cost
+	}
+	return total
+}
+
+// criticalPath is the shared per-processor-clock walk: price is the
+// full delivery cost of one message on its link.
+func criticalPath(n int, events []mpsim.Event, price func(src, dst, size int) float64) (float64, error) {
 	if n < 1 {
 		return 0, fmt.Errorf("costmodel: CriticalPath with n = %d", n)
 	}
@@ -66,26 +123,27 @@ func CriticalPath(p Profile, n int, events []mpsim.Event) (float64, error) {
 
 		start := make([]float64, n)
 		copy(start, clock)
-		// Sender-side cost: beta + tau * (largest message this
-		// processor sends this round).
-		sendMax := make(map[int]int, len(batch))
+		// Sender-side cost: the costliest message this processor sends
+		// this round (ports operate in parallel; with heterogeneous
+		// links the costliest message need not be the largest).
+		sendMax := make(map[int]float64, len(batch))
 		for _, ev := range batch {
 			if ev.Src < 0 || ev.Src >= n || ev.Dst < 0 || ev.Dst >= n {
 				return 0, fmt.Errorf("costmodel: event %+v outside n = %d", ev, n)
 			}
-			if cur, ok := sendMax[ev.Src]; !ok || ev.Size > cur {
-				sendMax[ev.Src] = ev.Size
+			if c := price(ev.Src, ev.Dst, ev.Size); c > sendMax[ev.Src] {
+				sendMax[ev.Src] = c
 			}
 		}
-		for src, m := range sendMax {
-			if t := start[src] + p.MessageTime(m); t > clock[src] {
+		for src, c := range sendMax {
+			if t := start[src] + c; t > clock[src] {
 				clock[src] = t
 			}
 		}
 		// Receiver-side: the round ends for dst no earlier than every
 		// arrival.
 		for _, ev := range batch {
-			arrival := start[ev.Src] + p.MessageTime(ev.Size)
+			arrival := start[ev.Src] + price(ev.Src, ev.Dst, ev.Size)
 			if arrival > clock[ev.Dst] {
 				clock[ev.Dst] = arrival
 			}

@@ -23,6 +23,7 @@ import (
 	"bruck/internal/blocks"
 	"bruck/internal/buffers"
 	"bruck/internal/collective"
+	"bruck/internal/costmodel"
 	"bruck/internal/mpsim"
 	"bruck/internal/trace"
 )
@@ -54,6 +55,11 @@ type Case struct {
 	// reduce-scatter phase of a reduction) into that many block spans;
 	// 0 is monolithic.
 	Segments int
+	// Topology is the two-level topology spec ("4x4", "4,4,3") of a
+	// hierarchical case: the case compiles the CompileHierarchical*
+	// composition on that node-group structure (Alg is "hier", and N
+	// must equal the spec's processor count). Empty for flat cases.
+	Topology string
 }
 
 // Corpus returns the committed golden corpus: one representative case
@@ -90,6 +96,12 @@ func Corpus() []Case {
 		{Name: "allreduce-bruck-n6-k2", Op: "allreduce", Alg: "bruck", N: 6, K: 2, B: 8},
 		// Segment-pipelined reduce-scatter phase inside an allreduce.
 		{Name: "allreduce-bruck-n8-k1-r2-s2", Op: "allreduce", Alg: "bruck", N: 8, K: 1, B: 8, Radix: 2, Segments: 2},
+		// Hierarchical (two-level) compositions: intra phases, a
+		// leader-routed inter phase and the redistribution, with the phase
+		// table and link-class discipline verified by schedcheck.
+		{Name: "hier-index-4x4", Op: "index", Alg: "hier", N: 16, K: 1, B: 4, Topology: "4x4"},
+		{Name: "hier-concat-4-4-3", Op: "concat", Alg: "hier", N: 11, K: 1, B: 4, Topology: "4,4,3"},
+		{Name: "hier-allreduce-4x4", Op: "allreduce", Alg: "hier", N: 16, K: 1, B: 8, Topology: "4x4"},
 	}
 }
 
@@ -134,8 +146,13 @@ func Verify(dir string, c Case, live *trace.Schedule) ([]string, error) {
 }
 
 // Perturb structurally mutates a schedule — the drift a verify run must
-// catch. Used by the negative tests and `cmd/trace verify -perturb`.
+// catch. Used by the negative tests and `bruckctl trace verify -perturb`.
+// Hierarchical schedules are perturbed across the level dimension
+// (PerturbPhase); flat ones via a message-size bump.
 func Perturb(s *trace.Schedule) {
+	if PerturbPhase(s) {
+		return
+	}
 	s.C2++
 	for i := range s.Rounds {
 		if len(s.Rounds[i].Sends) > 0 {
@@ -145,6 +162,36 @@ func Perturb(s *trace.Schedule) {
 	}
 	// A schedule with no messages (n = 1) still drifts via its meta.
 	s.C1++
+}
+
+// PerturbPhase moves one inter-group transfer of a hierarchical
+// schedule into an intra-group phase — the cross-level drift the
+// verifiers must catch: the trace diff sees the displaced sends, and
+// schedcheck's link-class discipline sees a cross-group message inside
+// an intra phase. Returns false when the schedule has no phase table
+// or no message to displace, leaving it untouched.
+func PerturbPhase(s *trace.Schedule) bool {
+	if len(s.Phases) == 0 {
+		return false
+	}
+	interIdx, intraIdx := -1, -1
+	for _, ph := range s.Phases {
+		for r := ph.First; r < ph.First+ph.Rounds && r < len(s.Rounds); r++ {
+			if ph.Class == "inter" && interIdx < 0 && len(s.Rounds[r].Sends) > 0 {
+				interIdx = r
+			}
+			if ph.Class == "intra" && intraIdx < 0 {
+				intraIdx = r
+			}
+		}
+	}
+	if interIdx < 0 || intraIdx < 0 {
+		return false
+	}
+	snd := s.Rounds[interIdx].Sends[0]
+	s.Rounds[interIdx].Sends = append([]trace.ScheduleSend(nil), s.Rounds[interIdx].Sends[1:]...)
+	s.Rounds[intraIdx].Sends = append(s.Rounds[intraIdx].Sends, snd)
+	return true
 }
 
 // Capture compiles the case's plan on a fresh engine (created with the
@@ -223,6 +270,11 @@ func fill(blk []byte, i, j int) {
 
 func (c Case) indexOptions() (collective.IndexOptions, error) {
 	switch c.Alg {
+	case "hier":
+		if c.Topology == "" {
+			return collective.IndexOptions{}, fmt.Errorf("alg %q requires a topology spec", c.Alg)
+		}
+		return collective.IndexOptions{}, nil
 	case "bruck", "mixed":
 		return collective.IndexOptions{Radix: c.Radix, Segments: c.Segments}, nil
 	case "direct":
@@ -288,9 +340,15 @@ func (c Case) setupIndex(e *mpsim.Engine, g *mpsim.Group) (*collective.Plan, fun
 		}, nil
 	}
 	var pl *collective.Plan
-	if c.Alg == "mixed" {
+	switch {
+	case c.Topology != "":
+		var topo *costmodel.Topology
+		if topo, err = costmodel.ParseTopology(c.Topology); err == nil {
+			pl, err = collective.CompileHierarchicalIndex(e, g, c.B, topo, collective.HierOptions{})
+		}
+	case c.Alg == "mixed":
 		pl, err = collective.CompileIndexMixed(e, g, c.B, c.Radices)
-	} else {
+	default:
 		pl, err = collective.CompileIndex(e, g, c.B, opt)
 	}
 	if err != nil {
@@ -326,6 +384,11 @@ func (c Case) setupIndex(e *mpsim.Engine, g *mpsim.Group) (*collective.Plan, fun
 
 func (c Case) concatOptions() (collective.ConcatOptions, error) {
 	switch c.Alg {
+	case "hier":
+		if c.Topology == "" {
+			return collective.ConcatOptions{}, fmt.Errorf("alg %q requires a topology spec", c.Alg)
+		}
+		return collective.ConcatOptions{}, nil
 	case "circulant":
 		return collective.ConcatOptions{}, nil
 	case "folklore":
@@ -385,7 +448,15 @@ func (c Case) setupConcat(e *mpsim.Engine, g *mpsim.Group) (*collective.Plan, fu
 			return nil
 		}, nil
 	}
-	pl, err := collective.CompileConcat(e, g, c.B, opt)
+	var pl *collective.Plan
+	if c.Topology != "" {
+		var topo *costmodel.Topology
+		if topo, err = costmodel.ParseTopology(c.Topology); err == nil {
+			pl, err = collective.CompileHierarchicalConcat(e, g, c.B, topo, collective.HierOptions{})
+		}
+	} else {
+		pl, err = collective.CompileConcat(e, g, c.B, opt)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -425,6 +496,10 @@ func (c Case) reduceOptions() (collective.ReduceOptions, error) {
 		Segments: c.Segments,
 	}
 	switch c.Alg {
+	case "hier":
+		if c.Topology == "" {
+			return collective.ReduceOptions{}, fmt.Errorf("alg %q requires a topology spec", c.Alg)
+		}
 	case "ring":
 		opt.Algorithm = collective.ReduceRing
 	case "halving":
@@ -467,7 +542,15 @@ func (c Case) setupReduce(e *mpsim.Engine, g *mpsim.Group) (*collective.Plan, fu
 		kind = collective.AllReduceKind
 		outBlocks = c.N
 	}
-	pl, err := collective.CompileReduce(e, g, kind, c.B, opt)
+	var pl *collective.Plan
+	if c.Topology != "" {
+		var topo *costmodel.Topology
+		if topo, err = costmodel.ParseTopology(c.Topology); err == nil {
+			pl, err = collective.CompileHierarchicalReduce(e, g, kind, c.B, topo, opt)
+		}
+	} else {
+		pl, err = collective.CompileReduce(e, g, kind, c.B, opt)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -171,6 +171,137 @@ func AllReduceVolume(n, b, k int) int {
 	return intmath.CeilDiv(n*b, k)
 }
 
+// Per-level bounds for two-level hierarchical schedules: the machine is
+// partitioned into node-groups, traffic inside a group crosses intra
+// links and traffic between groups crosses inter links, and a schedule
+// is leader-routed — all inter-group traffic of a group funnels through
+// one designated member. The flat Section 2 bounds still apply to the
+// whole schedule; the functions below bound each link class separately,
+// which is what the topology-priced model T = C1a*beta_a + C2a*tau_a +
+// C1e*beta_e + C2e*tau_e needs. They are the Section 2 arguments applied
+// per level: the intra bounds are the dissemination/volume bounds inside
+// the largest group, the inter bounds the same applied to the group
+// graph (rounds) and to the busiest group's boundary traffic (volume).
+
+// HierIntraRounds bounds the intra-link rounds of any two-level
+// schedule: inside the largest group, group-local data still has to
+// disseminate among its sizes[a] members, which takes at least
+// ceil(log_{k+1} max_a sizes[a]) rounds on intra links (Proposition
+// 2.1 within a group).
+func HierIntraRounds(sizes []int, k int) int {
+	max := 1
+	for _, m := range sizes {
+		if m > max {
+			max = m
+		}
+	}
+	return ConcatRounds(max, k)
+}
+
+// HierInterRounds bounds the inter-link rounds: collapsing each group
+// to a node, information must still disseminate among the G groups,
+// which takes at least ceil(log_{k+1} G) rounds crossing group
+// boundaries (Proposition 2.1 on the group graph).
+func HierInterRounds(numGroups, k int) int {
+	return ConcatRounds(numGroups, k)
+}
+
+// HierIndexIntraVolume bounds the intra-link data volume of a
+// leader-routed two-level index schedule: within the largest group the
+// members must complete their local all-to-all over intra links —
+// Proposition 2.4 applied inside the group.
+func HierIndexIntraVolume(sizes []int, b, k int) int {
+	worst := 0
+	for _, m := range sizes {
+		if v := IndexVolume(m, b, k); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// HierIndexInterVolume bounds the inter-link data volume of a
+// leader-routed two-level index schedule with n total processors:
+// group a's members hold sizes[a]*(n-sizes[a]) blocks destined outside
+// the group, all of which leave through the leader's k ports — the
+// Proposition 2.4 port argument applied to the busiest leader.
+func HierIndexInterVolume(sizes []int, n, b, k int) int {
+	if b == 0 {
+		return 0
+	}
+	worst := 0
+	for _, m := range sizes {
+		if out := m * (n - m) * b; out > worst {
+			worst = out
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return intmath.CeilDiv(worst, k)
+}
+
+// HierConcatIntraVolume is HierIndexIntraVolume for concatenation: the
+// largest group's internal allgather floor (Proposition 2.2 within the
+// group).
+func HierConcatIntraVolume(sizes []int, b, k int) int {
+	worst := 0
+	for _, m := range sizes {
+		if v := ConcatVolume(m, b, k); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// HierConcatInterVolume bounds the inter-link volume of a leader-routed
+// two-level concatenation with n total processors: group a's leader
+// must pull the (n-sizes[a])*b bytes contributed outside its group in
+// through its k ports.
+func HierConcatInterVolume(sizes []int, n, b, k int) int {
+	if b == 0 {
+		return 0
+	}
+	worst := 0
+	for _, m := range sizes {
+		if in := (n - m) * b; in > worst {
+			worst = in
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return intmath.CeilDiv(worst, k)
+}
+
+// HierAllReduceIntraVolume bounds the intra-link volume of a
+// leader-routed two-level allreduce over vectors of n chunks of b bytes
+// on n total processors: in any group with more than one member, a
+// non-leader member must receive the full n*b reduced vector over
+// intra links (the AllReduceVolume argument confined to a group).
+func HierAllReduceIntraVolume(sizes []int, n, b, k int) int {
+	if b == 0 {
+		return 0
+	}
+	for _, m := range sizes {
+		if m > 1 {
+			return intmath.CeilDiv(n*b, k)
+		}
+	}
+	return 0
+}
+
+// HierAllReduceInterVolume bounds the inter-link volume of a two-level
+// allreduce with more than one group: some group's leader must receive
+// the combined contributions of all other groups — n*b bytes of reduced
+// vector, which even fully combined crosses its k ports once.
+func HierAllReduceInterVolume(numGroups, n, b, k int) int {
+	if numGroups <= 1 || b == 0 {
+		return 0
+	}
+	return intmath.CeilDiv(n*b, k)
+}
+
 // OnePortIndexVolumeOrder returns the Theorem 2.9 Omega(b n log2 n)
 // expression for the one-port model when C1 = O(log n): the returned
 // value b*n*log2(n)/2 is a convenient representative of the order class

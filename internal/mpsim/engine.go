@@ -34,6 +34,14 @@ type Engine struct {
 	backend  Backend
 	chaos    ChaosConfig // read only when backend == BackendChaos
 
+	// groupOf[rank] is the node-group of each processor under the
+	// engine's two-level topology (WithTopology), nil on flat engines.
+	// The engine uses it only to tag each recorded send with its link
+	// class (ClassIntra/ClassInter); schedules and transports are
+	// unaffected — topology is a pricing dimension, not a connectivity
+	// restriction.
+	groupOf []int
+
 	// tr carries messages between processors. After a deadlocked run the
 	// engine abandons the instance to the stuck goroutines and installs
 	// a fresh one, so a transport is only ever shared by the goroutines
@@ -122,6 +130,33 @@ func WithChaos(cfg ChaosConfig) Option {
 	}
 }
 
+// WithTopology installs a two-level topology on the engine: groupOf
+// maps each rank to its node-group, and every recorded send is tagged
+// with the link class of its (src, dst) pair — ClassIntra when both
+// ends share a group, ClassInter otherwise. The tags flow into
+// Event.Class and the Metrics.ClassRounds/ClassVolume splits of C1 and
+// C2; connectivity and scheduling are unaffected. groupOf is copied;
+// it must cover exactly n ranks with non-negative group numbers. A nil
+// or empty groupOf leaves the engine flat.
+func WithTopology(groupOf []int) Option {
+	return func(e *Engine) {
+		if len(groupOf) == 0 {
+			e.groupOf = nil
+			return
+		}
+		e.groupOf = append([]int(nil), groupOf...)
+	}
+}
+
+// GroupAssignment returns a copy of the rank-to-group table installed
+// by WithTopology, or nil on flat engines.
+func (e *Engine) GroupAssignment() []int {
+	if e.groupOf == nil {
+		return nil
+	}
+	return append([]int(nil), e.groupOf...)
+}
+
 // New creates an engine for n processors. n must be at least 1 and the
 // port count k must satisfy 1 <= k <= max(1, n-1).
 func New(n int, opts ...Option) (*Engine, error) {
@@ -144,6 +179,16 @@ func New(n int, opts ...Option) (*Engine, error) {
 	}
 	if e.k < 1 || e.k > maxK {
 		return nil, fmt.Errorf("mpsim: port count k = %d, want 1 <= k <= %d for n = %d", e.k, maxK, n)
+	}
+	if e.groupOf != nil {
+		if len(e.groupOf) != n {
+			return nil, fmt.Errorf("mpsim: topology covers %d ranks, engine has %d", len(e.groupOf), n)
+		}
+		for r, g := range e.groupOf {
+			if g < 0 {
+				return nil, fmt.Errorf("mpsim: rank %d assigned negative group %d", r, g)
+			}
+		}
 	}
 	tr, err := newTransport(e.backend, n, e.chaos)
 	if err != nil {
@@ -274,6 +319,14 @@ func (e *Engine) RunPrograms(progs []Program) ([]*Metrics, error) {
 	for i := range metrics {
 		metrics[i] = newMetrics(e.n)
 		metrics[i].record = e.record
+		if g := e.groupOf; g != nil {
+			metrics[i].classOf = func(src, dst int) int {
+				if g[src] == g[dst] {
+					return ClassIntra
+				}
+				return ClassInter
+			}
+		}
 	}
 	if len(progs) == 1 {
 		e.metrics = metrics[0]

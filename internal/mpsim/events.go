@@ -6,11 +6,25 @@ import (
 	"strings"
 )
 
+// Link classes of a two-level topology (WithTopology). Engines without
+// a topology tag every event ClassIntra.
+const (
+	// ClassIntra marks a message between processors of the same
+	// node-group.
+	ClassIntra = 0
+	// ClassInter marks a message crossing node-groups.
+	ClassInter = 1
+	// NumLinkClasses is the number of distinct link classes.
+	NumLinkClasses = 2
+)
+
 // Event records one message of a run: src sent Size bytes to Dst in
-// round Round. Events are collected only when the engine was created
-// with Record(true).
+// round Round. Class is the link class of the (src, dst) pair under
+// the engine's topology (ClassIntra on engines without one). Events
+// are collected only when the engine was created with Record(true).
 type Event struct {
 	Round, Src, Dst, Size int
+	Class                 int
 }
 
 // Record enables event collection: every message of a run is logged

@@ -23,6 +23,15 @@ type Metrics struct {
 	// roundSends[i] is the number of messages sent in round i.
 	roundSends []int
 
+	// classOf classifies the link of one send (ClassIntra/ClassInter);
+	// nil on engines without a topology, where every send is intra.
+	classOf func(src, dst int) int
+	// classRoundMax[c][i] and classRoundSends[c][i] are roundMax and
+	// roundSends restricted to sends of link class c. Allocated lazily,
+	// only when the engine has a topology.
+	classRoundMax   [NumLinkClasses][]int
+	classRoundSends [NumLinkClasses][]int
+
 	totalBytes   int64 // sum of all message sizes over all sends
 	messageCount int64 // total number of messages sent
 
@@ -60,8 +69,22 @@ func (m *Metrics) recordSend(rank, dst, round, size int) {
 	m.totalBytes += int64(size)
 	m.messageCount++
 	m.perProcBytesOut[rank] += size
+	class := ClassIntra
+	if m.classOf != nil {
+		class = m.classOf(rank, dst)
+		for c := range m.classRoundMax {
+			for len(m.classRoundMax[c]) <= round {
+				m.classRoundMax[c] = append(m.classRoundMax[c], 0)
+				m.classRoundSends[c] = append(m.classRoundSends[c], 0)
+			}
+		}
+		if size > m.classRoundMax[class][round] {
+			m.classRoundMax[class][round] = size
+		}
+		m.classRoundSends[class][round]++
+	}
 	if m.record {
-		m.events = append(m.events, Event{Round: round, Src: rank, Dst: dst, Size: size})
+		m.events = append(m.events, Event{Round: round, Src: rank, Dst: dst, Size: size, Class: class})
 	}
 }
 
@@ -158,6 +181,80 @@ func (m *Metrics) MaxBytesIntoAnyProc() int {
 		}
 	}
 	return max
+}
+
+// ClassRounds returns the number of rounds in which at least one
+// message of the given link class was sent — the per-class split of
+// C1 on an engine with a topology. Without a topology every send is
+// ClassIntra, so ClassRounds(ClassIntra) equals Rounds() and
+// ClassRounds(ClassInter) is 0.
+func (m *Metrics) ClassRounds(class int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.classOf == nil {
+		if class == ClassIntra {
+			c1 := 0
+			for _, sends := range m.roundSends {
+				if sends > 0 {
+					c1++
+				}
+			}
+			return c1
+		}
+		return 0
+	}
+	if class < 0 || class >= NumLinkClasses {
+		return 0
+	}
+	c1 := 0
+	for _, sends := range m.classRoundSends[class] {
+		if sends > 0 {
+			c1++
+		}
+	}
+	return c1
+}
+
+// ClassVolume returns the sum over rounds of the largest message of
+// the given link class sent in that round — the per-class split of
+// C2. The class splits sum to at least DataVolume() and equal it
+// exactly when no round mixes link classes, which holds for the
+// hierarchical schedules (each phase is single-class).
+func (m *Metrics) ClassVolume(class int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.classOf == nil {
+		if class == ClassIntra {
+			c2 := 0
+			for _, max := range m.roundMax {
+				c2 += max
+			}
+			return c2
+		}
+		return 0
+	}
+	if class < 0 || class >= NumLinkClasses {
+		return 0
+	}
+	c2 := 0
+	for _, max := range m.classRoundMax[class] {
+		c2 += max
+	}
+	return c2
+}
+
+// ClassRoundSizes returns a copy of the per-round largest message
+// sizes of one link class, indexed by round; nil on engines without a
+// topology.
+func (m *Metrics) ClassRoundSizes(class int) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.classOf == nil || class < 0 || class >= NumLinkClasses {
+		return nil
+	}
+	out := make([]int, len(m.classRoundMax[class]))
+	copy(out, m.classRoundMax[class])
+	return out
 }
 
 // uniformityError reports an error if participating processors finished

@@ -65,11 +65,35 @@ type Schedule struct {
 	// compiled — the paper's two complexity measures.
 	C1 int `json:"c1"`
 	C2 int `json:"c2"`
+	// Topology is the topology spec ("4x4", "4,4,3") of a hierarchical
+	// (two-level) schedule and Groups its group sizes; both empty for
+	// flat schedules.
+	Topology string `json:"topology,omitempty"`
+	Groups   []int  `json:"groups,omitempty"`
+	// Phases is the phase table of a hierarchical schedule: contiguous
+	// runs of rounds, each moving data over a single link class. Empty
+	// for flat schedules.
+	Phases []SchedulePhase `json:"phases,omitempty"`
 	// Rounds is the recorded execution, grouped by round.
 	Rounds []ScheduleRound `json:"rounds"`
 	// Pattern is the compiled rank-0 view, empty for formula-driven
-	// algorithms.
+	// algorithms — and for hierarchical schedules, whose leader-routed
+	// phases are not translation invariant (Phases carries their
+	// structure instead).
 	Pattern []PatternRound `json:"pattern,omitempty"`
+}
+
+// SchedulePhase is one phase of a hierarchical schedule: Rounds global
+// rounds starting at First, all moving data over link class Class
+// ("intra" or "inter"), contributing C1 rounds and C2 bytes to the
+// schedule's totals.
+type SchedulePhase struct {
+	Name   string `json:"name"`
+	Class  string `json:"class"`
+	First  int    `json:"first"`
+	Rounds int    `json:"rounds"`
+	C1     int    `json:"c1"`
+	C2     int    `json:"c2"`
 }
 
 // ScheduleRound is all messages of one communication round.
@@ -184,9 +208,27 @@ func Diff(got, want *Schedule) []string {
 	if got.C2 != want.C2 {
 		add("c2: got %d, want %d", got.C2, want.C2)
 	}
+	if got.Topology != want.Topology {
+		add("topology: got %q, want %q", got.Topology, want.Topology)
+	}
+	if !intSliceEq(got.Groups, want.Groups) {
+		add("groups: got %v, want %v", got.Groups, want.Groups)
+	}
+	diffPhases(got.Phases, want.Phases, add)
 	diffRounds(got.Rounds, want.Rounds, add)
 	diffPattern(got.Pattern, want.Pattern, add)
 	return d
+}
+
+func diffPhases(got, want []SchedulePhase, add func(string, ...any)) {
+	if len(got) != len(want) {
+		add("phases: got %d, want %d", len(got), len(want))
+	}
+	for i := 0; i < len(got) && i < len(want); i++ {
+		if got[i] != want[i] {
+			add("phases[%d]: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
 }
 
 func diffRounds(got, want []ScheduleRound, add func(string, ...any)) {
